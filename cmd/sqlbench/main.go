@@ -1,0 +1,207 @@
+// Command sqlbench drives the experiment harness and prints the series
+// recorded in EXPERIMENTS.md. Each experiment can be run alone with -exp.
+//
+//	sqlbench             # run all experiments
+//	sqlbench -exp E6     # grammar/parser size vs dialect
+//	sqlbench -exp E7     # composition + generation cost vs dialect
+//	sqlbench -exp E8     # parse throughput: products vs monolithic baseline
+//	sqlbench -exp E9     # extension composability (sensor clauses)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sqlspl/internal/baseline"
+	"sqlspl/internal/codegen"
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/sql2003"
+	"sqlspl/internal/workload"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment to run: E6|E7|E8|E9 (default all)")
+		iter = flag.Int("n", 2000, "queries per throughput measurement")
+	)
+	flag.Parse()
+
+	run := func(name string, f func(int)) {
+		if *exp == "" || strings.EqualFold(*exp, name) {
+			f(*iter)
+			fmt.Println()
+		}
+	}
+	run("E6", e6Size)
+	run("E7", e7Composition)
+	run("E8", e8Throughput)
+	run("E9", e9Extension)
+}
+
+func buildOrDie(name dialect.Name) *core.Product {
+	p, err := dialect.Build(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlbench: build %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	return p
+}
+
+// e6Size prints grammar and parser size per dialect (experiment E6): the
+// customizability benefit the paper motivates for embedded systems.
+func e6Size(int) {
+	fmt.Println("E6: product size vs selected features (paper: scaled-down SQL for embedded systems)")
+	fmt.Printf("%-10s %9s %6s %12s %13s %8s %9s %10s\n",
+		"DIALECT", "FEATURES", "UNITS", "PRODUCTIONS", "ALTERNATIVES", "TOKENS", "KEYWORDS", "GEN-BYTES")
+	for _, name := range dialect.Names() {
+		p := buildOrDie(name)
+		s := p.Stats()
+		src, err := codegen.Generate(p.Grammar, p.Tokens, "p")
+		genBytes := 0
+		if err == nil {
+			genBytes = len(src)
+		}
+		fmt.Printf("%-10s %9d %6d %12d %13d %8d %9d %10d\n",
+			name, s.Features, s.Units, s.Productions, s.Grammar.Alternatives,
+			s.Tokens, s.Keywords, genBytes)
+	}
+	fmt.Println("baseline   (monolithic: every keyword always reserved)")
+	fmt.Printf("%-10s %9s %6s %12s %13s %8s %9d\n", "baseline", "-", "-", "-", "-", "-",
+		len(baseline.MustNew().Keywords()))
+}
+
+// e7Composition times the product-line build step per dialect (experiment
+// E7): validate + sequence + compose + erase + parser generation.
+func e7Composition(int) {
+	fmt.Println("E7: parser generation cost vs selected features")
+	fmt.Printf("%-10s %9s %14s %14s\n", "DIALECT", "FEATURES", "BUILD-TIME", "PER-PRODUCTION")
+	m := sql2003.MustModel()
+	for _, name := range dialect.Names() {
+		feats, err := dialect.Features(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlbench:", err)
+			os.Exit(1)
+		}
+		cfg := feature.NewConfig(feats...)
+		const rounds = 10
+		start := time.Now()
+		var prods, features int
+		for i := 0; i < rounds; i++ {
+			p, err := core.Build(m, sql2003.Registry{}, cfg, core.Options{Product: string(name)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sqlbench:", err)
+				os.Exit(1)
+			}
+			prods = p.Grammar.Len()
+			features = p.Config.Len()
+		}
+		per := time.Since(start) / rounds
+		fmt.Printf("%-10s %9d %14s %14s\n", name, features, per, per/time.Duration(max(prods, 1)))
+	}
+}
+
+// e8Throughput compares parse throughput of composed dialect parsers
+// against the monolithic baseline on dialect-appropriate workloads
+// (experiment E8).
+func e8Throughput(n int) {
+	fmt.Println("E8: parse throughput, composed products vs monolithic baseline")
+	fmt.Printf("%-11s %-10s %10s %12s %10s\n", "WORKLOAD", "PARSER", "QUERIES/S", "NS/QUERY", "MB/S")
+
+	type row struct {
+		workload string
+		queries  []string
+		name     dialect.Name
+	}
+	rows := []row{
+		{"minimal", workload.Minimal(11, n), dialect.Minimal},
+		{"sensor", workload.Sensor(12, n), dialect.TinySQL},
+		{"smartcard", workload.SmartCard(13, n), dialect.SCQL},
+		{"oltp", workload.OLTP(14, n), dialect.Core},
+		{"analytics", workload.Analytics(15, n), dialect.Warehouse},
+	}
+	base := baseline.MustNew()
+	full := buildOrDie(dialect.Full)
+	for _, r := range rows {
+		p := buildOrDie(r.name)
+		report(r.workload, "product", r.queries, func(q string) bool { return p.Accepts(q) })
+		report(r.workload, "full-prod", r.queries, func(q string) bool { return full.Accepts(q) })
+		report(r.workload, "baseline", r.queries, base.Accepts)
+	}
+	fmt.Println("(product = scaled-down composed parser; full-prod = every feature composed;")
+	fmt.Println(" baseline = conventional hand-written monolith, no extension mechanism)")
+}
+
+func report(workloadName, parserName string, queries []string, accepts func(string) bool) {
+	ok := 0
+	start := time.Now()
+	for _, q := range queries {
+		if accepts(q) {
+			ok++
+		}
+	}
+	elapsed := time.Since(start)
+	if ok == 0 {
+		fmt.Printf("%-11s %-10s %10s (workload not parseable: out-of-dialect)\n",
+			workloadName, parserName, "-")
+		return
+	}
+	qps := float64(len(queries)) / elapsed.Seconds()
+	nsq := elapsed.Nanoseconds() / int64(len(queries))
+	mbs := float64(workload.Bytes(queries)) / (1 << 20) / elapsed.Seconds()
+	note := ""
+	if ok < len(queries) {
+		note = fmt.Sprintf("  (!! only %d/%d accepted)", ok, len(queries))
+	}
+	fmt.Printf("%-11s %-10s %10.0f %12d %10.2f%s\n", workloadName, parserName, qps, nsq, mbs, note)
+}
+
+// e9Extension demonstrates language extension by composition (experiment
+// E9): the sensor clauses attach to the SELECT base without modifying it,
+// and disappear when deselected.
+func e9Extension(int) {
+	fmt.Println("E9: extension composability (TinySQL acquisitional clauses)")
+	withExt := buildOrDie(dialect.TinySQL)
+
+	feats, _ := dialect.Features(dialect.TinySQL)
+	cfg := feature.NewConfig(feats...)
+	cfg.Deselect("sensor_extensions", "sample_period", "sample_for_duration",
+		"sensor_duration_node", "epoch_duration", "lifetime_clause",
+		"on_event", "event_arguments", "storage_point")
+	withoutExt, err := core.Build(sql2003.MustModel(), sql2003.Registry{}, cfg,
+		core.Options{Product: "tinysql-without-sensor"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlbench:", err)
+		os.Exit(1)
+	}
+
+	probes := []struct {
+		sql  string
+		kind string
+	}{
+		{"SELECT nodeid, light FROM sensors", "base"},
+		{"SELECT AVG(temp) FROM sensors GROUP BY roomno", "base"},
+		{"SELECT nodeid FROM sensors SAMPLE PERIOD 1024", "extension"},
+		{"SELECT nodeid FROM sensors EPOCH DURATION 512", "extension"},
+		{"SELECT COUNT(*) FROM sensors LIFETIME 30", "extension"},
+	}
+	fmt.Printf("%-55s %-10s %8s %8s\n", "QUERY", "KIND", "WITH", "WITHOUT")
+	for _, probe := range probes {
+		fmt.Printf("%-55s %-10s %8v %8v\n", probe.sql, probe.kind,
+			withExt.Accepts(probe.sql), withoutExt.Accepts(probe.sql))
+	}
+	fmt.Printf("grammar: %d productions with extension, %d without (delta %+d; base unchanged)\n",
+		withExt.Grammar.Len(), withoutExt.Grammar.Len(),
+		withExt.Grammar.Len()-withoutExt.Grammar.Len())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+// Command sqldiff compares two products of the line: reserved words,
+// productions, refined productions, and optionally the fate of probe
+// queries under each.
+//
+//	sqldiff -a minimal -b tinysql
+//	sqldiff -a scql -b core -probe 'SELECT a FROM t ORDER BY a' -probe 'DELETE FROM t'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/diff"
+)
+
+type probeList []string
+
+func (p *probeList) String() string { return fmt.Sprint(*p) }
+func (p *probeList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func main() {
+	var (
+		aName  = flag.String("a", "minimal", "first dialect")
+		bName  = flag.String("b", "full", "second dialect")
+		probes probeList
+	)
+	flag.Var(&probes, "probe", "SQL probe to run under both products (repeatable)")
+	flag.Parse()
+
+	a, err := dialect.Build(dialect.Name(*aName))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := dialect.Build(dialect.Name(*bName))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(diff.Compare(a, b, probes).String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqldiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+package main
+
+// Interactive mode implements the workflow the paper describes as work in
+// progress: "Currently we are creating an implementation model and a user
+// interface presenting various SQL statements and their features. When a
+// user selects different features, the required parser is created by
+// composing these features."
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/sql2003"
+)
+
+const interactiveHelp = `commands:
+  select <feature>...     add features to the selection
+  deselect <feature>...   remove features
+  dialect <name>          replace the selection with a preset dialect
+  show                    print the current selection
+  diagram <name>          print one feature diagram
+  build                   compose the selection and create the parser
+  check <sql>             parse SQL under the current product
+  stats                   print product size statistics
+  reset                   clear the selection
+  help                    this text
+  quit                    leave
+`
+
+// runInteractive drives the select-features/create-parser loop over the
+// given streams. It returns the first I/O error, or nil at quit/EOF.
+func runInteractive(in io.Reader, out io.Writer) error {
+	m := sql2003.MustModel()
+	cfg := feature.NewConfig()
+	var product *core.Product
+
+	build := func() {
+		p, err := core.Build(m, sql2003.Registry{}, cfg, core.Options{Product: "interactive"})
+		if err != nil {
+			fmt.Fprintf(out, "build failed: %v\n", err)
+			return
+		}
+		product = p
+		fmt.Fprintf(out, "built: %d features -> %d productions, %d keywords\n",
+			p.Config.Len(), p.Grammar.Len(), len(p.Tokens.Keywords()))
+	}
+
+	fmt.Fprint(out, "sqlfpc interactive — type 'help' for commands\n")
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "help":
+			fmt.Fprint(out, interactiveHelp)
+		case "select":
+			for _, f := range strings.Fields(rest) {
+				if m.Feature(f) == nil {
+					fmt.Fprintf(out, "unknown feature %q\n", f)
+					continue
+				}
+				cfg.Select(f)
+			}
+			fmt.Fprintf(out, "%d features selected\n", cfg.Len())
+			product = nil
+		case "deselect":
+			cfg.Deselect(strings.Fields(rest)...)
+			fmt.Fprintf(out, "%d features selected\n", cfg.Len())
+			product = nil
+		case "dialect":
+			feats, err := dialect.Features(dialect.Name(rest))
+			if err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			cfg = feature.NewConfig(feats...)
+			fmt.Fprintf(out, "%d features selected from preset %s\n", cfg.Len(), rest)
+			product = nil
+		case "show":
+			fmt.Fprintln(out, cfg)
+		case "diagram":
+			d := m.DiagramOf(rest)
+			if d == nil {
+				fmt.Fprintf(out, "no diagram %q\n", rest)
+				continue
+			}
+			d.WalkFeatures(func(f *feature.Feature) {
+				mark := " "
+				if cfg.Has(f.Name) {
+					mark = "*"
+				}
+				fmt.Fprintf(out, " %s %s\n", mark, f.Name)
+			})
+		case "build":
+			build()
+		case "stats":
+			if product == nil {
+				build()
+			}
+			if product != nil {
+				s := product.Stats()
+				fmt.Fprintf(out, "productions=%d tokens=%d keywords=%d erased=%d\n",
+					s.Productions, s.Tokens, s.Keywords, len(product.Erased))
+			}
+		case "check":
+			if product == nil {
+				build()
+			}
+			if product == nil {
+				continue
+			}
+			if tree, err := product.Parse(rest); err != nil {
+				fmt.Fprintf(out, "REJECT: %v\n", err)
+			} else {
+				fmt.Fprintf(out, "ACCEPT (%d tokens)\n", len(tree.Leaves()))
+			}
+		case "reset":
+			cfg = feature.NewConfig()
+			product = nil
+			fmt.Fprintln(out, "selection cleared")
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command sqlparse parses SQL under a chosen product-line dialect and
+// prints the parse tree, the typed AST, or re-rendered SQL.
+//
+// Usage:
+//
+//	sqlparse -dialect core 'SELECT a FROM t WHERE b = 1'
+//	echo 'SELECT * FROM sensors SAMPLE PERIOD 1024' | sqlparse -dialect tinysql -tree
+//	sqlparse -dialect warehouse -render 'select a from t union select b from u'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/dialect"
+)
+
+func main() {
+	var (
+		dialectN = flag.String("dialect", "core", "dialect: minimal|tinysql|scql|core|warehouse|full")
+		tree     = flag.Bool("tree", false, "print the concrete parse tree")
+		render   = flag.Bool("render", false, "print the SQL re-rendered from the typed AST")
+	)
+	flag.Parse()
+
+	sql := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(sql) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(data)
+	}
+	if strings.TrimSpace(sql) == "" {
+		fatal(fmt.Errorf("no SQL given (argument or stdin)"))
+	}
+
+	product, err := dialect.Build(dialect.Name(*dialectN))
+	if err != nil {
+		fatal(err)
+	}
+	parseTree, err := product.Parse(sql)
+	if err != nil {
+		fatal(err)
+	}
+	if *tree {
+		fmt.Print(parseTree.Dump())
+		return
+	}
+	script, err := ast.NewBuilder(nil).Build(parseTree)
+	if err != nil {
+		fatal(err)
+	}
+	if *render {
+		fmt.Println(script.SQL())
+		return
+	}
+	for i, st := range script.Statements {
+		fmt.Printf("-- statement %d: %T\n%s\n", i+1, st, st.SQL())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlparse:", err)
+	os.Exit(1)
+}

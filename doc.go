@@ -1,0 +1,17 @@
+// Package sqlspl is a software product line for SQL parsers: a Go
+// reproduction of "Generating Highly Customizable SQL Parsers" (Sunkle,
+// Kuhlemann, Siegmund, Rosenmüller, Saake; EDBT 2008 workshop on Software
+// Engineering for Tailor-made Data Management).
+//
+// SQL:2003 Foundation is decomposed into feature diagrams whose features
+// carry sub-grammars and token files (internal/sql2003). Selecting features
+// yields a feature-instance description; composing the selected
+// sub-grammars under the paper's composition rules (internal/compose)
+// yields one grammar, from which a parser is generated (internal/parser,
+// internal/codegen). Preset products — the paper's motivating scaled-down
+// dialects for embedded systems — live in internal/dialect.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduced experiments. The
+// benchmarks in bench_test.go regenerate every experiment series.
+package sqlspl

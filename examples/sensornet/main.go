@@ -1,0 +1,78 @@
+// Sensornet: a TinySQL-style dialect for sensor networks, the paper's
+// leading scaled-down-SQL scenario ("Query processing for sensor networks
+// requires different semantics of queries as well as additional features
+// than provided in SQL standards", citing TinyDB).
+//
+// The dialect composes a restricted Foundation core (no aliases, no joins,
+// no ORDER BY) with the acquisitional extension features: SAMPLE PERIOD,
+// EPOCH DURATION, LIFETIME, ON EVENT and CREATE STORAGE POINT. The typed
+// AST surfaces the acquisitional parameters so a query processor can plan
+// sampling — the analog of TinyDB's epoch-based execution.
+//
+// Run with: go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/dialect"
+)
+
+func main() {
+	product, err := dialect.Build(dialect.TinySQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tinysql product: %d productions, %d reserved words: %v\n\n",
+		product.Grammar.Len(), len(product.Tokens.Keywords()), product.Tokens.Keywords())
+
+	queries := []string{
+		// Canonical TinyDB queries from the literature.
+		"SELECT nodeid, light, temp FROM sensors SAMPLE PERIOD 1024",
+		"SELECT AVG(light) FROM sensors WHERE temp > 25 GROUP BY roomno SAMPLE PERIOD 2048 FOR 30",
+		"SELECT COUNT(*) FROM sensors EPOCH DURATION 512",
+		"SELECT nodeid FROM sensors LIFETIME 30",
+		"ON EVENT bird_detect(loc): SELECT AVG(light) FROM sensors SAMPLE PERIOD 1024",
+		"CREATE STORAGE POINT recent_light SIZE 8 AS SELECT nodeid, light FROM sensors",
+	}
+	builder := ast.NewBuilder(nil)
+	for _, q := range queries {
+		tree, err := product.Parse(q)
+		if err != nil {
+			log.Fatalf("%q: %v", q, err)
+		}
+		script, err := builder.Build(tree)
+		if err != nil {
+			log.Fatalf("%q: %v", q, err)
+		}
+		fmt.Printf("query: %s\n", q)
+		if sel, ok := script.Statements[0].(*ast.Select); ok && sel.Sensor != nil {
+			fmt.Printf("  acquisition: period=%d for=%d lifetime=%d epoch-spelling=%v\n",
+				sel.Sensor.SamplePeriod, sel.Sensor.SampleFor, sel.Sensor.Lifetime, sel.Sensor.Epoch)
+		} else {
+			fmt.Printf("  statement kind: %T\n", script.Statements[0])
+		}
+	}
+
+	// TinySQL's documented restrictions hold: these are all syntax errors
+	// in the composed dialect even though they are fine in full SQL.
+	fmt.Println("\nout-of-dialect (TinySQL restrictions):")
+	for _, q := range []string{
+		"SELECT nodeid AS n FROM sensors",                     // no column aliases
+		"SELECT s.light FROM sensors s JOIN rooms r ON a = b", // no joins
+		"SELECT light FROM sensors ORDER BY light",            // no ORDER BY
+	} {
+		if product.Accepts(q) {
+			log.Fatalf("dialect unexpectedly accepts %q", q)
+		}
+		fmt.Printf("  reject: %s\n", q)
+	}
+
+	// The word ORDER is not reserved here, so sensor fields may use it.
+	if !product.Accepts("SELECT order FROM sensors SAMPLE PERIOD 1024") {
+		log.Fatal("unselected keyword should be usable as a field name")
+	}
+	fmt.Println("\nnote: ORDER is not reserved in this dialect — `SELECT order FROM sensors` parses.")
+}

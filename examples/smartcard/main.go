@@ -1,0 +1,72 @@
+// Smartcard: an SCQL-style profile (ISO 7816-7 Structured Card Query
+// Language), the paper's second embedded scenario: "A standard called
+// Structured Card Query Language (SCQL) by ISO considers interindustry
+// commands for use in smart cards with restricted functionality of SQL."
+//
+// Cards have kilobytes of RAM; the profile keeps basic table DDL, searched
+// and cursor-positioned DML, single-table SELECT, and table-level grants,
+// and drops everything else. The example runs a small card session and
+// reports the footprint numbers an embedded integrator would check.
+//
+// Run with: go run ./examples/smartcard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/dialect"
+)
+
+func main() {
+	product, err := dialect.Build(dialect.SCQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := dialect.Build(dialect.Full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scql profile: %d productions, %d keywords (full SQL product: %d productions, %d keywords)\n\n",
+		product.Grammar.Len(), len(product.Tokens.Keywords()),
+		full.Grammar.Len(), len(full.Tokens.Keywords()))
+
+	session := []string{
+		"CREATE TABLE purses ( id INTEGER, holder VARCHAR(20), balance INTEGER )",
+		"INSERT INTO purses (id, holder, balance) VALUES (1, 'alice', 500)",
+		"INSERT INTO purses (id, holder, balance) VALUES (2, 'bob', 120)",
+		"GRANT SELECT, UPDATE ON purses TO PUBLIC",
+		"DECLARE pay CURSOR FOR SELECT balance FROM purses WHERE id = 1",
+		"OPEN pay",
+		"FETCH pay INTO :balance",
+		"UPDATE purses SET balance = 450 WHERE CURRENT OF pay",
+		"CLOSE pay",
+		"DELETE FROM purses WHERE balance = 0",
+	}
+	builder := ast.NewBuilder(nil)
+	for _, stmt := range session {
+		tree, err := product.Parse(stmt)
+		if err != nil {
+			log.Fatalf("%q: %v", stmt, err)
+		}
+		script, err := builder.Build(tree)
+		if err != nil {
+			log.Fatalf("%q: %v", stmt, err)
+		}
+		fmt.Printf("ok  %-70s -> %T\n", stmt, script.Statements[0])
+	}
+
+	fmt.Println("\nnot in the card profile (parse errors by construction):")
+	for _, stmt := range []string{
+		"CREATE VIEW v AS SELECT id FROM purses",
+		"SELECT holder FROM purses UNION SELECT holder FROM archive",
+		"SELECT RANK() OVER (ORDER BY balance) FROM purses",
+		"CREATE TABLE blobs ( b BLOB )",
+	} {
+		if product.Accepts(stmt) {
+			log.Fatalf("profile unexpectedly accepts %q", stmt)
+		}
+		fmt.Printf("reject  %s\n", stmt)
+	}
+}

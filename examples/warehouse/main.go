@@ -1,0 +1,83 @@
+// Warehouse: the data-warehousing product of the line — the paper's
+// business-intelligence motivation ("business intelligence and data
+// warehousing functions" among SQL:2003's growth areas).
+//
+// The dialect composes ROLLUP/CUBE/GROUPING SETS, window functions with
+// frames, set operations, recursive WITH, and the statistical aggregates on
+// top of the core. The example parses analytical queries into the typed
+// AST, inspects their structure, and re-renders them.
+//
+// Run with: go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/dialect"
+)
+
+func main() {
+	product, err := dialect.Build(dialect.Warehouse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warehouse product: %d productions, %d keywords\n\n",
+		product.Grammar.Len(), len(product.Tokens.Keywords()))
+
+	queries := []string{
+		"SELECT region, product, SUM(amount) FROM sales GROUP BY ROLLUP (region, product)",
+		"SELECT region, SUM(amount) FROM sales GROUP BY GROUPING SETS ((region), (region, product), ())",
+		"SELECT region, RANK() OVER (PARTITION BY region ORDER BY amount DESC) FROM sales",
+		"SELECT SUM(amount) OVER (ORDER BY day_col ROWS BETWEEN 6 PRECEDING AND CURRENT ROW) FROM sales",
+		"WITH RECURSIVE mgr_chain (mgr) AS (SELECT mgr FROM emp) SELECT mgr FROM mgr_chain",
+		"SELECT region FROM sales_2007 UNION ALL SELECT region FROM sales_2008 EXCEPT SELECT region FROM excluded",
+		"SELECT STDDEV_POP(amount) FILTER (WHERE region = 'EU') FROM sales",
+		"MERGE INTO inventory USING shipment ON inventory.sku = shipment.sku WHEN MATCHED THEN UPDATE SET qty = 1 WHEN NOT MATCHED THEN INSERT (sku) VALUES (1)",
+	}
+	builder := ast.NewBuilder(nil)
+	for _, q := range queries {
+		tree, err := product.Parse(q)
+		if err != nil {
+			log.Fatalf("%q: %v", q, err)
+		}
+		script, err := builder.Build(tree)
+		if err != nil {
+			log.Fatalf("%q: %v", q, err)
+		}
+		fmt.Printf("query:    %s\n", q)
+		if sel, ok := script.Statements[0].(*ast.Select); ok {
+			describe(sel)
+		}
+		fmt.Printf("rendered: %s\n\n", script.SQL())
+	}
+}
+
+func describe(sel *ast.Select) {
+	var notes []string
+	for _, g := range sel.GroupBy {
+		if g.Kind != "" {
+			notes = append(notes, "grouping:"+g.Kind)
+		}
+	}
+	for _, item := range sel.Items {
+		if fc, ok := item.Expr.(*ast.FuncCall); ok {
+			if fc.OverSpec != nil || fc.OverName != "" {
+				notes = append(notes, "window-function:"+fc.Name[0])
+			}
+			if fc.Filter != nil {
+				notes = append(notes, "filtered-aggregate:"+fc.Name[0])
+			}
+		}
+	}
+	for _, op := range sel.SetOps {
+		notes = append(notes, "set-op:"+op.Op)
+	}
+	if len(sel.With) > 0 {
+		notes = append(notes, fmt.Sprintf("ctes:%d recursive:%v", len(sel.With), sel.Recursive))
+	}
+	if len(notes) > 0 {
+		fmt.Printf("analysis: %v\n", notes)
+	}
+}

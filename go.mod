@@ -1,0 +1,3 @@
+module sqlspl
+
+go 1.22

@@ -1,0 +1,455 @@
+package ast
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/parser"
+)
+
+var (
+	productsMu sync.Mutex
+	products   = map[dialect.Name]*core.Product{}
+)
+
+func product(t *testing.T, name dialect.Name) *core.Product {
+	t.Helper()
+	productsMu.Lock()
+	defer productsMu.Unlock()
+	if p, ok := products[name]; ok {
+		return p
+	}
+	p, err := dialect.Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	products[name] = p
+	return p
+}
+
+func buildAST(t *testing.T, name dialect.Name, sql string) *Script {
+	t.Helper()
+	p := product(t, name)
+	tree, err := p.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	script, err := NewBuilder(nil).Build(tree)
+	if err != nil {
+		t.Fatalf("ast %q: %v", sql, err)
+	}
+	return script
+}
+
+func selectOf(t *testing.T, name dialect.Name, sql string) *Select {
+	t.Helper()
+	script := buildAST(t, name, sql)
+	if len(script.Statements) != 1 {
+		t.Fatalf("%q: %d statements", sql, len(script.Statements))
+	}
+	sel, ok := script.Statements[0].(*Select)
+	if !ok {
+		t.Fatalf("%q: statement is %T", sql, script.Statements[0])
+	}
+	return sel
+}
+
+func TestSelectBasicShape(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT a, b AS total FROM t WHERE a = 1")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "total" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	col, ok := sel.Items[0].Expr.(*ColumnRef)
+	if !ok || col.Parts[0] != "a" {
+		t.Errorf("first item = %#v", sel.Items[0].Expr)
+	}
+	if len(sel.From) != 1 || strings.Join(sel.From[0].Name, ".") != "t" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	cmp, ok := sel.Where.(*Binary)
+	if !ok || cmp.Op != "=" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if lit, ok := cmp.Right.(*Literal); !ok || lit.Kind != LitNumber || lit.Text != "1" {
+		t.Errorf("rhs = %#v", cmp.Right)
+	}
+}
+
+func TestSelectQuantifierAndStar(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT DISTINCT * FROM t")
+	if sel.Quantifier != "DISTINCT" {
+		t.Errorf("quantifier = %q", sel.Quantifier)
+	}
+	if len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	sel = selectOf(t, dialect.Core, "SELECT t.* FROM t")
+	if !sel.Items[0].Star || strings.Join(sel.Items[0].Qualifier, ".") != "t" {
+		t.Errorf("qualified star = %+v", sel.Items[0])
+	}
+}
+
+func TestBooleanStructure(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT a FROM t WHERE a = 1 AND b < 2 OR NOT c > 3")
+	or, ok := sel.Where.(*Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	and, ok := or.Left.(*Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left = %#v", or.Left)
+	}
+	not, ok := or.Right.(*Unary)
+	if !ok || not.Op != "NOT" {
+		t.Fatalf("right = %#v", or.Right)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT a + b * 2 FROM t")
+	add, ok := sel.Items[0].Expr.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top = %#v", sel.Items[0].Expr)
+	}
+	mul, ok := add.Right.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right = %#v (multiplication must bind tighter)", add.Right)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT a FROM t LEFT OUTER JOIN u ON t.id = u.id CROSS JOIN v")
+	if len(sel.From) != 1 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	ref := sel.From[0]
+	if len(ref.Joins) != 2 {
+		t.Fatalf("joins = %+v", ref.Joins)
+	}
+	if ref.Joins[0].Kind != JoinLeft || ref.Joins[0].On == nil {
+		t.Errorf("join 0 = %+v", ref.Joins[0])
+	}
+	if ref.Joins[1].Kind != JoinCross {
+		t.Errorf("join 1 = %+v", ref.Joins[1])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT COUNT(*) FROM t GROUP BY a, b HAVING COUNT(*) > 1")
+	if len(sel.GroupBy) != 2 {
+		t.Fatalf("group by = %+v", sel.GroupBy)
+	}
+	if sel.Having == nil {
+		t.Fatal("missing having")
+	}
+	fc, ok := sel.Items[0].Expr.(*FuncCall)
+	if !ok || !fc.Star || fc.Name[0] != "COUNT" {
+		t.Errorf("count(*) = %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestRollup(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse, "SELECT a FROM t GROUP BY ROLLUP (a, b)")
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Kind != "ROLLUP" || len(sel.GroupBy[0].Columns) != 2 {
+		t.Errorf("rollup = %+v", sel.GroupBy)
+	}
+}
+
+func TestAggregatesAndFilter(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse, "SELECT SUM(DISTINCT x) FILTER (WHERE y = 1) FROM t")
+	fc, ok := sel.Items[0].Expr.(*FuncCall)
+	if !ok {
+		t.Fatalf("expr = %#v", sel.Items[0].Expr)
+	}
+	if fc.Name[0] != "SUM" || fc.Quantifier != "DISTINCT" || fc.Filter == nil {
+		t.Errorf("call = %+v", fc)
+	}
+}
+
+func TestWindowFunction(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse,
+		"SELECT RANK() OVER (PARTITION BY region ORDER BY amount DESC) FROM sales")
+	fc, ok := sel.Items[0].Expr.(*FuncCall)
+	if !ok || fc.Name[0] != "RANK" || fc.OverSpec == nil {
+		t.Fatalf("window fn = %#v", sel.Items[0].Expr)
+	}
+	if len(fc.OverSpec.PartitionBy) != 1 || len(fc.OverSpec.OrderBy) != 1 {
+		t.Errorf("spec = %+v", fc.OverSpec)
+	}
+	if fc.OverSpec.OrderBy[0].Direction != "DESC" {
+		t.Errorf("direction = %q", fc.OverSpec.OrderBy[0].Direction)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		sql  string
+		kind string
+		not  bool
+	}{
+		{"SELECT a FROM t WHERE b IS NULL", "NULL", false},
+		{"SELECT a FROM t WHERE b IS NOT NULL", "NULL", true},
+		{"SELECT a FROM t WHERE b BETWEEN 1 AND 2", "BETWEEN", false},
+		{"SELECT a FROM t WHERE b NOT IN (1, 2)", "IN", true},
+		{"SELECT a FROM t WHERE b LIKE 'x%'", "LIKE", false},
+		{"SELECT a FROM t WHERE EXISTS (SELECT c FROM u)", "EXISTS", false},
+	}
+	for _, tc := range cases {
+		sel := selectOf(t, dialect.Core, tc.sql)
+		p, ok := sel.Where.(*Predicate)
+		if !ok {
+			t.Errorf("%q: where = %#v", tc.sql, sel.Where)
+			continue
+		}
+		if p.Kind != tc.kind || p.Not != tc.not {
+			t.Errorf("%q: predicate = %+v", tc.sql, p)
+		}
+	}
+}
+
+func TestQuantifiedComparison(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse, "SELECT a FROM t WHERE x > ALL (SELECT y FROM u)")
+	p, ok := sel.Where.(*Predicate)
+	if !ok || p.Kind != "> ALL" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if _, ok := p.Args[0].(*Subquery); !ok {
+		t.Errorf("arg = %#v", p.Args[0])
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse, "SELECT a FROM t UNION ALL SELECT b FROM u EXCEPT SELECT c FROM v")
+	if len(sel.SetOps) != 2 {
+		t.Fatalf("set ops = %+v", sel.SetOps)
+	}
+	if sel.SetOps[0].Op != "UNION" || sel.SetOps[0].Quantifier != "ALL" {
+		t.Errorf("op 0 = %+v", sel.SetOps[0])
+	}
+	if sel.SetOps[1].Op != "EXCEPT" {
+		t.Errorf("op 1 = %+v", sel.SetOps[1])
+	}
+}
+
+func TestWithClause(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse, "WITH RECURSIVE r (a) AS (SELECT a FROM t) SELECT a FROM r")
+	if !sel.Recursive || len(sel.With) != 1 {
+		t.Fatalf("with = %+v recursive=%v", sel.With, sel.Recursive)
+	}
+	w := sel.With[0]
+	if w.Name != "r" || len(w.Columns) != 1 || w.Query == nil {
+		t.Errorf("cte = %+v", w)
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT a FROM (SELECT b FROM u) AS d (x)")
+	ref := sel.From[0]
+	if ref.Subquery == nil || ref.Alias != "d" || len(ref.AliasColumns) != 1 {
+		t.Errorf("ref = %+v", ref)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	sel := selectOf(t, dialect.Warehouse, "SELECT a FROM t ORDER BY a DESC NULLS LAST, b")
+	if len(sel.OrderBy) != 2 {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if sel.OrderBy[0].Direction != "DESC" || sel.OrderBy[0].Nulls != "LAST" {
+		t.Errorf("item 0 = %+v", sel.OrderBy[0])
+	}
+}
+
+func TestInsertShapes(t *testing.T) {
+	script := buildAST(t, dialect.Core, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, DEFAULT)")
+	ins := script.Statements[0].(*Insert)
+	if strings.Join(ins.Table, ".") != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	script = buildAST(t, dialect.Warehouse, "INSERT INTO t SELECT a FROM u")
+	ins = script.Statements[0].(*Insert)
+	if ins.Query == nil {
+		t.Errorf("insert from query = %+v", ins)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	script := buildAST(t, dialect.Core, "UPDATE t SET a = 1, b = DEFAULT WHERE c = 2")
+	up := script.Statements[0].(*Update)
+	if len(up.Assignments) != 2 || !up.Assignments[1].Default || up.Where == nil {
+		t.Errorf("update = %+v", up)
+	}
+	script = buildAST(t, dialect.SCQL, "DELETE FROM t WHERE CURRENT OF c")
+	del := script.Statements[0].(*Delete)
+	if del.Cursor != "c" {
+		t.Errorf("positioned delete = %+v", del)
+	}
+}
+
+func TestCaseAndCast(t *testing.T) {
+	sel := selectOf(t, dialect.Core, "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END, CAST(b AS INTEGER) FROM t")
+	c, ok := sel.Items[0].Expr.(*Case)
+	if !ok || len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("case = %#v", sel.Items[0].Expr)
+	}
+	cast, ok := sel.Items[1].Expr.(*Cast)
+	if !ok || cast.Type != "INTEGER" {
+		t.Fatalf("cast = %#v", sel.Items[1].Expr)
+	}
+}
+
+func TestSensorClauses(t *testing.T) {
+	sel := selectOf(t, dialect.TinySQL, "SELECT nodeid FROM sensors SAMPLE PERIOD 1024 FOR 10 LIFETIME 30")
+	if sel.Sensor == nil {
+		t.Fatal("missing sensor clauses")
+	}
+	if sel.Sensor.SamplePeriod != 1024 || sel.Sensor.SampleFor != 10 || sel.Sensor.Lifetime != 30 {
+		t.Errorf("sensor = %+v", sel.Sensor)
+	}
+}
+
+func TestGenericStatements(t *testing.T) {
+	script := buildAST(t, dialect.Core, "CREATE TABLE t ( a INTEGER NOT NULL )")
+	g, ok := script.Statements[0].(*Generic)
+	if !ok || g.Kind != "table_definition" {
+		t.Fatalf("statement = %#v", script.Statements[0])
+	}
+	if !strings.Contains(g.Text, "CREATE TABLE") {
+		t.Errorf("text = %q", g.Text)
+	}
+}
+
+func TestMultiStatementScript(t *testing.T) {
+	script := buildAST(t, dialect.Core, "SELECT a FROM t; DELETE FROM t WHERE a = 1; COMMIT")
+	if len(script.Statements) != 3 {
+		t.Fatalf("statements = %d", len(script.Statements))
+	}
+	if _, ok := script.Statements[0].(*Select); !ok {
+		t.Errorf("stmt 0 = %T", script.Statements[0])
+	}
+	if _, ok := script.Statements[2].(*Generic); !ok {
+		t.Errorf("stmt 2 = %T", script.Statements[2])
+	}
+}
+
+// TestSQLRoundTrip: rendering an AST yields SQL that the same product
+// accepts and that rebuilds to identical rendered SQL (fixpoint).
+func TestSQLRoundTrip(t *testing.T) {
+	cases := map[dialect.Name][]string{
+		dialect.Core: {
+			"SELECT DISTINCT a, b AS total FROM t AS x WHERE a = 1 AND b < 2",
+			"SELECT a FROM t LEFT JOIN u ON t.id = u.id WHERE b IS NOT NULL",
+			"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+			"INSERT INTO t (a) VALUES (1), (2)",
+			"UPDATE t SET a = a + 1 WHERE b IN (1, 2, 3)",
+			"DELETE FROM t WHERE a BETWEEN 1 AND 10",
+			"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+			"SELECT a FROM (SELECT b FROM u) AS d",
+		},
+		dialect.Warehouse: {
+			"SELECT a FROM t UNION ALL SELECT b FROM u",
+			"WITH r AS (SELECT a FROM t) SELECT a FROM r ORDER BY a DESC NULLS LAST",
+			"SELECT RANK() OVER (PARTITION BY a ORDER BY b) FROM t",
+			"SELECT region FROM sales GROUP BY ROLLUP (region, product)",
+		},
+		dialect.TinySQL: {
+			"SELECT nodeid, light FROM sensors SAMPLE PERIOD 1024",
+			"SELECT AVG(temp) FROM sensors GROUP BY roomno LIFETIME 30",
+		},
+	}
+	b := NewBuilder(nil)
+	for name, queries := range cases {
+		p := product(t, name)
+		for _, q := range queries {
+			tree, err := p.Parse(q)
+			if err != nil {
+				t.Errorf("%s: parse %q: %v", name, q, err)
+				continue
+			}
+			script, err := b.Build(tree)
+			if err != nil {
+				t.Errorf("%s: ast %q: %v", name, q, err)
+				continue
+			}
+			rendered := script.SQL()
+			tree2, err := p.Parse(rendered)
+			if err != nil {
+				t.Errorf("%s: rendered SQL rejected: %q -> %q: %v", name, q, rendered, err)
+				continue
+			}
+			script2, err := b.Build(tree2)
+			if err != nil {
+				t.Errorf("%s: re-ast %q: %v", name, rendered, err)
+				continue
+			}
+			if script2.SQL() != rendered {
+				t.Errorf("%s: render not a fixpoint:\n  1st %q\n  2nd %q", name, rendered, script2.SQL())
+			}
+		}
+	}
+}
+
+// TestRegistryMiddleware: a registered middleware wraps the default action,
+// the Mixin-style composition of semantics.
+func TestRegistryMiddleware(t *testing.T) {
+	reg := NewRegistry()
+	var sawLabels []string
+	reg.Register("insert_statement", func(next Action) Action {
+		return func(b *Builder, tr *parser.Tree) (any, error) {
+			sawLabels = append(sawLabels, tr.Label)
+			v, err := next(b, tr)
+			if ins, ok := v.(*Insert); ok && err == nil {
+				ins.Table = append([]string{"audited"}, ins.Table...)
+			}
+			return v, err
+		}
+	})
+	p := product(t, dialect.Core)
+	tree, err := p.Parse("INSERT INTO t (a) VALUES (1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := NewBuilder(reg).Build(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := script.Statements[0].(*Insert)
+	if strings.Join(ins.Table, ".") != "audited.t" {
+		t.Errorf("middleware did not refine result: %+v", ins.Table)
+	}
+	if len(sawLabels) != 1 || sawLabels[0] != "insert_statement" {
+		t.Errorf("middleware invocations: %v", sawLabels)
+	}
+}
+
+// TestMiddlewareStacking: later registrations wrap earlier ones.
+func TestMiddlewareStacking(t *testing.T) {
+	reg := NewRegistry()
+	var order []string
+	for _, tag := range []string{"first", "second"} {
+		tag := tag
+		reg.Register("delete_statement", func(next Action) Action {
+			return func(b *Builder, tr *parser.Tree) (any, error) {
+				order = append(order, tag)
+				return next(b, tr)
+			}
+		})
+	}
+	p := product(t, dialect.Core)
+	tree, err := p.Parse("DELETE FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBuilder(reg).Build(tree); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Errorf("wrap order = %v, want outermost-last registration first", order)
+	}
+}

@@ -1,0 +1,801 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sqlspl/internal/parser"
+)
+
+// --- Tree helpers ---------------------------------------------------------------
+
+// kid returns the first direct child with the given production label.
+func kid(t *parser.Tree, label string) *parser.Tree {
+	for _, c := range t.Children {
+		if c.Label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// kids returns all direct children with the given production label.
+func kids(t *parser.Tree, label string) []*parser.Tree {
+	var out []*parser.Tree
+	for _, c := range t.Children {
+		if c.Label == label {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// hasTok reports whether t has a direct token leaf with the given name.
+func hasTok(t *parser.Tree, name string) bool {
+	for _, c := range t.Children {
+		if c.Token != nil && c.Token.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// tokText returns the text of the first direct token leaf with the name.
+func tokText(t *parser.Tree, name string) string {
+	for _, c := range t.Children {
+		if c.Token != nil && c.Token.Name == name {
+			return c.Token.Text
+		}
+	}
+	return ""
+}
+
+// firstNode returns the first non-leaf direct child.
+func firstNode(t *parser.Tree) *parser.Tree {
+	for _, c := range t.Children {
+		if !c.IsLeaf() {
+			return c
+		}
+	}
+	return nil
+}
+
+// chainParts extracts the identifier texts of an identifier_chain (or any
+// node whose identifier leaves, ignoring periods, form a name chain).
+func chainParts(t *parser.Tree) []string {
+	var out []string
+	for _, tok := range t.Leaves() {
+		if tok.Name != "PERIOD" {
+			out = append(out, strings.Trim(tok.Text, `"`))
+		}
+	}
+	return out
+}
+
+// nameOf returns the single identifier text under t.
+func nameOf(t *parser.Tree) string {
+	parts := chainParts(t)
+	if len(parts) == 0 {
+		return ""
+	}
+	return parts[len(parts)-1]
+}
+
+// columnNames extracts a column_name_list (or derived_column_list).
+func columnNames(t *parser.Tree) []string {
+	var out []string
+	for _, c := range kids(t, "column_name") {
+		out = append(out, nameOf(c))
+	}
+	if len(out) == 0 { // list wrapped one level deeper
+		for _, tok := range t.Leaves() {
+			if tok.Name == "IDENTIFIER" || tok.Name == "DELIMITED_IDENTIFIER" {
+				out = append(out, strings.Trim(tok.Text, `"`))
+			}
+		}
+	}
+	return out
+}
+
+// --- Statements --------------------------------------------------------------------
+
+// BuildStatement converts a statement-level parse node.
+func (b *Builder) BuildStatement(t *parser.Tree) (Statement, error) {
+	if t.Label == "statement" || t.Label == "simple_table" {
+		inner := firstNode(t)
+		if inner == nil {
+			return nil, fmt.Errorf("ast: empty %s node", t.Label)
+		}
+		t = inner
+	}
+	v, err := b.dispatch(t, (*Builder).defaultStatement)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := v.(Statement)
+	if !ok {
+		return nil, fmt.Errorf("ast: action for %s returned %T, not a Statement", t.Label, v)
+	}
+	return st, nil
+}
+
+func (b *Builder) defaultStatement(t *parser.Tree) (any, error) {
+	switch t.Label {
+	case "query_statement":
+		sel, err := b.buildQueryStatement(t)
+		return sel, err
+	case "query_expression", "query_expression_body", "cursor_specification":
+		return b.buildQueryExpression(t)
+	case "query_specification":
+		return b.buildQuerySpecification(t)
+	case "insert_statement":
+		return b.buildInsert(t)
+	case "update_statement":
+		return b.buildUpdate(t)
+	case "delete_statement":
+		return b.buildDelete(t)
+	default:
+		return &Generic{Kind: t.Label, Text: t.Text()}, nil
+	}
+}
+
+func (b *Builder) buildQueryStatement(t *parser.Tree) (*Select, error) {
+	qe := kid(t, "query_expression")
+	if qe == nil {
+		return nil, fmt.Errorf("ast: %s without query_expression", t.Label)
+	}
+	sel, err := b.buildQueryExpression(qe)
+	if err != nil {
+		return nil, err
+	}
+	if ob := kid(t, "order_by_clause"); ob != nil {
+		sel.OrderBy, err = b.buildSortList(ob)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func (b *Builder) buildQueryExpression(t *parser.Tree) (*Select, error) {
+	var withs []With
+	recursive := false
+	if wc := kid(t, "with_clause"); wc != nil {
+		recursive = hasTok(wc, "RECURSIVE")
+		list := kid(wc, "with_list")
+		if list == nil {
+			list = wc
+		}
+		for _, el := range kids(list, "with_list_element") {
+			w := With{Name: nameOf(kid(el, "query_name"))}
+			if cl := kid(el, "column_name_list"); cl != nil {
+				w.Columns = columnNames(cl)
+			}
+			body := kid(el, "query_expression_body")
+			if body == nil {
+				return nil, fmt.Errorf("ast: with element without body")
+			}
+			q, err := b.buildBody(body)
+			if err != nil {
+				return nil, err
+			}
+			w.Query = q
+			withs = append(withs, w)
+		}
+	}
+	body := kid(t, "query_expression_body")
+	var sel *Select
+	var err error
+	switch {
+	case body != nil:
+		sel, err = b.buildBody(body)
+	case t.Label == "query_expression_body":
+		sel, err = b.buildBody(t)
+	default:
+		// cursor_specification or direct nesting
+		if qe := kid(t, "query_expression"); qe != nil {
+			sel, err = b.buildQueryExpression(qe)
+		} else {
+			return nil, fmt.Errorf("ast: %s has no query body", t.Label)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	sel.With = withs
+	sel.Recursive = recursive
+	if ob := kid(t, "order_by_clause"); ob != nil {
+		sel.OrderBy, err = b.buildSortList(ob)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+// buildBody handles query_expression_body: query_term ( union_term )*.
+func (b *Builder) buildBody(t *parser.Tree) (*Select, error) {
+	term := kid(t, "query_term")
+	if term == nil {
+		return nil, fmt.Errorf("ast: body without query_term")
+	}
+	sel, err := b.buildTerm(term)
+	if err != nil {
+		return nil, err
+	}
+	for _, ut := range kids(t, "union_term") {
+		op := SetOp{Op: "UNION"}
+		if uo := kid(ut, "union_operator"); uo != nil {
+			if hasTok(uo, "EXCEPT") {
+				op.Op = "EXCEPT"
+			}
+			if hasTok(uo, "ALL") {
+				op.Quantifier = "ALL"
+			}
+			if hasTok(uo, "DISTINCT") {
+				op.Quantifier = "DISTINCT"
+			}
+		}
+		right := kid(ut, "query_term")
+		if right == nil {
+			return nil, fmt.Errorf("ast: union term without right side")
+		}
+		op.Right, err = b.buildTerm(right)
+		if err != nil {
+			return nil, err
+		}
+		sel.SetOps = append(sel.SetOps, op)
+	}
+	return sel, nil
+}
+
+// buildTerm handles query_term: query_primary ( intersect_term )*.
+func (b *Builder) buildTerm(t *parser.Tree) (*Select, error) {
+	prim := kid(t, "query_primary")
+	if prim == nil {
+		return nil, fmt.Errorf("ast: term without query_primary")
+	}
+	sel, err := b.buildPrimary(prim)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range kids(t, "intersect_term") {
+		op := SetOp{Op: "INTERSECT"}
+		if hasTok(it, "ALL") {
+			op.Quantifier = "ALL"
+		}
+		if hasTok(it, "DISTINCT") {
+			op.Quantifier = "DISTINCT"
+		}
+		right := kid(it, "query_primary")
+		if right == nil {
+			return nil, fmt.Errorf("ast: intersect term without right side")
+		}
+		op.Right, err = b.buildPrimary(right)
+		if err != nil {
+			return nil, err
+		}
+		sel.SetOps = append(sel.SetOps, op)
+	}
+	return sel, nil
+}
+
+func (b *Builder) buildPrimary(t *parser.Tree) (*Select, error) {
+	if st := kid(t, "simple_table"); st != nil {
+		return b.buildSimpleTable(st)
+	}
+	if body := kid(t, "query_expression_body"); body != nil {
+		inner, err := b.buildBody(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Select{Paren: inner}, nil
+	}
+	return nil, fmt.Errorf("ast: unrecognized query primary")
+}
+
+func (b *Builder) buildSimpleTable(t *parser.Tree) (*Select, error) {
+	if qs := kid(t, "query_specification"); qs != nil {
+		return b.buildQuerySpecification(qs)
+	}
+	if et := kid(t, "explicit_table"); et != nil {
+		name := kid(et, "table_name")
+		if name == nil {
+			return nil, fmt.Errorf("ast: TABLE without table name")
+		}
+		return &Select{ExplicitTable: chainParts(name)}, nil
+	}
+	if tvc := kid(t, "table_value_constructor"); tvc != nil {
+		sel := &Select{}
+		list := kid(tvc, "row_value_expression_list")
+		if list == nil {
+			list = tvc
+		}
+		for _, rv := range kids(list, "row_value_constructor") {
+			row, err := b.buildRowItems(rv)
+			if err != nil {
+				return nil, err
+			}
+			sel.Values = append(sel.Values, row)
+		}
+		return sel, nil
+	}
+	return nil, fmt.Errorf("ast: unrecognized simple table")
+}
+
+func (b *Builder) buildRowItems(t *parser.Tree) ([]Expr, error) {
+	list := kid(t, "row_value_constructor_element_list")
+	if list == nil {
+		list = t
+	}
+	var out []Expr
+	for _, ve := range kids(list, "value_expression") {
+		e, err := b.BuildExpr(ve)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func (b *Builder) buildQuerySpecification(t *parser.Tree) (*Select, error) {
+	sel := &Select{}
+	if sq := kid(t, "set_quantifier"); sq != nil {
+		sel.Quantifier = strings.ToUpper(sq.Text())
+	}
+	sl := kid(t, "select_list")
+	if sl == nil {
+		return nil, fmt.Errorf("ast: query specification without select list")
+	}
+	items, err := b.buildSelectList(sl)
+	if err != nil {
+		return nil, err
+	}
+	sel.Items = items
+
+	te := kid(t, "table_expression")
+	if te == nil {
+		return nil, fmt.Errorf("ast: query specification without table expression")
+	}
+	if err := b.buildTableExpression(te, sel); err != nil {
+		return nil, err
+	}
+
+	for _, sc := range kids(t, "sensor_clause") {
+		if sel.Sensor == nil {
+			sel.Sensor = &SensorClauses{}
+		}
+		if err := buildSensorClause(sc, sel.Sensor); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func buildSensorClause(t *parser.Tree, out *SensorClauses) error {
+	parseInt := func(s string) int64 {
+		v, _ := strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	if sp := kid(t, "sample_period_clause"); sp != nil {
+		durs := kids(sp, "sensor_duration")
+		if len(durs) > 0 {
+			out.SamplePeriod = parseInt(durs[0].Text())
+		}
+		if len(durs) > 1 {
+			out.SampleFor = parseInt(durs[1].Text())
+		}
+		out.Epoch = hasTok(sp, "EPOCH")
+		return nil
+	}
+	if lt := kid(t, "lifetime_clause"); lt != nil {
+		if d := kid(lt, "sensor_duration"); d != nil {
+			out.Lifetime = parseInt(d.Text())
+		}
+		return nil
+	}
+	return fmt.Errorf("ast: unrecognized sensor clause")
+}
+
+func (b *Builder) buildSelectList(t *parser.Tree) ([]SelectItem, error) {
+	if hasTok(t, "ASTERISK") {
+		return []SelectItem{{Star: true}}, nil
+	}
+	var out []SelectItem
+	for _, sub := range kids(t, "select_sublist") {
+		if qa := kid(sub, "qualified_asterisk"); qa != nil {
+			out = append(out, SelectItem{Star: true, Qualifier: chainParts(kid(qa, "identifier_chain"))})
+			continue
+		}
+		dc := kid(sub, "derived_column")
+		if dc == nil {
+			return nil, fmt.Errorf("ast: select sublist without derived column")
+		}
+		ve := kid(dc, "value_expression")
+		if ve == nil {
+			return nil, fmt.Errorf("ast: derived column without value expression")
+		}
+		e, err := b.BuildExpr(ve)
+		if err != nil {
+			return nil, err
+		}
+		item := SelectItem{Expr: e}
+		if cn := kid(dc, "column_name"); cn != nil {
+			item.Alias = nameOf(cn)
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+func (b *Builder) buildTableExpression(t *parser.Tree, sel *Select) error {
+	fc := kid(t, "from_clause")
+	if fc == nil {
+		return fmt.Errorf("ast: table expression without FROM")
+	}
+	list := kid(fc, "table_reference_list")
+	if list == nil {
+		list = fc
+	}
+	for _, tr := range kids(list, "table_reference") {
+		ref, err := b.buildTableReference(tr)
+		if err != nil {
+			return err
+		}
+		sel.From = append(sel.From, ref)
+	}
+
+	var err error
+	if wc := kid(t, "where_clause"); wc != nil {
+		sel.Where, err = b.buildCondition(kid(wc, "search_condition"))
+		if err != nil {
+			return err
+		}
+	}
+	if gb := kid(t, "group_by_clause"); gb != nil {
+		sel.GroupBy, err = b.buildGroupBy(gb)
+		if err != nil {
+			return err
+		}
+	}
+	if hc := kid(t, "having_clause"); hc != nil {
+		sel.Having, err = b.buildCondition(kid(hc, "search_condition"))
+		if err != nil {
+			return err
+		}
+	}
+	if wc := kid(t, "window_clause"); wc != nil {
+		list := kid(wc, "window_definition_list")
+		if list == nil {
+			list = wc
+		}
+		for _, wd := range kids(list, "window_definition") {
+			def := WindowDef{Name: nameOf(kid(wd, "new_window_name"))}
+			spec, err := b.buildWindowSpec(kid(wd, "window_specification"))
+			if err != nil {
+				return err
+			}
+			def.Spec = *spec
+			sel.Windows = append(sel.Windows, def)
+		}
+	}
+	return nil
+}
+
+func (b *Builder) buildTableReference(t *parser.Tree) (*TableRef, error) {
+	tp := kid(t, "table_primary")
+	if tp == nil {
+		return nil, fmt.Errorf("ast: table reference without primary")
+	}
+	ref, err := b.buildTablePrimary(tp)
+	if err != nil {
+		return nil, err
+	}
+	for _, tail := range kids(t, "joined_table_tail") {
+		j := Join{Kind: JoinInner}
+		if hasTok(tail, "CROSS") {
+			j.Kind = JoinCross
+		}
+		j.Natural = hasTok(tail, "NATURAL")
+		if jt := kid(tail, "join_type"); jt != nil {
+			if ojt := kid(jt, "outer_join_type"); ojt != nil {
+				switch {
+				case hasTok(ojt, "LEFT"):
+					j.Kind = JoinLeft
+				case hasTok(ojt, "RIGHT"):
+					j.Kind = JoinRight
+				case hasTok(ojt, "FULL"):
+					j.Kind = JoinFull
+				}
+			}
+		}
+		rp := kid(tail, "table_primary")
+		if rp == nil {
+			return nil, fmt.Errorf("ast: join without right table")
+		}
+		j.Right, err = b.buildTablePrimary(rp)
+		if err != nil {
+			return nil, err
+		}
+		if js := kid(tail, "join_specification"); js != nil {
+			if jc := kid(js, "join_condition"); jc != nil {
+				j.On, err = b.buildCondition(kid(jc, "search_condition"))
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ncj := kid(js, "named_columns_join"); ncj != nil {
+				j.Using = columnNames(kid(ncj, "column_name_list"))
+			}
+		}
+		ref.Joins = append(ref.Joins, j)
+	}
+	return ref, nil
+}
+
+func (b *Builder) buildTablePrimary(t *parser.Tree) (*TableRef, error) {
+	ref := &TableRef{}
+	switch {
+	case kid(t, "derived_table") != nil:
+		sub := kid(t, "derived_table")
+		sq := sub.Find("query_expression")
+		if sq == nil {
+			return nil, fmt.Errorf("ast: derived table without query")
+		}
+		q, err := b.buildQueryExpression(sq)
+		if err != nil {
+			return nil, err
+		}
+		ref.Subquery = q
+	case kid(t, "table_reference") != nil:
+		inner, err := b.buildTableReference(kid(t, "table_reference"))
+		if err != nil {
+			return nil, err
+		}
+		ref.Paren = inner
+	case kid(t, "table_name") != nil:
+		ref.Name = chainParts(kid(t, "table_name"))
+	default:
+		return nil, fmt.Errorf("ast: unrecognized table primary")
+	}
+	if cn := kid(t, "correlation_name"); cn != nil {
+		ref.Alias = nameOf(cn)
+	}
+	if dcl := kid(t, "derived_column_list"); dcl != nil {
+		ref.AliasColumns = columnNames(dcl)
+	}
+	return ref, nil
+}
+
+func (b *Builder) buildGroupBy(t *parser.Tree) ([]GroupingElement, error) {
+	list := kid(t, "grouping_element_list")
+	if list == nil {
+		list = t
+	}
+	var out []GroupingElement
+	for _, ge := range kids(list, "grouping_element") {
+		el, err := b.buildGroupingElement(ge)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, el)
+	}
+	return out, nil
+}
+
+func (b *Builder) buildGroupingElement(t *parser.Tree) (GroupingElement, error) {
+	collectCols := func(n *parser.Tree) ([]Expr, error) {
+		var cols []Expr
+		for _, gcr := range n.FindAll("grouping_column_reference") {
+			e, err := b.BuildExpr(gcr.Find("column_reference"))
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, e)
+		}
+		return cols, nil
+	}
+	switch {
+	case kid(t, "rollup_list") != nil:
+		cols, err := collectCols(kid(t, "rollup_list"))
+		return GroupingElement{Kind: "ROLLUP", Columns: cols}, err
+	case kid(t, "cube_list") != nil:
+		cols, err := collectCols(kid(t, "cube_list"))
+		return GroupingElement{Kind: "CUBE", Columns: cols}, err
+	case kid(t, "grouping_sets_specification") != nil:
+		gss := kid(t, "grouping_sets_specification")
+		inner := kid(gss, "grouping_element_list")
+		var nested []GroupingElement
+		if inner != nil {
+			for _, ge := range kids(inner, "grouping_element") {
+				el, err := b.buildGroupingElement(ge)
+				if err != nil {
+					return GroupingElement{}, err
+				}
+				nested = append(nested, el)
+			}
+		}
+		return GroupingElement{Kind: "GROUPING SETS", Nested: nested}, nil
+	case kid(t, "ordinary_grouping_set") != nil:
+		cols, err := collectCols(kid(t, "ordinary_grouping_set"))
+		return GroupingElement{Columns: cols}, err
+	default:
+		// ( ) empty grouping set: only parenthesis leaves.
+		return GroupingElement{Kind: "()"}, nil
+	}
+}
+
+func (b *Builder) buildSortList(t *parser.Tree) ([]SortItem, error) {
+	list := kid(t, "sort_specification_list")
+	if list == nil {
+		list = t
+	}
+	var out []SortItem
+	for _, ss := range kids(list, "sort_specification") {
+		item := SortItem{}
+		key := kid(ss, "sort_key")
+		if key == nil {
+			return nil, fmt.Errorf("ast: sort specification without key")
+		}
+		e, err := b.BuildExpr(key.Find("value_expression"))
+		if err != nil {
+			return nil, err
+		}
+		item.Key = e
+		if os := kid(ss, "ordering_specification"); os != nil {
+			item.Direction = strings.ToUpper(os.Text())
+		}
+		if no := kid(ss, "null_ordering"); no != nil {
+			if hasTok(no, "FIRST") {
+				item.Nulls = "FIRST"
+			} else {
+				item.Nulls = "LAST"
+			}
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+func (b *Builder) buildWindowSpec(t *parser.Tree) (*WindowSpec, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ast: missing window specification")
+	}
+	spec := &WindowSpec{}
+	if pc := kid(t, "window_partition_clause"); pc != nil {
+		for _, cr := range pc.FindAll("column_reference") {
+			e, err := b.BuildExpr(cr)
+			if err != nil {
+				return nil, err
+			}
+			spec.PartitionBy = append(spec.PartitionBy, e)
+		}
+	}
+	if oc := kid(t, "window_order_clause"); oc != nil {
+		keys, err := b.buildSortList(oc)
+		if err != nil {
+			return nil, err
+		}
+		spec.OrderBy = keys
+	}
+	if fc := kid(t, "window_frame_clause"); fc != nil {
+		spec.Frame = fc.Text()
+	}
+	return spec, nil
+}
+
+// --- DML ---------------------------------------------------------------------------
+
+func (b *Builder) buildInsert(t *parser.Tree) (*Insert, error) {
+	ins := &Insert{}
+	if tgt := kid(t, "insertion_target"); tgt != nil {
+		ins.Table = chainParts(tgt)
+	}
+	cas := kid(t, "insert_columns_and_source")
+	if cas == nil {
+		return nil, fmt.Errorf("ast: insert without source")
+	}
+	if hasTok(cas, "DEFAULT") {
+		ins.DefaultValues = true
+		return ins, nil
+	}
+	if cl := kid(cas, "insert_column_list"); cl != nil {
+		ins.Columns = columnNames(cl)
+	}
+	src := kid(cas, "insert_values_source")
+	if src == nil {
+		return nil, fmt.Errorf("ast: insert without values source")
+	}
+	if qe := kid(src, "query_expression"); qe != nil {
+		q, err := b.buildQueryExpression(qe)
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+		return ins, nil
+	}
+	for _, row := range kids(src, "insert_row") {
+		list := kid(row, "insert_value_list")
+		if list == nil {
+			list = row
+		}
+		var cells []Expr
+		for _, iv := range kids(list, "insert_value") {
+			switch {
+			case kid(iv, "value_expression") != nil:
+				e, err := b.BuildExpr(kid(iv, "value_expression"))
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, e)
+			case hasTok(iv, "NULL"):
+				cells = append(cells, &Literal{Kind: LitNull, Text: "NULL"})
+			case hasTok(iv, "DEFAULT"):
+				cells = append(cells, &Raw{Kind: "default", Text: "DEFAULT"})
+			}
+		}
+		ins.Rows = append(ins.Rows, cells)
+	}
+	return ins, nil
+}
+
+func (b *Builder) buildUpdate(t *parser.Tree) (*Update, error) {
+	up := &Update{}
+	if tt := kid(t, "target_table"); tt != nil {
+		up.Table = chainParts(tt)
+	}
+	list := kid(t, "set_clause_list")
+	if list == nil {
+		return nil, fmt.Errorf("ast: update without SET")
+	}
+	for _, sc := range kids(list, "set_clause") {
+		a := Assignment{Column: nameOf(kid(sc, "set_target"))}
+		us := kid(sc, "update_source")
+		switch {
+		case us != nil && kid(us, "value_expression") != nil:
+			e, err := b.BuildExpr(kid(us, "value_expression"))
+			if err != nil {
+				return nil, err
+			}
+			a.Value = e
+		case us != nil && hasTok(us, "NULL"):
+			a.Null = true
+		case us != nil && hasTok(us, "DEFAULT"):
+			a.Default = true
+		}
+		up.Assignments = append(up.Assignments, a)
+	}
+	if cn := kid(t, "cursor_name"); cn != nil {
+		up.Cursor = nameOf(cn)
+		return up, nil
+	}
+	if sc := kid(t, "search_condition"); sc != nil {
+		w, err := b.buildCondition(sc)
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (b *Builder) buildDelete(t *parser.Tree) (*Delete, error) {
+	del := &Delete{}
+	if tt := kid(t, "target_table"); tt != nil {
+		del.Table = chainParts(tt)
+	}
+	if cn := kid(t, "cursor_name"); cn != nil {
+		del.Cursor = nameOf(cn)
+		return del, nil
+	}
+	if sc := kid(t, "search_condition"); sc != nil {
+		w, err := b.buildCondition(sc)
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}

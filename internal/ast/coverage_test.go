@@ -1,0 +1,286 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"sqlspl/internal/dialect"
+)
+
+// These tests exercise the AST paths the mainline tests leave cold:
+// alternative query bodies (VALUES, TABLE, parenthesized set operations),
+// special value specifications, CASE abbreviations, routine invocations,
+// row value predicands, and the SQL renderers of every node type.
+
+func fullStatement(t *testing.T, sql string) Statement {
+	t.Helper()
+	script := buildAST(t, dialect.Full, sql)
+	if len(script.Statements) != 1 {
+		t.Fatalf("%q: %d statements", sql, len(script.Statements))
+	}
+	return script.Statements[0]
+}
+
+func TestValuesBody(t *testing.T) {
+	sel := fullStatement(t, "VALUES (1, 'a'), (2, 'b')").(*Select)
+	if len(sel.Values) != 2 || len(sel.Values[0]) != 2 {
+		t.Fatalf("values = %+v", sel.Values)
+	}
+	if got := sel.SQL(); !strings.HasPrefix(got, "VALUES (1, 'a')") {
+		t.Errorf("SQL = %q", got)
+	}
+}
+
+func TestExplicitTableBody(t *testing.T) {
+	sel := fullStatement(t, "TABLE schema_x.t").(*Select)
+	if strings.Join(sel.ExplicitTable, ".") != "schema_x.t" {
+		t.Fatalf("explicit table = %v", sel.ExplicitTable)
+	}
+	if sel.SQL() != "TABLE schema_x.t" {
+		t.Errorf("SQL = %q", sel.SQL())
+	}
+}
+
+func TestParenthesizedSetOperations(t *testing.T) {
+	sel := fullStatement(t, "(SELECT a FROM t UNION SELECT b FROM u) INTERSECT ALL SELECT c FROM v").(*Select)
+	if sel.Paren == nil {
+		t.Fatal("missing parenthesized body")
+	}
+	if len(sel.Paren.SetOps) != 1 || sel.Paren.SetOps[0].Op != "UNION" {
+		t.Errorf("inner set ops = %+v", sel.Paren.SetOps)
+	}
+	if len(sel.SetOps) != 1 || sel.SetOps[0].Op != "INTERSECT" || sel.SetOps[0].Quantifier != "ALL" {
+		t.Errorf("outer set ops = %+v", sel.SetOps)
+	}
+	rendered := sel.SQL()
+	if !strings.Contains(rendered, "(SELECT a FROM t UNION SELECT b FROM u) INTERSECT ALL") {
+		t.Errorf("SQL = %q", rendered)
+	}
+	p, _ := dialect.Build(dialect.Full)
+	if !p.Accepts(rendered) {
+		t.Errorf("rendered parenthesized query rejected: %q", rendered)
+	}
+}
+
+func TestSpecialValueSpecifications(t *testing.T) {
+	sel := fullStatement(t, "SELECT CURRENT_DATE, USER, :hp INDICATOR :ind, ? FROM t").(*Select)
+	if len(sel.Items) != 4 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if lit := sel.Items[0].Expr.(*Literal); lit.Kind != LitSpecial || lit.Text != "CURRENT_DATE" {
+		t.Errorf("current_date = %+v", lit)
+	}
+	if lit := sel.Items[2].Expr.(*Literal); lit.Kind != LitParameter || !strings.Contains(lit.Text, ":hp") {
+		t.Errorf("host param = %+v", lit)
+	}
+	if lit := sel.Items[3].Expr.(*Literal); lit.Kind != LitParameter || lit.Text != "?" {
+		t.Errorf("dynamic param = %+v", lit)
+	}
+}
+
+func TestLiteralKinds(t *testing.T) {
+	sel := fullStatement(t,
+		"SELECT X'0A', TRUE, DATE '2008-03-29', INTERVAL '3' DAY, 1.5E2 FROM t").(*Select)
+	wantKinds := []LiteralKind{LitBinary, LitBoolean, LitDatetime, LitInterval, LitNumber}
+	for i, want := range wantKinds {
+		lit, ok := sel.Items[i].Expr.(*Literal)
+		if !ok || lit.Kind != want {
+			t.Errorf("item %d = %#v, want kind %s", i, sel.Items[i].Expr, want)
+		}
+	}
+}
+
+func TestCaseAbbreviationsAndSimpleCase(t *testing.T) {
+	sel := fullStatement(t,
+		"SELECT NULLIF(a, b), COALESCE(a, b, c), CASE a WHEN 1 THEN 'x' END FROM t").(*Select)
+	nullif := sel.Items[0].Expr.(*FuncCall)
+	if nullif.Name[0] != "NULLIF" || len(nullif.Args) != 2 {
+		t.Errorf("nullif = %+v", nullif)
+	}
+	coalesce := sel.Items[1].Expr.(*FuncCall)
+	if coalesce.Name[0] != "COALESCE" || len(coalesce.Args) != 3 {
+		t.Errorf("coalesce = %+v", coalesce)
+	}
+	simple := sel.Items[2].Expr.(*Case)
+	if simple.Operand == nil || len(simple.Whens) != 1 || simple.Else != nil {
+		t.Errorf("simple case = %+v", simple)
+	}
+	if got := simple.SQL(); got != "CASE a WHEN 1 THEN 'x' END" {
+		t.Errorf("case SQL = %q", got)
+	}
+}
+
+func TestRoutineInvocation(t *testing.T) {
+	sel := fullStatement(t, "SELECT pkg.fn(a, 1 + 2) FROM t").(*Select)
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if strings.Join(fc.Name, ".") != "pkg.fn" || len(fc.Args) != 2 {
+		t.Fatalf("call = %+v", fc)
+	}
+	if _, ok := fc.Args[1].(*Binary); !ok {
+		t.Errorf("arg 1 = %#v", fc.Args[1])
+	}
+	if got := fc.SQL(); got != "pkg.fn(a, 1 + 2)" {
+		t.Errorf("SQL = %q", got)
+	}
+}
+
+func TestRowValuePredicands(t *testing.T) {
+	sel := fullStatement(t, "SELECT a FROM t WHERE (a, b) = (1, 2) AND ROW (c, d) = (3, 4)").(*Select)
+	and := sel.Where.(*Binary)
+	left := and.Left.(*Binary)
+	row, ok := left.Left.(*Row)
+	if !ok || row.Explicit || len(row.Items) != 2 {
+		t.Fatalf("row predicand = %#v", left.Left)
+	}
+	right := and.Right.(*Binary)
+	erow, ok := right.Left.(*Row)
+	if !ok || !erow.Explicit {
+		t.Fatalf("explicit row = %#v", right.Left)
+	}
+	if got := erow.SQL(); got != "ROW (c, d)" {
+		t.Errorf("row SQL = %q", got)
+	}
+}
+
+func TestPredicateRenderers(t *testing.T) {
+	p, err := dialect.Build(dialect.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := NewBuilder(nil)
+	queries := []string{
+		"SELECT a FROM t WHERE b IS NOT NULL",
+		"SELECT a FROM t WHERE b NOT BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE b IN (SELECT c FROM u)",
+		"SELECT a FROM t WHERE b NOT LIKE 'x%' ESCAPE '!'",
+		"SELECT a FROM t WHERE b SIMILAR TO 'p'",
+		"SELECT a FROM t WHERE a OVERLAPS b",
+		"SELECT a FROM t WHERE a IS DISTINCT FROM b",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT a FROM t WHERE UNIQUE (SELECT 1 FROM u)",
+		"SELECT a FROM t WHERE a > SOME (SELECT b FROM u)",
+		"SELECT a FROM t WHERE a = 1 IS NOT TRUE",
+	}
+	for _, q := range queries {
+		tree, err := p.Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		script, err := builder.Build(tree)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		rendered := script.SQL()
+		if !p.Accepts(rendered) {
+			t.Errorf("rendered predicate rejected: %q -> %q", q, rendered)
+		}
+	}
+}
+
+func TestGroupingElementRenderers(t *testing.T) {
+	sel := fullStatement(t,
+		"SELECT a FROM t GROUP BY CUBE (a, b), GROUPING SETS ((a), ()), (c, d), e").(*Select)
+	if len(sel.GroupBy) != 4 {
+		t.Fatalf("group by = %+v", sel.GroupBy)
+	}
+	if sel.GroupBy[0].Kind != "CUBE" {
+		t.Errorf("cube = %+v", sel.GroupBy[0])
+	}
+	gs := sel.GroupBy[1]
+	if gs.Kind != "GROUPING SETS" || len(gs.Nested) != 2 || gs.Nested[1].Kind != "()" {
+		t.Errorf("grouping sets = %+v", gs)
+	}
+	if len(sel.GroupBy[2].Columns) != 2 {
+		t.Errorf("composite set = %+v", sel.GroupBy[2])
+	}
+	rendered := sel.SQL()
+	p, _ := dialect.Build(dialect.Full)
+	if !p.Accepts(rendered) {
+		t.Errorf("rendered grouping rejected: %q", rendered)
+	}
+}
+
+func TestStatementRenderers(t *testing.T) {
+	// Exercise every Statement renderer, including the Generic passthrough
+	// and positioned DML.
+	cases := []string{
+		"INSERT INTO t DEFAULT VALUES",
+		"INSERT INTO t SELECT a FROM u",
+		"UPDATE t SET a = NULL WHERE CURRENT OF cur",
+		"DELETE FROM t",
+		"COMMIT",
+		"DECLARE c CURSOR FOR SELECT a FROM t",
+	}
+	p, err := dialect.Build(dialect.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := NewBuilder(nil)
+	for _, q := range cases {
+		tree, err := p.Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		script, err := builder.Build(tree)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		rendered := script.SQL()
+		if !p.Accepts(rendered) {
+			t.Errorf("rendered statement rejected: %q -> %q", q, rendered)
+		}
+	}
+}
+
+func TestWindowAndSensorRenderers(t *testing.T) {
+	w := WindowSpec{Frame: "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW"}
+	if !strings.Contains(w.SQL(), "ROWS BETWEEN") {
+		t.Errorf("frame SQL = %q", w.SQL())
+	}
+	s := &SensorClauses{SamplePeriod: 512, Epoch: true}
+	if s.SQL() != "EPOCH DURATION 512" {
+		t.Errorf("epoch SQL = %q", s.SQL())
+	}
+	s = &SensorClauses{SamplePeriod: 1024, SampleFor: 10, Lifetime: 30}
+	if s.SQL() != "SAMPLE PERIOD 1024 FOR 10 LIFETIME 30" {
+		t.Errorf("sensor SQL = %q", s.SQL())
+	}
+}
+
+func TestSelectItemAndJoinRenderers(t *testing.T) {
+	item := SelectItem{Star: true, Qualifier: []string{"t"}}
+	if item.SQL() != "t.*" {
+		t.Errorf("qualified star = %q", item.SQL())
+	}
+	ref := &TableRef{
+		Name:         []string{"t"},
+		Alias:        "x",
+		AliasColumns: []string{"a", "b"},
+		Joins: []Join{
+			{Kind: JoinCross, Right: &TableRef{Name: []string{"u"}}},
+			{Kind: JoinFull, Natural: true, Right: &TableRef{Name: []string{"v"}}},
+			{Kind: JoinInner, Right: &TableRef{Name: []string{"w"}}, Using: []string{"id"}},
+		},
+	}
+	got := ref.SQL()
+	for _, want := range []string{"t AS x (a, b)", "CROSS JOIN u", "NATURAL FULL JOIN v", "JOIN w USING (id)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ref SQL missing %q: %q", want, got)
+		}
+	}
+}
+
+func TestTruthTestAndUnaryRenderers(t *testing.T) {
+	tt := &TruthTest{Operand: &ColumnRef{Parts: []string{"a"}}, Not: true, Value: "UNKNOWN"}
+	if tt.SQL() != "a IS NOT UNKNOWN" {
+		t.Errorf("truth test = %q", tt.SQL())
+	}
+	u := &Unary{Op: "-", Operand: &Literal{Kind: LitNumber, Text: "1"}}
+	if u.SQL() != "- 1" {
+		t.Errorf("unary = %q", u.SQL())
+	}
+	c := &Cast{Type: "DATE"}
+	if c.SQL() != "CAST(NULL AS DATE)" {
+		t.Errorf("cast = %q", c.SQL())
+	}
+}

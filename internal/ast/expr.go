@@ -1,0 +1,590 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlspl/internal/parser"
+)
+
+// BuildExpr converts a value-expression or search-condition parse node into
+// an Expr. It accepts any of the expression-level production labels of the
+// SQL:2003 decomposition.
+func (b *Builder) BuildExpr(t *parser.Tree) (Expr, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ast: nil expression node")
+	}
+	v, err := b.dispatch(t, (*Builder).defaultExpr)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := v.(Expr)
+	if !ok {
+		return nil, fmt.Errorf("ast: action for %s returned %T, not an Expr", t.Label, v)
+	}
+	return e, nil
+}
+
+func (b *Builder) defaultExpr(t *parser.Tree) (any, error) {
+	switch t.Label {
+	case "value_expression":
+		return b.BuildExpr(firstNode(t))
+	case "numeric_value_expression":
+		return b.buildBinaryChain(t, "term", "additive_operator")
+	case "term":
+		return b.buildBinaryChain(t, "factor", "multiplicative_operator")
+	case "factor":
+		return b.buildFactor(t)
+	case "value_expression_primary":
+		return b.buildPrimaryExpr(t)
+	case "search_condition":
+		return b.buildCondition(t)
+	case "boolean_term", "boolean_factor", "boolean_test", "boolean_primary", "predicate":
+		return b.buildConditionNode(t)
+	case "column_reference", "identifier_chain":
+		return &ColumnRef{Parts: chainParts(t)}, nil
+	case "row_value_predicand":
+		return b.buildRowValuePredicand(t)
+	default:
+		return &Raw{Kind: t.Label, Text: t.Text()}, nil
+	}
+}
+
+// buildBinaryChain folds `item (op item)*` into left-associative Binary
+// nodes, reading children in order.
+func (b *Builder) buildBinaryChain(t *parser.Tree, itemLabel, opLabel string) (Expr, error) {
+	var left Expr
+	var pendingOp string
+	for _, c := range t.Children {
+		switch c.Label {
+		case itemLabel:
+			e, err := b.BuildExpr(c)
+			if err != nil {
+				return nil, err
+			}
+			if left == nil {
+				left = e
+			} else {
+				left = &Binary{Op: pendingOp, Left: left, Right: e}
+			}
+		case opLabel:
+			pendingOp = c.Text()
+		}
+	}
+	if left == nil {
+		return nil, fmt.Errorf("ast: empty %s", t.Label)
+	}
+	return left, nil
+}
+
+func (b *Builder) buildFactor(t *parser.Tree) (Expr, error) {
+	prim := kid(t, "value_expression_primary")
+	if prim == nil {
+		return nil, fmt.Errorf("ast: factor without primary")
+	}
+	e, err := b.BuildExpr(prim)
+	if err != nil {
+		return nil, err
+	}
+	if s := kid(t, "sign"); s != nil {
+		return &Unary{Op: s.Text(), Operand: e}, nil
+	}
+	return e, nil
+}
+
+func (b *Builder) buildPrimaryExpr(t *parser.Tree) (Expr, error) {
+	inner := firstNode(t)
+	if inner == nil {
+		return nil, fmt.Errorf("ast: empty value expression primary")
+	}
+	switch inner.Label {
+	case "unsigned_value_specification":
+		return b.buildValueSpecification(inner)
+	case "column_reference":
+		return &ColumnRef{Parts: chainParts(inner)}, nil
+	case "value_expression":
+		// LPAREN value_expression RPAREN — parentheses are structural.
+		return b.BuildExpr(inner)
+	case "set_function_specification":
+		return b.buildSetFunction(inner)
+	case "case_expression":
+		return b.buildCase(inner)
+	case "cast_specification":
+		return b.buildCast(inner)
+	case "routine_invocation":
+		return b.buildRoutineInvocation(inner)
+	case "window_function":
+		return b.buildWindowFunction(inner)
+	case "scalar_subquery":
+		return b.buildSubqueryExpr(inner)
+	default:
+		// numeric_value_function, string_value_function, and future
+		// extension primaries round-trip as raw text.
+		return &Raw{Kind: inner.Label, Text: inner.Text()}, nil
+	}
+}
+
+func (b *Builder) buildValueSpecification(t *parser.Tree) (Expr, error) {
+	if lit := kid(t, "literal"); lit != nil {
+		return buildLiteral(lit), nil
+	}
+	if hp := kid(t, "host_parameter_specification"); hp != nil {
+		return &Literal{Kind: LitParameter, Text: hp.Text()}, nil
+	}
+	// QMARK, CURRENT_DATE, USER, ... — single leaf specifications.
+	if len(t.Children) >= 1 && t.Children[0].IsLeaf() {
+		kind := LitSpecial
+		if t.Children[0].Token.Name == "QMARK" {
+			kind = LitParameter
+		}
+		return &Literal{Kind: kind, Text: strings.ToUpper(t.Text())}, nil
+	}
+	return &Raw{Kind: t.Label, Text: t.Text()}, nil
+}
+
+func buildLiteral(t *parser.Tree) Expr {
+	inner := firstNode(t)
+	kind := LitNumber
+	if inner != nil {
+		switch inner.Label {
+		case "unsigned_numeric_literal":
+			kind = LitNumber
+		case "character_string_literal":
+			kind = LitString
+		case "binary_string_literal":
+			kind = LitBinary
+		case "boolean_literal":
+			kind = LitBoolean
+		case "datetime_literal":
+			kind = LitDatetime
+		case "interval_literal":
+			kind = LitInterval
+		}
+	}
+	return &Literal{Kind: kind, Text: t.Text()}
+}
+
+func (b *Builder) buildSetFunction(t *parser.Tree) (Expr, error) {
+	f := &FuncCall{}
+	if hasTok(t, "COUNT") { // COUNT LPAREN ASTERISK RPAREN
+		f.Name = []string{"COUNT"}
+		f.Star = true
+	} else {
+		gsf := kid(t, "general_set_function")
+		if gsf == nil {
+			return nil, fmt.Errorf("ast: unrecognized set function")
+		}
+		if err := b.fillGeneralSetFunction(gsf, f); err != nil {
+			return nil, err
+		}
+	}
+	if fc := kid(t, "filter_clause"); fc != nil {
+		cond, err := b.buildCondition(fc.Find("search_condition"))
+		if err != nil {
+			return nil, err
+		}
+		f.Filter = cond
+	}
+	return f, nil
+}
+
+func (b *Builder) fillGeneralSetFunction(t *parser.Tree, f *FuncCall) error {
+	if sft := kid(t, "set_function_type"); sft != nil {
+		f.Name = []string{strings.ToUpper(sft.Text())}
+	}
+	if sq := kid(t, "set_quantifier"); sq != nil {
+		f.Quantifier = strings.ToUpper(sq.Text())
+	}
+	arg := kid(t, "aggregated_argument")
+	if arg == nil {
+		arg = t // older shape: value_expression directly under the call
+	}
+	if ve := kid(arg, "value_expression"); ve != nil {
+		e, err := b.BuildExpr(ve)
+		if err != nil {
+			return err
+		}
+		f.Args = []Expr{e}
+	} else if sc := kid(arg, "search_condition"); sc != nil {
+		// EVERY/ANY/SOME aggregate a boolean condition.
+		e, err := b.buildCondition(sc)
+		if err != nil {
+			return err
+		}
+		f.Args = []Expr{e}
+	}
+	return nil
+}
+
+func (b *Builder) buildCase(t *parser.Tree) (Expr, error) {
+	if ab := kid(t, "nullif_abbreviation"); ab != nil {
+		return b.buildAbbreviation(ab, "NULLIF")
+	}
+	if ab := kid(t, "coalesce_abbreviation"); ab != nil {
+		return b.buildAbbreviation(ab, "COALESCE")
+	}
+	spec := kid(t, "case_specification")
+	if spec == nil {
+		return nil, fmt.Errorf("ast: unrecognized case expression")
+	}
+	c := &Case{}
+	var arms *parser.Tree
+	if sc := kid(spec, "searched_case"); sc != nil {
+		arms = sc
+		for _, w := range kids(sc, "searched_when_clause") {
+			cond, err := b.buildCondition(kid(w, "search_condition"))
+			if err != nil {
+				return nil, err
+			}
+			then, err := b.buildResult(kid(w, "result"))
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, CaseWhen{When: cond, Then: then})
+		}
+	} else if sc := kid(spec, "simple_case"); sc != nil {
+		arms = sc
+		op, err := b.BuildExpr(kid(sc, "value_expression"))
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+		for _, w := range kids(sc, "simple_when_clause") {
+			when, err := b.BuildExpr(kid(w, "value_expression"))
+			if err != nil {
+				return nil, err
+			}
+			then, err := b.buildResult(kid(w, "result"))
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, CaseWhen{When: when, Then: then})
+		}
+	} else {
+		return nil, fmt.Errorf("ast: unrecognized case specification")
+	}
+	if ec := kid(arms, "else_clause"); ec != nil {
+		e, err := b.buildResult(kid(ec, "result"))
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	return c, nil
+}
+
+func (b *Builder) buildResult(t *parser.Tree) (Expr, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ast: missing CASE result")
+	}
+	if ve := kid(t, "value_expression"); ve != nil {
+		return b.BuildExpr(ve)
+	}
+	return &Literal{Kind: LitNull, Text: "NULL"}, nil
+}
+
+func (b *Builder) buildAbbreviation(t *parser.Tree, name string) (Expr, error) {
+	f := &FuncCall{Name: []string{name}}
+	for _, ve := range kids(t, "value_expression") {
+		e, err := b.BuildExpr(ve)
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+	}
+	return f, nil
+}
+
+func (b *Builder) buildCast(t *parser.Tree) (Expr, error) {
+	c := &Cast{}
+	if op := kid(t, "cast_operand"); op != nil {
+		if ve := kid(op, "value_expression"); ve != nil {
+			e, err := b.BuildExpr(ve)
+			if err != nil {
+				return nil, err
+			}
+			c.Operand = e
+		}
+	}
+	if tgt := kid(t, "cast_target"); tgt != nil {
+		c.Type = tgt.Text()
+	}
+	return c, nil
+}
+
+func (b *Builder) buildRoutineInvocation(t *parser.Tree) (Expr, error) {
+	f := &FuncCall{Name: chainParts(kid(t, "identifier_chain"))}
+	if args := kid(t, "sql_argument_list"); args != nil {
+		for _, ve := range kids(args, "value_expression") {
+			e, err := b.BuildExpr(ve)
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, e)
+		}
+	}
+	return f, nil
+}
+
+func (b *Builder) buildWindowFunction(t *parser.Tree) (Expr, error) {
+	f := &FuncCall{}
+	if wft := kid(t, "window_function_type"); wft != nil {
+		if gsf := kid(wft, "general_set_function"); gsf != nil {
+			if err := b.fillGeneralSetFunction(gsf, f); err != nil {
+				return nil, err
+			}
+		} else {
+			// RANK ( ) etc: first leaf is the function keyword.
+			leaves := wft.Leaves()
+			if len(leaves) > 0 {
+				f.Name = []string{strings.ToUpper(leaves[0].Text)}
+			}
+		}
+	}
+	if wns := kid(t, "window_name_or_specification"); wns != nil {
+		if wn := kid(wns, "window_name"); wn != nil {
+			f.OverName = nameOf(wn)
+		}
+		if ilws := kid(wns, "in_line_window_specification"); ilws != nil {
+			spec, err := b.buildWindowSpec(kid(ilws, "window_specification"))
+			if err != nil {
+				return nil, err
+			}
+			f.OverSpec = spec
+		}
+	}
+	return f, nil
+}
+
+func (b *Builder) buildSubqueryExpr(t *parser.Tree) (Expr, error) {
+	sq := t.Find("query_expression")
+	if sq == nil {
+		return nil, fmt.Errorf("ast: subquery without query expression")
+	}
+	q, err := b.buildQueryExpression(sq)
+	if err != nil {
+		return nil, err
+	}
+	return &Subquery{Query: q}, nil
+}
+
+// --- Conditions -----------------------------------------------------------------
+
+// buildCondition folds a search_condition into OR/AND/NOT structure.
+func (b *Builder) buildCondition(t *parser.Tree) (Expr, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ast: missing search condition")
+	}
+	return b.buildBoolChain(t, "boolean_term", "OR")
+}
+
+func (b *Builder) buildBoolChain(t *parser.Tree, itemLabel, op string) (Expr, error) {
+	items := kids(t, itemLabel)
+	if len(items) == 0 {
+		return b.buildConditionNode(t)
+	}
+	left, err := b.buildConditionNode(items[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items[1:] {
+		right, err := b.buildConditionNode(item)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (b *Builder) buildConditionNode(t *parser.Tree) (Expr, error) {
+	switch t.Label {
+	case "search_condition":
+		return b.buildCondition(t)
+	case "boolean_term":
+		return b.buildBoolChain(t, "boolean_factor", "AND")
+	case "boolean_factor":
+		inner, err := b.buildConditionNode(kid(t, "boolean_test"))
+		if err != nil {
+			return nil, err
+		}
+		if hasTok(t, "NOT") {
+			return &Unary{Op: "NOT", Operand: inner}, nil
+		}
+		return inner, nil
+	case "boolean_test":
+		inner, err := b.buildConditionNode(kid(t, "boolean_primary"))
+		if err != nil {
+			return nil, err
+		}
+		if tv := kid(t, "truth_value"); tv != nil {
+			return &TruthTest{
+				Operand: inner,
+				Not:     hasTok(t, "NOT"),
+				Value:   strings.ToUpper(tv.Text()),
+			}, nil
+		}
+		return inner, nil
+	case "boolean_primary":
+		if p := kid(t, "predicate"); p != nil {
+			return b.buildPredicate(p)
+		}
+		if sc := kid(t, "search_condition"); sc != nil {
+			return b.buildCondition(sc)
+		}
+		return nil, fmt.Errorf("ast: unrecognized boolean primary")
+	case "predicate":
+		return b.buildPredicate(t)
+	default:
+		return nil, fmt.Errorf("ast: unexpected condition node %s", t.Label)
+	}
+}
+
+func (b *Builder) buildPredicate(t *parser.Tree) (Expr, error) {
+	if ep := kid(t, "exists_predicate"); ep != nil {
+		sub, err := b.buildSubqueryExpr(ep)
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: "EXISTS", Args: []Expr{sub}}, nil
+	}
+	if up := kid(t, "unique_predicate"); up != nil {
+		sub, err := b.buildSubqueryExpr(up)
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: "UNIQUE", Args: []Expr{sub}}, nil
+	}
+	left, err := b.buildRowValuePredicand(kid(t, "row_value_predicand"))
+	if err != nil {
+		return nil, err
+	}
+	rhs := kid(t, "predicate_rhs")
+	if rhs == nil {
+		return nil, fmt.Errorf("ast: predicate without right-hand side")
+	}
+	inner := firstNode(rhs)
+	if inner == nil {
+		return nil, fmt.Errorf("ast: empty predicate right-hand side")
+	}
+	switch inner.Label {
+	case "comparison_rhs":
+		op := ""
+		if co := kid(inner, "comp_op"); co != nil {
+			op = co.Text()
+		}
+		if q := kid(inner, "quantifier"); q != nil {
+			sub, err := b.buildSubqueryExpr(inner)
+			if err != nil {
+				return nil, err
+			}
+			return &Predicate{
+				Kind: op + " " + strings.ToUpper(q.Text()),
+				Left: left,
+				Args: []Expr{sub},
+			}, nil
+		}
+		right, err := b.buildRowValuePredicand(kid(inner, "row_value_predicand"))
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, Left: left, Right: right}, nil
+
+	case "null_rhs":
+		return &Predicate{Kind: "NULL", Not: hasTok(inner, "NOT"), Left: left}, nil
+
+	case "between_rhs":
+		bounds := kids(inner, "row_value_predicand")
+		if len(bounds) != 2 {
+			return nil, fmt.Errorf("ast: BETWEEN needs two bounds, have %d", len(bounds))
+		}
+		lo, err := b.buildRowValuePredicand(bounds[0])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.buildRowValuePredicand(bounds[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: "BETWEEN", Not: hasTok(inner, "NOT"), Left: left, Args: []Expr{lo, hi}}, nil
+
+	case "in_rhs":
+		p := &Predicate{Kind: "IN", Not: hasTok(inner, "NOT"), Left: left}
+		ipv := kid(inner, "in_predicate_value")
+		if ipv == nil {
+			return nil, fmt.Errorf("ast: IN without value")
+		}
+		if ts := kid(ipv, "table_subquery"); ts != nil {
+			sub, err := b.buildSubqueryExpr(ts)
+			if err != nil {
+				return nil, err
+			}
+			p.Args = []Expr{sub}
+			return p, nil
+		}
+		if list := kid(ipv, "in_value_list"); list != nil {
+			for _, ve := range kids(list, "value_expression") {
+				e, err := b.BuildExpr(ve)
+				if err != nil {
+					return nil, err
+				}
+				p.Args = append(p.Args, e)
+			}
+		}
+		return p, nil
+
+	case "like_rhs", "similar_rhs":
+		kind := "LIKE"
+		if inner.Label == "similar_rhs" {
+			kind = "SIMILAR"
+		}
+		p := &Predicate{Kind: kind, Not: hasTok(inner, "NOT"), Left: left}
+		if cp := kid(inner, "character_pattern"); cp != nil {
+			e, err := b.BuildExpr(cp.Find("value_expression"))
+			if err != nil {
+				return nil, err
+			}
+			p.Args = append(p.Args, e)
+		}
+		if ec := kid(inner, "escape_clause"); ec != nil {
+			e, err := b.BuildExpr(ec.Find("value_expression"))
+			if err != nil {
+				return nil, err
+			}
+			p.Args = append(p.Args, e)
+		}
+		return p, nil
+
+	case "overlaps_rhs":
+		right, err := b.buildRowValuePredicand(kid(inner, "row_value_predicand"))
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: "OVERLAPS", Left: left, Args: []Expr{right}}, nil
+
+	case "distinct_rhs":
+		right, err := b.buildRowValuePredicand(kid(inner, "row_value_predicand"))
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: "DISTINCT", Left: left, Args: []Expr{right}}, nil
+	}
+	return nil, fmt.Errorf("ast: unrecognized predicate right-hand side %s", inner.Label)
+}
+
+func (b *Builder) buildRowValuePredicand(t *parser.Tree) (Expr, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ast: missing row value predicand")
+	}
+	if ve := kid(t, "value_expression"); ve != nil {
+		return b.BuildExpr(ve)
+	}
+	if rvc := kid(t, "row_value_constructor"); rvc != nil {
+		items, err := b.buildRowItems(rvc)
+		if err != nil {
+			return nil, err
+		}
+		return &Row{Explicit: hasTok(rvc, "ROW"), Items: items}, nil
+	}
+	return nil, fmt.Errorf("ast: unrecognized row value predicand")
+}

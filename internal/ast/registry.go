@@ -1,0 +1,98 @@
+package ast
+
+import (
+	"fmt"
+
+	"sqlspl/internal/parser"
+)
+
+// Action builds an AST value (Statement, Expr, or helper value) from a
+// parse-tree node.
+type Action func(b *Builder, t *parser.Tree) (any, error)
+
+// Middleware wraps an Action, refining or replacing its result — the
+// analog of a Jak mixin refining the semantics installed by an earlier
+// feature.
+type Middleware func(next Action) Action
+
+// Registry holds semantic actions keyed by production label. The zero value
+// uses only the built-in defaults; Register composes feature-specific
+// refinements over them in registration order (later wraps earlier).
+type Registry struct {
+	middleware map[string][]Middleware
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{middleware: map[string][]Middleware{}}
+}
+
+// Register installs a middleware for a production label.
+func (r *Registry) Register(label string, m Middleware) {
+	if r.middleware == nil {
+		r.middleware = map[string][]Middleware{}
+	}
+	r.middleware[label] = append(r.middleware[label], m)
+}
+
+// action resolves the effective action for a label: the built-in default
+// wrapped by every registered middleware, innermost first.
+func (r *Registry) action(label string, def Action) Action {
+	act := def
+	if r == nil {
+		return act
+	}
+	for _, m := range r.middleware[label] {
+		act = m(act)
+	}
+	return act
+}
+
+// Builder turns labelled parse trees into typed AST nodes.
+// A Builder is safe for concurrent use.
+type Builder struct {
+	reg *Registry
+}
+
+// NewBuilder returns a builder using the given registry (nil for defaults
+// only).
+func NewBuilder(reg *Registry) *Builder {
+	return &Builder{reg: reg}
+}
+
+// Build converts a parse tree rooted at any statement-bearing production
+// into a Script. A root that is itself a single statement (e.g. a product
+// whose start symbol is query_specification) yields a one-statement script.
+func (b *Builder) Build(t *parser.Tree) (*Script, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ast: nil parse tree")
+	}
+	if t.Label == "sql_script" {
+		script := &Script{}
+		for _, c := range t.Children {
+			if c.IsLeaf() {
+				continue // semicolons
+			}
+			st, err := b.BuildStatement(c)
+			if err != nil {
+				return nil, err
+			}
+			script.Statements = append(script.Statements, st)
+		}
+		return script, nil
+	}
+	st, err := b.BuildStatement(t)
+	if err != nil {
+		return nil, err
+	}
+	return &Script{Statements: []Statement{st}}, nil
+}
+
+// dispatch runs the effective action for t's label.
+func (b *Builder) dispatch(t *parser.Tree, def Action) (any, error) {
+	return b.reg.actionFor(t.Label, def)(b, t)
+}
+
+func (r *Registry) actionFor(label string, def Action) Action {
+	return r.action(label, def)
+}

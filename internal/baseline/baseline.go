@@ -1,0 +1,994 @@
+// Package baseline is the comparator the paper argues against: a
+// conventional, monolithic, hand-written recursive-descent parser for a
+// fixed full-SQL surface. Every keyword is always reserved, every construct
+// always parsed; nothing can be selected away for an embedded profile.
+//
+// The experiments (EXPERIMENTS.md, E8) compare composed product parsers
+// against this baseline on dialect-appropriate workloads: same scanner
+// machinery, same AST output, different parsing strategy (hand-coded
+// single-token-lookahead descent versus the generated engine) and different
+// customizability (none versus full).
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/grammar"
+	"sqlspl/internal/lexer"
+)
+
+// keywords reserved by the monolithic parser — the union a conventional
+// full-SQL parser carries whether or not the application needs them.
+var keywords = []string{
+	"SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+	"WINDOW", "ORDER", "ASC", "DESC", "NULLS", "FIRST", "LAST", "AS", "ON",
+	"JOIN", "INNER", "OUTER", "LEFT", "RIGHT", "FULL", "CROSS", "NATURAL",
+	"USING", "UNION", "EXCEPT", "INTERSECT", "CORRESPONDING", "WITH",
+	"RECURSIVE", "VALUES", "TABLE", "ROLLUP", "CUBE", "GROUPING", "SETS",
+	"AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE", "UNKNOWN", "BETWEEN",
+	"SYMMETRIC", "ASYMMETRIC", "IN", "LIKE", "SIMILAR", "TO", "ESCAPE",
+	"EXISTS", "UNIQUE", "SOME", "ANY", "OVERLAPS", "CASE", "WHEN", "THEN",
+	"ELSE", "END", "NULLIF", "COALESCE", "CAST", "ROW", "COUNT", "AVG",
+	"MAX", "MIN", "SUM", "EVERY", "STDDEV_POP", "STDDEV_SAMP", "VAR_POP",
+	"VAR_SAMP", "FILTER", "OVER", "PARTITION", "RANK", "DENSE_RANK",
+	"PERCENT_RANK", "CUME_DIST", "ROW_NUMBER", "ROWS", "RANGE", "UNBOUNDED",
+	"PRECEDING", "FOLLOWING", "CURRENT", "INSERT", "INTO", "UPDATE", "SET",
+	"DELETE", "DEFAULT", "MERGE", "MATCHED", "CREATE", "DROP", "ALTER",
+	"ADD", "COLUMN", "CONSTRAINT", "PRIMARY", "KEY", "FOREIGN", "REFERENCES",
+	"CHECK", "CASCADE", "RESTRICT", "VIEW", "DOMAIN", "SEQUENCE", "TRIGGER",
+	"SCHEMA", "GRANT", "REVOKE", "PRIVILEGES", "PUBLIC", "OPTION", "ROLE",
+	"START", "TRANSACTION", "COMMIT", "ROLLBACK", "WORK", "CHAIN",
+	"SAVEPOINT", "RELEASE", "ISOLATION", "LEVEL", "READ", "COMMITTED",
+	"UNCOMMITTED", "REPEATABLE", "SERIALIZABLE", "ONLY", "WRITE", "DECLARE",
+	"CURSOR", "OPEN", "CLOSE", "FETCH", "OF", "FOR", "INTEGER", "INT",
+	"SMALLINT", "BIGINT", "NUMERIC", "DECIMAL", "DEC", "FLOAT", "REAL",
+	"DOUBLE", "PRECISION", "CHAR", "CHARACTER", "VARCHAR", "VARYING",
+	"BOOLEAN", "DATE", "TIME", "TIMESTAMP", "INTERVAL", "ZONE", "WITHOUT",
+	"CHECK_OPTION",
+}
+
+var puncts = map[string]string{
+	"LPAREN": "(", "RPAREN": ")", "COMMA": ",", "PERIOD": ".",
+	"SEMICOLON": ";", "ASTERISK": "*", "PLUS": "+", "MINUS": "-",
+	"SOLIDUS": "/", "CONCAT": "||", "EQ": "=", "NEQ": "<>", "LT": "<",
+	"GT": ">", "LTEQ": "<=", "GTEQ": ">=", "QMARK_P": "?",
+}
+
+// Parser is the monolithic full-SQL parser. Construct with New; safe for
+// concurrent use.
+type Parser struct {
+	lex *lexer.Lexer
+}
+
+// New builds the baseline parser and its fixed scanner configuration.
+func New() (*Parser, error) {
+	ts := grammar.NewTokenSet("baseline")
+	for _, kw := range keywords {
+		if err := ts.Add(grammar.TokenDef{Name: kw, Kind: grammar.Keyword, Text: kw}); err != nil {
+			return nil, err
+		}
+	}
+	for name, text := range puncts {
+		if err := ts.Add(grammar.TokenDef{Name: name, Kind: grammar.Punct, Text: text}); err != nil {
+			return nil, err
+		}
+	}
+	for name, class := range map[string]string{
+		"IDENTIFIER": lexer.ClassIdentifier,
+		"DELIMITED":  lexer.ClassDelimitedIdentifier,
+		"NUMBER":     lexer.ClassNumber,
+		"INTEGER_L":  lexer.ClassInteger,
+		"STRING":     lexer.ClassString,
+		"BINSTRING":  lexer.ClassBinaryString,
+		"HOSTPARAM":  lexer.ClassHostParameter,
+	} {
+		if err := ts.Add(grammar.TokenDef{Name: name, Kind: grammar.Class, Text: class}); err != nil {
+			return nil, err
+		}
+	}
+	lx, err := lexer.New(ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{lex: lx}, nil
+}
+
+// MustNew is New for mainlines and benchmarks.
+func MustNew() *Parser {
+	p, err := New()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Keywords returns the reserved words of the baseline (all of them, always).
+func (p *Parser) Keywords() []string { return p.lex.Keywords() }
+
+// Parse parses a script.
+func (p *Parser) Parse(sql string) (*ast.Script, error) {
+	toks, err := p.lex.Scan(sql)
+	if err != nil {
+		return nil, err
+	}
+	s := &state{toks: toks}
+	if s.eof() {
+		return nil, fmt.Errorf("baseline: empty input")
+	}
+	script := &ast.Script{}
+	for !s.eof() {
+		st, err := s.statement()
+		if err != nil {
+			return nil, err
+		}
+		script.Statements = append(script.Statements, st)
+		if !s.accept("SEMICOLON") {
+			break
+		}
+	}
+	if !s.eof() {
+		return nil, s.errf("trailing input")
+	}
+	return script, nil
+}
+
+// Accepts reports whether sql parses.
+func (p *Parser) Accepts(sql string) bool {
+	_, err := p.Parse(sql)
+	return err == nil
+}
+
+// state is the per-parse cursor.
+type state struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func (s *state) eof() bool { return s.pos >= len(s.toks) }
+
+func (s *state) peek() string {
+	if s.eof() {
+		return ""
+	}
+	return s.toks[s.pos].Name
+}
+
+func (s *state) peekAt(off int) string {
+	if s.pos+off >= len(s.toks) {
+		return ""
+	}
+	return s.toks[s.pos+off].Name
+}
+
+func (s *state) next() lexer.Token {
+	t := s.toks[s.pos]
+	s.pos++
+	return t
+}
+
+func (s *state) at(names ...string) bool {
+	got := s.peek()
+	for _, n := range names {
+		if got == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *state) accept(name string) bool {
+	if s.at(name) {
+		s.pos++
+		return true
+	}
+	return false
+}
+
+func (s *state) expect(name string) (lexer.Token, error) {
+	if !s.at(name) {
+		return lexer.Token{}, s.errf("expected %s", name)
+	}
+	return s.next(), nil
+}
+
+func (s *state) errf(format string, args ...any) error {
+	loc := "end of input"
+	if !s.eof() {
+		t := s.toks[s.pos]
+		loc = fmt.Sprintf("%d:%d near %s", t.Line, t.Col, t)
+	}
+	return fmt.Errorf("baseline: %s at %s", fmt.Sprintf(format, args...), loc)
+}
+
+// identifier parses a (possibly qualified) name.
+func (s *state) identifier() (string, error) {
+	if !s.at("IDENTIFIER", "DELIMITED") {
+		return "", s.errf("expected identifier")
+	}
+	return strings.Trim(s.next().Text, `"`), nil
+}
+
+func (s *state) nameChain() ([]string, error) {
+	first, err := s.identifier()
+	if err != nil {
+		return nil, err
+	}
+	parts := []string{first}
+	for s.at("PERIOD") && s.peekAt(1) != "ASTERISK" {
+		s.next()
+		id, err := s.identifier()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, id)
+	}
+	return parts, nil
+}
+
+// --- Statements ----------------------------------------------------------------
+
+func (s *state) statement() (ast.Statement, error) {
+	switch s.peek() {
+	case "SELECT", "WITH", "VALUES", "TABLE", "LPAREN":
+		return s.queryStatement()
+	case "INSERT":
+		return s.insert()
+	case "UPDATE":
+		return s.update()
+	case "DELETE":
+		return s.delete()
+	case "CREATE", "DROP", "ALTER", "GRANT", "REVOKE", "START", "COMMIT",
+		"ROLLBACK", "SAVEPOINT", "RELEASE", "SET", "DECLARE", "OPEN",
+		"CLOSE", "FETCH", "MERGE":
+		return s.generic()
+	}
+	return nil, s.errf("expected statement")
+}
+
+// generic consumes a statement it does not model structurally up to the
+// next top-level semicolon, preserving the text.
+func (s *state) generic() (ast.Statement, error) {
+	kind := strings.ToLower(s.peek())
+	start := s.pos
+	depth := 0
+	for !s.eof() {
+		switch s.peek() {
+		case "LPAREN":
+			depth++
+		case "RPAREN":
+			depth--
+		case "SEMICOLON":
+			if depth == 0 {
+				goto done
+			}
+		}
+		s.pos++
+	}
+done:
+	if s.pos == start {
+		return nil, s.errf("empty statement")
+	}
+	parts := make([]string, 0, s.pos-start)
+	for _, t := range s.toks[start:s.pos] {
+		parts = append(parts, t.Text)
+	}
+	return &ast.Generic{Kind: kind, Text: strings.Join(parts, " ")}, nil
+}
+
+func (s *state) queryStatement() (ast.Statement, error) {
+	sel, err := s.queryExpression()
+	if err != nil {
+		return nil, err
+	}
+	if s.accept("ORDER") {
+		if _, err := s.expect("BY"); err != nil {
+			return nil, err
+		}
+		keys, err := s.sortList()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = keys
+	}
+	return sel, nil
+}
+
+func (s *state) queryExpression() (*ast.Select, error) {
+	var withs []ast.With
+	recursive := false
+	if s.accept("WITH") {
+		recursive = s.accept("RECURSIVE")
+		for {
+			name, err := s.identifier()
+			if err != nil {
+				return nil, err
+			}
+			w := ast.With{Name: name}
+			if s.accept("LPAREN") {
+				w.Columns, err = s.columnList()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := s.expect("RPAREN"); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := s.expect("AS"); err != nil {
+				return nil, err
+			}
+			if _, err := s.expect("LPAREN"); err != nil {
+				return nil, err
+			}
+			q, err := s.queryExpression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := s.expect("RPAREN"); err != nil {
+				return nil, err
+			}
+			w.Query = q
+			withs = append(withs, w)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+	}
+	sel, err := s.queryBody()
+	if err != nil {
+		return nil, err
+	}
+	sel.With = withs
+	sel.Recursive = recursive
+	return sel, nil
+}
+
+func (s *state) queryBody() (*ast.Select, error) {
+	left, err := s.queryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for s.at("UNION", "EXCEPT") {
+		op := ast.SetOp{Op: s.next().Name}
+		if s.at("ALL", "DISTINCT") {
+			op.Quantifier = s.next().Name
+		}
+		right, err := s.queryTerm()
+		if err != nil {
+			return nil, err
+		}
+		op.Right = right
+		left.SetOps = append(left.SetOps, op)
+	}
+	return left, nil
+}
+
+func (s *state) queryTerm() (*ast.Select, error) {
+	left, err := s.queryPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for s.at("INTERSECT") {
+		s.next()
+		op := ast.SetOp{Op: "INTERSECT"}
+		if s.at("ALL", "DISTINCT") {
+			op.Quantifier = s.next().Name
+		}
+		right, err := s.queryPrimary()
+		if err != nil {
+			return nil, err
+		}
+		op.Right = right
+		left.SetOps = append(left.SetOps, op)
+	}
+	return left, nil
+}
+
+func (s *state) queryPrimary() (*ast.Select, error) {
+	switch {
+	case s.accept("LPAREN"):
+		inner, err := s.queryBody()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		return &ast.Select{Paren: inner}, nil
+	case s.at("VALUES"):
+		s.next()
+		sel := &ast.Select{}
+		for {
+			if _, err := s.expect("LPAREN"); err != nil {
+				return nil, err
+			}
+			var row []ast.Expr
+			for {
+				e, err := s.valueExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !s.accept("COMMA") {
+					break
+				}
+			}
+			if _, err := s.expect("RPAREN"); err != nil {
+				return nil, err
+			}
+			sel.Values = append(sel.Values, row)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		return sel, nil
+	case s.at("TABLE"):
+		s.next()
+		name, err := s.nameChain()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Select{ExplicitTable: name}, nil
+	}
+	return s.selectSpec()
+}
+
+func (s *state) selectSpec() (*ast.Select, error) {
+	if _, err := s.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &ast.Select{}
+	if s.at("DISTINCT", "ALL") {
+		sel.Quantifier = s.next().Name
+	}
+	for {
+		item, err := s.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !s.accept("COMMA") {
+			break
+		}
+	}
+	if _, err := s.expect("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := s.tableReference()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if !s.accept("COMMA") {
+			break
+		}
+	}
+	if s.accept("WHERE") {
+		cond, err := s.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = cond
+	}
+	if s.accept("GROUP") {
+		if _, err := s.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			el, err := s.groupingElement()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, el)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+	}
+	if s.accept("HAVING") {
+		cond, err := s.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = cond
+	}
+	if s.accept("WINDOW") {
+		for {
+			name, err := s.identifier()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := s.expect("AS"); err != nil {
+				return nil, err
+			}
+			spec, err := s.windowSpec()
+			if err != nil {
+				return nil, err
+			}
+			sel.Windows = append(sel.Windows, ast.WindowDef{Name: name, Spec: *spec})
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (s *state) selectItem() (ast.SelectItem, error) {
+	if s.accept("ASTERISK") {
+		return ast.SelectItem{Star: true}, nil
+	}
+	// Qualified asterisk: name chain followed by .*
+	if s.at("IDENTIFIER", "DELIMITED") {
+		save := s.pos
+		chain, err := s.nameChain()
+		if err == nil && s.at("PERIOD") && s.peekAt(1) == "ASTERISK" {
+			s.next()
+			s.next()
+			return ast.SelectItem{Star: true, Qualifier: chain}, nil
+		}
+		s.pos = save
+	}
+	e, err := s.valueExpr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if s.accept("AS") {
+		item.Alias, err = s.identifier()
+		if err != nil {
+			return ast.SelectItem{}, err
+		}
+	} else if s.at("IDENTIFIER", "DELIMITED") {
+		item.Alias, _ = s.identifier()
+	}
+	return item, nil
+}
+
+func (s *state) tableReference() (*ast.TableRef, error) {
+	ref, err := s.tablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		j := ast.Join{Kind: ast.JoinInner}
+		switch {
+		case s.at("CROSS"):
+			s.next()
+			if _, err := s.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			j.Kind = ast.JoinCross
+			right, err := s.tablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			j.Right = right
+			ref.Joins = append(ref.Joins, j)
+			continue
+		case s.at("NATURAL"):
+			s.next()
+			j.Natural = true
+			fallthrough
+		case s.at("JOIN", "INNER", "LEFT", "RIGHT", "FULL"):
+			switch s.peek() {
+			case "INNER":
+				s.next()
+			case "LEFT":
+				s.next()
+				j.Kind = ast.JoinLeft
+				s.accept("OUTER")
+			case "RIGHT":
+				s.next()
+				j.Kind = ast.JoinRight
+				s.accept("OUTER")
+			case "FULL":
+				s.next()
+				j.Kind = ast.JoinFull
+				s.accept("OUTER")
+			}
+			if _, err := s.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			right, err := s.tablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			j.Right = right
+			if s.accept("ON") {
+				cond, err := s.orExpr()
+				if err != nil {
+					return nil, err
+				}
+				j.On = cond
+			} else if s.accept("USING") {
+				if _, err := s.expect("LPAREN"); err != nil {
+					return nil, err
+				}
+				j.Using, err = s.columnList()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := s.expect("RPAREN"); err != nil {
+					return nil, err
+				}
+			}
+			ref.Joins = append(ref.Joins, j)
+			continue
+		}
+		return ref, nil
+	}
+}
+
+func (s *state) tablePrimary() (*ast.TableRef, error) {
+	ref := &ast.TableRef{}
+	switch {
+	case s.at("LPAREN") && (s.peekAt(1) == "SELECT" || s.peekAt(1) == "WITH" || s.peekAt(1) == "VALUES"):
+		s.next()
+		q, err := s.queryExpression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		ref.Subquery = q
+	case s.accept("LPAREN"):
+		inner, err := s.tableReference()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		ref.Paren = inner
+	default:
+		name, err := s.nameChain()
+		if err != nil {
+			return nil, err
+		}
+		ref.Name = name
+	}
+	if s.accept("AS") {
+		alias, err := s.identifier()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias
+	} else if s.at("IDENTIFIER", "DELIMITED") {
+		ref.Alias, _ = s.identifier()
+	}
+	if ref.Alias != "" && s.accept("LPAREN") {
+		cols, err := s.columnList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		ref.AliasColumns = cols
+	}
+	return ref, nil
+}
+
+func (s *state) columnList() ([]string, error) {
+	var out []string
+	for {
+		id, err := s.identifier()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !s.accept("COMMA") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (s *state) groupingElement() (ast.GroupingElement, error) {
+	switch {
+	case s.at("ROLLUP", "CUBE"):
+		kind := s.next().Name
+		if _, err := s.expect("LPAREN"); err != nil {
+			return ast.GroupingElement{}, err
+		}
+		var cols []ast.Expr
+		for {
+			chain, err := s.nameChain()
+			if err != nil {
+				return ast.GroupingElement{}, err
+			}
+			cols = append(cols, &ast.ColumnRef{Parts: chain})
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return ast.GroupingElement{}, err
+		}
+		return ast.GroupingElement{Kind: kind, Columns: cols}, nil
+	case s.at("GROUPING"):
+		s.next()
+		if _, err := s.expect("SETS"); err != nil {
+			return ast.GroupingElement{}, err
+		}
+		if _, err := s.expect("LPAREN"); err != nil {
+			return ast.GroupingElement{}, err
+		}
+		var nested []ast.GroupingElement
+		for {
+			el, err := s.groupingElement()
+			if err != nil {
+				return ast.GroupingElement{}, err
+			}
+			nested = append(nested, el)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return ast.GroupingElement{}, err
+		}
+		return ast.GroupingElement{Kind: "GROUPING SETS", Nested: nested}, nil
+	case s.at("LPAREN"):
+		s.next()
+		if s.accept("RPAREN") {
+			return ast.GroupingElement{Kind: "()"}, nil
+		}
+		var cols []ast.Expr
+		for {
+			chain, err := s.nameChain()
+			if err != nil {
+				return ast.GroupingElement{}, err
+			}
+			cols = append(cols, &ast.ColumnRef{Parts: chain})
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return ast.GroupingElement{}, err
+		}
+		return ast.GroupingElement{Columns: cols}, nil
+	default:
+		chain, err := s.nameChain()
+		if err != nil {
+			return ast.GroupingElement{}, err
+		}
+		return ast.GroupingElement{Columns: []ast.Expr{&ast.ColumnRef{Parts: chain}}}, nil
+	}
+}
+
+func (s *state) sortList() ([]ast.SortItem, error) {
+	var out []ast.SortItem
+	for {
+		e, err := s.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ast.SortItem{Key: e}
+		if s.at("ASC", "DESC") {
+			item.Direction = s.next().Name
+		}
+		if s.accept("NULLS") {
+			if !s.at("FIRST", "LAST") {
+				return nil, s.errf("expected FIRST or LAST")
+			}
+			item.Nulls = s.next().Name
+		}
+		out = append(out, item)
+		if !s.accept("COMMA") {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (s *state) windowSpec() (*ast.WindowSpec, error) {
+	if _, err := s.expect("LPAREN"); err != nil {
+		return nil, err
+	}
+	spec := &ast.WindowSpec{}
+	if s.accept("PARTITION") {
+		if _, err := s.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			chain, err := s.nameChain()
+			if err != nil {
+				return nil, err
+			}
+			spec.PartitionBy = append(spec.PartitionBy, &ast.ColumnRef{Parts: chain})
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+	}
+	if s.accept("ORDER") {
+		if _, err := s.expect("BY"); err != nil {
+			return nil, err
+		}
+		keys, err := s.sortList()
+		if err != nil {
+			return nil, err
+		}
+		spec.OrderBy = keys
+	}
+	if s.at("ROWS", "RANGE") {
+		start := s.pos
+		s.next()
+		depth := 0
+		for !s.eof() && !(depth == 0 && s.at("RPAREN")) {
+			if s.at("LPAREN") {
+				depth++
+			}
+			if s.at("RPAREN") {
+				depth--
+			}
+			s.pos++
+		}
+		parts := make([]string, 0, s.pos-start)
+		for _, t := range s.toks[start:s.pos] {
+			parts = append(parts, t.Text)
+		}
+		spec.Frame = strings.Join(parts, " ")
+	}
+	if _, err := s.expect("RPAREN"); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// --- DML -------------------------------------------------------------------------
+
+func (s *state) insert() (ast.Statement, error) {
+	s.next() // INSERT
+	if _, err := s.expect("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := s.nameChain()
+	if err != nil {
+		return nil, err
+	}
+	ins := &ast.Insert{Table: table}
+	if s.accept("LPAREN") {
+		ins.Columns, err = s.columnList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case s.accept("DEFAULT"):
+		if _, err := s.expect("VALUES"); err != nil {
+			return nil, err
+		}
+		ins.DefaultValues = true
+	case s.accept("VALUES"):
+		for {
+			if _, err := s.expect("LPAREN"); err != nil {
+				return nil, err
+			}
+			var row []ast.Expr
+			for {
+				switch {
+				case s.accept("NULL"):
+					row = append(row, &ast.Literal{Kind: ast.LitNull, Text: "NULL"})
+				case s.accept("DEFAULT"):
+					row = append(row, &ast.Raw{Kind: "default", Text: "DEFAULT"})
+				default:
+					e, err := s.valueExpr()
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, e)
+				}
+				if !s.accept("COMMA") {
+					break
+				}
+			}
+			if _, err := s.expect("RPAREN"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+	default:
+		q, err := s.queryExpression()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+	}
+	return ins, nil
+}
+
+func (s *state) update() (ast.Statement, error) {
+	s.next() // UPDATE
+	table, err := s.nameChain()
+	if err != nil {
+		return nil, err
+	}
+	up := &ast.Update{Table: table}
+	if _, err := s.expect("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := s.identifier()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("EQ"); err != nil {
+			return nil, err
+		}
+		a := ast.Assignment{Column: col}
+		switch {
+		case s.accept("NULL"):
+			a.Null = true
+		case s.accept("DEFAULT"):
+			a.Default = true
+		default:
+			a.Value, err = s.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		up.Assignments = append(up.Assignments, a)
+		if !s.accept("COMMA") {
+			break
+		}
+	}
+	if s.accept("WHERE") {
+		if s.accept("CURRENT") {
+			if _, err := s.expect("OF"); err != nil {
+				return nil, err
+			}
+			up.Cursor, err = s.identifier()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			up.Where, err = s.orExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return up, nil
+}
+
+func (s *state) delete() (ast.Statement, error) {
+	s.next() // DELETE
+	if _, err := s.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := s.nameChain()
+	if err != nil {
+		return nil, err
+	}
+	del := &ast.Delete{Table: table}
+	if s.accept("WHERE") {
+		if s.accept("CURRENT") {
+			if _, err := s.expect("OF"); err != nil {
+				return nil, err
+			}
+			del.Cursor, err = s.identifier()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			del.Where, err = s.orExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return del, nil
+}

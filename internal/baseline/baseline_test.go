@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/dialect"
+)
+
+func parse(t *testing.T, sql string) *ast.Script {
+	t.Helper()
+	p := MustNew()
+	script, err := p.Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return script
+}
+
+func TestBaselineAcceptsFullSurface(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT a, b AS total FROM t WHERE a = 1 AND b < 2 OR NOT c = 3",
+		"SELECT t.*, u.x FROM t LEFT OUTER JOIN u ON t.id = u.id",
+		"SELECT a FROM t CROSS JOIN u NATURAL JOIN v",
+		"SELECT a FROM t, u WHERE t.a = u.a",
+		"SELECT COUNT(*), SUM(DISTINCT x) FILTER (WHERE y = 1) FROM t GROUP BY a HAVING COUNT(*) > 2",
+		"SELECT a FROM t GROUP BY ROLLUP (a, b), CUBE (c), GROUPING SETS ((a), ())",
+		"SELECT RANK() OVER (PARTITION BY a ORDER BY b DESC) FROM t",
+		"SELECT SUM(x) OVER w FROM t WINDOW w AS (ORDER BY d ROWS BETWEEN 2 PRECEDING AND CURRENT ROW)",
+		"SELECT a FROM t UNION ALL SELECT b FROM u INTERSECT SELECT c FROM v",
+		"WITH RECURSIVE r (n) AS (SELECT a FROM t) SELECT n FROM r ORDER BY n ASC NULLS FIRST",
+		"SELECT a FROM (SELECT b FROM u) AS d (x) WHERE x IN (SELECT y FROM z)",
+		"SELECT CASE a WHEN 1 THEN 'x' ELSE 'y' END, CASE WHEN b = 2 THEN 1 END FROM t",
+		"SELECT CAST(a AS DECIMAL(10, 2)), CAST(NULL AS DATE) FROM t",
+		"SELECT NULLIF(a, b), COALESCE(a, b, c), f(x, 1) FROM t",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 2 AND c NOT LIKE 'x%' ESCAPE '!'",
+		"SELECT a FROM t WHERE b IS NOT NULL AND c IS DISTINCT FROM d",
+		"SELECT a FROM t WHERE EXISTS (SELECT b FROM u) AND x > ALL (SELECT y FROM v)",
+		"SELECT a FROM t WHERE (a, b) OVERLAPS (c, d)",
+		"SELECT a FROM t WHERE a = 1 IS NOT TRUE",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (DEFAULT, NULL)",
+		"INSERT INTO t SELECT a FROM u",
+		"INSERT INTO t DEFAULT VALUES",
+		"UPDATE t SET a = a + 1, b = DEFAULT WHERE c = 2",
+		"UPDATE t SET a = 1 WHERE CURRENT OF cur",
+		"DELETE FROM t WHERE a LIKE 'x%'",
+		"VALUES (1, 2), (3, 4)",
+		"TABLE t",
+		"SELECT a FROM t; DELETE FROM t; COMMIT",
+		"CREATE TABLE t ( a INTEGER NOT NULL, PRIMARY KEY (a) )",
+		"GRANT SELECT ON t TO PUBLIC",
+		"SELECT :param, ? FROM t WHERE x = DATE '2008-03-29'",
+	}
+	p := MustNew()
+	for _, q := range queries {
+		if _, err := p.Parse(q); err != nil {
+			t.Errorf("baseline rejected %q: %v", q, err)
+		}
+	}
+}
+
+func TestBaselineRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"INSERT t VALUES (1)",
+		"UPDATE SET a = 1",
+		"FROM t SELECT a",
+		"SELECT a FROM t )",
+	}
+	p := MustNew()
+	for _, q := range bad {
+		if p.Accepts(q) {
+			t.Errorf("baseline accepted %q", q)
+		}
+	}
+}
+
+func TestBaselineASTShape(t *testing.T) {
+	script := parse(t, "SELECT DISTINCT a, COUNT(*) c FROM t JOIN u ON t.id = u.id WHERE a + 1 = 2 GROUP BY a")
+	sel := script.Statements[0].(*ast.Select)
+	if sel.Quantifier != "DISTINCT" || len(sel.Items) != 2 {
+		t.Errorf("select head = %+v", sel)
+	}
+	if sel.Items[1].Alias != "c" {
+		t.Errorf("implicit alias = %q", sel.Items[1].Alias)
+	}
+	if len(sel.From) != 1 || len(sel.From[0].Joins) != 1 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	cmp := sel.Where.(*ast.Binary)
+	if cmp.Op != "=" {
+		t.Errorf("where = %+v", cmp)
+	}
+	add := cmp.Left.(*ast.Binary)
+	if add.Op != "+" {
+		t.Errorf("lhs = %+v", add)
+	}
+}
+
+func TestBaselineAlwaysReservesEverything(t *testing.T) {
+	// The monolithic parser's inflexibility: CUBE is reserved even for
+	// applications that never group, so it cannot be a column name.
+	p := MustNew()
+	if p.Accepts("SELECT cube FROM t") {
+		t.Error("baseline unexpectedly allowed reserved word as identifier")
+	}
+	if len(p.Keywords()) < 100 {
+		t.Errorf("baseline keyword count = %d, expected the full reserved set", len(p.Keywords()))
+	}
+}
+
+// TestBaselineAgreesWithFullProduct: on a shared query corpus, the
+// hand-written baseline and the composed full product accept the same
+// queries — the generated parser is as capable as the conventional one.
+func TestBaselineAgreesWithFullProduct(t *testing.T) {
+	full, err := dialect.Build(dialect.Warehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustNew()
+	corpus := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT a, b FROM t WHERE a = 1",
+		"SELECT a FROM t LEFT JOIN u ON t.id = u.id",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT RANK() OVER (ORDER BY a) FROM t",
+		"WITH r AS (SELECT a FROM t) SELECT a FROM r",
+		"INSERT INTO t (a) VALUES (1)",
+		"UPDATE t SET a = 2 WHERE b = 3",
+		"DELETE FROM t WHERE a IN (1, 2)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+		"SELECT CASE WHEN a = 1 THEN 2 ELSE 3 END FROM t",
+	}
+	for _, q := range corpus {
+		got := p.Accepts(q)
+		want := full.Accepts(q)
+		if got != want {
+			t.Errorf("disagreement on %q: baseline=%v product=%v", q, got, want)
+		}
+		if !got {
+			t.Errorf("corpus query rejected by both: %q", q)
+		}
+	}
+}
+
+func TestBaselineSQLRendering(t *testing.T) {
+	// Baseline ASTs render to SQL that the baseline re-accepts.
+	p := MustNew()
+	for _, q := range []string{
+		"SELECT a, b AS x FROM t WHERE a = 1",
+		"INSERT INTO t (a) VALUES (1), (2)",
+		"UPDATE t SET a = NULL WHERE b IS NOT NULL",
+	} {
+		script := parse(t, q)
+		rendered := script.SQL()
+		if !p.Accepts(rendered) {
+			t.Errorf("rendered SQL rejected: %q -> %q", q, rendered)
+		}
+	}
+}
+
+func TestArithmeticAndPositionedForms(t *testing.T) {
+	script := parse(t, "SELECT -a * +b / 2, a || b FROM t; DELETE FROM t WHERE CURRENT OF c")
+	sel := script.Statements[0].(*ast.Select)
+	mul := sel.Items[0].Expr.(*ast.Binary)
+	if mul.Op != "/" {
+		t.Errorf("top op = %q, want / (left associative)", mul.Op)
+	}
+	if u, ok := mul.Left.(*ast.Binary).Left.(*ast.Unary); !ok || u.Op != "-" {
+		t.Errorf("unary minus missing: %#v", mul.Left)
+	}
+	if cc := sel.Items[1].Expr.(*ast.Binary); cc.Op != "||" {
+		t.Errorf("concat op = %q", cc.Op)
+	}
+	del := script.Statements[1].(*ast.Delete)
+	if del.Cursor != "c" {
+		t.Errorf("positioned delete cursor = %q", del.Cursor)
+	}
+}
+
+func TestBaselineErrorPaths(t *testing.T) {
+	p := MustNew()
+	bad := []string{
+		"SELECT * FROM t WHERE a IS 5",           // IS needs NULL/truth/DISTINCT
+		"SELECT a FROM t WHERE NOT",              // NOT needs a predicate
+		"SELECT a FROM t WHERE b BETWEEN 1 OR 2", // BETWEEN needs AND
+		"SELECT a FROM t ORDER BY a NULLS SOMETIMES",
+		"DELETE t",                // missing FROM
+		"UPDATE t SET a 1",        // missing =
+		"SELECT CASE END FROM t",  // CASE without WHEN
+		"SELECT a FROM t WHERE -", // dangling unary
+	}
+	for _, q := range bad {
+		if p.Accepts(q) {
+			t.Errorf("baseline accepted %q", q)
+		}
+	}
+}
+
+func TestGenericPreservesText(t *testing.T) {
+	script := parse(t, "CREATE TABLE t ( a INTEGER ); SELECT a FROM t")
+	g := script.Statements[0].(*ast.Generic)
+	if g.Kind != "create" || !strings.Contains(g.Text, "CREATE TABLE") {
+		t.Errorf("generic = %+v", g)
+	}
+	if len(script.Statements) != 2 {
+		t.Errorf("statements = %d", len(script.Statements))
+	}
+}

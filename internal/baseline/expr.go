@@ -1,0 +1,566 @@
+package baseline
+
+import (
+	"strings"
+
+	"sqlspl/internal/ast"
+)
+
+// Expression parsing: classic precedence-layered recursive descent.
+// orExpr > andExpr > notExpr > predicate > comparison > additive >
+// multiplicative > unary > primary.
+
+func (s *state) orExpr() (ast.Expr, error) {
+	left, err := s.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for s.accept("OR") {
+		right, err := s.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (s *state) andExpr() (ast.Expr, error) {
+	left, err := s.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for s.accept("AND") {
+		right, err := s.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (s *state) notExpr() (ast.Expr, error) {
+	if s.accept("NOT") {
+		inner, err := s.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: "NOT", Operand: inner}, nil
+	}
+	return s.predicate()
+}
+
+var compOps = map[string]string{
+	"EQ": "=", "NEQ": "<>", "LT": "<", "GT": ">", "LTEQ": "<=", "GTEQ": ">=",
+}
+
+func (s *state) predicate() (ast.Expr, error) {
+	if s.at("EXISTS", "UNIQUE") {
+		kind := s.next().Name
+		sub, err := s.subquery()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Predicate{Kind: kind, Args: []ast.Expr{sub}}, nil
+	}
+	left, err := s.additive()
+	if err != nil {
+		return nil, err
+	}
+	not := s.accept("NOT")
+	switch {
+	case s.at("EQ", "NEQ", "LT", "GT", "LTEQ", "GTEQ") && !not:
+		op := compOps[s.next().Name]
+		if s.at("ALL", "SOME", "ANY") {
+			q := s.next().Name
+			sub, err := s.subquery()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Predicate{Kind: op + " " + q, Left: left, Args: []ast.Expr{sub}}, nil
+		}
+		right, err := s.additive()
+		if err != nil {
+			return nil, err
+		}
+		result := ast.Expr(&ast.Binary{Op: op, Left: left, Right: right})
+		return s.truthTail(result)
+
+	case s.accept("IS"):
+		isNot := s.accept("NOT")
+		switch {
+		case s.accept("NULL"):
+			return &ast.Predicate{Kind: "NULL", Not: isNot, Left: left}, nil
+		case s.at("TRUE", "FALSE", "UNKNOWN"):
+			return &ast.TruthTest{Operand: left, Not: isNot, Value: s.next().Name}, nil
+		case !isNot && s.accept("DISTINCT"):
+			if _, err := s.expect("FROM"); err != nil {
+				return nil, err
+			}
+			right, err := s.additive()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Predicate{Kind: "DISTINCT", Left: left, Args: []ast.Expr{right}}, nil
+		}
+		return nil, s.errf("expected NULL, truth value or DISTINCT FROM after IS")
+
+	case s.accept("BETWEEN"):
+		if s.at("SYMMETRIC", "ASYMMETRIC") {
+			s.next()
+		}
+		lo, err := s.additive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := s.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Predicate{Kind: "BETWEEN", Not: not, Left: left, Args: []ast.Expr{lo, hi}}, nil
+
+	case s.accept("IN"):
+		p := &ast.Predicate{Kind: "IN", Not: not, Left: left}
+		if s.at("LPAREN") && (s.peekAt(1) == "SELECT" || s.peekAt(1) == "WITH") {
+			sub, err := s.subquery()
+			if err != nil {
+				return nil, err
+			}
+			p.Args = []ast.Expr{sub}
+			return p, nil
+		}
+		if _, err := s.expect("LPAREN"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := s.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.Args = append(p.Args, e)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		return p, nil
+
+	case s.accept("LIKE"):
+		return s.patternTail("LIKE", not, left)
+
+	case s.accept("SIMILAR"):
+		if _, err := s.expect("TO"); err != nil {
+			return nil, err
+		}
+		return s.patternTail("SIMILAR", not, left)
+
+	case s.accept("OVERLAPS"):
+		right, err := s.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Predicate{Kind: "OVERLAPS", Left: left, Args: []ast.Expr{right}}, nil
+	}
+	if not {
+		return nil, s.errf("expected predicate after NOT")
+	}
+	return left, nil
+}
+
+// truthTail parses the optional IS [NOT] truth-value suffix of a boolean test.
+func (s *state) truthTail(e ast.Expr) (ast.Expr, error) {
+	if !s.accept("IS") {
+		return e, nil
+	}
+	isNot := s.accept("NOT")
+	if !s.at("TRUE", "FALSE", "UNKNOWN") {
+		return nil, s.errf("expected truth value")
+	}
+	return &ast.TruthTest{Operand: e, Not: isNot, Value: s.next().Name}, nil
+}
+
+func (s *state) patternTail(kind string, not bool, left ast.Expr) (ast.Expr, error) {
+	pat, err := s.additive()
+	if err != nil {
+		return nil, err
+	}
+	p := &ast.Predicate{Kind: kind, Not: not, Left: left, Args: []ast.Expr{pat}}
+	if s.accept("ESCAPE") {
+		esc, err := s.additive()
+		if err != nil {
+			return nil, err
+		}
+		p.Args = append(p.Args, esc)
+	}
+	return p, nil
+}
+
+func (s *state) additive() (ast.Expr, error) {
+	left, err := s.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for s.at("PLUS", "MINUS", "CONCAT") {
+		op := s.next().Text
+		right, err := s.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (s *state) multiplicative() (ast.Expr, error) {
+	left, err := s.unary()
+	if err != nil {
+		return nil, err
+	}
+	for s.at("ASTERISK", "SOLIDUS") {
+		op := s.next().Text
+		right, err := s.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Binary{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (s *state) unary() (ast.Expr, error) {
+	if s.at("PLUS", "MINUS") {
+		op := s.next().Text
+		inner, err := s.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: op, Operand: inner}, nil
+	}
+	return s.primary()
+}
+
+// valueExpr is the entry point for scalar expressions in clause positions.
+func (s *state) valueExpr() (ast.Expr, error) { return s.additive() }
+
+var aggregates = map[string]bool{
+	"COUNT": true, "AVG": true, "MAX": true, "MIN": true, "SUM": true,
+	"EVERY": true, "STDDEV_POP": true, "STDDEV_SAMP": true,
+	"VAR_POP": true, "VAR_SAMP": true,
+}
+
+var rankFunctions = map[string]bool{
+	"RANK": true, "DENSE_RANK": true, "PERCENT_RANK": true,
+	"CUME_DIST": true, "ROW_NUMBER": true,
+}
+
+func (s *state) primary() (ast.Expr, error) {
+	switch {
+	case s.at("INTEGER_L", "NUMBER"):
+		return &ast.Literal{Kind: ast.LitNumber, Text: s.next().Text}, nil
+	case s.at("STRING"):
+		return &ast.Literal{Kind: ast.LitString, Text: s.next().Text}, nil
+	case s.at("BINSTRING"):
+		return &ast.Literal{Kind: ast.LitBinary, Text: s.next().Text}, nil
+	case s.at("HOSTPARAM"):
+		return &ast.Literal{Kind: ast.LitParameter, Text: s.next().Text}, nil
+	case s.at("QMARK_P"):
+		s.next()
+		return &ast.Literal{Kind: ast.LitParameter, Text: "?"}, nil
+	case s.at("TRUE", "FALSE", "UNKNOWN"):
+		return &ast.Literal{Kind: ast.LitBoolean, Text: s.next().Name}, nil
+	case s.at("NULL"):
+		s.next()
+		return &ast.Literal{Kind: ast.LitNull, Text: "NULL"}, nil
+	case s.at("DATE", "TIME", "TIMESTAMP") && s.peekAt(1) == "STRING":
+		kw := s.next().Name
+		lit := s.next().Text
+		return &ast.Literal{Kind: ast.LitDatetime, Text: kw + " " + lit}, nil
+
+	case s.at("CASE"):
+		return s.caseExpr()
+	case s.at("CAST"):
+		return s.castExpr()
+	case s.at("NULLIF", "COALESCE"):
+		name := s.next().Name
+		f := &ast.FuncCall{Name: []string{name}}
+		if _, err := s.expect("LPAREN"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := s.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, e)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		return f, nil
+
+	case s.at("ROW"):
+		s.next()
+		if _, err := s.expect("LPAREN"); err != nil {
+			return nil, err
+		}
+		r := &ast.Row{Explicit: true}
+		for {
+			e, err := s.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Items = append(r.Items, e)
+			if !s.accept("COMMA") {
+				break
+			}
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		return r, nil
+
+	case aggregates[s.peek()]:
+		return s.aggregate()
+
+	case rankFunctions[s.peek()]:
+		name := s.next().Name
+		if _, err := s.expect("LPAREN"); err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		f := &ast.FuncCall{Name: []string{name}}
+		if err := s.overTail(f); err != nil {
+			return nil, err
+		}
+		return f, nil
+
+	case s.at("LPAREN") && (s.peekAt(1) == "SELECT" || s.peekAt(1) == "WITH"):
+		return s.subquery()
+
+	case s.accept("LPAREN"):
+		first, err := s.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if s.at("COMMA") { // row value constructor
+			r := &ast.Row{Items: []ast.Expr{first}}
+			for s.accept("COMMA") {
+				e, err := s.valueExpr()
+				if err != nil {
+					return nil, err
+				}
+				r.Items = append(r.Items, e)
+			}
+			if _, err := s.expect("RPAREN"); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+		return first, nil
+
+	case s.at("IDENTIFIER", "DELIMITED"):
+		chain, err := s.nameChain()
+		if err != nil {
+			return nil, err
+		}
+		if s.accept("LPAREN") { // routine invocation
+			f := &ast.FuncCall{Name: chain}
+			if !s.at("RPAREN") {
+				for {
+					e, err := s.valueExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, e)
+					if !s.accept("COMMA") {
+						break
+					}
+				}
+			}
+			if _, err := s.expect("RPAREN"); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		return &ast.ColumnRef{Parts: chain}, nil
+	}
+	return nil, s.errf("expected expression")
+}
+
+func (s *state) aggregate() (ast.Expr, error) {
+	name := s.next().Name
+	f := &ast.FuncCall{Name: []string{name}}
+	if _, err := s.expect("LPAREN"); err != nil {
+		return nil, err
+	}
+	if name == "COUNT" && s.accept("ASTERISK") {
+		f.Star = true
+	} else {
+		if s.at("DISTINCT", "ALL") {
+			f.Quantifier = s.next().Name
+		}
+		e, err := s.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = []ast.Expr{e}
+	}
+	if _, err := s.expect("RPAREN"); err != nil {
+		return nil, err
+	}
+	if s.accept("FILTER") {
+		if _, err := s.expect("LPAREN"); err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("WHERE"); err != nil {
+			return nil, err
+		}
+		cond, err := s.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Filter = cond
+		if _, err := s.expect("RPAREN"); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.overTail(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// overTail parses an optional OVER window reference.
+func (s *state) overTail(f *ast.FuncCall) error {
+	if !s.accept("OVER") {
+		return nil
+	}
+	if s.at("IDENTIFIER", "DELIMITED") {
+		name, err := s.identifier()
+		if err != nil {
+			return err
+		}
+		f.OverName = name
+		return nil
+	}
+	spec, err := s.windowSpec()
+	if err != nil {
+		return err
+	}
+	f.OverSpec = spec
+	return nil
+}
+
+func (s *state) caseExpr() (ast.Expr, error) {
+	s.next() // CASE
+	c := &ast.Case{}
+	if !s.at("WHEN") {
+		op, err := s.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for s.accept("WHEN") {
+		var when ast.Expr
+		var err error
+		if c.Operand != nil {
+			when, err = s.valueExpr()
+		} else {
+			when, err = s.orExpr()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.expect("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := s.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.CaseWhen{When: when, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, s.errf("CASE without WHEN")
+	}
+	if s.accept("ELSE") {
+		e, err := s.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := s.expect("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (s *state) castExpr() (ast.Expr, error) {
+	s.next() // CAST
+	if _, err := s.expect("LPAREN"); err != nil {
+		return nil, err
+	}
+	c := &ast.Cast{}
+	if !s.accept("NULL") {
+		e, err := s.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = e
+	}
+	if _, err := s.expect("AS"); err != nil {
+		return nil, err
+	}
+	// Consume the type tokens up to the closing parenthesis, tracking
+	// nesting for parameterized types.
+	start := s.pos
+	depth := 0
+	for !s.eof() && !(depth == 0 && s.at("RPAREN")) {
+		if s.at("LPAREN") {
+			depth++
+		}
+		if s.at("RPAREN") {
+			depth--
+		}
+		s.pos++
+	}
+	parts := make([]string, 0, s.pos-start)
+	for _, t := range s.toks[start:s.pos] {
+		parts = append(parts, t.Text)
+	}
+	c.Type = strings.Join(parts, " ")
+	if _, err := s.expect("RPAREN"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (s *state) subquery() (ast.Expr, error) {
+	if _, err := s.expect("LPAREN"); err != nil {
+		return nil, err
+	}
+	q, err := s.queryExpression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.expect("RPAREN"); err != nil {
+		return nil, err
+	}
+	return &ast.Subquery{Query: q}, nil
+}

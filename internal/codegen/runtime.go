@@ -1,0 +1,522 @@
+package codegen
+
+// runtimeHeader is the fixed scanner + combinator runtime emitted verbatim
+// into every generated parser. It mirrors the semantics of internal/lexer
+// and internal/parser: configurable keyword set, maximal-munch punctuation,
+// SQL lexical classes, and an all-results backtracking engine with
+// per-production memoisation and FIRST-set prediction.
+const runtimeHeader = `
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is one scanned lexical element.
+type Token struct {
+	Name string
+	Text string
+	Line int
+	Col  int
+}
+
+type punct struct {
+	text string
+	name string
+}
+
+// Keywords returns the reserved words of this product, sorted.
+func Keywords() []string {
+	out := make([]string, 0, len(keywords))
+	for k := range keywords {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type scanState struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (s *scanState) advance(n int) {
+	for i := 0; i < n; i++ {
+		if s.src[s.pos] == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+		s.pos++
+	}
+}
+
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStartRune(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPartRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func identStartsAt(rest string) bool {
+	r, size := utf8.DecodeRuneInString(rest)
+	if r == utf8.RuneError && size <= 1 {
+		return false
+	}
+	return isIdentStartRune(r)
+}
+
+// scan tokenizes src under the product's token configuration.
+func scan(src string) ([]Token, error) {
+	s := &scanState{src: src, line: 1, col: 1}
+	var out []Token
+	for {
+		// Skip whitespace and comments.
+		for s.pos < len(s.src) {
+			c := s.src[s.pos]
+			if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+				s.advance(1)
+				continue
+			}
+			if c == '-' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '-' {
+				for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+					s.advance(1)
+				}
+				continue
+			}
+			if c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*' {
+				s.advance(2)
+				for s.pos+1 < len(s.src) && !(s.src[s.pos] == '*' && s.src[s.pos+1] == '/') {
+					s.advance(1)
+				}
+				if s.pos+1 >= len(s.src) {
+					return nil, fmt.Errorf("lex error at %d:%d: unterminated comment", s.line, s.col)
+				}
+				s.advance(2)
+				continue
+			}
+			break
+		}
+		if s.pos >= len(s.src) {
+			return out, nil
+		}
+		line, col := s.line, s.col
+		c := s.src[s.pos]
+		mk := func(name, text string) {
+			out = append(out, Token{Name: name, Text: text, Line: line, Col: col})
+		}
+		switch {
+		case c == '\'':
+			text, err := scanQuoted(s, '\'')
+			if err != nil {
+				return nil, err
+			}
+			name, ok := classes["string"]
+			if !ok {
+				return nil, fmt.Errorf("lex error at %d:%d: string literals not enabled", line, col)
+			}
+			mk(name, text)
+		case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && classes["binary_string"] != "":
+			s.advance(1)
+			text, err := scanQuoted(s, '\'')
+			if err != nil {
+				return nil, err
+			}
+			mk(classes["binary_string"], "X"+text)
+		case c == '"':
+			text, err := scanQuoted(s, '"')
+			if err != nil {
+				return nil, err
+			}
+			name, ok := classes["delimited_identifier"]
+			if !ok {
+				name, ok = classes["identifier"]
+			}
+			if !ok {
+				return nil, fmt.Errorf("lex error at %d:%d: delimited identifiers not enabled", line, col)
+			}
+			mk(name, text)
+		case isDigitB(c) || (c == '.' && s.pos+1 < len(s.src) && isDigitB(s.src[s.pos+1])):
+			text, isInt := scanNumber(s)
+			switch {
+			case isInt && classes["integer"] != "":
+				mk(classes["integer"], text)
+			case classes["number"] != "":
+				mk(classes["number"], text)
+			default:
+				return nil, fmt.Errorf("lex error at %d:%d: numeric literals not enabled", line, col)
+			}
+		case c == ':' && s.pos+1 < len(s.src) && identStartsAt(s.src[s.pos+1:]) && classes["host_parameter"] != "":
+			s.advance(1)
+			word := scanWord(s)
+			mk(classes["host_parameter"], ":"+word)
+		case c == '?' && classes["dynamic_parameter"] != "":
+			s.advance(1)
+			mk(classes["dynamic_parameter"], "?")
+		case identStartsAt(s.src[s.pos:]):
+			word := scanWord(s)
+			if name, ok := keywords[strings.ToUpper(word)]; ok {
+				mk(name, word)
+			} else if name, ok := classes["identifier"]; ok {
+				mk(name, word)
+			} else {
+				return nil, fmt.Errorf("lex error at %d:%d: unknown word %q", line, col, word)
+			}
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(s.src[s.pos:], p.text) {
+					s.advance(len(p.text))
+					mk(p.name, p.text)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				r, _ := utf8.DecodeRuneInString(s.src[s.pos:])
+				return nil, fmt.Errorf("lex error at %d:%d: unexpected character %q", line, col, r)
+			}
+		}
+	}
+}
+
+func scanQuoted(s *scanState, q byte) (string, error) {
+	line, col := s.line, s.col
+	start := s.pos
+	s.advance(1)
+	for {
+		if s.pos >= len(s.src) {
+			return "", fmt.Errorf("lex error at %d:%d: unterminated literal", line, col)
+		}
+		if s.src[s.pos] == q {
+			if s.pos+1 < len(s.src) && s.src[s.pos+1] == q {
+				s.advance(2)
+				continue
+			}
+			s.advance(1)
+			return s.src[start:s.pos], nil
+		}
+		s.advance(1)
+	}
+}
+
+func scanNumber(s *scanState) (string, bool) {
+	start := s.pos
+	isInt := true
+	for s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+		s.advance(1)
+	}
+	if s.pos < len(s.src) && s.src[s.pos] == '.' {
+		if s.pos+1 < len(s.src) && s.src[s.pos+1] == '.' {
+			return s.src[start:s.pos], isInt
+		}
+		isInt = false
+		s.advance(1)
+		for s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+			s.advance(1)
+		}
+	}
+	if s.pos < len(s.src) && (s.src[s.pos] == 'e' || s.src[s.pos] == 'E') {
+		j := s.pos + 1
+		if j < len(s.src) && (s.src[j] == '+' || s.src[j] == '-') {
+			j++
+		}
+		if j < len(s.src) && isDigitB(s.src[j]) {
+			isInt = false
+			s.advance(j - s.pos)
+			for s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+				s.advance(1)
+			}
+		}
+	}
+	return s.src[start:s.pos], isInt
+}
+
+func scanWord(s *scanState) string {
+	start := s.pos
+	for s.pos < len(s.src) {
+		r, size := utf8.DecodeRuneInString(s.src[s.pos:])
+		if !isIdentPartRune(r) {
+			break
+		}
+		s.advance(size)
+	}
+	return s.src[start:s.pos]
+}
+
+// Node is a parse-tree node: a production node (Label set) or a token leaf.
+type Node struct {
+	Label    string
+	Token    *Token
+	Children []*Node
+}
+
+// Text reconstructs the node's source tokens joined by spaces.
+func (n *Node) Text() string {
+	var parts []string
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Token != nil {
+			parts = append(parts, m.Token.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return strings.Join(parts, " ")
+}
+
+type result struct {
+	end    int
+	forest []*Node
+}
+
+type pfunc func(p *run, pos int) []result
+
+type memoKey struct {
+	prod string
+	pos  int
+}
+
+type run struct {
+	toks     []Token
+	memo     map[memoKey][]result
+	far      int
+	expected map[string]bool
+}
+
+func (r *run) tokenAt(pos int) string {
+	if pos < len(r.toks) {
+		return r.toks[pos].Name
+	}
+	return ""
+}
+
+func (r *run) fail(pos int, want string) {
+	if pos > r.far {
+		r.far = pos
+		r.expected = map[string]bool{want: true}
+	} else if pos == r.far {
+		r.expected[want] = true
+	}
+}
+
+func empty() pfunc {
+	return func(p *run, pos int) []result { return []result{{end: pos}} }
+}
+
+func tok(name string) pfunc {
+	return func(p *run, pos int) []result {
+		if p.tokenAt(pos) == name {
+			return []result{{end: pos + 1, forest: []*Node{{Token: &p.toks[pos]}}}}
+		}
+		p.fail(pos, name)
+		return nil
+	}
+}
+
+func nt(name string) pfunc {
+	return func(p *run, pos int) []result {
+		key := memoKey{prod: name, pos: pos}
+		if cached, ok := p.memo[key]; ok {
+			return cached
+		}
+		f := productions[name]
+		if f == nil {
+			p.fail(pos, name)
+			return nil
+		}
+		la := p.tokenAt(pos)
+		sets := predict[name]
+		var out []result
+		seen := map[int]bool{}
+		collect := func(rs []result) {
+			for _, res := range rs {
+				if seen[res.end] {
+					continue
+				}
+				seen[res.end] = true
+				node := &Node{Label: name, Children: res.forest}
+				out = append(out, result{end: res.end, forest: []*Node{node}})
+			}
+		}
+		alts := altsOf[name]
+		if len(sets) == len(alts) && len(alts) > 0 {
+			for i, alt := range alts {
+				if sets[i] != nil && (la == "" || !sets[i][la]) {
+					for t := range sets[i] {
+						p.fail(pos, t)
+					}
+					continue
+				}
+				collect(alt(p, pos))
+			}
+		} else {
+			collect(f(p, pos))
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].end > out[j].end })
+		p.memo[key] = out
+		return out
+	}
+}
+
+// altsOf records the top-level alternatives of each production so nt() can
+// align them with the emitted predict sets. Populated by register().
+var altsOf = map[string][]pfunc{}
+
+// register installs a production from its top-level alternatives.
+func register(name string, alts ...pfunc) {
+	altsOf[name] = alts
+	productions[name] = choice(alts...)
+}
+
+// choice tries alternatives in order, deduplicating end positions.
+func choice(alts ...pfunc) pfunc {
+	if len(alts) == 1 {
+		return alts[0]
+	}
+	return func(p *run, pos int) []result {
+		var out []result
+		seen := map[int]bool{}
+		for _, alt := range alts {
+			for _, res := range alt(p, pos) {
+				if seen[res.end] {
+					continue
+				}
+				seen[res.end] = true
+				out = append(out, res)
+			}
+		}
+		return out
+	}
+}
+
+func seq(items ...pfunc) pfunc {
+	return func(p *run, pos int) []result {
+		cur := []result{{end: pos}}
+		for _, item := range items {
+			var next []result
+			seen := map[int]bool{}
+			for _, c := range cur {
+				for _, res := range item(p, c.end) {
+					if seen[res.end] {
+						continue
+					}
+					seen[res.end] = true
+					forest := make([]*Node, 0, len(c.forest)+len(res.forest))
+					forest = append(forest, c.forest...)
+					forest = append(forest, res.forest...)
+					next = append(next, result{end: res.end, forest: forest})
+				}
+			}
+			if len(next) == 0 {
+				return nil
+			}
+			cur = next
+		}
+		return cur
+	}
+}
+
+func opt(body pfunc) pfunc {
+	return func(p *run, pos int) []result {
+		out := body(p, pos)
+		for _, res := range out {
+			if res.end == pos {
+				return out
+			}
+		}
+		return append(out, result{end: pos})
+	}
+}
+
+func repeat(body pfunc, allowEmpty bool) pfunc {
+	return func(p *run, pos int) []result {
+		visited := map[int]bool{pos: true}
+		frontier := []result{{end: pos}}
+		var all []result
+		if allowEmpty {
+			all = append(all, result{end: pos})
+		}
+		for len(frontier) > 0 {
+			var next []result
+			for _, st := range frontier {
+				for _, res := range body(p, st.end) {
+					if res.end <= st.end || visited[res.end] {
+						continue
+					}
+					visited[res.end] = true
+					forest := make([]*Node, 0, len(st.forest)+len(res.forest))
+					forest = append(forest, st.forest...)
+					forest = append(forest, res.forest...)
+					ns := result{end: res.end, forest: forest}
+					next = append(next, ns)
+					all = append(all, ns)
+				}
+			}
+			frontier = next
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].end > all[j].end })
+		return all
+	}
+}
+
+func star(body pfunc) pfunc { return repeat(body, true) }
+func plus(body pfunc) pfunc {
+	rep := repeat(body, true)
+	return seq(body, rep)
+}
+
+// Parse scans and parses src, requiring the whole input to be consumed.
+func Parse(src string) (*Node, error) {
+	toks, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{toks: toks, memo: map[memoKey][]result{}, far: -1, expected: map[string]bool{}}
+	results := nt(startSymbol)(r, 0)
+	for _, res := range results {
+		if res.end == len(toks) {
+			if len(res.forest) == 1 {
+				return res.forest[0], nil
+			}
+			return &Node{Label: startSymbol, Children: res.forest}, nil
+		}
+	}
+	far := r.far
+	for _, res := range results {
+		if res.end > far {
+			far = res.end
+			r.expected = map[string]bool{}
+		}
+	}
+	found := "end of input"
+	line, col := 1, 1
+	if far >= 0 && far < len(toks) {
+		found = toks[far].Name
+		line, col = toks[far].Line, toks[far].Col
+	} else if n := len(toks); n > 0 {
+		line, col = toks[n-1].Line, toks[n-1].Col
+	}
+	exp := make([]string, 0, len(r.expected))
+	for name := range r.expected {
+		exp = append(exp, name)
+	}
+	sort.Strings(exp)
+	return nil, fmt.Errorf("syntax error at %d:%d: unexpected %s, expected one of: %s",
+		line, col, found, strings.Join(exp, ", "))
+}
+
+// Accepts reports whether src is in the product's language.
+func Accepts(src string) bool {
+	_, err := Parse(src)
+	return err == nil
+}
+`

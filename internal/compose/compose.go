@@ -1,0 +1,258 @@
+// Package compose implements the paper's grammar-composition engine
+// (Section 3.2 of "Generating Highly Customizable SQL Parsers").
+//
+// Sub-grammars — one per selected feature — are composed pairwise, in a
+// composition sequence, into a single LL(k) grammar. Production rules
+// labelled with the same nonterminal are merged under three rules:
+//
+//  1. If the new production CONTAINS the old one, the old production is
+//     REPLACED: composing A: BC into A: B yields A: BC.
+//  2. If the new production IS CONTAINED IN the old one, the old production
+//     is RETAINED: composing A: B into A: BC yields A: BC.
+//  3. If the new and old productions DIFFER, they are APPENDED as choices:
+//     composing A: C into A: B yields A: B | C.
+//
+// Optional specifications must be composed after the corresponding
+// non-optional specification (A: B before A: B [C]); a sublist must be
+// composed ahead of the corresponding complex list (A: B before A: B [, B]).
+// Token files compose by set union. Options on Composer control whether
+// ordering violations are errors (the paper's behaviour) or tolerated.
+package compose
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlspl/internal/grammar"
+)
+
+// Options configures composition behaviour.
+type Options struct {
+	// StrictOrder enforces the paper's ordering constraints: an
+	// optional-extended or complex-list production arriving before its base
+	// is a composition error instead of being resolved by the containment
+	// rules. The paper states such pairs "can be composed in that order
+	// only".
+	StrictOrder bool
+	// Trace, if non-nil, receives one line per composition decision —
+	// useful for the sqlfpc CLI's -trace flag and for debugging products.
+	Trace func(format string, args ...any)
+}
+
+// Composer accumulates sub-grammars and token sets into one product grammar.
+// The zero value is not usable; call New.
+type Composer struct {
+	opts    Options
+	grammar *grammar.Grammar
+	tokens  *grammar.TokenSet
+	steps   []string // names of composed units, in order
+}
+
+// New returns a Composer that will produce a grammar and token set with the
+// given product name.
+func New(product string, opts Options) *Composer {
+	return &Composer{
+		opts:    opts,
+		grammar: grammar.NewGrammar(product),
+		tokens:  grammar.NewTokenSet(product),
+	}
+}
+
+// Steps returns the names of the units composed so far, in order.
+func (c *Composer) Steps() []string {
+	out := make([]string, len(c.steps))
+	copy(out, c.steps)
+	return out
+}
+
+// Grammar returns the composed grammar. The first composed unit's start
+// symbol becomes the product's start symbol.
+func (c *Composer) Grammar() *grammar.Grammar { return c.grammar }
+
+// Tokens returns the composed token set.
+func (c *Composer) Tokens() *grammar.TokenSet { return c.tokens }
+
+func (c *Composer) tracef(format string, args ...any) {
+	if c.opts.Trace != nil {
+		c.opts.Trace(format, args...)
+	}
+}
+
+// Add composes one sub-grammar and its token set into the product.
+// Either may be nil (a feature may contribute only syntax or only tokens).
+func (c *Composer) Add(g *grammar.Grammar, ts *grammar.TokenSet) error {
+	name := "(anonymous)"
+	if g != nil && g.Name != "" {
+		name = g.Name
+	} else if ts != nil && ts.Name != "" {
+		name = ts.Name
+	}
+	if g != nil {
+		if err := c.addGrammar(g); err != nil {
+			return fmt.Errorf("composing %s: %w", name, err)
+		}
+	}
+	if ts != nil {
+		if err := c.tokens.Merge(ts); err != nil {
+			return fmt.Errorf("composing %s: %w", name, err)
+		}
+	}
+	c.steps = append(c.steps, name)
+	return nil
+}
+
+func (c *Composer) addGrammar(g *grammar.Grammar) error {
+	for _, p := range g.Productions() {
+		if err := c.composeProduction(p); err != nil {
+			return err
+		}
+	}
+	if c.grammar.Start == "" {
+		c.grammar.Start = g.Start
+	}
+	return nil
+}
+
+// composeProduction merges one incoming production into the product under
+// the paper's same-nonterminal rules, alternative by alternative.
+func (c *Composer) composeProduction(newProd *grammar.Production) error {
+	old := c.grammar.Production(newProd.Name)
+	if old == nil {
+		cp := &grammar.Production{Name: newProd.Name, Expr: newProd.Expr}
+		c.tracef("new production %s", newProd.Name)
+		return c.grammar.Add(cp)
+	}
+	alts := old.Alternatives()
+	for _, newAlt := range newProd.Alternatives() {
+		var err error
+		alts, err = c.composeAlternative(newProd.Name, alts, newAlt)
+		if err != nil {
+			return err
+		}
+	}
+	old.SetAlternatives(alts)
+	return nil
+}
+
+// composeAlternative applies the replace / retain / append rules for one new
+// alternative against the existing alternatives of the same nonterminal.
+func (c *Composer) composeAlternative(name string, alts []grammar.Expr, newAlt grammar.Expr) ([]grammar.Expr, error) {
+	// Rule 2 (retain): the new production is contained in an existing one.
+	for _, oldAlt := range alts {
+		if grammar.Equal(oldAlt, newAlt) {
+			c.tracef("%s: identical alternative retained: %s", name, newAlt)
+			return alts, nil
+		}
+		if grammar.Contains(oldAlt, newAlt) {
+			if c.opts.StrictOrder && !grammar.Equal(oldAlt, newAlt) {
+				if isOptionalExtension(oldAlt, newAlt) {
+					return nil, &OrderError{
+						Production: name,
+						Base:       newAlt,
+						Extended:   oldAlt,
+					}
+				}
+			}
+			c.tracef("%s: new alternative %s contained in existing %s; retained", name, newAlt, oldAlt)
+			return alts, nil
+		}
+	}
+	// Rule 1 (replace): the new production contains one or more existing ones.
+	replaced := false
+	out := alts[:0:0]
+	for _, oldAlt := range alts {
+		if grammar.Contains(newAlt, oldAlt) {
+			if !replaced {
+				out = append(out, newAlt)
+				replaced = true
+				c.tracef("%s: existing alternative %s replaced by %s", name, oldAlt, newAlt)
+			} else {
+				c.tracef("%s: existing alternative %s subsumed by %s", name, oldAlt, newAlt)
+			}
+			continue
+		}
+		out = append(out, oldAlt)
+	}
+	if replaced {
+		return out, nil
+	}
+	// Rule 3 (append): the productions differ — append as a choice.
+	c.tracef("%s: alternative appended as choice: %s", name, newAlt)
+	return append(out, newAlt), nil
+}
+
+// isOptionalExtension reports whether extended is base with optional
+// material added — the shape whose composition order the paper restricts
+// ("A: B and A: B[C] or A: B and A: [C]B can be composed in that order
+// only"). It holds when stripping all optional groups from extended yields
+// a sequence equal to base.
+func isOptionalExtension(extended, base grammar.Expr) bool {
+	stripped := stripOptionals(extended)
+	return grammar.Equal(stripped, base) && !grammar.Equal(extended, base)
+}
+
+// stripOptionals removes Opt and Star groups (both derive the empty string)
+// from a sequence, returning the mandatory spine.
+func stripOptionals(e grammar.Expr) grammar.Expr {
+	switch x := e.(type) {
+	case grammar.Seq:
+		var items []grammar.Expr
+		for _, it := range x.Items {
+			switch it.(type) {
+			case grammar.Opt, grammar.Star:
+				continue
+			default:
+				items = append(items, stripOptionals(it))
+			}
+		}
+		return grammar.SeqOf(items...)
+	default:
+		return e
+	}
+}
+
+// OrderError reports a violation of the paper's composition-order
+// constraint for optional specifications.
+type OrderError struct {
+	Production string
+	Base       grammar.Expr // the non-optional specification that arrived late
+	Extended   grammar.Expr // the optional-extended specification already composed
+}
+
+// Error implements error.
+func (e *OrderError) Error() string {
+	return fmt.Sprintf(
+		"production %s: optional specification %q was composed before its base %q; "+
+			"the base must be composed first (paper Section 3.2)",
+		e.Production, e.Extended, e.Base)
+}
+
+// Unit pairs a sub-grammar with its token set — the artifact a single
+// feature contributes. Units are what composition sequences order.
+type Unit struct {
+	// Name identifies the unit (normally the feature name).
+	Name string
+	// Grammar is the unit's sub-grammar; may be nil for token-only units.
+	Grammar *grammar.Grammar
+	// Tokens is the unit's token file; may be nil.
+	Tokens *grammar.TokenSet
+}
+
+// Compose runs a full composition sequence and returns the product grammar
+// and token set. It is the convenience entry point used by the core
+// pipeline; use a Composer directly for step-by-step composition.
+func Compose(product string, units []Unit, opts Options) (*grammar.Grammar, *grammar.TokenSet, error) {
+	c := New(product, opts)
+	for _, u := range units {
+		if err := c.Add(u.Grammar, u.Tokens); err != nil {
+			return nil, nil, err
+		}
+	}
+	return c.Grammar(), c.Tokens(), nil
+}
+
+// Describe renders the composition steps as a human-readable sequence,
+// e.g. "query_specification -> set_quantifier -> where_clause".
+func Describe(steps []string) string {
+	return strings.Join(steps, " -> ")
+}

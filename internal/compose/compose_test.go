@@ -1,0 +1,373 @@
+package compose
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sqlspl/internal/grammar"
+)
+
+func g(t *testing.T, src string) *grammar.Grammar {
+	t.Helper()
+	gr, err := grammar.ParseGrammar(src)
+	if err != nil {
+		t.Fatalf("ParseGrammar: %v", err)
+	}
+	return gr
+}
+
+func toks(t *testing.T, src string) *grammar.TokenSet {
+	t.Helper()
+	ts, err := grammar.ParseTokens(src)
+	if err != nil {
+		t.Fatalf("ParseTokens: %v", err)
+	}
+	return ts
+}
+
+func composeAll(t *testing.T, opts Options, srcs ...string) *grammar.Grammar {
+	t.Helper()
+	c := New("product", opts)
+	for _, src := range srcs {
+		if err := c.Add(g(t, src), nil); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return c.Grammar()
+}
+
+// --- The paper's three same-nonterminal rules -------------------------------
+
+func TestRuleReplace(t *testing.T) {
+	// "in composing A: BC with A: B, the production B is replaced with BC"
+	got := composeAll(t, Options{},
+		`grammar base ; a : b ; b : X ; c : Y ;`,
+		`grammar ext ; a : b c ;`)
+	a := got.Production("a")
+	alts := a.Alternatives()
+	if len(alts) != 1 {
+		t.Fatalf("a has %d alternatives, want 1: %s", len(alts), a.Expr)
+	}
+	want := grammar.SeqOf(grammar.NT{Name: "b"}, grammar.NT{Name: "c"})
+	if !grammar.Equal(alts[0], want) {
+		t.Errorf("a = %s, want b c", a.Expr)
+	}
+}
+
+func TestRuleRetain(t *testing.T) {
+	// "in composing A: B with A: BC, the production BC is retained"
+	got := composeAll(t, Options{},
+		`grammar base ; a : b c ; b : X ; c : Y ;`,
+		`grammar ext ; a : b ;`)
+	a := got.Production("a")
+	alts := a.Alternatives()
+	if len(alts) != 1 {
+		t.Fatalf("a has %d alternatives, want 1: %s", len(alts), a.Expr)
+	}
+	want := grammar.SeqOf(grammar.NT{Name: "b"}, grammar.NT{Name: "c"})
+	if !grammar.Equal(alts[0], want) {
+		t.Errorf("a = %s, want b c", a.Expr)
+	}
+}
+
+func TestRuleAppendChoice(t *testing.T) {
+	// "in composing A: B with A: C, productions B and C are appended to
+	// obtain A : B | C"
+	got := composeAll(t, Options{},
+		`grammar base ; a : b ; b : X ;`,
+		`grammar ext ; a : c ; c : Y ;`)
+	a := got.Production("a")
+	alts := a.Alternatives()
+	if len(alts) != 2 {
+		t.Fatalf("a has %d alternatives, want 2: %s", len(alts), a.Expr)
+	}
+	if !grammar.Equal(alts[0], grammar.NT{Name: "b"}) || !grammar.Equal(alts[1], grammar.NT{Name: "c"}) {
+		t.Errorf("a = %s, want b | c", a.Expr)
+	}
+}
+
+func TestOptionalAfterBase(t *testing.T) {
+	// A: B then A: B [C] — the paper's allowed order. Result: B [C].
+	got := composeAll(t, Options{StrictOrder: true},
+		`grammar base ; a : b ; b : X ;`,
+		`grammar ext ; a : b ( c )? ; c : Y ;`)
+	a := got.Production("a")
+	want := grammar.SeqOf(grammar.NT{Name: "b"}, grammar.Opt{Body: grammar.NT{Name: "c"}})
+	if !grammar.Equal(a.Expr, want) {
+		t.Errorf("a = %s, want b (c)?", a.Expr)
+	}
+}
+
+func TestOptionalBeforeBaseLenient(t *testing.T) {
+	// Wrong order without StrictOrder: containment retains the extended form.
+	got := composeAll(t, Options{},
+		`grammar ext ; a : b ( c )? ; c : Y ;`,
+		`grammar base ; a : b ; b : X ;`)
+	a := got.Production("a")
+	want := grammar.SeqOf(grammar.NT{Name: "b"}, grammar.Opt{Body: grammar.NT{Name: "c"}})
+	if !grammar.Equal(a.Expr, want) {
+		t.Errorf("a = %s, want b (c)?", a.Expr)
+	}
+}
+
+func TestOptionalBeforeBaseStrictFails(t *testing.T) {
+	// The paper: "A: B and A: B[C] … can be composed in that order only."
+	c := New("product", Options{StrictOrder: true})
+	if err := c.Add(g(t, `grammar ext ; a : b ( c )? ; c : Y ;`), nil); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Add(g(t, `grammar base ; a : b ; b : X ;`), nil)
+	var oe *OrderError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want OrderError, got %v", err)
+	}
+	if oe.Production != "a" {
+		t.Errorf("OrderError.Production = %q", oe.Production)
+	}
+	if !strings.Contains(oe.Error(), "composed first") {
+		t.Errorf("unhelpful error: %v", oe)
+	}
+}
+
+func TestPrefixOptionalOrder(t *testing.T) {
+	// A: B then A: [C] B (the paper's second ordered shape).
+	got := composeAll(t, Options{StrictOrder: true},
+		`grammar base ; a : b ; b : X ;`,
+		`grammar ext ; a : ( c )? b ; c : Y ;`)
+	want := grammar.SeqOf(grammar.Opt{Body: grammar.NT{Name: "c"}}, grammar.NT{Name: "b"})
+	if !grammar.Equal(got.Production("a").Expr, want) {
+		t.Errorf("a = %s, want (c)? b", got.Production("a").Expr)
+	}
+}
+
+func TestSublistBeforeComplexList(t *testing.T) {
+	// "if features to be composed contain a sublist and a complex list,
+	// e.g., A: B and A: B [, B] respectively, then these are composed
+	// sequentially with the sublist being composed ahead of the complex
+	// list."
+	got := composeAll(t, Options{StrictOrder: true},
+		`grammar sublist ; a : b ; b : X ;`,
+		`grammar complexlist ; a : b ( COMMA b )* ;`)
+	a := got.Production("a")
+	want := grammar.SeqOf(
+		grammar.NT{Name: "b"},
+		grammar.Star{Body: grammar.SeqOf(grammar.Tok{Name: "COMMA"}, grammar.NT{Name: "b"})},
+	)
+	if !grammar.Equal(a.Expr, want) {
+		t.Errorf("a = %s, want complex list", a.Expr)
+	}
+	if len(a.Alternatives()) != 1 {
+		t.Errorf("complex list composition left %d alternatives", len(a.Alternatives()))
+	}
+}
+
+func TestIdenticalAlternativeIdempotent(t *testing.T) {
+	got := composeAll(t, Options{},
+		`grammar base ; a : b X ; b : Y ;`,
+		`grammar same ; a : b X ;`)
+	if n := len(got.Production("a").Alternatives()); n != 1 {
+		t.Errorf("idempotent composition produced %d alternatives", n)
+	}
+}
+
+func TestMultipleAlternativesEachComposed(t *testing.T) {
+	got := composeAll(t, Options{},
+		`grammar base ; a : b | c ; b : X ; c : Y ;`,
+		`grammar ext ; a : b d | e ; d : Z ; e : W ;`)
+	alts := got.Production("a").Alternatives()
+	// b is replaced by b d; c retained; e appended.
+	if len(alts) != 3 {
+		t.Fatalf("a has %d alternatives, want 3: %v", len(alts), got.Production("a").Expr)
+	}
+	if !grammar.Equal(alts[0], grammar.SeqOf(grammar.NT{Name: "b"}, grammar.NT{Name: "d"})) {
+		t.Errorf("first alternative = %s, want b d", alts[0])
+	}
+}
+
+func TestNewAlternativeSubsumesSeveral(t *testing.T) {
+	got := composeAll(t, Options{},
+		`grammar base ; a : b | c ; b : X ; c : Y ;`,
+		`grammar ext ; a : b c ;`)
+	alts := got.Production("a").Alternatives()
+	// b ⊑ bc and c ⊑ bc: both replaced by the single new alternative.
+	if len(alts) != 1 {
+		t.Fatalf("a has %d alternatives, want 1: %s", len(alts), got.Production("a").Expr)
+	}
+}
+
+func TestStartSymbolFromFirstUnit(t *testing.T) {
+	got := composeAll(t, Options{},
+		`grammar first ; root : X ;`,
+		`grammar second ; other : Y ;`)
+	if got.Start != "root" {
+		t.Errorf("Start = %q, want root", got.Start)
+	}
+}
+
+func TestTokenComposition(t *testing.T) {
+	c := New("product", Options{})
+	if err := c.Add(g(t, `grammar a ; a : SELECT ;`), toks(t, `tokens a ; SELECT : 'SELECT' ;`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(nil, toks(t, `tokens b ; WHERE : 'WHERE' ; SELECT : 'SELECT' ;`)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tokens().Len() != 2 {
+		t.Errorf("token union = %d, want 2", c.Tokens().Len())
+	}
+	err := c.Add(nil, toks(t, `tokens c ; SELECT : 'ELECT' ;`))
+	if err == nil {
+		t.Error("conflicting token composition must fail")
+	}
+}
+
+func TestStepsAndDescribe(t *testing.T) {
+	c := New("product", Options{})
+	_ = c.Add(g(t, `grammar one ; a : X ;`), nil)
+	_ = c.Add(g(t, `grammar two ; b : Y ;`), nil)
+	if d := Describe(c.Steps()); d != "one -> two" {
+		t.Errorf("Describe = %q", d)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var lines []string
+	c := New("product", Options{Trace: func(f string, a ...any) {
+		lines = append(lines, f)
+	}})
+	_ = c.Add(g(t, `grammar one ; a : X ;`), nil)
+	_ = c.Add(g(t, `grammar two ; a : Y ;`), nil)
+	if len(lines) < 2 {
+		t.Errorf("trace produced %d lines, want >= 2", len(lines))
+	}
+}
+
+func TestComposeConvenience(t *testing.T) {
+	gr, ts, err := Compose("p", []Unit{
+		{Name: "a", Grammar: g(t, `grammar a ; a : SELECT ;`), Tokens: toks(t, `tokens a ; SELECT : 'SELECT' ;`)},
+		{Name: "b", Grammar: g(t, `grammar b ; b : a ;`)},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Len() != 2 || ts.Len() != 1 {
+		t.Errorf("composed sizes: %d productions, %d tokens", gr.Len(), ts.Len())
+	}
+}
+
+// --- Properties --------------------------------------------------------------
+
+// TestQuickComposeIdempotent: composing a random sub-grammar into a product
+// twice yields the same grammar as composing it once.
+func TestQuickComposeIdempotent(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := randomGrammar(seed)
+		g1, err := grammar.ParseGrammar(src)
+		if err != nil {
+			return true // skip unparsable (should not happen)
+		}
+		once := New("p", Options{})
+		if once.Add(g1, nil) != nil {
+			return true
+		}
+		twice := New("p", Options{})
+		if twice.Add(g1, nil) != nil || twice.Add(g1, nil) != nil {
+			return true
+		}
+		return grammarsEqual(once.Grammar(), twice.Grammar())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDisjointCommutes: composing grammars with disjoint nonterminals
+// yields the same productions regardless of order (only ordering differs,
+// which does not affect the language).
+func TestQuickDisjointCommutes(t *testing.T) {
+	f := func(s1, s2 uint32) bool {
+		g1, err1 := grammar.ParseGrammar(prefixedGrammar("p1_", s1))
+		g2, err2 := grammar.ParseGrammar(prefixedGrammar("p2_", s2))
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		ab := New("p", Options{})
+		if ab.Add(g1, nil) != nil || ab.Add(g2, nil) != nil {
+			return true
+		}
+		ba := New("p", Options{})
+		if ba.Add(g2, nil) != nil || ba.Add(g1, nil) != nil {
+			return true
+		}
+		// Same set of productions with equal expressions.
+		if ab.Grammar().Len() != ba.Grammar().Len() {
+			return false
+		}
+		for _, p := range ab.Grammar().Productions() {
+			q := ba.Grammar().Production(p.Name)
+			if q == nil || !grammar.Equal(p.Expr, q.Expr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func grammarsEqual(a, b *grammar.Grammar) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for _, p := range a.Productions() {
+		q := b.Production(p.Name)
+		if q == nil || !grammar.Equal(p.Expr, q.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomGrammar produces a small deterministic grammar from a seed using
+// simple linear congruential steps — good enough for structural properties.
+func randomGrammar(seed uint32) string { return prefixedGrammar("", seed) }
+
+func prefixedGrammar(prefix string, seed uint32) string {
+	rng := seed
+	next := func(n int) int {
+		rng = rng*1664525 + 1013904223
+		return int(rng>>16) % n
+	}
+	nts := []string{prefix + "a", prefix + "b", prefix + "c"}
+	toks := []string{"T1", "T2", "T3"}
+	var b strings.Builder
+	b.WriteString("grammar " + prefix + "g ;\n")
+	for _, nt := range nts {
+		b.WriteString(nt + " : ")
+		alts := 1 + next(2)
+		for i := 0; i < alts; i++ {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			items := 1 + next(3)
+			for j := 0; j < items; j++ {
+				if j > 0 {
+					b.WriteString(" ")
+				}
+				if next(2) == 0 {
+					b.WriteString(toks[next(len(toks))])
+				} else {
+					b.WriteString(nts[next(len(nts))])
+				}
+				if next(4) == 0 {
+					b.WriteString("?")
+				}
+			}
+		}
+		b.WriteString(" ;\n")
+	}
+	return b.String()
+}

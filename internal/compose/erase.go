@@ -1,0 +1,151 @@
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlspl/internal/grammar"
+)
+
+// EraseUndefined prunes optional slots that refer to undefined nonterminals
+// from a composed grammar, in place, and returns a sorted description of
+// what was erased.
+//
+// Sub-grammars are written with optional slots for *later* features — e.g.
+// the table-expression base carries ( where_clause )? ( group_by_clause )?
+// even though those productions arrive only when the corresponding features
+// are selected. After composition, a slot whose nonterminal was never
+// defined cannot ever match; erasing it yields a grammar that parses
+// precisely the selected features (the paper's goal) while keeping
+// sub-grammars pairwise composable without artificial requires-constraints.
+//
+// Only positions that may derive the empty string are erased: Opt and Star
+// groups, and Choice alternatives. Erasure iterates to a fixed point: a
+// production whose right-hand side cannot match anything (a *mandatory*
+// reference to an undefined nonterminal) is itself dead — it is removed,
+// and references to it are then erased or pruned in the next round. A
+// mandatory reference that survives the fixed point is left intact so
+// grammar.Validate reports it — that situation signals a missing
+// requires-constraint in the feature model, not an optional slot.
+//
+// The start production is never removed; if it is dead, Validate reports
+// its dangling references.
+func EraseUndefined(g *grammar.Grammar) []string {
+	erased := map[string]bool{}
+	for {
+		defined := map[string]bool{}
+		for _, p := range g.Productions() {
+			defined[p.Name] = true
+		}
+		var dead []string
+		for _, p := range g.Productions() {
+			expr, drop := eraseExpr(p.Expr, defined, p.Name, erased)
+			if drop {
+				switch p.Expr.(type) {
+				case grammar.Opt, grammar.Star:
+					// The whole right-hand side is an undefined optional
+					// slot; keep an empty production (derives epsilon).
+					erased[fmt.Sprintf("%s: %s", p.Name, p.Expr)] = true
+					p.Expr = grammar.Seq{}
+				default:
+					// The production cannot match anything: it is dead.
+					if expr != nil {
+						p.Expr = expr
+					}
+					if p.Name != g.Start {
+						dead = append(dead, p.Name)
+					}
+				}
+				continue
+			}
+			p.Expr = expr
+		}
+		if len(dead) == 0 {
+			break
+		}
+		for _, name := range dead {
+			erased[fmt.Sprintf("%s: production removed (unsatisfiable)", name)] = true
+			_ = g.Remove(name)
+		}
+	}
+	out := make([]string, 0, len(erased))
+	for e := range erased {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// eraseExpr rewrites e. The boolean result means "this expression cannot
+// match anything because it mandatorily references an undefined nonterminal
+// — drop it if the context is optional".
+func eraseExpr(e grammar.Expr, defined map[string]bool, prod string, erased map[string]bool) (grammar.Expr, bool) {
+	switch x := e.(type) {
+	case grammar.Tok:
+		return x, false
+	case grammar.NT:
+		return x, !defined[x.Name]
+	case grammar.Seq:
+		items := make([]grammar.Expr, 0, len(x.Items))
+		bad := false
+		for _, it := range x.Items {
+			ne, drop := eraseExpr(it, defined, prod, erased)
+			if drop {
+				switch it.(type) {
+				case grammar.Opt, grammar.Star:
+					// An optional slot over undefined material: erase it.
+					erased[fmt.Sprintf("%s: %s", prod, it)] = true
+					continue
+				default:
+					bad = true
+				}
+			}
+			if ne != nil {
+				items = append(items, ne)
+			}
+		}
+		return grammar.SeqOf(items...), bad
+	case grammar.Choice:
+		alts := make([]grammar.Expr, 0, len(x.Alts))
+		for _, a := range x.Alts {
+			na, drop := eraseExpr(a, defined, prod, erased)
+			if drop {
+				erased[fmt.Sprintf("%s: alternative %s", prod, a)] = true
+				switch a.(type) {
+				case grammar.Opt, grammar.Star:
+					// The alternative could match empty; keep that ability.
+					alts = append(alts, grammar.Seq{})
+				}
+				// Otherwise: alternatives that cannot match are pruned; if
+				// every alternative dies the whole choice is undefined.
+				continue
+			}
+			alts = append(alts, na)
+		}
+		if len(alts) == 0 {
+			return x, true
+		}
+		return grammar.ChoiceOf(alts...), false
+	case grammar.Opt:
+		body, drop := eraseExpr(x.Body, defined, prod, erased)
+		if drop {
+			return nil, true // caller (Seq) erases; top-level handled there
+		}
+		return grammar.Opt{Body: body}, false
+	case grammar.Star:
+		body, drop := eraseExpr(x.Body, defined, prod, erased)
+		if drop {
+			return nil, true
+		}
+		return grammar.Star{Body: body}, false
+	case grammar.Plus:
+		body, drop := eraseExpr(x.Body, defined, prod, erased)
+		if drop {
+			// One-or-more of something undefined can never match: the
+			// enclosing context decides (optional => erased, else invalid).
+			return x, true
+		}
+		return grammar.Plus{Body: body}, false
+	}
+	return e, false
+}

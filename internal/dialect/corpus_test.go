@@ -1,0 +1,201 @@
+package dialect
+
+import (
+	"testing"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/core"
+)
+
+// fullCorpus is a conformance-style corpus of SQL:2003 Foundation
+// statements the Full product must accept — one block per statement class,
+// written in the style of the standard's examples.
+var fullCorpus = []string{
+	// Query specifications and clauses.
+	"SELECT * FROM emp",
+	"SELECT ALL ename, sal FROM emp",
+	"SELECT DISTINCT deptno FROM emp",
+	"SELECT e.ename, d.dname FROM emp AS e, dept AS d WHERE e.deptno = d.deptno",
+	"SELECT emp.* FROM emp",
+	"SELECT ename AS name, sal * 12 annual FROM emp",
+	"SELECT ename FROM emp WHERE sal > 1000 AND (comm IS NULL OR comm < sal)",
+	"SELECT deptno, COUNT(*), AVG(sal) FROM emp GROUP BY deptno HAVING COUNT(*) > 3",
+	"SELECT deptno, job, SUM(sal) FROM emp GROUP BY ROLLUP (deptno, job)",
+	"SELECT deptno, job, SUM(sal) FROM emp GROUP BY CUBE (deptno, job)",
+	"SELECT deptno, SUM(sal) FROM emp GROUP BY GROUPING SETS ((deptno), (deptno, job), ())",
+	"SELECT ename FROM emp WHERE deptno IN (10, 20, 30)",
+	"SELECT ename FROM emp WHERE deptno IN (SELECT deptno FROM dept WHERE loc = 'DALLAS')",
+	"SELECT ename FROM emp WHERE sal BETWEEN 1000 AND 3000",
+	"SELECT ename FROM emp WHERE sal NOT BETWEEN ASYMMETRIC 1 AND 2",
+	"SELECT ename FROM emp WHERE ename LIKE 'S%' ESCAPE '!'",
+	"SELECT ename FROM emp WHERE ename SIMILAR TO '(S|A)%'",
+	"SELECT ename FROM emp WHERE EXISTS (SELECT 1 FROM dept WHERE dept.deptno = emp.deptno)",
+	"SELECT ename FROM emp WHERE UNIQUE (SELECT deptno FROM dept)",
+	"SELECT ename FROM emp WHERE sal > ALL (SELECT sal FROM emp WHERE deptno = 30)",
+	"SELECT ename FROM emp WHERE sal >= SOME (SELECT sal FROM emp WHERE deptno = 30)",
+	"SELECT ename FROM emp WHERE mgr IS DISTINCT FROM 7839",
+	"SELECT ename FROM emp WHERE (sal > 100) IS NOT FALSE",
+	"SELECT ename FROM emp WHERE (hiredate, enddate) OVERLAPS (startdate, stopdate)",
+	// Joins.
+	"SELECT e.ename FROM emp e JOIN dept d ON e.deptno = d.deptno",
+	"SELECT e.ename FROM emp e INNER JOIN dept d ON e.deptno = d.deptno",
+	"SELECT e.ename FROM emp e LEFT OUTER JOIN dept d ON e.deptno = d.deptno",
+	"SELECT e.ename FROM emp e RIGHT JOIN dept d ON e.deptno = d.deptno",
+	"SELECT e.ename FROM emp e FULL OUTER JOIN dept d ON e.deptno = d.deptno",
+	"SELECT e.ename FROM emp e CROSS JOIN dept d",
+	"SELECT e.ename FROM emp e NATURAL JOIN dept d",
+	"SELECT e.ename FROM emp e JOIN dept d USING (deptno)",
+	"SELECT x.a FROM (emp e JOIN dept d ON e.deptno = d.deptno) JOIN proj x ON a = b",
+	// Derived tables, subqueries, CTEs.
+	"SELECT d.total FROM (SELECT SUM(sal) FROM emp GROUP BY deptno) AS d (total)",
+	"SELECT (SELECT MAX(sal) FROM emp) FROM dept",
+	"WITH dept_costs AS (SELECT deptno, SUM(sal) total FROM emp GROUP BY deptno) SELECT deptno FROM dept_costs WHERE total > 10000",
+	"WITH RECURSIVE subordinates (empno) AS (SELECT empno FROM emp) SELECT empno FROM subordinates",
+	// Set operations, VALUES, TABLE.
+	"SELECT deptno FROM emp UNION SELECT deptno FROM dept",
+	"SELECT deptno FROM emp UNION ALL CORRESPONDING SELECT deptno FROM dept",
+	"SELECT deptno FROM emp EXCEPT DISTINCT SELECT deptno FROM closed_depts",
+	"SELECT deptno FROM emp INTERSECT SELECT deptno FROM dept",
+	"VALUES (1, 'one'), (2, 'two')",
+	"TABLE dept",
+	"(SELECT a FROM t UNION SELECT b FROM u) INTERSECT SELECT c FROM v",
+	// ORDER BY.
+	"SELECT ename, sal FROM emp ORDER BY sal DESC, ename ASC",
+	"SELECT ename FROM emp ORDER BY sal DESC NULLS LAST",
+	// Window functions.
+	"SELECT ename, RANK() OVER (ORDER BY sal DESC) FROM emp",
+	"SELECT ename, ROW_NUMBER() OVER (PARTITION BY deptno ORDER BY sal) FROM emp",
+	"SELECT ename, SUM(sal) OVER w FROM emp WINDOW w AS (PARTITION BY deptno ORDER BY hiredate ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW)",
+	"SELECT CUME_DIST() OVER (ORDER BY sal RANGE BETWEEN 100 PRECEDING AND 200 FOLLOWING) FROM emp",
+	// Value expressions and functions.
+	"SELECT sal + comm * 2 - 1 / 4 FROM emp",
+	"SELECT -sal, +comm FROM emp",
+	"SELECT ename || ' works in ' || dname FROM emp, dept",
+	"SELECT CASE deptno WHEN 10 THEN 'ACCOUNTING' WHEN 20 THEN 'RESEARCH' ELSE 'OTHER' END FROM emp",
+	"SELECT CASE WHEN sal > 3000 THEN 'high' WHEN sal > 1000 THEN 'mid' END FROM emp",
+	"SELECT NULLIF(comm, 0), COALESCE(comm, 0, sal) FROM emp",
+	"SELECT CAST(sal AS DECIMAL(9, 2)), CAST(NULL AS DATE) FROM emp",
+	"SELECT ABS(comm), MOD(empno, 2), POWER(sal, 2), SQRT(sal), FLOOR(sal), CEILING(sal), LN(sal), EXP(1) FROM emp",
+	"SELECT CHAR_LENGTH(ename), OCTET_LENGTH(ename), POSITION('A' IN ename) FROM emp",
+	"SELECT SUBSTRING(ename FROM 1 FOR 3), UPPER(ename), LOWER(ename) FROM emp",
+	"SELECT TRIM(ename), TRIM(LEADING FROM ename), TRIM(BOTH 'x' FROM ename) FROM emp",
+	"SELECT OVERLAY(ename PLACING 'XX' FROM 2 FOR 2) FROM emp",
+	"SELECT EXTRACT(YEAR FROM hiredate), EXTRACT(SECOND FROM ts) FROM emp",
+	"SELECT WIDTH_BUCKET(sal, 0, 5000, 10) FROM emp",
+	"SELECT CURRENT_DATE, CURRENT_TIME, CURRENT_TIMESTAMP, LOCALTIME FROM emp",
+	"SELECT USER, CURRENT_USER, SESSION_USER, SYSTEM_USER, CURRENT_ROLE FROM dual_tbl",
+	"SELECT DATE '2003-09-22', TIME '11:30:00', TIMESTAMP '2003-09-22 11:30:00' FROM emp",
+	"SELECT INTERVAL '10' DAY, INTERVAL '2-6' YEAR TO MONTH FROM emp",
+	"SELECT X'4D5A', TRUE, FALSE, UNKNOWN FROM flags",
+	"SELECT 1.5E2, .5, 42 FROM emp",
+	"SELECT f(x), pkg.fn(a, b, c) FROM t",
+	"SELECT sal FROM emp WHERE (deptno, job) = (10, 'CLERK')",
+	"SELECT sal FROM emp WHERE ROW (deptno, job) = ROW (10, 'CLERK')",
+	// Aggregates.
+	"SELECT COUNT(*), COUNT(DISTINCT deptno), MIN(sal), MAX(sal), EVERY(sal > 0) FROM emp",
+	"SELECT STDDEV_POP(sal), STDDEV_SAMP(sal), VAR_POP(sal), VAR_SAMP(sal) FROM emp",
+	"SELECT SUM(sal) FILTER (WHERE deptno = 10) FROM emp",
+	// DML.
+	"INSERT INTO emp (empno, ename, sal) VALUES (7999, 'TURING', 3100)",
+	"INSERT INTO emp VALUES (7999, 'TURING'), (8000, 'HOPPER')",
+	"INSERT INTO bonus SELECT ename, sal FROM emp WHERE comm IS NOT NULL",
+	"INSERT INTO emp DEFAULT VALUES",
+	"INSERT INTO emp (ename, comm) VALUES ('X', NULL), ('Y', DEFAULT)",
+	"UPDATE emp SET sal = sal * 1.1, comm = DEFAULT WHERE deptno = 20",
+	"UPDATE emp SET sal = 0 WHERE CURRENT OF c1",
+	"DELETE FROM emp WHERE hiredate < DATE '1981-01-01'",
+	"DELETE FROM emp WHERE CURRENT OF c1",
+	"MERGE INTO bonus b USING emp e ON b.ename = e.ename WHEN MATCHED THEN UPDATE SET sal = 1 WHEN NOT MATCHED THEN INSERT (ename) VALUES ('Z')",
+	// DDL.
+	"CREATE TABLE dept ( deptno INTEGER NOT NULL PRIMARY KEY, dname VARCHAR(14), loc CHAR(13) DEFAULT 'HQ' )",
+	"CREATE TABLE emp ( empno INTEGER, ename VARCHAR(10) CONSTRAINT nn_ename NOT NULL, sal DECIMAL(7, 2), deptno INTEGER REFERENCES dept (deptno) ON DELETE SET NULL, CONSTRAINT pk_emp PRIMARY KEY (empno), FOREIGN KEY (deptno) REFERENCES dept, CHECK ( sal > 0 ) )",
+	"CREATE GLOBAL TEMPORARY TABLE session_tmp ( k INTEGER ) ON COMMIT DELETE ROWS",
+	"CREATE TABLE typed ( a SMALLINT, b BIGINT, c NUMERIC(10), d DEC, e FLOAT(24), f REAL, g DOUBLE PRECISION, h BOOLEAN, i DATE, j TIME(3), k TIMESTAMP WITH TIME ZONE, l INTERVAL DAY TO MINUTE, m CHARACTER VARYING(100), n CLOB, o BLOB(1000), p INTEGER ARRAY[10], q ROW ( x INTEGER, y DATE ), r REF ( person ), s mytype )",
+	"CREATE TABLE ident ( id INTEGER GENERATED ALWAYS AS IDENTITY (START WITH 1 INCREMENT BY 1) )",
+	"CREATE VIEW dept_20 AS SELECT * FROM emp WHERE deptno = 20 WITH CHECK OPTION",
+	"CREATE RECURSIVE VIEW v (n) AS SELECT n FROM t",
+	"CREATE DOMAIN salary AS DECIMAL(7, 2) DEFAULT 0 CHECK ( a >= 0 )",
+	"CREATE SEQUENCE empno_seq START WITH 8000 INCREMENT BY 1 MINVALUE 1 NO MAXVALUE NO CYCLE",
+	"CREATE TRIGGER audit_sal AFTER UPDATE OF sal ON emp FOR EACH ROW WHEN ( a = 1 ) INSERT INTO audit_log (who) VALUES (1)",
+	"CREATE FUNCTION double_it ( IN x INTEGER ) RETURNS INTEGER RETURN x * 2",
+	"CREATE PROCEDURE cleanup ( ) DELETE FROM tmp",
+	"CREATE SCHEMA hr AUTHORIZATION hr_owner CREATE TABLE jobs ( j INTEGER )",
+	"ALTER TABLE emp ADD COLUMN email VARCHAR(64)",
+	"ALTER TABLE emp DROP COLUMN email CASCADE",
+	"ALTER TABLE emp ALTER COLUMN sal SET DEFAULT 0",
+	"ALTER TABLE emp ADD CONSTRAINT uq UNIQUE (ename)",
+	"ALTER TABLE emp DROP CONSTRAINT uq RESTRICT",
+	"DROP TABLE bonus CASCADE",
+	"DROP VIEW dept_20",
+	"DROP DOMAIN salary RESTRICT",
+	"DROP SEQUENCE empno_seq",
+	"DROP TRIGGER audit_sal",
+	"DROP SCHEMA hr CASCADE",
+	// Access control.
+	"GRANT SELECT, UPDATE (sal), REFERENCES (deptno) ON TABLE emp TO hr_role, PUBLIC WITH GRANT OPTION",
+	"GRANT ALL PRIVILEGES ON emp TO dba_role",
+	"REVOKE GRANT OPTION FOR SELECT ON emp FROM PUBLIC CASCADE",
+	"CREATE ROLE hr_role WITH ADMIN dba_user",
+	"GRANT hr_role TO alice, bob WITH ADMIN OPTION",
+	// Transactions and sessions.
+	"START TRANSACTION ISOLATION LEVEL REPEATABLE READ, READ WRITE",
+	"SET TRANSACTION ISOLATION LEVEL READ UNCOMMITTED",
+	"COMMIT WORK AND CHAIN",
+	"ROLLBACK AND NO CHAIN TO SAVEPOINT sp1",
+	"SAVEPOINT sp1; RELEASE SAVEPOINT sp1",
+	"SET SCHEMA 'hr'; SET CATALOG 'main'; SET NAMES utf8_name; SET PATH p",
+	"SET ROLE hr_role; SET SESSION AUTHORIZATION 'alice'",
+	"SET TIME ZONE LOCAL; SET TIME ZONE INTERVAL '2' HOUR",
+	"CONNECT TO 'backend' AS conn1 USER 'svc'; SET CONNECTION DEFAULT; DISCONNECT CURRENT",
+	// Cursors and dynamic SQL.
+	"DECLARE c1 SENSITIVE SCROLL CURSOR WITH HOLD FOR SELECT ename FROM emp ORDER BY sal FOR UPDATE OF sal",
+	"OPEN c1; FETCH NEXT FROM c1 INTO :n; FETCH RELATIVE -2 FROM c1 INTO :n; CLOSE c1",
+	"PREPARE q FROM 'SELECT * FROM emp WHERE deptno = ?'; EXECUTE q USING 10; DEALLOCATE PREPARE q",
+	"EXECUTE IMMEDIATE 'DELETE FROM tmp'",
+	// Parameters.
+	"SELECT ename FROM emp WHERE deptno = :dept AND sal > ?",
+	"SELECT :param INDICATOR :ind FROM t",
+	// Multi-statement script.
+	"CREATE TABLE t ( a INTEGER ); INSERT INTO t (a) VALUES (1); SELECT a FROM t; DROP TABLE t;",
+}
+
+// TestFullCorpus: every corpus statement parses under the Full product and
+// survives the AST builder.
+func TestFullCorpus(t *testing.T) {
+	p, err := Build(Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := ast.NewBuilder(nil)
+	for _, q := range fullCorpus {
+		tree, err := p.Parse(q)
+		if err != nil {
+			t.Errorf("full rejected corpus statement:\n  %s\n  %v", q, err)
+			continue
+		}
+		if _, err := builder.Build(tree); err != nil {
+			t.Errorf("AST build failed:\n  %s\n  %v", q, err)
+		}
+	}
+	t.Logf("corpus: %d statements", len(fullCorpus))
+}
+
+// TestCorpusSubsetsRejectedByMinimal: the minimal product rejects nearly the
+// entire conformance corpus — it really is a scaled-down language.
+func TestCorpusSubsetsRejectedByMinimal(t *testing.T) {
+	p, err := Build(Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for _, q := range fullCorpus {
+		if p.Accepts(q) {
+			accepted++
+		}
+	}
+	if accepted > len(fullCorpus)/10 {
+		t.Errorf("minimal accepted %d/%d corpus statements; expected almost none", accepted, len(fullCorpus))
+	}
+}
+
+var _ = core.Options{} // keep core imported for future corpus extensions

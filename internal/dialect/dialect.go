@@ -1,0 +1,172 @@
+// Package dialect defines preset feature selections — the products of the
+// SQL product line that the paper motivates:
+//
+//   - Minimal: the paper's Section 3.2 worked example (single-column,
+//     single-table SELECT with optional set quantifier and WHERE).
+//   - TinySQL: a sensor-network dialect in the spirit of TinyDB's TinySQL —
+//     restricted SELECT (no column aliases, no joins) plus acquisitional
+//     clauses (SAMPLE PERIOD, EPOCH DURATION, LIFETIME, ON EVENT).
+//   - SCQL: a smart-card profile in the spirit of ISO 7816-7 SCQL —
+//     cursor-centric table access with basic DDL/DML and grants.
+//   - Core: a general-purpose interactive SQL subset.
+//   - Warehouse: Core plus analytics (ROLLUP/CUBE/GROUPING SETS, windows,
+//     set operations, WITH).
+//   - Full: every feature in the model.
+package dialect
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/sql2003"
+)
+
+// Name identifies a preset dialect.
+type Name string
+
+// The preset dialects, ordered roughly by size.
+const (
+	Minimal   Name = "minimal"
+	TinySQL   Name = "tinysql"
+	SCQL      Name = "scql"
+	Core      Name = "core"
+	Warehouse Name = "warehouse"
+	Full      Name = "full"
+)
+
+// Names returns all preset names in size order.
+func Names() []Name {
+	return []Name{Minimal, TinySQL, SCQL, Core, Warehouse, Full}
+}
+
+// queryMinimal is the worked example's feature-instance description plus
+// the features its WHERE clause pulls in (conditions need predicates, which
+// need value expressions, identifiers, and literals).
+var queryMinimal = []string{
+	"query_specification", "select_list", "select_columns", "derived_column",
+	"table_expression", "from", "where",
+	"set_quantifier", "quantifier_all", "quantifier_distinct",
+	"search_condition", "predicate", "comparison", "op_equals",
+	"value_expression", "identifier_chain", "literal", "numeric_literal", "string_literal",
+}
+
+// tinySQL: restricted query dialect + acquisitional extensions. Note what is
+// absent: column aliases, joins, subqueries, ORDER BY — mirroring TinySQL's
+// documented restrictions.
+var tinySQL = append([]string{
+	"sql_script", "query_statement_f", "query_expression",
+	"select_asterisk", "multiple_columns",
+	"group_by", "having",
+	"op_not_equals", "op_less", "op_greater", "op_less_equals", "op_greater_equals",
+	"set_function", "agg_avg", "agg_max", "agg_min", "agg_sum", "agg_count",
+	"sensor_extensions", "epoch_duration", "lifetime_clause", "on_event", "storage_point",
+}, queryMinimal...)
+
+// scql: smart-card profile. Cursor-based access, basic table DDL, searched
+// DML, grants on tables.
+var scql = append([]string{
+	"sql_script", "multi_statement", "query_statement_f", "query_expression",
+	"select_asterisk", "multiple_columns",
+	"op_not_equals", "op_less", "op_greater", "op_less_equals", "op_greater_equals",
+	"insert_statement", "update_statement", "delete_statement",
+	"table_definition", "data_type", "type_parameters",
+	"type_integer", "type_char", "type_varchar",
+	"declare_cursor", "open_close_statements", "fetch_statement", "fetch_next_prior",
+	"host_parameter",
+	"positioned_update", "positioned_delete",
+	"grant_statement", "priv_select", "priv_insert", "priv_update", "priv_delete",
+	"revoke_statement",
+}, queryMinimal...)
+
+// coreSQL: a general-purpose interactive subset.
+var coreSQL = append([]string{
+	"sql_script", "multi_statement", "query_statement_f", "query_expression",
+	"select_asterisk", "multiple_columns", "column_alias", "qualified_asterisk",
+	"multiple_tables", "table_alias",
+	"joined_table", "outer_join", "left_join", "right_join", "full_join",
+	"cross_join", "named_columns_join",
+	"group_by", "having", "order_by", "ordering", "ordering_asc", "ordering_desc",
+	"op_not_equals", "op_less", "op_greater", "op_less_equals", "op_greater_equals",
+	"null_predicate", "between_predicate", "in_predicate", "like_predicate",
+	"subquery", "scalar_subquery", "in_subquery", "exists_predicate", "derived_table",
+	"set_function", "agg_avg", "agg_max", "agg_min", "agg_sum", "agg_count",
+	"literal_sign", "approximate_numeric", "boolean_literal_f",
+	"insert_statement", "insert_multi_row", "insert_defaults",
+	"update_statement", "update_defaults", "delete_statement",
+	"table_definition", "default_clause",
+	"column_constraint", "unique_column_constraint", "references_constraint", "check_constraint",
+	"table_constraint", "referential_table_constraint", "check_table_constraint",
+	"data_type", "type_parameters",
+	"type_smallint", "type_integer", "type_bigint", "type_decimal",
+	"type_float", "type_real", "type_double",
+	"type_char", "type_varchar", "type_date", "type_time", "type_timestamp",
+	"type_boolean",
+	"drop_statements", "drop_table", "drop_view",
+	"view_definition",
+	"alter_table", "alter_drop_column", "alter_column",
+	"transaction", "chain_clause", "savepoints",
+	"cast_specification", "case_expression", "simple_case", "case_nullif", "case_coalesce",
+	"string_concat", "dynamic_parameter",
+}, queryMinimal...)
+
+// warehouse adds the analytics features the paper's data-warehousing
+// motivation lists.
+var warehouse = append([]string{
+	"group_rollup", "group_cube", "group_grouping_sets", "group_empty_set",
+	"window", "window_specification", "window_partition", "window_order", "window_frame",
+	"window_function", "wf_rank", "wf_dense_rank", "wf_percent_rank", "wf_cume_dist",
+	"wf_row_number", "wf_aggregate",
+	"union", "union_quantifier", "except", "except_quantifier", "intersect",
+	"with_clause", "recursive_with",
+	"agg_every", "agg_any_some", "agg_stddev", "agg_variance", "filter_clause",
+	"quantified_comparison", "null_ordering",
+	"numeric_functions", "fn_abs", "fn_mod", "fn_floor_ceiling", "fn_power_sqrt",
+	"string_functions", "fn_substring", "fn_fold", "fn_trim",
+	"insert_from_query", "merge_statement",
+}, coreSQL...)
+
+// Features returns the feature-instance description for a preset. The
+// returned slice is fresh; callers may extend it. Full returns every
+// feature in the model.
+func Features(name Name) ([]string, error) {
+	switch name {
+	case Minimal:
+		return dup(queryMinimal), nil
+	case TinySQL:
+		return dup(tinySQL), nil
+	case SCQL:
+		return dup(scql), nil
+	case Core:
+		return dup(coreSQL), nil
+	case Warehouse:
+		return dup(warehouse), nil
+	case Full:
+		return sql2003.MustModel().FeatureNames(), nil
+	}
+	return nil, fmt.Errorf("dialect: unknown preset %q", name)
+}
+
+func dup(ss []string) []string {
+	out := make([]string, len(ss))
+	copy(out, ss)
+	sort.Strings(out)
+	return out
+}
+
+// Build composes and generates the preset's parser product against the
+// SQL:2003 model and registry.
+func Build(name Name) (*core.Product, error) {
+	feats, err := Features(name)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sql2003.Model()
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(m, sql2003.Registry{}, feature.NewConfig(feats...), core.Options{
+		Product: string(name),
+	})
+}

@@ -1,0 +1,134 @@
+// Package diff compares two parser products of the line: which reserved
+// words, productions, and language each adds over the other. Product
+// comparison is how an integrator chooses a dialect ("what do I gain by
+// moving from SCQL to core?") and how the line's maintainers check that a
+// feature only affects the products that select it.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/grammar"
+)
+
+// ProbeResult records one probe query's fate under both products.
+type ProbeResult struct {
+	Query    string
+	AcceptsA bool
+	AcceptsB bool
+}
+
+// Report is the comparison of two products.
+type Report struct {
+	// NameA and NameB identify the compared products.
+	NameA, NameB string
+
+	// FeaturesOnlyA/B are features selected in one product only.
+	FeaturesOnlyA, FeaturesOnlyB []string
+	// KeywordsOnlyA/B are reserved words of one product only.
+	KeywordsOnlyA, KeywordsOnlyB []string
+	// ProductionsOnlyA/B are nonterminals defined in one grammar only.
+	ProductionsOnlyA, ProductionsOnlyB []string
+	// ChangedProductions are nonterminals defined in both grammars with
+	// different right-hand sides (extension features refined them).
+	ChangedProductions []string
+
+	// Probes are per-query acceptance outcomes, when probes were supplied.
+	Probes []ProbeResult
+}
+
+// Compare builds the report for two products, optionally running probe
+// queries through both.
+func Compare(a, b *core.Product, probes []string) *Report {
+	r := &Report{NameA: a.Name, NameB: b.Name}
+
+	r.FeaturesOnlyA, r.FeaturesOnlyB = diffSets(a.Config.Names(), b.Config.Names())
+	r.KeywordsOnlyA, r.KeywordsOnlyB = diffSets(a.Tokens.Keywords(), b.Tokens.Keywords())
+	r.ProductionsOnlyA, r.ProductionsOnlyB = diffSets(a.Grammar.Nonterminals(), b.Grammar.Nonterminals())
+
+	for _, name := range a.Grammar.Nonterminals() {
+		pb := b.Grammar.Production(name)
+		if pb == nil {
+			continue
+		}
+		if !grammar.Equal(a.Grammar.Production(name).Expr, pb.Expr) {
+			r.ChangedProductions = append(r.ChangedProductions, name)
+		}
+	}
+	sort.Strings(r.ChangedProductions)
+
+	for _, q := range probes {
+		r.Probes = append(r.Probes, ProbeResult{
+			Query:    q,
+			AcceptsA: a.Accepts(q),
+			AcceptsB: b.Accepts(q),
+		})
+	}
+	return r
+}
+
+// diffSets returns elements only in a and only in b, both sorted.
+func diffSets(a, b []string) (onlyA, onlyB []string) {
+	inA := map[string]bool{}
+	for _, x := range a {
+		inA[x] = true
+	}
+	inB := map[string]bool{}
+	for _, x := range b {
+		inB[x] = true
+		if !inA[x] {
+			onlyB = append(onlyB, x)
+		}
+	}
+	for _, x := range a {
+		if !inB[x] {
+			onlyA = append(onlyA, x)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
+}
+
+// Equivalent reports whether the two products define the same grammar and
+// keyword set (probes are ignored).
+func (r *Report) Equivalent() bool {
+	return len(r.KeywordsOnlyA) == 0 && len(r.KeywordsOnlyB) == 0 &&
+		len(r.ProductionsOnlyA) == 0 && len(r.ProductionsOnlyB) == 0 &&
+		len(r.ChangedProductions) == 0
+}
+
+// String renders the report as the sqldiff CLI prints it.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparing %s (A) with %s (B)\n", r.NameA, r.NameB)
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d):\n", title, len(items))
+		for _, it := range items {
+			fmt.Fprintf(&b, "  %s\n", it)
+		}
+	}
+	section("features only in A", r.FeaturesOnlyA)
+	section("features only in B", r.FeaturesOnlyB)
+	section("keywords only in A", r.KeywordsOnlyA)
+	section("keywords only in B", r.KeywordsOnlyB)
+	section("productions only in A", r.ProductionsOnlyA)
+	section("productions only in B", r.ProductionsOnlyB)
+	section("productions refined between A and B", r.ChangedProductions)
+	if r.Equivalent() {
+		b.WriteString("grammars are equivalent\n")
+	}
+	if len(r.Probes) > 0 {
+		fmt.Fprintf(&b, "probes (%d):\n", len(r.Probes))
+		for _, p := range r.Probes {
+			fmt.Fprintf(&b, "  A=%-5v B=%-5v %s\n", p.AcceptsA, p.AcceptsB, p.Query)
+		}
+	}
+	return b.String()
+}

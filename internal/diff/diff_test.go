@@ -1,0 +1,85 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"sqlspl/internal/dialect"
+)
+
+func TestCompareMinimalTinySQL(t *testing.T) {
+	a, err := dialect.Build(dialect.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dialect.Build(dialect.TinySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(a, b, []string{
+		"SELECT a FROM t",
+		"SELECT nodeid FROM sensors SAMPLE PERIOD 1024",
+		"SELECT a, b FROM t",
+	})
+	if r.Equivalent() {
+		t.Fatal("minimal and tinysql reported equivalent")
+	}
+	// TinySQL adds the sensor keywords; minimal adds nothing over it.
+	joined := strings.Join(r.KeywordsOnlyB, " ")
+	for _, want := range []string{"SAMPLE", "PERIOD", "LIFETIME", "EPOCH"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("keywords only in tinysql missing %s: %v", want, r.KeywordsOnlyB)
+		}
+	}
+	if len(r.KeywordsOnlyA) != 0 {
+		t.Errorf("minimal has keywords tinysql lacks: %v", r.KeywordsOnlyA)
+	}
+	// query_specification is refined by the sensor extension.
+	if !contains(r.ChangedProductions, "query_specification") {
+		t.Errorf("changed productions missing query_specification: %v", r.ChangedProductions)
+	}
+	// Probe outcomes: both accept the shared base; only B accepts sensor
+	// syntax and multi-column lists.
+	if !r.Probes[0].AcceptsA || !r.Probes[0].AcceptsB {
+		t.Errorf("shared query probe wrong: %+v", r.Probes[0])
+	}
+	if r.Probes[1].AcceptsA || !r.Probes[1].AcceptsB {
+		t.Errorf("sensor probe wrong: %+v", r.Probes[1])
+	}
+}
+
+func TestCompareSelf(t *testing.T) {
+	a, err := dialect.Build(dialect.SCQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dialect.Build(dialect.SCQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Compare(a, b, nil)
+	if !r.Equivalent() {
+		t.Errorf("self-comparison not equivalent:\n%s", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	a, _ := dialect.Build(dialect.Minimal)
+	b, _ := dialect.Build(dialect.Core)
+	r := Compare(a, b, []string{"SELECT a FROM t"})
+	out := r.String()
+	for _, want := range []string{"comparing", "keywords only in B", "probes (1):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

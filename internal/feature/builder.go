@@ -1,0 +1,63 @@
+package feature
+
+// This file provides the fluent builder used to define the SQL:2003 feature
+// diagrams in package sql2003. The builder keeps diagram definitions close
+// to the paper's figures:
+//
+//	feature.New("query_specification",
+//	    feature.New("set_quantifier",
+//	        feature.New("distinct").Provide("set_quantifier_distinct"),
+//	        feature.New("all").Provide("set_quantifier_all"),
+//	    ).MarkOptional().GroupAlt(),
+//	    feature.New("select_list", ...),
+//	    feature.New("table_expression_ref"),
+//	).Provide("query_specification")
+
+// New creates a feature with the given children (And group, mandatory by
+// default — refine with the Mark/Group methods).
+func New(name string, children ...*Feature) *Feature {
+	return &Feature{Name: name, Children: children}
+}
+
+// Describe sets the one-line documentation and returns f.
+func (f *Feature) Describe(doc string) *Feature {
+	f.Doc = doc
+	return f
+}
+
+// MarkOptional makes the feature optional under an And parent and returns f.
+func (f *Feature) MarkOptional() *Feature {
+	f.Optional = true
+	return f
+}
+
+// GroupOr marks the feature's children as an OR group and returns f.
+func (f *Feature) GroupOr() *Feature {
+	f.Group = Or
+	return f
+}
+
+// GroupAlt marks the feature's children as an Alternative (XOR) group and
+// returns f.
+func (f *Feature) GroupAlt() *Feature {
+	f.Group = Alternative
+	return f
+}
+
+// Cardinality attaches a [min..max] annotation (max < 0 for *) and returns f.
+func (f *Feature) Cardinality(min, max int) *Feature {
+	f.CardMin, f.CardMax = min, max
+	return f
+}
+
+// Provide names the grammar/token units this feature contributes and
+// returns f.
+func (f *Feature) Provide(units ...string) *Feature {
+	f.Units = append(f.Units, units...)
+	return f
+}
+
+// NewDiagram wraps a root feature as a named diagram.
+func NewDiagram(name, doc string, root *Feature) *Diagram {
+	return &Diagram{Name: name, Doc: doc, Root: root}
+}

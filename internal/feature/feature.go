@@ -1,0 +1,291 @@
+// Package feature implements the feature-modeling layer of the product
+// line: feature diagrams, cross-tree constraints, and feature-instance
+// descriptions (configurations).
+//
+// Following the paper (Section 2.2), a feature diagram is a tree whose root
+// is a concept and whose nodes are mandatory, optional, OR-grouped or
+// alternative-grouped features, optionally with UML-style cardinalities
+// such as [1..*]. A feature instance description is "a description of
+// different feature combinations obtained by including the concept node of
+// the feature diagram and traversing the diagram from the concept".
+// Cross-tree constraints are requires/excludes pairs; a composition
+// sequence orders the selected features' sub-grammars for package compose.
+package feature
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GroupKind describes how the children of a feature are selected.
+type GroupKind int
+
+const (
+	// And: each child is selected independently, subject to its own
+	// mandatory/optional flag. This is the default group.
+	And GroupKind = iota
+	// Or: at least one child must be selected when the parent is selected.
+	Or
+	// Alternative: exactly one child must be selected when the parent is
+	// selected (XOR), e.g. DISTINCT vs ALL under Set Quantifier.
+	Alternative
+)
+
+// String returns the group-kind name.
+func (k GroupKind) String() string {
+	switch k {
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Alternative:
+		return "alternative"
+	}
+	return fmt.Sprintf("GroupKind(%d)", int(k))
+}
+
+// Feature is a node in a feature diagram.
+type Feature struct {
+	// Name uniquely identifies the feature within its model.
+	Name string
+	// Doc is a one-line description shown by the sqlfpc and sqlinventory
+	// CLIs.
+	Doc string
+	// Optional marks the feature optional under an And parent; ignored in
+	// Or/Alternative groups, where group semantics decide selection.
+	Optional bool
+	// Group is how this feature's children are selected.
+	Group GroupKind
+	// CardMin/CardMax carry a cardinality annotation such as [1..*]
+	// (CardMax < 0 means unbounded). Cardinalities describe how many
+	// instances of the construct may occur in a statement (e.g. Select
+	// Sublist [1..*]); they map to repetition in the sub-grammar and are
+	// informational at the model level.
+	CardMin, CardMax int
+	// Units names the grammar/token units (package sql2003 registry keys)
+	// this feature contributes when selected.
+	Units []string
+	// Children are the sub-features.
+	Children []*Feature
+
+	parent *Feature
+}
+
+// Parent returns the feature's parent within its diagram, nil for roots.
+func (f *Feature) Parent() *Feature { return f.parent }
+
+// HasCardinality reports whether the feature carries an explicit
+// cardinality annotation.
+func (f *Feature) HasCardinality() bool { return f.CardMin != 0 || f.CardMax != 0 }
+
+// CardinalityString renders the annotation, e.g. "[1..*]".
+func (f *Feature) CardinalityString() string {
+	if !f.HasCardinality() {
+		return ""
+	}
+	if f.CardMax < 0 {
+		return fmt.Sprintf("[%d..*]", f.CardMin)
+	}
+	return fmt.Sprintf("[%d..%d]", f.CardMin, f.CardMax)
+}
+
+// Diagram is one feature diagram: a named tree rooted at a concept.
+// The paper reports 40 such diagrams for SQL Foundation.
+type Diagram struct {
+	// Name identifies the diagram (usually the concept's feature name).
+	Name string
+	// Doc describes the SQL construct the diagram models.
+	Doc string
+	// Root is the concept node.
+	Root *Feature
+}
+
+// Count returns the number of features in the diagram, including the root.
+func (d *Diagram) Count() int {
+	n := 0
+	d.WalkFeatures(func(*Feature) { n++ })
+	return n
+}
+
+// WalkFeatures visits every feature in the diagram in pre-order.
+func (d *Diagram) WalkFeatures(visit func(*Feature)) {
+	var walk func(f *Feature)
+	walk = func(f *Feature) {
+		visit(f)
+		for _, c := range f.Children {
+			walk(c)
+		}
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+}
+
+// ConstraintKind is the kind of a cross-tree constraint.
+type ConstraintKind int
+
+const (
+	// Requires: selecting A forces selecting B.
+	Requires ConstraintKind = iota
+	// Excludes: A and B cannot both be selected.
+	Excludes
+)
+
+// String returns "requires" or "excludes".
+func (k ConstraintKind) String() string {
+	if k == Excludes {
+		return "excludes"
+	}
+	return "requires"
+}
+
+// Constraint is a cross-tree constraint between two features, possibly in
+// different diagrams ("A feature may require other features for correct
+// composition. Such features constraints are expressed as requires or
+// excludes conditions on features.").
+type Constraint struct {
+	Kind ConstraintKind
+	A, B string
+}
+
+// String renders the constraint.
+func (c Constraint) String() string { return fmt.Sprintf("%s %s %s", c.A, c.Kind, c.B) }
+
+// Model is a set of feature diagrams plus cross-tree constraints — the
+// feature model of the whole product line.
+type Model struct {
+	Name        string
+	Diagrams    []*Diagram
+	Constraints []Constraint
+
+	features map[string]*Feature
+	diagram  map[string]*Diagram // feature name -> owning diagram
+}
+
+// NewModel builds a model from diagrams and constraints, wiring parent
+// links and checking that feature names are globally unique and constraint
+// endpoints exist.
+func NewModel(name string, diagrams []*Diagram, constraints []Constraint) (*Model, error) {
+	m := &Model{
+		Name:        name,
+		Diagrams:    diagrams,
+		Constraints: constraints,
+		features:    map[string]*Feature{},
+		diagram:     map[string]*Diagram{},
+	}
+	for _, d := range diagrams {
+		if d.Root == nil {
+			return nil, fmt.Errorf("model %s: diagram %s has no root", name, d.Name)
+		}
+		var err error
+		d.WalkFeatures(func(f *Feature) {
+			if err != nil {
+				return
+			}
+			if f.Name == "" {
+				err = fmt.Errorf("model %s: diagram %s contains an unnamed feature", name, d.Name)
+				return
+			}
+			if _, dup := m.features[f.Name]; dup {
+				err = fmt.Errorf("model %s: duplicate feature name %q", name, f.Name)
+				return
+			}
+			m.features[f.Name] = f
+			m.diagram[f.Name] = d
+			for _, c := range f.Children {
+				c.parent = f
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range constraints {
+		if m.features[c.A] == nil {
+			return nil, fmt.Errorf("model %s: constraint %q references unknown feature %s", name, c, c.A)
+		}
+		if m.features[c.B] == nil {
+			return nil, fmt.Errorf("model %s: constraint %q references unknown feature %s", name, c, c.B)
+		}
+	}
+	return m, nil
+}
+
+// Feature returns the named feature, or nil.
+func (m *Model) Feature(name string) *Feature { return m.features[name] }
+
+// DiagramOf returns the diagram owning the named feature, or nil.
+func (m *Model) DiagramOf(name string) *Diagram { return m.diagram[name] }
+
+// FeatureCount returns the total number of features across all diagrams.
+func (m *Model) FeatureCount() int {
+	n := 0
+	for _, d := range m.Diagrams {
+		n += d.Count()
+	}
+	return n
+}
+
+// FeatureNames returns all feature names, sorted.
+func (m *Model) FeatureNames() []string {
+	out := make([]string, 0, len(m.features))
+	for n := range m.features {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config is a feature-instance description: the set of selected features.
+type Config struct {
+	selected map[string]bool
+}
+
+// NewConfig returns a configuration with the given features selected.
+func NewConfig(features ...string) *Config {
+	c := &Config{selected: map[string]bool{}}
+	for _, f := range features {
+		c.selected[f] = true
+	}
+	return c
+}
+
+// Select adds features to the configuration.
+func (c *Config) Select(features ...string) {
+	for _, f := range features {
+		c.selected[f] = true
+	}
+}
+
+// Deselect removes features from the configuration.
+func (c *Config) Deselect(features ...string) {
+	for _, f := range features {
+		delete(c.selected, f)
+	}
+}
+
+// Has reports whether the feature is selected.
+func (c *Config) Has(feature string) bool { return c.selected[feature] }
+
+// Len returns the number of selected features.
+func (c *Config) Len() int { return len(c.selected) }
+
+// Names returns the selected feature names, sorted.
+func (c *Config) Names() []string {
+	out := make([]string, 0, len(c.selected))
+	for f := range c.selected {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy.
+func (c *Config) Clone() *Config { return NewConfig(c.Names()...) }
+
+// String renders the instance description in the paper's set notation,
+// e.g. "{Query Specification, Select List, Table Expression}".
+func (c *Config) String() string {
+	return "{" + strings.Join(c.Names(), ", ") + "}"
+}

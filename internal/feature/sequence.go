@@ -1,0 +1,142 @@
+package feature
+
+import (
+	"fmt"
+)
+
+// Sequence resolves the composition sequence for a configuration: the
+// selected features in the order their sub-grammars must be composed
+// ("We use the notion of composition sequence that indicates how various
+// features are included or excluded").
+//
+// The base order is diagram order, then pre-order within each diagram —
+// parents (base specifications) compose before children (extensions), which
+// satisfies the paper's optional-after-base and sublist-before-complex-list
+// rules by construction. Requires constraints add precedence edges: if A
+// requires B, B composes before A. The result is a stable topological
+// order; a requires cycle among selected features is an error.
+func (m *Model) Sequence(c *Config) ([]string, error) {
+	// Base order: pre-order over diagrams, selected features only.
+	var base []string
+	pos := map[string]int{}
+	for _, d := range m.Diagrams {
+		d.WalkFeatures(func(f *Feature) {
+			if c.Has(f.Name) {
+				pos[f.Name] = len(base)
+				base = append(base, f.Name)
+			}
+		})
+	}
+	// Selected features not in any diagram (unknown) are a Validate error;
+	// ignore them here.
+
+	// Precedence edges. Parent -> child keeps base specifications ahead of
+	// their extensions even when other edges delay the parent.
+	succ := map[string][]string{}
+	indeg := map[string]int{}
+	for _, name := range base {
+		indeg[name] = 0
+	}
+	for _, name := range base {
+		f := m.features[name]
+		if f == nil || f.parent == nil {
+			continue
+		}
+		if _, ok := pos[f.parent.Name]; ok {
+			succ[f.parent.Name] = append(succ[f.parent.Name], name)
+			indeg[name]++
+		}
+	}
+	for _, con := range m.Constraints {
+		if con.Kind != Requires {
+			continue
+		}
+		if _, okA := pos[con.A]; !okA {
+			continue
+		}
+		if _, okB := pos[con.B]; !okB {
+			continue
+		}
+		succ[con.B] = append(succ[con.B], con.A) // B before A
+		indeg[con.A]++
+	}
+
+	// Kahn's algorithm with a priority queue keyed by base position, so the
+	// output is the base order whenever constraints allow.
+	ready := make([]string, 0, len(base))
+	for _, name := range base {
+		if indeg[name] == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sortByPos := func(names []string) {
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && pos[names[j]] < pos[names[j-1]]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+	}
+	sortByPos(ready)
+
+	out := make([]string, 0, len(base))
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		out = append(out, name)
+		for _, next := range succ[name] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+		sortByPos(ready)
+	}
+	if len(out) != len(base) {
+		var stuck []string
+		for name, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, name)
+			}
+		}
+		sortByPos(stuck)
+		return nil, fmt.Errorf("requires cycle among selected features: %v", stuck)
+	}
+	return out, nil
+}
+
+// PreOrder returns the selected features in plain diagram pre-order, without
+// the requires-constraint reordering Sequence applies. The first feature in
+// pre-order is the product's conceptual root (its unit's start symbol
+// becomes the product grammar's start symbol).
+func (m *Model) PreOrder(c *Config) []string {
+	var out []string
+	for _, d := range m.Diagrams {
+		d.WalkFeatures(func(f *Feature) {
+			if c.Has(f.Name) {
+				out = append(out, f.Name)
+			}
+		})
+	}
+	return out
+}
+
+// UnitSequence maps a composition sequence of features to the ordered list
+// of grammar/token unit names they contribute, de-duplicated (several
+// features may share a unit; the first occurrence wins).
+func (m *Model) UnitSequence(order []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range order {
+		f := m.features[name]
+		if f == nil {
+			continue
+		}
+		for _, u := range f.Units {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package genminimal
+
+import (
+	"os"
+	"testing"
+
+	"sqlspl/internal/codegen"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/workload"
+)
+
+// TestUpToDate regenerates the parser from the minimal dialect and fails if
+// the committed source drifted. Refresh with:
+//
+//	go run ./cmd/sqlfpc -dialect minimal -emit genminimal > internal/genminimal/parser.go
+func TestUpToDate(t *testing.T) {
+	p, err := dialect.Build(dialect.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codegen.Generate(p.Grammar, p.Tokens, "genminimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("parser.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("internal/genminimal/parser.go is stale; regenerate with sqlfpc -dialect minimal -emit genminimal")
+	}
+}
+
+// TestAgreesWithEngine: the committed generated parser and the interpreted
+// engine decide identically on the minimal workload plus reject cases.
+func TestAgreesWithEngine(t *testing.T) {
+	p, err := dialect.Build(dialect.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := append(workload.Minimal(9, 200),
+		"SELECT a, b FROM t",
+		"SELECT * FROM t",
+		"SELECT a FROM t WHERE b < 1",
+		"garbage",
+		"",
+	)
+	for _, q := range corpus {
+		if got, want := Accepts(q), p.Accepts(q); got != want {
+			t.Errorf("disagreement on %q: generated=%v engine=%v", q, got, want)
+		}
+	}
+}
+
+// TestQuickDifferential: on random token strings over the dialect's
+// alphabet, the generated parser and the interpreted engine always agree —
+// not just on curated corpora.
+func TestQuickDifferential(t *testing.T) {
+	p, err := dialect.Build(dialect.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"SELECT", "DISTINCT", "ALL", "FROM", "WHERE", "=", "tbl", "col", "7", "'s'", "(", ")"}
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+	for i := 0; i < 500; i++ {
+		k := next(9) + 1
+		parts := make([]string, k)
+		for j := range parts {
+			parts[j] = words[next(len(words))]
+		}
+		q := ""
+		for j, w := range parts {
+			if j > 0 {
+				q += " "
+			}
+			q += w
+		}
+		if got, want := Accepts(q), p.Accepts(q); got != want {
+			t.Fatalf("disagreement on %q: generated=%v engine=%v", q, got, want)
+		}
+	}
+}
+
+func TestGeneratedParseTree(t *testing.T) {
+	node, err := Parse("SELECT DISTINCT a FROM t WHERE b = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Label != "query_specification" {
+		t.Errorf("root = %q", node.Label)
+	}
+	if got := node.Text(); got != "SELECT DISTINCT a FROM t WHERE b = 1" {
+		t.Errorf("Text = %q", got)
+	}
+}
+
+func TestGeneratedKeywords(t *testing.T) {
+	kw := Keywords()
+	if len(kw) != 8 {
+		t.Errorf("keywords = %v, want the 8 selected ones", kw)
+	}
+	for _, no := range []string{"GROUP", "ORDER", "JOIN"} {
+		for _, k := range kw {
+			if k == no {
+				t.Errorf("unselected keyword %s reserved in generated parser", no)
+			}
+		}
+	}
+}

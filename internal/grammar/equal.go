@@ -1,0 +1,155 @@
+package grammar
+
+// Equal reports whether two expressions are structurally identical.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case Seq:
+		y, ok := b.(Seq)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !Equal(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case Choice:
+		y, ok := b.(Choice)
+		if !ok || len(x.Alts) != len(y.Alts) {
+			return false
+		}
+		for i := range x.Alts {
+			if !Equal(x.Alts[i], y.Alts[i]) {
+				return false
+			}
+		}
+		return true
+	case Opt:
+		y, ok := b.(Opt)
+		return ok && Equal(x.Body, y.Body)
+	case Star:
+		y, ok := b.(Star)
+		return ok && Equal(x.Body, y.Body)
+	case Plus:
+		y, ok := b.(Plus)
+		return ok && Equal(x.Body, y.Body)
+	case NT:
+		y, ok := b.(NT)
+		return ok && x.Name == y.Name
+	case Tok:
+		y, ok := b.(Tok)
+		return ok && x.Name == y.Name
+	}
+	return false
+}
+
+// Contains reports whether expression x contains expression y in the sense
+// of the paper's composition rules for productions with the same
+// nonterminal: "if the new production contains the old one, then the old
+// production is replaced with the new production, e.g., in composing A: BC
+// with A: B, the production B is replaced with BC".
+//
+// Containment is an order-preserving embedding: every atom of y must occur,
+// in order, within x, where it may also occur inside an optional or
+// repetition group of x. Thus:
+//
+//	BC           contains B
+//	B [C]        contains B           (optional extension)
+//	[C] B        contains B
+//	B (COMMA B)* contains B           (complex list vs sublist)
+//	B            does not contain BC
+//	B            does not contain C
+func Contains(x, y Expr) bool {
+	ys := atoms(y)
+	if len(ys) == 0 {
+		return true // the empty sequence is contained in everything
+	}
+	rest := embed(x, ys)
+	return rest != nil && len(rest) == 0
+}
+
+// atoms flattens y into its sequence of required items. Optional and
+// repetition wrappers in y are kept as atoms (they must match structurally
+// or be contained in a corresponding part of x).
+func atoms(e Expr) []Expr {
+	if s, ok := e.(Seq); ok {
+		var out []Expr
+		for _, it := range s.Items {
+			out = append(out, atoms(it)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// embed tries to match the leading atoms of ys against expression x,
+// returning the atoms still unmatched after consuming x, or nil if matching
+// within x failed in a way that cannot be recovered by skipping x.
+//
+// Skipping is always allowed for the *container* side: extra material in x
+// is what makes x larger than y. So embed never fails outright; it simply
+// returns how many atoms it managed to consume. The nil return is reserved
+// for internal signalling and is not produced by the current rules.
+func embed(x Expr, ys []Expr) []Expr {
+	if len(ys) == 0 {
+		return ys
+	}
+	// A structured atom of y (optional group, repetition, nested choice)
+	// matches an identical structure in x as a unit.
+	if Equal(x, ys[0]) {
+		return ys[1:]
+	}
+	switch xx := x.(type) {
+	case Seq:
+		rest := ys
+		for _, it := range xx.Items {
+			rest = embed(it, rest)
+			if len(rest) == 0 {
+				return rest
+			}
+		}
+		return rest
+	case Opt:
+		return embed(xx.Body, ys)
+	case Star:
+		return embedRepeat(xx.Body, ys)
+	case Plus:
+		return embedRepeat(xx.Body, ys)
+	case Choice:
+		// A choice in x can embed y's atoms if some alternative does; take
+		// the alternative that consumes the most atoms.
+		best := ys
+		for _, a := range xx.Alts {
+			r := embed(a, ys)
+			if len(r) < len(best) {
+				best = r
+			}
+		}
+		return best
+	default:
+		// Atom in x: consume the next y atom if it matches.
+		if Equal(x, ys[0]) {
+			return ys[1:]
+		}
+		// An atom of x may itself contain a structured y atom, e.g. an NT
+		// matching the same NT wrapped in nothing — handled by Equal above.
+		// Also allow an Opt/Star/Plus atom of y to be satisfied by a larger
+		// structure in x only via structural equality, so nothing to do.
+		return ys
+	}
+}
+
+// embedRepeat lets a repetition body in x consume any number of leading y
+// atoms (each full pass must make progress).
+func embedRepeat(body Expr, ys []Expr) []Expr {
+	rest := ys
+	for len(rest) > 0 {
+		next := embed(body, rest)
+		if len(next) == len(rest) {
+			break // no progress
+		}
+		rest = next
+	}
+	return rest
+}

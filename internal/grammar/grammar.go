@@ -1,0 +1,367 @@
+// Package grammar provides the grammar object model used throughout the
+// customizable SQL parser product line.
+//
+// A Grammar is an ordered collection of named productions over an LL(k)-style
+// context-free notation with EBNF conveniences: sequences, choices, optional
+// groups, and zero-or-more / one-or-more repetitions. Terminal symbols are
+// referenced by token name; their concrete spellings live in a separate
+// TokenSet, mirroring the paper's separation of grammar files and token
+// files ("We represent a grammar and the tokens separately").
+//
+// Sub-grammars — one per feature of the SQL:2003 feature model — are written
+// in a small Bali-like DSL (see ParseGrammar and ParseTokens) and composed by
+// package compose into a single grammar from which a parser is built.
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a node in the right-hand side of a production.
+//
+// The concrete types are Seq, Choice, Opt, Star, Plus, NT and Tok.
+// Expressions are immutable once constructed; composition produces new
+// expressions rather than mutating shared ones.
+type Expr interface {
+	// String renders the expression in the grammar DSL notation.
+	String() string
+	isExpr()
+}
+
+// Seq is the concatenation of its items, in order.
+// An empty Seq denotes the empty string (epsilon).
+type Seq struct {
+	Items []Expr
+}
+
+// Choice is an ordered list of alternatives. During parsing, alternatives
+// are attempted in order; during composition, the paper's rules decide
+// whether a new alternative replaces, is subsumed by, or is appended to
+// the existing ones.
+type Choice struct {
+	Alts []Expr
+}
+
+// Opt is an optional group: [ X ] in Bali notation, X? in ANTLR notation.
+type Opt struct {
+	Body Expr
+}
+
+// Star is zero-or-more repetition: ( X )*.
+type Star struct {
+	Body Expr
+}
+
+// Plus is one-or-more repetition: ( X )+.
+type Plus struct {
+	Body Expr
+}
+
+// NT references a nonterminal (another production) by name.
+// Nonterminal names are lower_snake_case by convention, following the
+// SQL:2003 BNF (e.g. query_specification, table_expression).
+type NT struct {
+	Name string
+}
+
+// Tok references a terminal symbol by token name. Token names are
+// UPPER_SNAKE_CASE by convention (e.g. SELECT, COMMA, IDENTIFIER).
+type Tok struct {
+	Name string
+}
+
+func (Seq) isExpr()    {}
+func (Choice) isExpr() {}
+func (Opt) isExpr()    {}
+func (Star) isExpr()   {}
+func (Plus) isExpr()   {}
+func (NT) isExpr()     {}
+func (Tok) isExpr()    {}
+
+// String renders the sequence with spaces between items. Nested choices are
+// parenthesized so the output re-parses to the same structure.
+func (s Seq) String() string {
+	if len(s.Items) == 0 {
+		return "/* empty */"
+	}
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		parts[i] = childString(it)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c Choice) String() string {
+	parts := make([]string, len(c.Alts))
+	for i, a := range c.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (o Opt) String() string  { return "( " + o.Body.String() + " )?" }
+func (r Star) String() string { return "( " + r.Body.String() + " )*" }
+func (p Plus) String() string { return "( " + p.Body.String() + " )+" }
+func (n NT) String() string   { return n.Name }
+func (t Tok) String() string  { return t.Name }
+
+// childString parenthesizes choices appearing inside sequences.
+func childString(e Expr) string {
+	if c, ok := e.(Choice); ok {
+		return "( " + c.String() + " )"
+	}
+	return e.String()
+}
+
+// Production is a named grammar rule: Name : Expr ;
+// The expression is normalized so that a top-level Choice lists the
+// production's alternatives; anything else is a single alternative.
+type Production struct {
+	Name string
+	Expr Expr
+}
+
+// Alternatives returns the production's top-level alternatives.
+// A non-Choice expression is a single alternative.
+func (p *Production) Alternatives() []Expr {
+	if c, ok := p.Expr.(Choice); ok {
+		return c.Alts
+	}
+	return []Expr{p.Expr}
+}
+
+// SetAlternatives replaces the production's alternatives, collapsing a
+// single alternative to a bare expression.
+func (p *Production) SetAlternatives(alts []Expr) {
+	switch len(alts) {
+	case 0:
+		p.Expr = Seq{}
+	case 1:
+		p.Expr = alts[0]
+	default:
+		p.Expr = Choice{Alts: alts}
+	}
+}
+
+// Grammar is an ordered set of productions with a designated start symbol.
+// Order is significant: it records composition order and makes printing and
+// code generation deterministic.
+type Grammar struct {
+	// Name identifies the grammar (for sub-grammars, the feature it
+	// implements; for composed grammars, the product name).
+	Name string
+	// Start is the start nonterminal. For sub-grammars it is the first
+	// production; composition keeps the start of the base grammar.
+	Start string
+
+	prods []*Production
+	index map[string]*Production
+}
+
+// NewGrammar returns an empty grammar with the given name.
+func NewGrammar(name string) *Grammar {
+	return &Grammar{Name: name, index: map[string]*Production{}}
+}
+
+// Production returns the production for the named nonterminal, or nil.
+func (g *Grammar) Production(name string) *Production {
+	return g.index[name]
+}
+
+// Productions returns the productions in order. The returned slice is the
+// grammar's own backing slice; callers must not mutate it.
+func (g *Grammar) Productions() []*Production {
+	return g.prods
+}
+
+// Len returns the number of productions.
+func (g *Grammar) Len() int { return len(g.prods) }
+
+// Add appends a production. It returns an error if the nonterminal is
+// already defined; use package compose to merge same-named productions.
+func (g *Grammar) Add(p *Production) error {
+	if p.Name == "" {
+		return fmt.Errorf("grammar %s: production with empty name", g.Name)
+	}
+	if _, ok := g.index[p.Name]; ok {
+		return fmt.Errorf("grammar %s: duplicate production %s", g.Name, p.Name)
+	}
+	if g.index == nil {
+		g.index = map[string]*Production{}
+	}
+	g.prods = append(g.prods, p)
+	g.index[p.Name] = p
+	if g.Start == "" {
+		g.Start = p.Name
+	}
+	return nil
+}
+
+// Replace swaps the expression of an existing production in place,
+// preserving its position in the composition order.
+func (g *Grammar) Replace(name string, e Expr) error {
+	p, ok := g.index[name]
+	if !ok {
+		return fmt.Errorf("grammar %s: no production %s to replace", g.Name, name)
+	}
+	p.Expr = e
+	return nil
+}
+
+// Remove deletes a production. Removing the start symbol clears Start.
+func (g *Grammar) Remove(name string) error {
+	if _, ok := g.index[name]; !ok {
+		return fmt.Errorf("grammar %s: no production %s to remove", g.Name, name)
+	}
+	delete(g.index, name)
+	for i, p := range g.prods {
+		if p.Name == name {
+			g.prods = append(g.prods[:i], g.prods[i+1:]...)
+			break
+		}
+	}
+	if g.Start == name {
+		g.Start = ""
+		if len(g.prods) > 0 {
+			g.Start = g.prods[0].Name
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the grammar. Expressions are immutable, so
+// only the production list and index are copied; expression trees are shared.
+func (g *Grammar) Clone() *Grammar {
+	out := NewGrammar(g.Name)
+	out.Start = g.Start
+	for _, p := range g.prods {
+		cp := &Production{Name: p.Name, Expr: p.Expr}
+		out.prods = append(out.prods, cp)
+		out.index[cp.Name] = cp
+	}
+	return out
+}
+
+// Nonterminals returns the names of all defined nonterminals, sorted.
+func (g *Grammar) Nonterminals() []string {
+	names := make([]string, 0, len(g.prods))
+	for _, p := range g.prods {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReferencedTokens returns the names of all terminal symbols referenced
+// anywhere in the grammar, sorted.
+func (g *Grammar) ReferencedTokens() []string {
+	set := map[string]bool{}
+	for _, p := range g.prods {
+		walkExpr(p.Expr, func(e Expr) {
+			if t, ok := e.(Tok); ok {
+				set[t.Name] = true
+			}
+		})
+	}
+	return sortedKeys(set)
+}
+
+// ReferencedNonterminals returns the names of all nonterminals referenced
+// anywhere in the grammar (defined or not), sorted.
+func (g *Grammar) ReferencedNonterminals() []string {
+	set := map[string]bool{}
+	for _, p := range g.prods {
+		walkExpr(p.Expr, func(e Expr) {
+			if n, ok := e.(NT); ok {
+				set[n.Name] = true
+			}
+		})
+	}
+	return sortedKeys(set)
+}
+
+// UndefinedNonterminals returns referenced-but-undefined nonterminals,
+// sorted. Sub-grammars routinely have these (they import definitions from
+// other features, as Bali grammars import nonterminals); a composed product
+// grammar must have none.
+func (g *Grammar) UndefinedNonterminals() []string {
+	var out []string
+	for _, name := range g.ReferencedNonterminals() {
+		if g.index[name] == nil {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// walkExpr visits e and every sub-expression in pre-order.
+func walkExpr(e Expr, visit func(Expr)) {
+	visit(e)
+	switch x := e.(type) {
+	case Seq:
+		for _, it := range x.Items {
+			walkExpr(it, visit)
+		}
+	case Choice:
+		for _, a := range x.Alts {
+			walkExpr(a, visit)
+		}
+	case Opt:
+		walkExpr(x.Body, visit)
+	case Star:
+		walkExpr(x.Body, visit)
+	case Plus:
+		walkExpr(x.Body, visit)
+	}
+}
+
+// Walk visits every expression of every production in pre-order.
+func (g *Grammar) Walk(visit func(prod string, e Expr)) {
+	for _, p := range g.prods {
+		walkExpr(p.Expr, func(e Expr) { visit(p.Name, e) })
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeqOf builds a Seq, flattening nested sequences and dropping empty ones,
+// so composed expressions stay in a canonical shape.
+func SeqOf(items ...Expr) Expr {
+	var flat []Expr
+	for _, it := range items {
+		if s, ok := it.(Seq); ok {
+			flat = append(flat, s.Items...)
+			continue
+		}
+		flat = append(flat, it)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Seq{Items: flat}
+}
+
+// ChoiceOf builds a Choice, flattening nested choices.
+func ChoiceOf(alts ...Expr) Expr {
+	var flat []Expr
+	for _, a := range alts {
+		if c, ok := a.(Choice); ok {
+			flat = append(flat, c.Alts...)
+			continue
+		}
+		flat = append(flat, a)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Choice{Alts: flat}
+}

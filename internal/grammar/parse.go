@@ -1,0 +1,345 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseGrammar parses a sub-grammar written in the Bali-like grammar DSL.
+//
+// The DSL:
+//
+//	// line comment
+//	grammar query_specification ;
+//
+//	query_specification
+//	    : SELECT set_quantifier? select_list table_expression
+//	    ;
+//
+//	select_list
+//	    : ASTERISK
+//	    | select_sublist ( COMMA select_sublist )*
+//	    ;
+//
+// Lower-case names are nonterminals, UPPER-case names are token references.
+// Postfix ?, * and + mark optional and repeated groups; [ X ] is accepted as
+// Bali-style shorthand for ( X )?. The first production is the start symbol
+// unless a `start name ;` directive overrides it.
+func ParseGrammar(src string) (*Grammar, error) {
+	p := &dslParser{toks: lexDSL(src)}
+	g := NewGrammar("")
+	explicitStart := ""
+	for !p.eof() {
+		switch {
+		case p.at("grammar"):
+			p.next()
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			g.Name = name
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.at("start"):
+			p.next()
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			explicitStart = name
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		default:
+			prod, err := p.parseProduction()
+			if err != nil {
+				return nil, err
+			}
+			if err := g.Add(prod); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if explicitStart != "" {
+		g.Start = explicitStart
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("grammar %q: no productions", g.Name)
+	}
+	return g, nil
+}
+
+// MustParseGrammar is ParseGrammar that panics on error. It is intended for
+// the static sub-grammar literals in package sql2003, which are covered by
+// tests; a parse error there is a programming bug.
+func MustParseGrammar(src string) *Grammar {
+	g, err := ParseGrammar(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// dslToken is a lexical token of the grammar/token-file DSL.
+type dslToken struct {
+	text string
+	line int
+}
+
+// lexDSL splits DSL source into tokens: names, punctuation (: ; | ( ) [ ] ? * +),
+// and quoted literals ('...' or <...> classes, used in token files).
+func lexDSL(src string) []dslToken {
+	var out []dslToken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			out = append(out, dslToken{text: src[i : j+1], line: line})
+			i = j + 1
+		case c == '<':
+			j := i + 1
+			for j < len(src) && src[j] != '>' {
+				j++
+			}
+			out = append(out, dslToken{text: src[i : j+1], line: line})
+			i = j + 1
+		case strings.ContainsRune(":;|()[]?*+", rune(c)):
+			out = append(out, dslToken{text: string(c), line: line})
+			i++
+		default:
+			j := i
+			for j < len(src) && (isNameRune(rune(src[j]))) {
+				j++
+			}
+			if j == i { // unknown byte: emit as-is so the parser reports it
+				j = i + 1
+			}
+			out = append(out, dslToken{text: src[i:j], line: line})
+			i = j
+		}
+	}
+	return out
+}
+
+func isNameRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type dslParser struct {
+	toks []dslToken
+	pos  int
+}
+
+func (p *dslParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *dslParser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *dslParser) line() int {
+	if p.eof() {
+		if len(p.toks) == 0 {
+			return 0
+		}
+		return p.toks[len(p.toks)-1].line
+	}
+	return p.toks[p.pos].line
+}
+
+func (p *dslParser) at(text string) bool { return p.peek() == text }
+
+func (p *dslParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *dslParser) expect(text string) error {
+	if !p.at(text) {
+		return fmt.Errorf("line %d: expected %q, found %q", p.line(), text, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *dslParser) expectName() (string, error) {
+	t := p.peek()
+	if t == "" || !isName(t) {
+		return "", fmt.Errorf("line %d: expected name, found %q", p.line(), t)
+	}
+	p.next()
+	return t, nil
+}
+
+func isName(s string) bool {
+	for _, r := range s {
+		if !isNameRune(r) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// parseProduction parses: name : alt ( '|' alt )* ';'
+func (p *dslParser) parseProduction() (*Production, error) {
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, fmt.Errorf("production %s: %w", name, err)
+	}
+	var alts []Expr
+	for {
+		alt, err := p.parseSeq(name)
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, alt)
+		if p.at("|") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, fmt.Errorf("production %s: %w", name, err)
+	}
+	prod := &Production{Name: name}
+	prod.SetAlternatives(alts)
+	return prod, nil
+}
+
+// parseSeq parses a sequence of suffixed primaries until | ; ) or ].
+func (p *dslParser) parseSeq(prod string) (Expr, error) {
+	var items []Expr
+	for !p.eof() {
+		t := p.peek()
+		if t == "|" || t == ";" || t == ")" || t == "]" {
+			break
+		}
+		item, err := p.parsePrimary(prod)
+		if err != nil {
+			return nil, err
+		}
+		// postfix suffixes, possibly stacked (rare but legal)
+		for {
+			switch p.peek() {
+			case "?":
+				p.next()
+				item = Opt{Body: item}
+				continue
+			case "*":
+				p.next()
+				item = Star{Body: item}
+				continue
+			case "+":
+				p.next()
+				item = Plus{Body: item}
+				continue
+			}
+			break
+		}
+		items = append(items, item)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Seq{Items: items}, nil
+}
+
+func (p *dslParser) parsePrimary(prod string) (Expr, error) {
+	switch t := p.peek(); {
+	case t == "(":
+		p.next()
+		var alts []Expr
+		for {
+			alt, err := p.parseSeq(prod)
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, alt)
+			if p.at("|") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, fmt.Errorf("production %s: %w", prod, err)
+		}
+		return ChoiceOf(alts...), nil
+	case t == "[":
+		p.next()
+		var alts []Expr
+		for {
+			alt, err := p.parseSeq(prod)
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, alt)
+			if p.at("|") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, fmt.Errorf("production %s: %w", prod, err)
+		}
+		return Opt{Body: ChoiceOf(alts...)}, nil
+	case isName(t):
+		p.next()
+		if isTokenName(t) {
+			return Tok{Name: t}, nil
+		}
+		return NT{Name: t}, nil
+	default:
+		return nil, fmt.Errorf("line %d: production %s: unexpected %q", p.line(), prod, t)
+	}
+}
+
+// isTokenName reports whether a DSL name denotes a terminal: all-uppercase
+// (digits and underscores allowed), e.g. SELECT, LEFT_PAREN, IDENTIFIER.
+func isTokenName(s string) bool {
+	hasUpper := false
+	for _, r := range s {
+		switch {
+		case unicode.IsUpper(r):
+			hasUpper = true
+		case r == '_' || unicode.IsDigit(r):
+		default:
+			return false
+		}
+	}
+	return hasUpper
+}

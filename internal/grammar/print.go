@@ -1,0 +1,85 @@
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the grammar in the DSL notation, one production per block,
+// in composition order. The output round-trips through ParseGrammar.
+func Format(g *Grammar) string {
+	var b strings.Builder
+	if g.Name != "" {
+		fmt.Fprintf(&b, "grammar %s ;\n", g.Name)
+	}
+	if g.Start != "" && len(g.Productions()) > 0 && g.Productions()[0].Name != g.Start {
+		fmt.Fprintf(&b, "start %s ;\n", g.Start)
+	}
+	for _, p := range g.Productions() {
+		b.WriteByte('\n')
+		b.WriteString(FormatProduction(p))
+	}
+	return b.String()
+}
+
+// FormatProduction renders one production with each alternative on its own
+// line, ANTLR style:
+//
+//	select_list
+//	    : ASTERISK
+//	    | select_sublist ( COMMA select_sublist )*
+//	    ;
+func FormatProduction(p *Production) string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('\n')
+	for i, alt := range p.Alternatives() {
+		sep := ":"
+		if i > 0 {
+			sep = "|"
+		}
+		fmt.Fprintf(&b, "    %s %s\n", sep, altString(alt))
+	}
+	b.WriteString("    ;\n")
+	return b.String()
+}
+
+func altString(e Expr) string {
+	if s, ok := e.(Seq); ok && len(s.Items) == 0 {
+		return "/* empty */"
+	}
+	return childString(e)
+}
+
+// Stats summarizes a grammar for size reporting (experiment E6).
+type Stats struct {
+	Productions  int
+	Alternatives int
+	Symbols      int // total terminal + nonterminal references
+	Tokens       int // distinct terminals referenced
+	Nonterminals int // distinct nonterminals referenced or defined
+}
+
+// ComputeStats gathers size statistics for g.
+func ComputeStats(g *Grammar) Stats {
+	s := Stats{Productions: g.Len()}
+	for _, p := range g.Productions() {
+		s.Alternatives += len(p.Alternatives())
+	}
+	g.Walk(func(_ string, e Expr) {
+		switch e.(type) {
+		case Tok, NT:
+			s.Symbols++
+		}
+	})
+	s.Tokens = len(g.ReferencedTokens())
+	nts := map[string]bool{}
+	for _, n := range g.ReferencedNonterminals() {
+		nts[n] = true
+	}
+	for _, p := range g.Productions() {
+		nts[p.Name] = true
+	}
+	s.Nonterminals = len(nts)
+	return s
+}

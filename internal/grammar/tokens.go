@@ -1,0 +1,256 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TokenKind classifies how a terminal symbol is recognized by the scanner.
+type TokenKind int
+
+const (
+	// Keyword tokens match a reserved word case-insensitively (SQL style).
+	Keyword TokenKind = iota
+	// Punct tokens match a literal operator or punctuation string exactly,
+	// with maximal munch (<= beats <).
+	Punct
+	// Class tokens match a lexical class built into the scanner, such as
+	// <identifier>, <number>, <string>, <delimited_identifier>.
+	Class
+)
+
+// String returns the kind name.
+func (k TokenKind) String() string {
+	switch k {
+	case Keyword:
+		return "keyword"
+	case Punct:
+		return "punct"
+	case Class:
+		return "class"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// TokenDef defines one terminal symbol of a (sub-)grammar.
+type TokenDef struct {
+	// Name is the terminal name referenced from grammars (SELECT, COMMA…).
+	Name string
+	// Kind selects the scanner rule.
+	Kind TokenKind
+	// Text is the keyword spelling, the punctuation string, or the class
+	// name (identifier, number, string, …) depending on Kind.
+	Text string
+}
+
+// Equal reports whether two definitions are interchangeable.
+func (d TokenDef) Equal(o TokenDef) bool {
+	return d.Name == o.Name && d.Kind == o.Kind && strings.EqualFold(d.Text, o.Text)
+}
+
+// String renders the definition in token-file notation.
+func (d TokenDef) String() string {
+	switch d.Kind {
+	case Class:
+		return fmt.Sprintf("%s : <%s> ;", d.Name, d.Text)
+	default:
+		return fmt.Sprintf("%s : '%s' ;", d.Name, d.Text)
+	}
+}
+
+// TokenSet is a named collection of terminal definitions — the paper's
+// "token file" accompanying each sub-grammar. Token sets compose by union;
+// a name bound to two different definitions is a composition conflict.
+type TokenSet struct {
+	// Name identifies the token set (usually the owning sub-grammar).
+	Name string
+
+	defs  map[string]TokenDef
+	order []string
+}
+
+// NewTokenSet returns an empty token set.
+func NewTokenSet(name string) *TokenSet {
+	return &TokenSet{Name: name, defs: map[string]TokenDef{}}
+}
+
+// Add inserts a definition. Re-adding an identical definition is a no-op;
+// a conflicting redefinition is an error.
+func (ts *TokenSet) Add(d TokenDef) error {
+	if d.Name == "" {
+		return fmt.Errorf("tokens %s: empty token name", ts.Name)
+	}
+	if old, ok := ts.defs[d.Name]; ok {
+		if old.Equal(d) {
+			return nil
+		}
+		return fmt.Errorf("tokens %s: conflicting definitions for %s: %s vs %s",
+			ts.Name, d.Name, old, d)
+	}
+	if ts.defs == nil {
+		ts.defs = map[string]TokenDef{}
+	}
+	ts.defs[d.Name] = d
+	ts.order = append(ts.order, d.Name)
+	return nil
+}
+
+// Get returns the definition for name.
+func (ts *TokenSet) Get(name string) (TokenDef, bool) {
+	d, ok := ts.defs[name]
+	return d, ok
+}
+
+// Has reports whether name is defined.
+func (ts *TokenSet) Has(name string) bool { _, ok := ts.defs[name]; return ok }
+
+// Len returns the number of definitions.
+func (ts *TokenSet) Len() int { return len(ts.defs) }
+
+// Names returns all defined token names in insertion order.
+func (ts *TokenSet) Names() []string {
+	out := make([]string, len(ts.order))
+	copy(out, ts.order)
+	return out
+}
+
+// Defs returns all definitions in insertion order.
+func (ts *TokenSet) Defs() []TokenDef {
+	out := make([]TokenDef, 0, len(ts.order))
+	for _, n := range ts.order {
+		out = append(out, ts.defs[n])
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (ts *TokenSet) Clone() *TokenSet {
+	out := NewTokenSet(ts.Name)
+	for _, d := range ts.Defs() {
+		_ = out.Add(d)
+	}
+	return out
+}
+
+// Merge unions other into ts (the paper composes token files alongside
+// grammars). Conflicting definitions are an error.
+func (ts *TokenSet) Merge(other *TokenSet) error {
+	if other == nil {
+		return nil
+	}
+	for _, d := range other.Defs() {
+		if err := ts.Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Keywords returns the keyword spellings defined in the set, sorted. Only
+// these words are reserved by a scanner configured with this set — a core
+// customizability win for scaled-down dialects, where unselected keywords
+// remain usable as identifiers.
+func (ts *TokenSet) Keywords() []string {
+	var out []string
+	for _, d := range ts.defs {
+		if d.Kind == Keyword {
+			out = append(out, strings.ToUpper(d.Text))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set in token-file notation, in insertion order.
+func (ts *TokenSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tokens %s ;\n", ts.Name)
+	for _, d := range ts.Defs() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseTokens parses a token file:
+//
+//	tokens query_specification ;
+//	SELECT     : 'SELECT' ;
+//	COMMA      : ',' ;
+//	IDENTIFIER : <identifier> ;
+//
+// Quoted text consisting of letters/digits/underscores is a Keyword; other
+// quoted text is Punct; <name> is a scanner Class.
+func ParseTokens(src string) (*TokenSet, error) {
+	p := &dslParser{toks: lexDSL(src)}
+	ts := NewTokenSet("")
+	for !p.eof() {
+		if p.at("tokens") {
+			p.next()
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			ts.Name = name
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		name, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if !isTokenName(name) {
+			return nil, fmt.Errorf("line %d: token name %q must be UPPER_CASE", p.line(), name)
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, fmt.Errorf("token %s: %w", name, err)
+		}
+		body := p.next()
+		var def TokenDef
+		switch {
+		case strings.HasPrefix(body, "'") && strings.HasSuffix(body, "'") && len(body) >= 2:
+			text := body[1 : len(body)-1]
+			kind := Punct
+			if isWord(text) {
+				kind = Keyword
+			}
+			def = TokenDef{Name: name, Kind: kind, Text: text}
+		case strings.HasPrefix(body, "<") && strings.HasSuffix(body, ">") && len(body) >= 2:
+			def = TokenDef{Name: name, Kind: Class, Text: body[1 : len(body)-1]}
+		default:
+			return nil, fmt.Errorf("line %d: token %s: expected 'literal' or <class>, found %q",
+				p.line(), name, body)
+		}
+		if err := ts.Add(def); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, fmt.Errorf("token %s: %w", name, err)
+		}
+	}
+	return ts, nil
+}
+
+// MustParseTokens is ParseTokens that panics on error; for static literals.
+func MustParseTokens(src string) *TokenSet {
+	ts, err := ParseTokens(src)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+func isWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !isNameRune(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleTokens = `
+tokens query_specification ;
+SELECT     : 'SELECT' ;
+DISTINCT   : 'DISTINCT' ;
+ALL        : 'ALL' ;
+ASTERISK   : '*' ;
+COMMA      : ',' ;
+AS         : 'AS' ;
+IDENTIFIER : <identifier> ;
+`
+
+func mustTokens(t *testing.T, src string) *TokenSet {
+	t.Helper()
+	ts, err := ParseTokens(src)
+	if err != nil {
+		t.Fatalf("ParseTokens: %v", err)
+	}
+	return ts
+}
+
+func TestParseTokens(t *testing.T) {
+	ts := mustTokens(t, sampleTokens)
+	if ts.Name != "query_specification" {
+		t.Errorf("Name = %q", ts.Name)
+	}
+	if ts.Len() != 7 {
+		t.Errorf("Len = %d, want 7", ts.Len())
+	}
+	sel, ok := ts.Get("SELECT")
+	if !ok || sel.Kind != Keyword || sel.Text != "SELECT" {
+		t.Errorf("SELECT = %+v", sel)
+	}
+	ast, _ := ts.Get("ASTERISK")
+	if ast.Kind != Punct || ast.Text != "*" {
+		t.Errorf("ASTERISK = %+v", ast)
+	}
+	id, _ := ts.Get("IDENTIFIER")
+	if id.Kind != Class || id.Text != "identifier" {
+		t.Errorf("IDENTIFIER = %+v", id)
+	}
+}
+
+func TestParseTokensErrors(t *testing.T) {
+	cases := []string{
+		`tokens t ; lower : 'x' ;`,       // lowercase token name
+		`tokens t ; A : x ;`,             // unquoted body
+		`tokens t ; A : 'x'`,             // missing semicolon
+		`tokens t ; A : 'x' ; A : 'y' ;`, // conflict
+	}
+	for _, src := range cases {
+		if _, err := ParseTokens(src); err == nil {
+			t.Errorf("ParseTokens(%q): want error", src)
+		}
+	}
+}
+
+func TestTokenSetMergeUnion(t *testing.T) {
+	a := mustTokens(t, `tokens a ; SELECT : 'SELECT' ; COMMA : ',' ;`)
+	b := mustTokens(t, `tokens b ; SELECT : 'SELECT' ; WHERE : 'WHERE' ;`)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Len() != 3 {
+		t.Errorf("merged Len = %d, want 3", a.Len())
+	}
+	c := mustTokens(t, `tokens c ; SELECT : 'SEL' ;`)
+	if err := a.Merge(c); err == nil {
+		t.Error("conflicting merge must fail")
+	}
+}
+
+func TestTokenSetMergeNil(t *testing.T) {
+	a := mustTokens(t, `tokens a ; X : 'X' ;`)
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v", err)
+	}
+}
+
+func TestKeywordsOnlyKeywords(t *testing.T) {
+	ts := mustTokens(t, sampleTokens)
+	kw := ts.Keywords()
+	want := []string{"ALL", "AS", "DISTINCT", "SELECT"}
+	if strings.Join(kw, ",") != strings.Join(want, ",") {
+		t.Errorf("Keywords = %v, want %v", kw, want)
+	}
+}
+
+func TestTokenSetStringRoundTrip(t *testing.T) {
+	ts := mustTokens(t, sampleTokens)
+	ts2, err := ParseTokens(ts.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, ts.String())
+	}
+	if ts2.Len() != ts.Len() {
+		t.Fatalf("round trip lost tokens: %d vs %d", ts.Len(), ts2.Len())
+	}
+	for _, d := range ts.Defs() {
+		d2, ok := ts2.Get(d.Name)
+		if !ok || !d.Equal(d2) {
+			t.Errorf("token %s changed: %v vs %v", d.Name, d, d2)
+		}
+	}
+}
+
+// TestQuickMergeCommutative checks the paper's token-union property: the
+// *set* of tokens after merging is order-independent when there are no
+// conflicts.
+func TestQuickMergeCommutative(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	build := func(mask uint8) *TokenSet {
+		ts := NewTokenSet("q")
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				_ = ts.Add(TokenDef{Name: n, Kind: Keyword, Text: n})
+			}
+		}
+		return ts
+	}
+	f := func(m1, m2 uint8) bool {
+		ab := build(m1)
+		if err := ab.Merge(build(m2)); err != nil {
+			return false
+		}
+		ba := build(m2)
+		if err := ba.Merge(build(m1)); err != nil {
+			return false
+		}
+		an, bn := ab.Names(), ba.Names()
+		if len(an) != len(bn) {
+			return false
+		}
+		set := map[string]bool{}
+		for _, n := range an {
+			set[n] = true
+		}
+		for _, n := range bn {
+			if !set[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeIdempotent checks that merging a set into itself changes
+// nothing (composition of a feature with itself is the identity).
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(mask uint8) bool {
+		names := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+		ts := NewTokenSet("q")
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				_ = ts.Add(TokenDef{Name: n, Kind: Keyword, Text: n})
+			}
+		}
+		before := ts.Len()
+		if err := ts.Merge(ts.Clone()); err != nil {
+			return false
+		}
+		return ts.Len() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package lexer provides the SQL scanner used by generated parsers.
+//
+// The paper separates grammars from token files and composes both; the
+// scanner is therefore *configurable*: it is constructed from a composed
+// grammar.TokenSet and recognizes exactly the keywords, punctuation and
+// lexical classes that the selected features contribute. In a scaled-down
+// dialect, unselected keywords are not reserved — `SELECT cube FROM t` is
+// fine in a dialect without CUBE, exactly the customizability the paper
+// targets for embedded systems.
+//
+// Lexical classes (grammar.Class token kinds) follow SQL:2003 Part 2
+// Section 5 (lexical elements): regular and delimited identifiers, exact
+// and approximate numeric literals, character string literals with ”
+// escapes, binary string literals X'...', and host parameters.
+package lexer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"sqlspl/internal/grammar"
+)
+
+// Token is one scanned lexical element.
+type Token struct {
+	// Name is the terminal name from the token set (SELECT, IDENTIFIER, …).
+	Name string
+	// Text is the raw source text of the token.
+	Text string
+	// Line and Col are 1-based source coordinates of the token start.
+	Line, Col int
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	if strings.EqualFold(t.Name, t.Text) {
+		return t.Name
+	}
+	return fmt.Sprintf("%s(%q)", t.Name, t.Text)
+}
+
+// Class names understood by the scanner. A token set may bind any terminal
+// name to one of these classes (e.g. IDENTIFIER : <identifier> ;).
+const (
+	ClassIdentifier          = "identifier"
+	ClassDelimitedIdentifier = "delimited_identifier"
+	ClassNumber              = "number"            // exact or approximate numeric literal
+	ClassInteger             = "integer"           // digits only
+	ClassString              = "string"            // 'character string literal'
+	ClassBinaryString        = "binary_string"     // X'hex'
+	ClassHostParameter       = "host_parameter"    // :name
+	ClassDynamicParameter    = "dynamic_parameter" // ?
+)
+
+// Lexer scans SQL text under a specific token configuration.
+// Construct with New; a Lexer is safe for concurrent use.
+type Lexer struct {
+	keywords map[string]string // upper-cased spelling -> token name
+	puncts   []punct           // sorted longest-first for maximal munch
+	classes  map[string]string // class name -> token name
+}
+
+type punct struct {
+	text string
+	name string
+}
+
+// New builds a scanner for the composed token set. Multiple terminal names
+// bound to the same keyword spelling or punctuation are a configuration
+// error (composition should have caught it, but defend anyway).
+func New(ts *grammar.TokenSet) (*Lexer, error) {
+	l := &Lexer{
+		keywords: map[string]string{},
+		classes:  map[string]string{},
+	}
+	for _, d := range ts.Defs() {
+		switch d.Kind {
+		case grammar.Keyword:
+			up := strings.ToUpper(d.Text)
+			if prev, ok := l.keywords[up]; ok && prev != d.Name {
+				return nil, fmt.Errorf("lexer: keyword %q bound to both %s and %s", up, prev, d.Name)
+			}
+			l.keywords[up] = d.Name
+		case grammar.Punct:
+			l.puncts = append(l.puncts, punct{text: d.Text, name: d.Name})
+		case grammar.Class:
+			if prev, ok := l.classes[d.Text]; ok && prev != d.Name {
+				return nil, fmt.Errorf("lexer: class <%s> bound to both %s and %s", d.Text, prev, d.Name)
+			}
+			if !validClass(d.Text) {
+				return nil, fmt.Errorf("lexer: unknown lexical class <%s> for token %s", d.Text, d.Name)
+			}
+			l.classes[d.Text] = d.Name
+		}
+	}
+	sort.Slice(l.puncts, func(i, j int) bool {
+		if len(l.puncts[i].text) != len(l.puncts[j].text) {
+			return len(l.puncts[i].text) > len(l.puncts[j].text)
+		}
+		return l.puncts[i].text < l.puncts[j].text
+	})
+	return l, nil
+}
+
+func validClass(name string) bool {
+	switch name {
+	case ClassIdentifier, ClassDelimitedIdentifier, ClassNumber, ClassInteger,
+		ClassString, ClassBinaryString, ClassHostParameter, ClassDynamicParameter:
+		return true
+	}
+	return false
+}
+
+// Error is a scan error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Scan tokenizes src completely. SQL comments (-- line and /* block */) and
+// whitespace are skipped. Keywords are matched case-insensitively; a word
+// that is not a configured keyword becomes an identifier if the token set
+// defines the identifier class, otherwise scanning fails — in a scaled-down
+// dialect an unknown word in keyword position is a lexical error, mirroring
+// the paper's "parse precisely the selected features".
+func (l *Lexer) Scan(src string) ([]Token, error) {
+	s := &scanner{l: l, src: src, line: 1, col: 1}
+	var out []Token
+	for {
+		tok, ok, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, tok)
+	}
+}
+
+type scanner struct {
+	l    *Lexer
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (s *scanner) errf(format string, args ...any) error {
+	return &Error{Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// advance consumes n bytes, maintaining line/col.
+func (s *scanner) advance(n int) {
+	for i := 0; i < n; i++ {
+		if s.src[s.pos] == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+		s.pos++
+	}
+}
+
+func (s *scanner) skipSpaceAndComments() error {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance(1)
+		case c == '-' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '-':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.advance(1)
+			}
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			start := *s
+			s.advance(2)
+			for {
+				if s.pos+1 >= len(s.src) {
+					return start.errf("unterminated block comment")
+				}
+				if s.src[s.pos] == '*' && s.src[s.pos+1] == '/' {
+					s.advance(2)
+					break
+				}
+				s.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *scanner) next() (Token, bool, error) {
+	if err := s.skipSpaceAndComments(); err != nil {
+		return Token{}, false, err
+	}
+	if s.pos >= len(s.src) {
+		return Token{}, false, nil
+	}
+	startLine, startCol := s.line, s.col
+	c := s.src[s.pos]
+
+	mk := func(name, text string) Token {
+		return Token{Name: name, Text: text, Line: startLine, Col: startCol}
+	}
+
+	switch {
+	case c == '\'':
+		text, err := s.scanString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		name, ok := s.l.classes[ClassString]
+		if !ok {
+			return Token{}, false, s.errAt(startLine, startCol, "string literals not enabled in this dialect")
+		}
+		return mk(name, text), true, nil
+
+	case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && s.l.classes[ClassBinaryString] != "":
+		s.advance(1)
+		text, err := s.scanString()
+		if err != nil {
+			return Token{}, false, err
+		}
+		return mk(s.l.classes[ClassBinaryString], "X"+text), true, nil
+
+	case c == '"':
+		text, err := s.scanDelimited()
+		if err != nil {
+			return Token{}, false, err
+		}
+		name, ok := s.l.classes[ClassDelimitedIdentifier]
+		if !ok {
+			// Fall back to the plain identifier class when configured: many
+			// scaled-down dialects fold both identifier forms together.
+			name, ok = s.l.classes[ClassIdentifier]
+		}
+		if !ok {
+			return Token{}, false, s.errAt(startLine, startCol, "delimited identifiers not enabled in this dialect")
+		}
+		return mk(name, text), true, nil
+
+	case c >= '0' && c <= '9' || (c == '.' && s.pos+1 < len(s.src) && isDigit(s.src[s.pos+1])):
+		text, isInt := s.scanNumber()
+		if isInt {
+			if name, ok := s.l.classes[ClassInteger]; ok {
+				return mk(name, text), true, nil
+			}
+		}
+		if name, ok := s.l.classes[ClassNumber]; ok {
+			return mk(name, text), true, nil
+		}
+		if name, ok := s.l.classes[ClassInteger]; ok && isInt {
+			return mk(name, text), true, nil
+		}
+		return Token{}, false, s.errAt(startLine, startCol, "numeric literals not enabled in this dialect")
+
+	case c == ':' && s.pos+1 < len(s.src) && isIdentStartByte(s.src[s.pos+1:]) && s.l.classes[ClassHostParameter] != "":
+		s.advance(1)
+		word := s.scanWord()
+		return mk(s.l.classes[ClassHostParameter], ":"+word), true, nil
+
+	case c == '?' && s.l.classes[ClassDynamicParameter] != "":
+		s.advance(1)
+		return mk(s.l.classes[ClassDynamicParameter], "?"), true, nil
+
+	case isIdentStartByte(s.src[s.pos:]):
+		word := s.scanWord()
+		if name, ok := s.l.keywords[strings.ToUpper(word)]; ok {
+			return mk(name, word), true, nil
+		}
+		if name, ok := s.l.classes[ClassIdentifier]; ok {
+			return mk(name, word), true, nil
+		}
+		return Token{}, false, s.errAt(startLine, startCol, "unknown word %q (identifiers not enabled in this dialect)", word)
+
+	default:
+		for _, p := range s.l.puncts {
+			if strings.HasPrefix(s.src[s.pos:], p.text) {
+				s.advance(len(p.text))
+				return mk(p.name, p.text), true, nil
+			}
+		}
+		r, _ := utf8.DecodeRuneInString(s.src[s.pos:])
+		return Token{}, false, s.errAt(startLine, startCol, "unexpected character %q", r)
+	}
+}
+
+func (s *scanner) errAt(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// scanString consumes a '...' literal with ” escapes, returning the raw
+// text including quotes.
+func (s *scanner) scanString() (string, error) {
+	startLine, startCol := s.line, s.col
+	start := s.pos
+	s.advance(1) // opening quote
+	for {
+		if s.pos >= len(s.src) {
+			return "", s.errAt(startLine, startCol, "unterminated string literal")
+		}
+		if s.src[s.pos] == '\'' {
+			if s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' {
+				s.advance(2) // escaped quote
+				continue
+			}
+			s.advance(1)
+			return s.src[start:s.pos], nil
+		}
+		s.advance(1)
+	}
+}
+
+// scanDelimited consumes a "..." identifier with "" escapes.
+func (s *scanner) scanDelimited() (string, error) {
+	startLine, startCol := s.line, s.col
+	start := s.pos
+	s.advance(1)
+	for {
+		if s.pos >= len(s.src) {
+			return "", s.errAt(startLine, startCol, "unterminated delimited identifier")
+		}
+		if s.src[s.pos] == '"' {
+			if s.pos+1 < len(s.src) && s.src[s.pos+1] == '"' {
+				s.advance(2)
+				continue
+			}
+			s.advance(1)
+			return s.src[start:s.pos], nil
+		}
+		s.advance(1)
+	}
+}
+
+// scanNumber consumes an exact or approximate numeric literal and reports
+// whether it is a plain integer.
+func (s *scanner) scanNumber() (string, bool) {
+	start := s.pos
+	isInt := true
+	for s.pos < len(s.src) && isDigit(s.src[s.pos]) {
+		s.advance(1)
+	}
+	if s.pos < len(s.src) && s.src[s.pos] == '.' && s.pos+1 <= len(s.src) {
+		// Avoid consuming `1..2` style ranges: require digit or end after dot.
+		if s.pos+1 < len(s.src) && s.src[s.pos+1] == '.' {
+			return s.src[start:s.pos], isInt
+		}
+		isInt = false
+		s.advance(1)
+		for s.pos < len(s.src) && isDigit(s.src[s.pos]) {
+			s.advance(1)
+		}
+	}
+	if s.pos < len(s.src) && (s.src[s.pos] == 'e' || s.src[s.pos] == 'E') {
+		// Exponent must be followed by optional sign and at least one digit.
+		j := s.pos + 1
+		if j < len(s.src) && (s.src[j] == '+' || s.src[j] == '-') {
+			j++
+		}
+		if j < len(s.src) && isDigit(s.src[j]) {
+			isInt = false
+			s.advance(j - s.pos)
+			for s.pos < len(s.src) && isDigit(s.src[s.pos]) {
+				s.advance(1)
+			}
+		}
+	}
+	return s.src[start:s.pos], isInt
+}
+
+// scanWord consumes an identifier-shaped word.
+func (s *scanner) scanWord() string {
+	start := s.pos
+	for s.pos < len(s.src) {
+		r, size := utf8.DecodeRuneInString(s.src[s.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		s.advance(size)
+	}
+	return s.src[start:s.pos]
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+// isIdentStartByte decodes the first rune of rest and reports whether it
+// starts an identifier. Decoding (rather than widening the first byte)
+// matters for malformed UTF-8: a truncated multi-byte sequence must not be
+// classified as a letter, or the scanner would emit empty identifiers.
+func isIdentStartByte(rest string) bool {
+	r, size := utf8.DecodeRuneInString(rest)
+	if r == utf8.RuneError && size <= 1 {
+		return false
+	}
+	return isIdentStart(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Keywords returns the reserved words of this scanner configuration, sorted.
+func (l *Lexer) Keywords() []string {
+	out := make([]string, 0, len(l.keywords))
+	for k := range l.keywords {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

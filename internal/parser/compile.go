@@ -1,0 +1,137 @@
+package parser
+
+import (
+	"sqlspl/internal/grammar"
+)
+
+// The engine interprets a compiled form of the grammar: expression values
+// are converted once into pointer nodes carrying their nullable flag and
+// FIRST set. Token names are interned to dense integer ids so prediction is
+// a bitset test, and productions to indices so memoisation keys are
+// integers instead of strings.
+
+type ckind uint8
+
+const (
+	cTok ckind = iota
+	cNT
+	cSeq
+	cChoice
+	cOpt
+	cStar
+	cPlus
+)
+
+// cnode is one compiled expression node.
+type cnode struct {
+	kind ckind
+	// name is the token or nonterminal name for cTok/cNT (kept for error
+	// messages and the tracking pass).
+	name string
+	// id is the interned token id (cTok) or production index (cNT).
+	id int
+	// items are sequence items, choice alternatives, or the single body of
+	// opt/star/plus.
+	items []*cnode
+	// nullable reports whether the node can derive the empty string.
+	nullable bool
+	// firstBits is the node's FIRST set as a bitset over token ids.
+	firstBits []uint64
+	// first is the same set by name, used only when collecting expected
+	// tokens for error messages.
+	first map[string]bool
+}
+
+// has reports whether token id is in the node's FIRST set.
+func (n *cnode) has(id int) bool {
+	if id < 0 {
+		return false
+	}
+	w := id >> 6
+	return w < len(n.firstBits) && n.firstBits[w]&(1<<(uint(id)&63)) != 0
+}
+
+// program is the compiled grammar.
+type program struct {
+	// prods holds compiled productions, indexed by production id.
+	prods []*cnode
+	// prodIndex maps production names to ids.
+	prodIndex map[string]int
+	// alts caches each production's top-level alternatives.
+	alts [][]*cnode
+	// tokenID interns token names; ids are dense from 0.
+	tokenID map[string]int
+	// start is the start production's id.
+	start int
+}
+
+// compile converts every production of g, using the analysis for
+// nullable/FIRST annotations.
+func compile(g *grammar.Grammar, an *grammar.Analysis) *program {
+	pr := &program{
+		prodIndex: make(map[string]int, g.Len()),
+		tokenID:   map[string]int{},
+	}
+	for _, t := range g.ReferencedTokens() {
+		pr.tokenID[t] = len(pr.tokenID)
+	}
+	for i, p := range g.Productions() {
+		pr.prodIndex[p.Name] = i
+	}
+	pr.prods = make([]*cnode, g.Len())
+	pr.alts = make([][]*cnode, g.Len())
+	for i, p := range g.Productions() {
+		n := pr.compileExpr(p.Expr, an)
+		pr.prods[i] = n
+		if n.kind == cChoice {
+			pr.alts[i] = n.items
+		} else {
+			pr.alts[i] = []*cnode{n}
+		}
+	}
+	pr.start = pr.prodIndex[g.Start]
+	return pr
+}
+
+func (pr *program) compileExpr(e grammar.Expr, an *grammar.Analysis) *cnode {
+	n := &cnode{}
+	n.nullable, n.first = an.FirstOfExpr(e)
+	n.firstBits = make([]uint64, (len(pr.tokenID)+63)/64)
+	for name := range n.first {
+		if id, ok := pr.tokenID[name]; ok {
+			n.firstBits[id>>6] |= 1 << (uint(id) & 63)
+		}
+	}
+	switch x := e.(type) {
+	case grammar.Tok:
+		n.kind = cTok
+		n.name = x.Name
+		n.id = pr.tokenID[x.Name]
+	case grammar.NT:
+		n.kind = cNT
+		n.name = x.Name
+		n.id = pr.prodIndex[x.Name] // Validate guarantees presence
+	case grammar.Seq:
+		n.kind = cSeq
+		n.items = make([]*cnode, len(x.Items))
+		for i, it := range x.Items {
+			n.items[i] = pr.compileExpr(it, an)
+		}
+	case grammar.Choice:
+		n.kind = cChoice
+		n.items = make([]*cnode, len(x.Alts))
+		for i, a := range x.Alts {
+			n.items[i] = pr.compileExpr(a, an)
+		}
+	case grammar.Opt:
+		n.kind = cOpt
+		n.items = []*cnode{pr.compileExpr(x.Body, an)}
+	case grammar.Star:
+		n.kind = cStar
+		n.items = []*cnode{pr.compileExpr(x.Body, an)}
+	case grammar.Plus:
+		n.kind = cPlus
+		n.items = []*cnode{pr.compileExpr(x.Body, an)}
+	}
+	return n
+}

@@ -1,0 +1,486 @@
+// Package parser turns composed grammars into working parsers.
+//
+// The engine interprets a grammar.Grammar directly: recursive descent with
+// ordered alternatives, full backtracking, memoisation per (production,
+// position), and FIRST-set prediction to prune alternatives that cannot
+// match the lookahead token. This combination plays the role ANTLR plays in
+// the paper's prototype: it accepts the LL(k) grammars produced by feature
+// composition — including compositions whose appended choices share
+// prefixes, which pure LL(1) prediction cannot separate (ANTLR resolves
+// those with syntactic predicates; we resolve them by backtracking).
+//
+// Composed grammars must be validated (grammar.Validate) before parsing:
+// the engine requires the absence of left recursion to terminate.
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlspl/internal/grammar"
+	"sqlspl/internal/lexer"
+)
+
+// Tree is a node of the concrete parse tree. Nodes carrying a production
+// name (Label) wrap the material derived by that production; leaves carry
+// the scanned token. This labelled tree is what semantic actions (package
+// ast) consume — the analog of the paper's Jak-implemented actions over
+// generated parser output.
+type Tree struct {
+	// Label is the production (nonterminal) name, empty for token leaves.
+	Label string
+	// Token is set on leaves only.
+	Token *lexer.Token
+	// Children are the sub-derivations, in input order.
+	Children []*Tree
+}
+
+// IsLeaf reports whether the node is a token leaf.
+func (t *Tree) IsLeaf() bool { return t.Token != nil }
+
+// Find returns the first child (depth-first, pre-order, not including t
+// itself) labelled with the given production name, or nil.
+func (t *Tree) Find(label string) *Tree {
+	for _, c := range t.Children {
+		if c.Label == label {
+			return c
+		}
+		if found := c.Find(label); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// FindAll returns all descendants with the given label in pre-order,
+// without descending into matches (so nested same-labelled constructs,
+// e.g. subqueries, are returned once at their outermost position).
+func (t *Tree) FindAll(label string) []*Tree {
+	var out []*Tree
+	for _, c := range t.Children {
+		if c.Label == label {
+			out = append(out, c)
+			continue
+		}
+		out = append(out, c.FindAll(label)...)
+	}
+	return out
+}
+
+// Leaves returns the tokens under t in input order.
+func (t *Tree) Leaves() []lexer.Token {
+	var out []lexer.Token
+	var walk func(n *Tree)
+	walk = func(n *Tree) {
+		if n.Token != nil {
+			out = append(out, *n.Token)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Text reconstructs the source text of the subtree, tokens joined by
+// single spaces.
+func (t *Tree) Text() string {
+	leaves := t.Leaves()
+	parts := make([]string, len(leaves))
+	for i, tok := range leaves {
+		parts[i] = tok.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// Dump renders the tree with indentation for debugging and the sqlparse CLI.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	var walk func(n *Tree, depth int)
+	walk = func(n *Tree, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.Token != nil {
+			fmt.Fprintf(&b, "%s\n", n.Token)
+			return
+		}
+		fmt.Fprintf(&b, "%s\n", n.Label)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t, 0)
+	return b.String()
+}
+
+// Options tunes the engine. The zero value is the production configuration.
+type Options struct {
+	// DisablePrediction turns off FIRST-set pruning at choice points,
+	// forcing pure backtracking. Used by the ablation benchmarks
+	// (EXPERIMENTS.md, ablation 1); roughly an order of magnitude slower on
+	// wide grammars.
+	DisablePrediction bool
+	// MaxTokens caps input length as a defence against pathological inputs
+	// in embedded deployments; 0 means no cap.
+	MaxTokens int
+}
+
+// Parser parses SQL text for one composed product grammar.
+// A Parser is safe for concurrent use; each Parse call runs independently.
+type Parser struct {
+	g    *grammar.Grammar
+	lex  *lexer.Lexer
+	an   *grammar.Analysis
+	opts Options
+
+	// compiled holds the grammar in compiled form: productions as pointer
+	// nodes with cached nullable/FIRST annotations, token names interned to
+	// integer ids so prediction is a bitset test.
+	compiled *program
+}
+
+// New validates the grammar against the token set, builds the configured
+// scanner, and compiles the grammar with its prediction sets. It fails if
+// the grammar has undefined nonterminals, left recursion, or tokens missing
+// from the set.
+func New(g *grammar.Grammar, ts *grammar.TokenSet, opts Options) (*Parser, error) {
+	if err := grammar.Validate(g, ts); err != nil {
+		return nil, err
+	}
+	lx, err := lexer.New(ts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{g: g, lex: lx, an: grammar.Analyze(g), opts: opts}
+	p.compiled = compile(g, p.an)
+	return p, nil
+}
+
+// Grammar returns the product grammar the parser was built from.
+func (p *Parser) Grammar() *grammar.Grammar { return p.g }
+
+// Lexer returns the configured scanner (shared, concurrency-safe).
+func (p *Parser) Lexer() *lexer.Lexer { return p.lex }
+
+// SyntaxError reports a parse failure at the farthest position reached.
+type SyntaxError struct {
+	// Line and Col locate the offending token (or end of input).
+	Line, Col int
+	// Found is the unexpected token, or "end of input".
+	Found string
+	// Expected lists the token names that would have allowed progress.
+	Expected []string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	exp := ""
+	if len(e.Expected) > 0 {
+		exp = fmt.Sprintf(", expected one of: %s", strings.Join(e.Expected, ", "))
+	}
+	return fmt.Sprintf("syntax error at %d:%d: unexpected %s%s", e.Line, e.Col, e.Found, exp)
+}
+
+// Parse scans and parses src, returning the parse tree rooted at the
+// grammar's start symbol. The whole input must be consumed.
+func (p *Parser) Parse(src string) (*Tree, error) {
+	toks, err := p.lex.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.ParseTokens(toks)
+}
+
+// ParseTokens parses an already-scanned token stream.
+func (p *Parser) ParseTokens(toks []lexer.Token) (*Tree, error) {
+	if p.opts.MaxTokens > 0 && len(toks) > p.opts.MaxTokens {
+		return nil, fmt.Errorf("input of %d tokens exceeds configured maximum %d", len(toks), p.opts.MaxTokens)
+	}
+	// Fast path: parse without collecting expected-token sets. Only when
+	// the input is rejected do we parse again with tracking on, so accepted
+	// inputs never pay for error bookkeeping.
+	r := newRun(p, toks, false)
+	results := r.parseNT(p.compiled.start, 0)
+	for _, res := range results {
+		if res.end == len(toks) {
+			if len(res.forest) == 1 {
+				return res.forest[0], nil
+			}
+			return &Tree{Label: p.g.Start, Children: res.forest}, nil
+		}
+	}
+	r = newRun(p, toks, true)
+	results = r.parseNT(p.compiled.start, 0)
+	// Build the error from the farthest failure; successful prefixes that
+	// stop short of EOF count as failures at their end position.
+	far := r.far
+	for _, res := range results {
+		if res.end > far {
+			far = res.end
+			r.expected = map[string]bool{}
+		}
+	}
+	return nil, r.syntaxError(far)
+}
+
+func (r *run) syntaxError(pos int) *SyntaxError {
+	e := &SyntaxError{}
+	if pos >= 0 && pos < len(r.toks) {
+		t := r.toks[pos]
+		e.Line, e.Col = t.Line, t.Col
+		e.Found = t.String()
+	} else {
+		e.Found = "end of input"
+		if n := len(r.toks); n > 0 {
+			e.Line, e.Col = r.toks[n-1].Line, r.toks[n-1].Col
+		} else {
+			e.Line, e.Col = 1, 1
+		}
+	}
+	for name := range r.expected {
+		e.Expected = append(e.Expected, name)
+	}
+	sort.Strings(e.Expected)
+	return e
+}
+
+// result is one way an expression can match starting at some position:
+// it consumed tokens up to end (exclusive) and produced this forest.
+type result struct {
+	end    int
+	forest []*Tree
+}
+
+// run is the per-parse state.
+type run struct {
+	p        *Parser
+	toks     []lexer.Token
+	ids      []int // interned token ids, parallel to toks
+	memo     map[int64][]result
+	far      int             // farthest failing token index
+	track    bool            // collect expected-token sets (error pass)
+	expected map[string]bool // token names expected at far (track only)
+}
+
+// newRun interns the token stream and prepares per-parse state.
+func newRun(p *Parser, toks []lexer.Token, track bool) *run {
+	r := &run{p: p, toks: toks, memo: map[int64][]result{}, far: -1, track: track}
+	if track {
+		r.expected = map[string]bool{}
+	}
+	r.ids = make([]int, len(toks))
+	for i, t := range toks {
+		if id, ok := p.compiled.tokenID[t.Name]; ok {
+			r.ids[i] = id
+		} else {
+			r.ids[i] = -1 // token never referenced by the grammar
+		}
+	}
+	return r
+}
+
+func (r *run) fail(pos int, want string) {
+	if !r.track {
+		if pos > r.far {
+			r.far = pos
+		}
+		return
+	}
+	if pos > r.far {
+		r.far = pos
+		r.expected = map[string]bool{want: true}
+	} else if pos == r.far {
+		r.expected[want] = true
+	}
+}
+
+// idAt returns the interned token id at pos, or -1 at end of input.
+func (r *run) idAt(pos int) int {
+	if pos < len(r.ids) {
+		return r.ids[pos]
+	}
+	return -1
+}
+
+// mergeForests concatenates two forests without copying when either side is
+// empty. Forests are never mutated after construction, so sharing is safe.
+func mergeForests(a, b []*Tree) []*Tree {
+	switch {
+	case len(a) == 0:
+		return b
+	case len(b) == 0:
+		return a
+	}
+	out := make([]*Tree, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// hasEnd reports whether rs already contains a result with the given end
+// position. Result lists are tiny, so a linear scan beats a map.
+func hasEnd(rs []result, end int) bool {
+	for _, r := range rs {
+		if r.end == end {
+			return true
+		}
+	}
+	return false
+}
+
+// parseNT parses the production with the given index at pos, memoised.
+func (r *run) parseNT(prod int, pos int) []result {
+	key := int64(prod)<<32 | int64(pos)
+	if cached, ok := r.memo[key]; ok {
+		return cached
+	}
+	name := r.p.g.Productions()[prod].Name
+	var out []result
+	la := r.idAt(pos)
+	for _, alt := range r.p.compiled.alts[prod] {
+		if !r.p.opts.DisablePrediction && !alt.nullable && !alt.has(la) {
+			// Record what this alternative wanted, for error messages.
+			if r.track && pos >= r.far {
+				for tok := range alt.first {
+					r.fail(pos, tok)
+				}
+			} else if pos > r.far {
+				r.far = pos
+			}
+			continue
+		}
+		for _, res := range r.parseExpr(alt, pos) {
+			if hasEnd(out, res.end) {
+				continue
+			}
+			node := &Tree{Label: name, Children: res.forest}
+			out = append(out, result{end: res.end, forest: []*Tree{node}})
+		}
+	}
+	// Longest-first makes downstream dedup prefer maximal derivations and
+	// lets callers that need the full input find it early.
+	sort.Slice(out, func(i, j int) bool { return out[i].end > out[j].end })
+	r.memo[key] = out
+	return out
+}
+
+// parseExpr parses compiled expression n at pos, returning all distinct end
+// positions (each with one representative forest).
+func (r *run) parseExpr(n *cnode, pos int) []result {
+	switch n.kind {
+	case cTok:
+		if r.idAt(pos) == n.id {
+			return []result{{end: pos + 1, forest: []*Tree{{Token: &r.toks[pos]}}}}
+		}
+		r.fail(pos, n.name)
+		return nil
+
+	case cNT:
+		return r.parseNT(n.id, pos)
+
+	case cSeq:
+		cur := make([]result, 1, 4)
+		cur[0] = result{end: pos}
+		var next []result
+		for _, item := range n.items {
+			next = next[:0]
+			for _, c := range cur {
+				for _, res := range r.parseExpr(item, c.end) {
+					if hasEnd(next, res.end) {
+						continue
+					}
+					next = append(next, result{end: res.end, forest: mergeForests(c.forest, res.forest)})
+				}
+			}
+			if len(next) == 0 {
+				return nil
+			}
+			cur, next = next, cur
+		}
+		out := make([]result, len(cur))
+		copy(out, cur)
+		return out
+
+	case cChoice:
+		var out []result
+		la := r.idAt(pos)
+		for _, alt := range n.items {
+			if !r.p.opts.DisablePrediction && !alt.nullable && !alt.has(la) {
+				if r.track && pos >= r.far {
+					for tok := range alt.first {
+						r.fail(pos, tok)
+					}
+				} else if pos > r.far {
+					r.far = pos
+				}
+				continue
+			}
+			for _, res := range r.parseExpr(alt, pos) {
+				if hasEnd(out, res.end) {
+					continue
+				}
+				out = append(out, res)
+			}
+		}
+		return out
+
+	case cOpt:
+		out := r.parseExpr(n.items[0], pos)
+		if hasEnd(out, pos) {
+			return out // body already produced the empty match
+		}
+		return append(out, result{end: pos})
+
+	case cStar:
+		return r.parseRepeat(n.items[0], pos, true)
+
+	case cPlus:
+		return r.parseRepeat(n.items[0], pos, false)
+	}
+	return nil
+}
+
+// parseRepeat handles Star (allowEmpty) and Plus repetitions: it explores
+// every reachable end position, guarding against zero-width iterations.
+func (r *run) parseRepeat(body *cnode, pos int, allowEmpty bool) []result {
+	frontier := []result{{end: pos}}
+	var all []result
+	if allowEmpty {
+		all = append(all, result{end: pos})
+	}
+	visited := []int{pos}
+	seen := func(end int) bool {
+		for _, v := range visited {
+			if v == end {
+				return true
+			}
+		}
+		return false
+	}
+	for len(frontier) > 0 {
+		var next []result
+		for _, st := range frontier {
+			for _, res := range r.parseExpr(body, st.end) {
+				if res.end <= st.end || seen(res.end) {
+					continue // zero-width or already explored
+				}
+				visited = append(visited, res.end)
+				ns := result{end: res.end, forest: mergeForests(st.forest, res.forest)}
+				next = append(next, ns)
+				all = append(all, ns)
+			}
+		}
+		frontier = next
+	}
+	// Longest first: repetitions are greedy by preference.
+	sort.Slice(all, func(i, j int) bool { return all[i].end > all[j].end })
+	return all
+}
+
+// Accepts reports whether src parses under this grammar. It is the
+// convenience used by accept/reject test matrices in the experiments.
+func (p *Parser) Accepts(src string) bool {
+	_, err := p.Parse(src)
+	return err == nil
+}

@@ -1,0 +1,139 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeeplyNestedParentheses: recursion depth scales with input; Go stacks
+// grow, so a few hundred levels must work.
+func TestDeeplyNestedParentheses(t *testing.T) {
+	p := buildParser(t, `
+grammar t ;
+e : A | LPAREN e RPAREN ;
+`, `
+tokens t ; A : 'A' ; LPAREN : '(' ; RPAREN : ')' ;
+`, Options{})
+	const depth = 300
+	q := strings.Repeat("( ", depth) + "A" + strings.Repeat(" )", depth)
+	if !p.Accepts(q) {
+		t.Fatal("deeply nested input rejected")
+	}
+	if p.Accepts(strings.Repeat("( ", depth) + "A" + strings.Repeat(" )", depth-1)) {
+		t.Fatal("unbalanced nesting accepted")
+	}
+}
+
+// TestLongFlatList: repetition over thousands of elements must stay
+// near-linear thanks to memoisation and single-pass repetition.
+func TestLongFlatList(t *testing.T) {
+	p := buildParser(t, `
+grammar t ;
+list : IDENTIFIER ( COMMA IDENTIFIER )* ;
+`, `
+tokens t ; COMMA : ',' ; IDENTIFIER : <identifier> ;
+`, Options{})
+	items := make([]string, 5000)
+	for i := range items {
+		items[i] = fmt.Sprintf("c%d", i)
+	}
+	q := strings.Join(items, ", ")
+	start := time.Now()
+	if !p.Accepts(q) {
+		t.Fatal("long list rejected")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("long list took %v", elapsed)
+	}
+}
+
+// TestAmbiguousPrefixBlowupGuard: a grammar where every position offers two
+// overlapping alternatives. Memoisation must keep this polynomial.
+func TestAmbiguousPrefixBlowupGuard(t *testing.T) {
+	p := buildParser(t, `
+grammar t ;
+s : x ;
+x : A x | A A x | A ;
+`, `
+tokens t ; A : 'A' ;
+`, Options{})
+	q := strings.TrimSpace(strings.Repeat("A ", 120))
+	start := time.Now()
+	if !p.Accepts(q) {
+		t.Fatal("ambiguous chain rejected")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("ambiguous chain took %v (memoisation broken?)", elapsed)
+	}
+}
+
+// TestLongScript: a multi-statement script with hundreds of statements.
+func TestLongScript(t *testing.T) {
+	p := buildParser(t, `
+grammar t ;
+script : stmt ( SEMI stmt )* ;
+stmt : SELECT IDENTIFIER FROM IDENTIFIER ;
+`, `
+tokens t ; SELECT : 'SELECT' ; FROM : 'FROM' ; SEMI : ';' ; IDENTIFIER : <identifier> ;
+`, Options{})
+	stmts := make([]string, 500)
+	for i := range stmts {
+		stmts[i] = fmt.Sprintf("SELECT c%d FROM t%d", i, i)
+	}
+	if !p.Accepts(strings.Join(stmts, "; ")) {
+		t.Fatal("long script rejected")
+	}
+}
+
+// TestErrorPositionsDeepInInput: the farthest-failure heuristic points at
+// the true trouble spot even late in a long input.
+func TestErrorPositionsDeepInInput(t *testing.T) {
+	p := miniParser(t, Options{})
+	_, err := p.Parse("SELECT a FROM t WHERE b = ")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error = %v", err)
+	}
+	if se.Found != "end of input" {
+		t.Errorf("Found = %q", se.Found)
+	}
+	_, err = p.Parse("SELECT a FROM t WHERE b = = 1")
+	se, ok = err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error = %v", err)
+	}
+	if se.Col < 26 {
+		t.Errorf("error column %d points before the trouble spot", se.Col)
+	}
+}
+
+// TestConcurrentParses: one Parser, many goroutines.
+func TestConcurrentParses(t *testing.T) {
+	p := miniParser(t, Options{})
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT a FROM t WHERE b = 1",
+		"SELECT nope FROM",
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			ok := true
+			for i := 0; i < 200; i++ {
+				q := queries[i%len(queries)]
+				want := q != "SELECT nope FROM"
+				if p.Accepts(q) != want {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent parse gave wrong result")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sql2003
+
+import (
+	"testing"
+)
+
+// TestSchemaElementViewCoversAllDiagrams: the alternative classification is
+// total — no diagram falls into the "other" bucket, and the feature counts
+// sum to the model's total (the same advantages from a different
+// classification, as the paper's conclusions propose).
+func TestSchemaElementViewCoversAllDiagrams(t *testing.T) {
+	m := MustModel()
+	groups := SchemaElementView()
+	totalDiagrams, totalFeatures := 0, 0
+	for _, g := range groups {
+		if g.Element == "other" {
+			t.Errorf("unclassified diagrams: %v", g.Diagrams)
+		}
+		totalDiagrams += len(g.Diagrams)
+		totalFeatures += g.Features
+	}
+	if totalDiagrams != len(m.Diagrams) {
+		t.Errorf("view covers %d diagrams, model has %d", totalDiagrams, len(m.Diagrams))
+	}
+	if totalFeatures != m.FeatureCount() {
+		t.Errorf("view counts %d features, model has %d", totalFeatures, m.FeatureCount())
+	}
+}
+
+// TestSchemaElementViewIsNontrivial: the classification has multiple
+// buckets and every bucket is nonempty.
+func TestSchemaElementViewIsNontrivial(t *testing.T) {
+	groups := SchemaElementView()
+	if len(groups) < 8 {
+		t.Errorf("only %d schema-element groups", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Diagrams) == 0 || g.Features == 0 {
+			t.Errorf("empty group %q", g.Element)
+		}
+	}
+}

@@ -1,0 +1,1120 @@
+package sql2003
+
+import (
+	"sqlspl/internal/feature"
+)
+
+// This file defines the feature diagrams of the SQL:2003 Foundation
+// decomposition (plus the sensor-network extension diagram) and the
+// cross-tree constraints between them.
+//
+// Diagram structure mirrors the SQL:2003 BNF per the paper's mapping rules.
+// Features that contribute syntax carry unit names (Provide); purely
+// structural nodes — e.g. Derived Column in Figure 1 — are modelled without
+// units, exactly as diagram nodes. Constraints record the nonterminal
+// imports between sub-grammars (a feature requires the feature whose unit
+// defines the nonterminals it mandatorily references) plus semantic
+// dependencies such as positioned UPDATE requiring cursors.
+
+func n(name string, kids ...*feature.Feature) *feature.Feature { return feature.New(name, kids...) }
+
+func buildModel() (*feature.Model, error) {
+	diagrams := []*feature.Diagram{
+		dScript(), dQuerySpecification(), dTableExpression(), dJoinedTable(),
+		dWindowSpecification(), dQueryExpression(), dOrderBy(), dSubquery(),
+		dIdentifier(), dLiteral(), dIntervalQualifier(), dValueExpression(),
+		dNumericFunctions(), dStringFunctions(), dCaseExpression(), dCast(),
+		dRowValue(), dSetFunction(), dWindowFunction(), dPredicate(),
+		dSearchCondition(), dDataType(), dInsert(), dUpdate(), dDelete(),
+		dMerge(), dTableDefinition(), dColumnConstraint(), dTableConstraint(),
+		dView(), dDomain(), dSequence(), dTrigger(), dRoutine(), dSchema(),
+		dAlterTable(), dDropStatements(), dGrant(), dRevoke(), dRole(),
+		dTransaction(), dSession(), dConnection(), dCursor(), dDynamicSQL(),
+		dSensorExtensions(),
+	}
+	return feature.NewModel("sql2003", diagrams, constraints())
+}
+
+// --- Statement script (top level) -------------------------------------------
+
+func dScript() *feature.Diagram {
+	return feature.NewDiagram("sql_script", "Top-level SQL script: one statement, or a semicolon-separated sequence.",
+		n("sql_script",
+			n("single_statement").Describe("exactly one statement per input"),
+			n("multi_statement").MarkOptional().Provide("multi_statement").
+				Describe("semicolon-separated statement sequences"),
+			n("query_statement_f").MarkOptional().Provide("query_statement").
+				Describe("query expressions usable as statements"),
+		).Provide("sql_script"),
+	)
+}
+
+// --- Query Specification (paper Figure 1) -------------------------------------
+
+func dQuerySpecification() *feature.Diagram {
+	return feature.NewDiagram("query_specification", "SELECT statement (paper Figure 1).",
+		n("query_specification",
+			n("set_quantifier",
+				n("quantifier_all").Provide("set_quantifier_all"),
+				n("quantifier_distinct").Provide("set_quantifier_distinct"),
+			).MarkOptional().GroupOr().Provide("set_quantifier_slot").
+				Describe("optional ALL | DISTINCT after SELECT"),
+			n("select_list",
+				n("select_asterisk").Provide("select_asterisk").Describe("SELECT *"),
+				n("select_columns",
+					n("derived_column",
+						n("derived_value_expression").Describe("column value is a value expression"),
+						n("column_alias",
+							n("alias_as_keyword").Describe("optional AS before the alias"),
+						).MarkOptional().Provide("derived_column_alias"),
+					),
+					n("multiple_columns").MarkOptional().Provide("select_list_multi").
+						Describe("comma-separated select sublists"),
+					n("qualified_asterisk").MarkOptional().Provide("qualified_asterisk").
+						Describe("tbl.* in the select list"),
+				).Cardinality(1, -1).Provide("select_list"),
+			).GroupOr().Describe("Figure 1: Asterisk | Select Sublist [1..*]"),
+			n("table_expression_link").Describe("mandatory Table Expression (Figure 2)"),
+		).Provide("query_specification"),
+	)
+}
+
+// --- Table Expression (paper Figure 2) -----------------------------------------
+
+func dTableExpression() *feature.Diagram {
+	return feature.NewDiagram("table_expression", "FROM / WHERE / GROUP BY / HAVING / WINDOW (paper Figure 2).",
+		n("table_expression",
+			n("from",
+				n("table_reference",
+					n("table_primary").Describe("a plain table name"),
+				),
+				n("multiple_tables").MarkOptional().Provide("from_multi").
+					Describe("comma-separated table references"),
+				n("table_alias",
+					n("table_alias_columns").Describe("alias column list: t ( a, b )"),
+				).MarkOptional().Provide("table_alias"),
+				n("derived_table").MarkOptional().Provide("derived_table").
+					Describe("subquery in FROM, requires an alias"),
+			).Provide("from_clause"),
+			n("where").MarkOptional().Provide("where_clause"),
+			n("group_by",
+				n("grouping_column").Describe("ordinary grouping set: a column reference"),
+				n("group_rollup").MarkOptional().Provide("rollup"),
+				n("group_cube").MarkOptional().Provide("cube"),
+				n("group_grouping_sets").MarkOptional().Provide("grouping_sets"),
+				n("group_empty_set").MarkOptional().Provide("empty_grouping_set").
+					Describe("the grand-total grouping set ( )"),
+			).MarkOptional().Provide("group_by_clause"),
+			n("having").MarkOptional().Provide("having_clause"),
+			n("window").MarkOptional().Provide("window_clause"),
+		).Provide("table_expression"),
+	)
+}
+
+// --- Joined tables -----------------------------------------------------------------
+
+func dJoinedTable() *feature.Diagram {
+	return feature.NewDiagram("joined_table", "JOIN syntax in table references.",
+		n("joined_table",
+			n("inner_join_keyword").Describe("explicit INNER before JOIN"),
+			n("default_inner_join").Describe("bare JOIN defaults to inner"),
+			n("join_on_condition").Describe("ON search-condition join specification"),
+			n("parenthesized_join").Describe("( t1 JOIN t2 ... ) as a table primary"),
+			n("outer_join",
+				n("left_join").Provide("left_join"),
+				n("right_join").Provide("right_join"),
+				n("full_join").Provide("full_join"),
+			).MarkOptional().GroupOr().Provide("outer_join"),
+			n("cross_join").MarkOptional().Provide("cross_join"),
+			n("natural_join").MarkOptional().Provide("natural_join"),
+			n("named_columns_join").MarkOptional().Provide("named_columns_join").
+				Describe("USING ( column list )"),
+		).Provide("joined_table"),
+	)
+}
+
+// --- Window specification ---------------------------------------------------------
+
+func dWindowSpecification() *feature.Diagram {
+	return feature.NewDiagram("window_specification", "In-line window specifications shared by WINDOW clause and OVER ().",
+		n("window_specification",
+			n("window_partition",
+				n("partition_column_list").Describe("PARTITION BY columns"),
+			).MarkOptional().Provide("window_partition"),
+			n("window_order",
+				n("window_sort_keys").Describe("ORDER BY inside the window"),
+			).MarkOptional().Provide("window_order"),
+			n("window_frame",
+				n("frame_rows").Describe("ROWS frame units"),
+				n("frame_range").Describe("RANGE frame units"),
+				n("frame_between").Describe("BETWEEN bound AND bound"),
+				n("frame_preceding").Describe("value PRECEDING bounds"),
+				n("frame_following").Describe("value FOLLOWING bounds"),
+			).MarkOptional().Provide("window_frame"),
+		).Provide("window_specification"),
+	)
+}
+
+// --- Query expressions (set operations, WITH) ---------------------------------------
+
+func dQueryExpression() *feature.Diagram {
+	return feature.NewDiagram("query_expression", "Query expressions: set operations, VALUES, TABLE, WITH.",
+		n("query_expression",
+			n("simple_table_body").Describe("a query specification as query primary"),
+			n("query_term_node").Describe("query terms combine primaries"),
+			n("parenthesized_query").Describe("( query expression body )"),
+			n("union",
+				n("union_quantifier").MarkOptional().Provide("union_quantifier").
+					Describe("UNION ALL | UNION DISTINCT"),
+				n("corresponding").MarkOptional().Provide("corresponding").
+					Describe("CORRESPONDING [BY (columns)]"),
+			).MarkOptional().Provide("union"),
+			n("except",
+				n("except_quantifier").MarkOptional().Provide("except_quantifier"),
+			).MarkOptional().Provide("except"),
+			n("intersect").MarkOptional().Provide("intersect"),
+			n("explicit_table").MarkOptional().Provide("explicit_table").
+				Describe("TABLE t shorthand"),
+			n("values_constructor").MarkOptional().Provide("table_value_constructor").
+				Describe("VALUES row, row, ..."),
+			n("with_clause",
+				n("recursive_with").MarkOptional().Provide("recursive_with"),
+			).MarkOptional().Provide("with_clause"),
+		).Provide("query_expression"),
+	)
+}
+
+// --- ORDER BY ------------------------------------------------------------------------
+
+func dOrderBy() *feature.Diagram {
+	return feature.NewDiagram("order_by", "ORDER BY sort specifications.",
+		n("order_by",
+			n("sort_specification",
+				n("sort_key").Describe("sort keys are value expressions"),
+				n("multiple_sort_keys").Describe("comma-separated sort specifications"),
+			),
+			n("ordering",
+				n("ordering_asc").Provide("ordering_asc"),
+				n("ordering_desc").Provide("ordering_desc"),
+			).MarkOptional().GroupOr(),
+			n("null_ordering",
+				n("nulls_first").Describe("NULLS FIRST"),
+				n("nulls_last").Describe("NULLS LAST"),
+			).MarkOptional().Provide("null_ordering"),
+		).Provide("order_by_clause"),
+	)
+}
+
+// --- Subqueries -----------------------------------------------------------------------
+
+func dSubquery() *feature.Diagram {
+	return feature.NewDiagram("subquery", "Parenthesized subqueries.",
+		n("subquery",
+			n("table_subquery_node").Describe("subqueries in table position"),
+			n("subquery_parentheses").Describe("( query expression ) form"),
+			n("scalar_subquery").MarkOptional().Provide("scalar_subquery").
+				Describe("subqueries as value expressions"),
+		).Provide("subquery"),
+	)
+}
+
+// --- Identifiers -----------------------------------------------------------------------
+
+func dIdentifier() *feature.Diagram {
+	return feature.NewDiagram("identifier", "Identifiers and name chains.",
+		n("identifier_chain",
+			n("regular_identifier").Describe("letters, digits, underscore"),
+			n("qualified_names").Describe("catalog.schema.object chains"),
+			n("column_name_lists").Describe("parenthesized column name lists"),
+			n("delimited_identifier").MarkOptional().Provide("delimited_identifier").
+				Describe("\"quoted\" identifiers"),
+		).Provide("identifier_chain"),
+	)
+}
+
+// --- Literals ----------------------------------------------------------------------------
+
+func dLiteral() *feature.Diagram {
+	return feature.NewDiagram("literal", "Literal value families.",
+		n("literal",
+			n("numeric_literal",
+				n("approximate_numeric",
+					n("exponent_notation").Describe("E-notation exponents"),
+				).MarkOptional().Provide("literal_approximate").
+					Describe("decimal and E-notation literals"),
+				n("literal_sign").Describe("signed integers for DDL options"),
+			).Provide("literal_numeric"),
+			n("string_literal",
+				n("quote_escape").Describe("'' escapes inside strings"),
+			).Provide("literal_string"),
+			n("binary_literal").Provide("literal_binary").Describe("X'0AFF'"),
+			n("boolean_literal_f",
+				n("boolean_true").Describe("TRUE"),
+				n("boolean_false").Describe("FALSE"),
+				n("boolean_unknown").Describe("UNKNOWN"),
+			).Provide("literal_boolean"),
+			n("datetime_literal_f",
+				n("date_literal").Describe("DATE 'yyyy-mm-dd'"),
+				n("time_literal").Describe("TIME 'hh:mm:ss'"),
+				n("timestamp_literal").Describe("TIMESTAMP '...'"),
+			).Provide("literal_datetime"),
+			n("interval_literal_f",
+				n("interval_sign").Describe("signed intervals"),
+			).Provide("literal_interval").
+				Describe("INTERVAL '3' DAY"),
+		).GroupOr(),
+	)
+}
+
+// --- Interval qualifiers ----------------------------------------------------------------
+
+func dIntervalQualifier() *feature.Diagram {
+	return feature.NewDiagram("interval_qualifier", "Interval qualifier fields (YEAR TO MONTH, DAY, ...).",
+		n("interval_qualifier",
+			n("field_second",
+				n("fractional_seconds_precision").Describe("SECOND(p, q)"),
+			).Describe("SECOND with optional precision (always available)"),
+			n("to_end_field").Describe("start TO end ranges"),
+			n("field_year").MarkOptional().Provide("field_year"),
+			n("field_month").MarkOptional().Provide("field_month"),
+			n("field_day").MarkOptional().Provide("field_day"),
+			n("field_hour").MarkOptional().Provide("field_hour"),
+			n("field_minute").MarkOptional().Provide("field_minute"),
+		).Provide("interval_qualifier"),
+	)
+}
+
+// --- Value expressions ---------------------------------------------------------------------
+
+func dValueExpression() *feature.Diagram {
+	return feature.NewDiagram("value_expression", "Value expressions: arithmetic, primaries, parameters, special values.",
+		n("value_expression",
+			n("additive_operators").Describe("+ and - with term nesting"),
+			n("multiplicative_operators").Describe("* and / with factor nesting"),
+			n("signed_factor").Describe("unary + and -"),
+			n("parenthesized_value").Describe("( value expression )"),
+			n("string_concat").MarkOptional().Provide("string_concat").Describe("|| concatenation"),
+			n("unsigned_literal_primary").Describe("literals as primaries"),
+			n("column_reference_primary").Describe("column references as primaries"),
+			n("host_parameter",
+				n("indicator_parameter").Describe("INDICATOR parameter"),
+			).MarkOptional().Provide("host_parameter").Describe(":name host parameters"),
+			n("dynamic_parameter").MarkOptional().Provide("dynamic_parameter").Describe("? dynamic parameters"),
+			n("special_values",
+				n("value_current_date").Provide("value_current_date"),
+				n("value_current_time").Provide("value_current_time"),
+				n("value_current_timestamp").Provide("value_current_timestamp"),
+				n("value_localtime").Provide("value_localtime").Describe("LOCALTIME, LOCALTIMESTAMP"),
+				n("value_user").Provide("value_user").Describe("USER, CURRENT_USER, SESSION_USER, SYSTEM_USER"),
+				n("value_current_role").Provide("value_current_role"),
+			).MarkOptional().GroupOr(),
+			n("routine_invocation").MarkOptional().Provide("routine_invocation").
+				Describe("f(arg, ...) calls in value position"),
+		).Provide("value_expression"),
+	)
+}
+
+// --- Numeric value functions -------------------------------------------------------------------
+
+func dNumericFunctions() *feature.Diagram {
+	return feature.NewDiagram("numeric_functions", "Numeric value functions (Foundation 6.27).",
+		n("numeric_functions",
+			n("fn_position").Provide("fn_position"),
+			n("fn_extract",
+				n("extract_timezone_hour").Describe("TIMEZONE_HOUR field"),
+				n("extract_timezone_minute").Describe("TIMEZONE_MINUTE field"),
+			).Provide("fn_extract"),
+			n("fn_length",
+				n("char_length_fn").Describe("CHAR_LENGTH / CHARACTER_LENGTH"),
+				n("octet_length_fn").Describe("OCTET_LENGTH"),
+			).Provide("fn_length"),
+			n("fn_abs").Provide("fn_abs"),
+			n("fn_mod").Provide("fn_mod"),
+			n("fn_ln_exp",
+				n("ln_fn").Describe("LN"),
+				n("exp_fn").Describe("EXP"),
+			).Provide("fn_ln_exp"),
+			n("fn_power_sqrt",
+				n("power_fn").Describe("POWER"),
+				n("sqrt_fn").Describe("SQRT"),
+			).Provide("fn_power_sqrt"),
+			n("fn_floor_ceiling",
+				n("floor_fn").Describe("FLOOR"),
+				n("ceiling_fn").Describe("CEIL / CEILING"),
+			).Provide("fn_floor_ceiling"),
+			n("fn_width_bucket").Provide("fn_width_bucket"),
+		).GroupOr().Provide("numeric_value_function"),
+	)
+}
+
+// --- String value functions ---------------------------------------------------------------------
+
+func dStringFunctions() *feature.Diagram {
+	return feature.NewDiagram("string_functions", "String value functions (Foundation 6.29).",
+		n("string_functions",
+			n("fn_substring",
+				n("substring_from").Describe("FROM start position"),
+				n("substring_for").Describe("FOR length"),
+			).Provide("fn_substring"),
+			n("fn_fold",
+				n("fold_upper").Describe("UPPER"),
+				n("fold_lower").Describe("LOWER"),
+			).Provide("fn_fold"),
+			n("fn_trim",
+				n("trim_leading").Describe("TRIM(LEADING ...)"),
+				n("trim_trailing").Describe("TRIM(TRAILING ...)"),
+				n("trim_both").Describe("TRIM(BOTH ...)"),
+			).Provide("fn_trim"),
+			n("fn_overlay",
+				n("overlay_placing").Describe("PLACING replacement"),
+			).Provide("fn_overlay"),
+		).GroupOr().Provide("string_value_function"),
+	)
+}
+
+// --- CASE --------------------------------------------------------------------------------------
+
+func dCaseExpression() *feature.Diagram {
+	return feature.NewDiagram("case_expression", "CASE expressions and abbreviations.",
+		n("case_expression",
+			n("searched_when").Describe("WHEN condition THEN result"),
+			n("case_else").Describe("optional ELSE result"),
+			n("simple_case",
+				n("simple_when").Describe("WHEN value THEN result"),
+			).MarkOptional().Provide("case_simple"),
+			n("case_null_result").Describe("NULL as a result"),
+			n("case_nullif").MarkOptional().Provide("case_nullif"),
+			n("case_coalesce").MarkOptional().Provide("case_coalesce"),
+		).Provide("case_searched"),
+	)
+}
+
+// --- CAST ---------------------------------------------------------------------------------------
+
+func dCast() *feature.Diagram {
+	return feature.NewDiagram("cast", "CAST ( operand AS type ).",
+		n("cast_specification",
+			n("cast_operand_value").Describe("value expression or NULL operand"),
+			n("cast_target_type").Describe("target is a data type"),
+		).Provide("cast_specification"),
+	)
+}
+
+// --- Row values -----------------------------------------------------------------------------------
+
+func dRowValue() *feature.Diagram {
+	return feature.NewDiagram("row_value", "Row value constructors.",
+		n("row_value_constructor",
+			n("row_keyword").Describe("explicit ROW ( ... ) form"),
+			n("row_element_list").Describe("comma-separated element values"),
+		).Provide("row_value_constructor"),
+	)
+}
+
+// --- Aggregates -------------------------------------------------------------------------------------
+
+func dSetFunction() *feature.Diagram {
+	return feature.NewDiagram("set_function", "Aggregate (set) functions.",
+		n("set_function",
+			n("agg_avg").Provide("agg_avg"),
+			n("agg_max").Provide("agg_max"),
+			n("agg_min").Provide("agg_min"),
+			n("agg_sum").Provide("agg_sum"),
+			n("agg_count",
+				n("count_asterisk").Describe("COUNT(*)"),
+			).Provide("agg_count"),
+			n("agg_every").Provide("agg_every"),
+			n("agg_any_some").Provide("agg_any_some"),
+			n("agg_stddev").Provide("agg_stddev"),
+			n("agg_variance").Provide("agg_variance"),
+			n("filter_clause").MarkOptional().Provide("filter_clause").
+				Describe("FILTER ( WHERE condition ) after aggregates"),
+		).GroupOr().Provide("set_function"),
+	)
+}
+
+// --- Window functions ----------------------------------------------------------------------------------
+
+func dWindowFunction() *feature.Diagram {
+	return feature.NewDiagram("window_function", "Window functions with OVER.",
+		n("window_function",
+			n("wf_rank").Provide("wf_rank"),
+			n("wf_dense_rank").Provide("wf_dense_rank"),
+			n("wf_percent_rank").Provide("wf_percent_rank"),
+			n("wf_cume_dist").Provide("wf_cume_dist"),
+			n("wf_row_number").Provide("wf_row_number"),
+			n("wf_aggregate").Provide("wf_aggregate").Describe("aggregates over windows"),
+			n("over_keyword").Describe("OVER introduces the window"),
+			n("window_name_reference").Describe("OVER window_name"),
+			n("inline_window_spec").Describe("OVER ( specification )"),
+		).GroupOr().Provide("window_function"),
+	)
+}
+
+// --- Predicates -------------------------------------------------------------------------------------------
+
+func dPredicate() *feature.Diagram {
+	return feature.NewDiagram("predicate", "Predicates (Foundation 8.x).",
+		n("predicate",
+			n("comparison",
+				n("op_equals").Provide("op_equals"),
+				n("op_not_equals").Provide("op_not_equals"),
+				n("op_less").Provide("op_less"),
+				n("op_greater").Provide("op_greater"),
+				n("op_less_equals").Provide("op_less_equals"),
+				n("op_greater_equals").Provide("op_greater_equals"),
+			).GroupOr().Describe("comparison operators; at least one required"),
+			n("null_predicate",
+				n("is_not_null").Describe("IS NOT NULL negation"),
+			).MarkOptional().Provide("null_predicate"),
+			n("between_predicate",
+				n("between_symmetry",
+					n("between_asymmetric").Describe("ASYMMETRIC"),
+					n("between_symmetric").Describe("SYMMETRIC"),
+				).MarkOptional().Provide("between_symmetry"),
+				n("not_between").Describe("NOT BETWEEN negation"),
+			).MarkOptional().Provide("between_predicate"),
+			n("in_predicate",
+				n("in_value_list").Describe("IN ( value, ... )"),
+				n("not_in").Describe("NOT IN negation"),
+				n("in_subquery").MarkOptional().Provide("in_subquery"),
+			).MarkOptional().Provide("in_predicate"),
+			n("like_predicate",
+				n("not_like").Describe("NOT LIKE negation"),
+				n("like_escape",
+					n("escape_character_node").Describe("escape character expression"),
+				).MarkOptional().Provide("escape_clause"),
+			).MarkOptional().Provide("like_predicate"),
+			n("similar_predicate",
+				n("similar_to_keywords").Describe("SIMILAR TO"),
+				n("not_similar").Describe("NOT SIMILAR TO negation"),
+			).MarkOptional().Provide("similar_predicate"),
+			n("exists_predicate").MarkOptional().Provide("exists_predicate"),
+			n("unique_predicate").MarkOptional().Provide("unique_predicate"),
+			n("quantified_comparison",
+				n("quantifier_all_q").Describe("comp ALL (subquery)"),
+				n("quantifier_some_q").Describe("comp SOME (subquery)"),
+				n("quantifier_any_q").Describe("comp ANY (subquery)"),
+			).MarkOptional().Provide("quantified_comparison"),
+			n("overlaps_predicate").MarkOptional().Provide("overlaps_predicate"),
+			n("distinct_predicate").MarkOptional().Provide("distinct_predicate"),
+		).Provide("comparison_predicate"),
+	)
+}
+
+// --- Search conditions ----------------------------------------------------------------------------------------
+
+func dSearchCondition() *feature.Diagram {
+	return feature.NewDiagram("search_condition", "Boolean combinations of predicates.",
+		n("search_condition",
+			n("boolean_or").Describe("OR at the top level"),
+			n("boolean_and").Describe("AND in boolean terms"),
+			n("boolean_not").Describe("NOT in boolean factors"),
+			n("parenthesized_condition").Describe("( search condition )"),
+			n("boolean_primary_node").Describe("predicates as boolean primaries"),
+			n("truth_value_test").MarkOptional().Provide("boolean_test_truth").
+				Describe("x IS [NOT] TRUE | FALSE | UNKNOWN"),
+		).Provide("search_condition"),
+	)
+}
+
+// --- Data types ---------------------------------------------------------------------------------------------------
+
+func dDataType() *feature.Diagram {
+	return feature.NewDiagram("data_type", "SQL:2003 data types.",
+		n("data_type",
+			n("type_parameters",
+				n("param_precision").Describe("precision parameter"),
+				n("param_scale").Describe("scale parameter"),
+				n("param_length").Describe("length parameter"),
+			).Provide("type_parameters").
+				Describe("precision, scale and length parameters"),
+			n("exact_numeric_types",
+				n("type_smallint").Provide("type_smallint"),
+				n("type_integer",
+					n("int_abbreviation").Describe("INT abbreviation"),
+				).Provide("type_integer"),
+				n("type_bigint").Provide("type_bigint"),
+				n("type_decimal",
+					n("numeric_keyword").Describe("NUMERIC(p,s)"),
+					n("decimal_keyword").Describe("DECIMAL(p,s)"),
+					n("dec_abbreviation").Describe("DEC(p,s)"),
+				).Provide("type_decimal"),
+			).MarkOptional().GroupOr(),
+			n("approximate_numeric_types",
+				n("type_float").Provide("type_float"),
+				n("type_real").Provide("type_real"),
+				n("type_double").Provide("type_double"),
+			).MarkOptional().GroupOr(),
+			n("character_types",
+				n("type_char",
+					n("char_varying").Describe("CHARACTER VARYING"),
+				).Provide("type_char"),
+				n("type_varchar").Provide("type_varchar"),
+				n("type_clob").Provide("type_clob"),
+			).MarkOptional().GroupOr(),
+			n("type_blob").MarkOptional().Provide("type_blob"),
+			n("type_boolean").MarkOptional().Provide("type_boolean"),
+			n("datetime_types",
+				n("type_date").Provide("type_date"),
+				n("type_time").Provide("type_time"),
+				n("type_timestamp").Provide("type_timestamp"),
+				n("type_time_zone").MarkOptional().Provide("type_time_zone").
+					Describe("WITH/WITHOUT TIME ZONE"),
+			).MarkOptional().GroupOr(),
+			n("type_interval").MarkOptional().Provide("type_interval"),
+			n("type_row").MarkOptional().Provide("type_row"),
+			n("collection_types",
+				n("type_array").Provide("type_array"),
+				n("type_multiset").Provide("type_multiset"),
+			).MarkOptional().GroupOr(),
+			n("type_ref").MarkOptional().Provide("type_ref"),
+			n("type_udt").MarkOptional().Provide("type_udt").
+				Describe("user-defined type names"),
+		).Provide("data_type"),
+	)
+}
+
+// --- DML ------------------------------------------------------------------------------------------------------------
+
+func dInsert() *feature.Diagram {
+	return feature.NewDiagram("insert", "INSERT statements.",
+		n("insert_statement",
+			n("insertion_target").Describe("INTO table name"),
+			n("insert_column_list").Describe("explicit target column list"),
+			n("insert_row_node").Describe("parenthesized value rows"),
+			n("insert_values").Describe("VALUES row source"),
+			n("insert_multi_row").MarkOptional().Provide("insert_multi_row"),
+			n("insert_defaults",
+				n("insert_null").Describe("NULL in value lists"),
+				n("insert_default").Describe("DEFAULT in value lists, DEFAULT VALUES"),
+			).MarkOptional().Provide("insert_defaults"),
+			n("insert_from_query").MarkOptional().Provide("insert_from_query"),
+		).Provide("insert_statement"),
+	)
+}
+
+func dUpdate() *feature.Diagram {
+	return feature.NewDiagram("update", "UPDATE statements.",
+		n("update_statement",
+			n("set_clause_list_node",
+				n("set_target_node").Describe("assignment targets"),
+				n("update_source_node").Describe("assignment sources"),
+			).Describe("SET col = value, ..."),
+			n("update_searched_where").Describe("optional WHERE search condition"),
+			n("update_defaults").MarkOptional().Provide("update_defaults").
+				Describe("SET col = NULL | DEFAULT"),
+			n("positioned_update").MarkOptional().Provide("positioned_update").
+				Describe("WHERE CURRENT OF cursor"),
+		).Provide("update_statement"),
+	)
+}
+
+func dDelete() *feature.Diagram {
+	return feature.NewDiagram("delete", "DELETE statements.",
+		n("delete_statement",
+			n("delete_from_target").Describe("FROM target table"),
+			n("delete_searched_where").Describe("optional WHERE search condition"),
+			n("positioned_delete").MarkOptional().Provide("positioned_delete").
+				Describe("WHERE CURRENT OF cursor"),
+		).Provide("delete_statement"),
+	)
+}
+
+func dMerge() *feature.Diagram {
+	return feature.NewDiagram("merge", "MERGE statements.",
+		n("merge_statement",
+			n("merge_using_source").Describe("USING source table reference"),
+			n("merge_on_condition").Describe("ON merge condition"),
+			n("merge_target_alias").Describe("optional target correlation name"),
+			n("merge_when_matched").Describe("WHEN MATCHED THEN UPDATE"),
+			n("merge_when_not_matched").Describe("WHEN NOT MATCHED THEN INSERT"),
+		).Provide("merge_statement"),
+	)
+}
+
+// --- DDL ---------------------------------------------------------------------------------------------------------------
+
+func dTableDefinition() *feature.Diagram {
+	return feature.NewDiagram("table_definition", "CREATE TABLE.",
+		n("table_definition",
+			n("table_elements_node").Describe("parenthesized table element list"),
+			n("column_definition_node").Describe("column name + data type"),
+			n("temporary_tables",
+				n("global_temporary").Describe("GLOBAL TEMPORARY"),
+				n("local_temporary").Describe("LOCAL TEMPORARY"),
+				n("on_commit_action").Describe("ON COMMIT PRESERVE | DELETE ROWS"),
+			).MarkOptional().Provide("temporary_table"),
+			n("default_clause",
+				n("default_literal").Describe("DEFAULT literal"),
+				n("default_null").Describe("DEFAULT NULL"),
+			).MarkOptional().Provide("default_clause"),
+			n("identity_column",
+				n("generated_always").Describe("GENERATED ALWAYS AS IDENTITY"),
+				n("generated_by_default").Describe("GENERATED BY DEFAULT AS IDENTITY"),
+			).MarkOptional().Provide("identity_column"),
+		).Provide("table_definition"),
+	)
+}
+
+func dColumnConstraint() *feature.Diagram {
+	return feature.NewDiagram("column_constraint", "Column constraints.",
+		n("column_constraint",
+			n("not_null_constraint").Describe("NOT NULL (base constraint)"),
+			n("constraint_naming").Describe("CONSTRAINT name prefix"),
+			n("unique_column_constraint",
+				n("unique_keyword").Describe("UNIQUE"),
+				n("primary_key_keyword").Describe("PRIMARY KEY"),
+			).MarkOptional().Provide("unique_column_constraint"),
+			n("references_constraint",
+				n("referential_actions",
+					n("ref_cascade").Describe("CASCADE"),
+					n("ref_set_null").Describe("SET NULL"),
+					n("ref_set_default").Describe("SET DEFAULT"),
+					n("ref_restrict").Describe("RESTRICT"),
+					n("ref_no_action").Describe("NO ACTION"),
+				),
+			).MarkOptional().Provide("references_constraint"),
+			n("check_constraint").MarkOptional().Provide("check_constraint"),
+		).Provide("column_constraint"),
+	)
+}
+
+func dTableConstraint() *feature.Diagram {
+	return feature.NewDiagram("table_constraint", "Table-level constraints.",
+		n("table_constraint",
+			n("unique_table_constraint",
+				n("tc_unique_keyword").Describe("UNIQUE (columns)"),
+				n("tc_primary_key").Describe("PRIMARY KEY (columns)"),
+			).Describe("UNIQUE / PRIMARY KEY (columns)"),
+			n("tc_constraint_naming").Describe("CONSTRAINT name prefix"),
+			n("referential_table_constraint",
+				n("foreign_key_keyword").Describe("FOREIGN KEY (columns) REFERENCES ..."),
+			).MarkOptional().Provide("referential_table_constraint"),
+			n("check_table_constraint").MarkOptional().Provide("check_table_constraint"),
+		).Provide("table_constraint"),
+	)
+}
+
+func dView() *feature.Diagram {
+	return feature.NewDiagram("view", "CREATE VIEW.",
+		n("view_definition",
+			n("view_column_list").Describe("explicit view column names"),
+			n("recursive_view").Describe("CREATE RECURSIVE VIEW"),
+			n("view_check_option").Describe("WITH CHECK OPTION"),
+			n("view_as_query").Describe("AS query expression"),
+		).Provide("view_definition"),
+	)
+}
+
+func dDomain() *feature.Diagram {
+	return feature.NewDiagram("domain", "CREATE DOMAIN.",
+		n("domain_definition",
+			n("domain_default").Describe("DEFAULT for the domain"),
+			n("domain_check").Describe("CHECK constraints on the domain"),
+		).Provide("domain_definition"),
+	)
+}
+
+func dSequence() *feature.Diagram {
+	return feature.NewDiagram("sequence", "CREATE SEQUENCE.",
+		n("sequence_definition",
+			n("sequence_start_with").Describe("START WITH n"),
+			n("sequence_increment_by").Describe("INCREMENT BY n"),
+			n("sequence_min_max").Describe("MINVALUE / MAXVALUE / NO ..."),
+			n("sequence_cycle").Describe("CYCLE / NO CYCLE"),
+		).Provide("sequence_definition"),
+	)
+}
+
+func dTrigger() *feature.Diagram {
+	return feature.NewDiagram("trigger", "CREATE TRIGGER.",
+		n("trigger_definition",
+			n("trigger_time",
+				n("trigger_before").Describe("BEFORE"),
+				n("trigger_after").Describe("AFTER"),
+			),
+			n("trigger_events",
+				n("trigger_on_insert").Describe("INSERT event"),
+				n("trigger_on_delete").Describe("DELETE event"),
+				n("trigger_on_update").Describe("UPDATE [OF columns] event"),
+			),
+			n("trigger_granularity",
+				n("trigger_row_level").Describe("FOR EACH ROW"),
+				n("trigger_statement_level").Describe("FOR EACH STATEMENT"),
+			),
+			n("trigger_when_condition").Describe("WHEN ( condition )"),
+			n("trigger_update_of_columns").Describe("UPDATE OF column list"),
+		).Provide("trigger_definition"),
+	)
+}
+
+func dRoutine() *feature.Diagram {
+	return feature.NewDiagram("routine", "CREATE FUNCTION / PROCEDURE.",
+		n("routine_definition",
+			n("routine_function").Describe("FUNCTION kind"),
+			n("routine_procedure").Describe("PROCEDURE kind"),
+			n("routine_parameters",
+				n("parameter_modes").Describe("IN / OUT / INOUT"),
+			),
+			n("routine_returns").Describe("RETURNS data type"),
+			n("routine_body_node",
+				n("return_expression_body").Describe("RETURN value expression"),
+				n("begin_end_body").Describe("BEGIN ... END compound body"),
+				n("single_statement_body").Describe("a single SQL statement body"),
+			).Describe("routine bodies"),
+		).Provide("routine_definition"),
+	)
+}
+
+func dSchema() *feature.Diagram {
+	return feature.NewDiagram("schema", "CREATE SCHEMA.",
+		n("schema_definition",
+			n("schema_name_node").Describe("schema name chain"),
+			n("schema_authorization").Describe("AUTHORIZATION user"),
+			n("schema_elements").Describe("inline schema elements (tables, views, ...)"),
+		).Provide("schema_definition"),
+	)
+}
+
+func dAlterTable() *feature.Diagram {
+	return feature.NewDiagram("alter_table", "ALTER TABLE.",
+		n("alter_table",
+			n("alter_add_column",
+				n("optional_column_keyword").Describe("COLUMN keyword is optional"),
+			).Describe("ADD [COLUMN] (base action)"),
+			n("alter_drop_column",
+				n("alter_drop_behavior").Describe("CASCADE | RESTRICT"),
+			).MarkOptional().Provide("alter_drop_column"),
+			n("alter_column",
+				n("alter_set_default").Describe("SET DEFAULT"),
+				n("alter_drop_default").Describe("DROP DEFAULT"),
+			).MarkOptional().Provide("alter_column"),
+			n("alter_table_constraint").MarkOptional().Provide("alter_table_constraint").
+				Describe("ADD / DROP table constraints"),
+		).Provide("alter_table"),
+	)
+}
+
+func dDropStatements() *feature.Diagram {
+	return feature.NewDiagram("drop_statements", "DROP statements.",
+		n("drop_statements",
+			n("drop_table").Provide("drop_table"),
+			n("drop_view").Provide("drop_view"),
+			n("drop_other",
+				n("drop_schema").Describe("DROP SCHEMA"),
+				n("drop_domain").Describe("DROP DOMAIN"),
+				n("drop_sequence").Describe("DROP SEQUENCE"),
+				n("drop_trigger").Describe("DROP TRIGGER"),
+			).Provide("drop_other"),
+			n("drop_behavior_node").Describe("CASCADE | RESTRICT").MarkOptional(),
+		).GroupOr(),
+	)
+}
+
+// --- Access control --------------------------------------------------------------------------------------------------------
+
+func dGrant() *feature.Diagram {
+	return feature.NewDiagram("grant", "GRANT statements.",
+		n("grant_statement",
+			n("grantee_list_node",
+				n("public_grantee").Describe("PUBLIC as grantee"),
+			),
+			n("with_grant_option").Describe("WITH GRANT OPTION"),
+			n("privilege_object_table").Describe("ON [TABLE] object"),
+			n("privileges",
+				n("priv_all").Provide("priv_all"),
+				n("priv_select").Provide("priv_select"),
+				n("priv_insert").Provide("priv_insert"),
+				n("priv_update").Provide("priv_update"),
+				n("priv_delete").Provide("priv_delete"),
+				n("priv_references").Provide("priv_references"),
+				n("priv_usage").Provide("priv_usage"),
+				n("priv_trigger").Provide("priv_trigger"),
+				n("priv_execute").Provide("priv_execute"),
+			).GroupOr(),
+			n("grant_role").MarkOptional().Provide("grant_role").
+				Describe("GRANT role TO grantee"),
+		).Provide("grant_statement"),
+	)
+}
+
+func dRevoke() *feature.Diagram {
+	return feature.NewDiagram("revoke", "REVOKE statements.",
+		n("revoke_statement",
+			n("revoke_grant_option_for").Describe("GRANT OPTION FOR prefix"),
+			n("revoke_behavior").Describe("CASCADE | RESTRICT"),
+		).Provide("revoke_statement"),
+	)
+}
+
+func dRole() *feature.Diagram {
+	return feature.NewDiagram("role", "CREATE / DROP ROLE.",
+		n("role_definition",
+			n("role_with_admin").Describe("WITH ADMIN grantor"),
+			n("drop_role").Describe("DROP ROLE"),
+		).Provide("role_definition"),
+	)
+}
+
+// --- Transactions, sessions, connections ------------------------------------------------------------------------------------
+
+func dTransaction() *feature.Diagram {
+	return feature.NewDiagram("transaction", "Transaction management.",
+		n("transaction",
+			n("start_transaction",
+				n("transaction_modes").Describe("comma-separated mode list"),
+			).Describe("START TRANSACTION [modes]"),
+			n("commit_work",
+				n("work_keyword").Describe("optional WORK keyword"),
+			).Describe("COMMIT [WORK]"),
+			n("rollback_work").Describe("ROLLBACK [WORK]"),
+			n("chain_clause").MarkOptional().Provide("chain_clause").
+				Describe("AND [NO] CHAIN"),
+			n("isolation_level",
+				n("isolation_read_uncommitted").Provide("isolation_read_uncommitted"),
+				n("isolation_read_committed").Provide("isolation_read_committed"),
+				n("isolation_repeatable_read").Provide("isolation_repeatable_read"),
+				n("isolation_serializable").Provide("isolation_serializable"),
+			).MarkOptional().GroupOr().Provide("isolation_level"),
+			n("transaction_access_mode",
+				n("access_read_only").Describe("READ ONLY"),
+				n("access_read_write").Describe("READ WRITE"),
+			).MarkOptional().Provide("transaction_access_mode"),
+			n("set_transaction",
+				n("set_local_transaction").Describe("SET LOCAL TRANSACTION"),
+			).MarkOptional().Provide("set_transaction"),
+			n("savepoints",
+				n("release_savepoint").Describe("RELEASE SAVEPOINT"),
+				n("rollback_to_savepoint").Describe("ROLLBACK ... TO SAVEPOINT"),
+			).MarkOptional().Provide("savepoint_statements"),
+		).Provide("transaction_statements"),
+	)
+}
+
+func dSession() *feature.Diagram {
+	return feature.NewDiagram("session", "Session management.",
+		n("session_statements",
+			n("session_value_specification").Describe("literal or identifier values"),
+			n("set_schema").Describe("SET SCHEMA"),
+			n("set_catalog").Describe("SET CATALOG"),
+			n("set_names").Describe("SET NAMES"),
+			n("set_path").Describe("SET PATH"),
+			n("set_role",
+				n("session_authorization").Describe("SET SESSION AUTHORIZATION"),
+			).MarkOptional().Provide("set_role"),
+			n("set_time_zone",
+				n("time_zone_local").Describe("SET TIME ZONE LOCAL"),
+				n("time_zone_interval").Describe("SET TIME ZONE interval"),
+			).MarkOptional().Provide("set_time_zone"),
+		).Provide("session_statements"),
+	)
+}
+
+func dConnection() *feature.Diagram {
+	return feature.NewDiagram("connection", "Connection management.",
+		n("connection_statements",
+			n("connect_to",
+				n("connect_as_name").Describe("AS connection name"),
+				n("connect_user").Describe("USER authorization"),
+			).Describe("CONNECT TO target"),
+			n("disconnect").Describe("DISCONNECT"),
+			n("set_connection").Describe("SET CONNECTION"),
+			n("default_connection").Describe("DEFAULT as connection target"),
+		).Provide("connection_statements"),
+	)
+}
+
+// --- Cursors and dynamic SQL ---------------------------------------------------------------------------------------------------
+
+func dCursor() *feature.Diagram {
+	return feature.NewDiagram("cursor", "Cursors (DECLARE/OPEN/FETCH/CLOSE).",
+		n("declare_cursor",
+			n("cursor_sensitivity",
+				n("cursor_sensitive").Describe("SENSITIVE"),
+				n("cursor_insensitive").Describe("INSENSITIVE"),
+				n("cursor_asensitive").Describe("ASENSITIVE"),
+			),
+			n("cursor_scrollability",
+				n("scroll_keyword").Describe("SCROLL"),
+				n("no_scroll").Describe("NO SCROLL"),
+			).Describe("[NO] SCROLL"),
+			n("cursor_holdability",
+				n("with_hold").Describe("WITH HOLD"),
+				n("without_hold").Describe("WITHOUT HOLD"),
+			).Describe("WITH/WITHOUT HOLD"),
+			n("updatability_clause",
+				n("for_read_only").Describe("FOR READ ONLY"),
+				n("for_update_of").Describe("FOR UPDATE [OF columns]"),
+			).MarkOptional().Provide("updatability_clause"),
+			n("open_close_statements").MarkOptional().Provide("open_close_statements"),
+			n("fetch_statement",
+				n("fetch_next_prior").MarkOptional().Provide("fetch_next_prior"),
+				n("fetch_first_last").MarkOptional().Provide("fetch_first_last"),
+				n("fetch_absolute_relative").MarkOptional().Provide("fetch_absolute_relative"),
+				n("fetch_into_targets").Describe("INTO host parameters"),
+				n("fetch_from_keyword").Describe("optional FROM before the cursor name"),
+			).MarkOptional().Provide("fetch_statement"),
+		).Provide("declare_cursor"),
+	)
+}
+
+func dDynamicSQL() *feature.Diagram {
+	return feature.NewDiagram("dynamic_sql", "Dynamic SQL (PREPARE/EXECUTE).",
+		n("dynamic_sql",
+			n("prepare_statement",
+				n("deallocate_prepare").Describe("DEALLOCATE PREPARE"),
+				n("prepare_from_string").Describe("FROM 'statement text'"),
+				n("statement_name_node").Describe("prepared statement names"),
+			).Provide("prepare_statement"),
+			n("execute_statement",
+				n("execute_immediate").Describe("EXECUTE IMMEDIATE"),
+				n("execute_using").Describe("EXECUTE ... USING args"),
+			).Provide("execute_statement"),
+		).GroupOr(),
+	)
+}
+
+// --- Sensor-network extensions (TinySQL) ------------------------------------------------------------------------------------------
+
+func dSensorExtensions() *feature.Diagram {
+	return feature.NewDiagram("sensor_extensions", "TinySQL-style acquisitional query extensions for sensor networks.",
+		n("sensor_extensions",
+			n("sample_period",
+				n("sample_for_duration").Describe("SAMPLE PERIOD n FOR m"),
+				n("sensor_duration_node").Describe("durations in epochs/ms"),
+			).Describe("SAMPLE PERIOD clause"),
+			n("epoch_duration").MarkOptional().Provide("epoch_duration").
+				Describe("EPOCH DURATION as sample-period synonym"),
+			n("lifetime_clause").MarkOptional().Provide("lifetime_clause").
+				Describe("LIFETIME goal-based sampling"),
+			n("on_event",
+				n("event_arguments").Describe("event parameters"),
+			).MarkOptional().Provide("on_event").Describe("ON EVENT e: query"),
+			n("storage_point").MarkOptional().Provide("storage_point").
+				Describe("CREATE STORAGE POINT materialization"),
+		).Provide("sensor_query"),
+	)
+}
+
+// constraints returns the cross-tree requires constraints: grammar-import
+// dependencies (a feature's unit mandatorily references nonterminals defined
+// by another feature's unit) and semantic dependencies (positioned DML needs
+// cursors; TinySQL extends the SELECT base).
+func constraints() []feature.Constraint {
+	req := func(a, b string) feature.Constraint {
+		return feature.Constraint{Kind: feature.Requires, A: a, B: b}
+	}
+	return []feature.Constraint{
+		// Query side.
+		req("query_specification", "table_expression"),
+		req("select_columns", "value_expression"),
+		req("table_expression", "identifier_chain"),
+		req("where", "search_condition"),
+		req("having", "search_condition"),
+		req("window", "window_specification"),
+		req("group_by", "identifier_chain"),
+		req("joined_table", "from"),
+		req("joined_table", "search_condition"),
+		req("named_columns_join", "identifier_chain"),
+		req("derived_table", "subquery"),
+		req("derived_table", "table_alias"),
+		req("qualified_asterisk", "identifier_chain"),
+		req("query_expression", "query_specification"),
+		req("values_constructor", "row_value_constructor"),
+		req("explicit_table", "identifier_chain"),
+		req("subquery", "query_expression"),
+		req("order_by", "value_expression"),
+		req("window_order", "value_expression"),
+		req("window_partition", "identifier_chain"),
+		req("window_frame", "value_expression"),
+
+		// Value expressions.
+		req("value_expression", "identifier_chain"),
+		req("value_expression", "literal"),
+		req("scalar_subquery", "subquery"),
+		req("routine_invocation", "identifier_chain"),
+		req("routine_invocation", "value_expression"),
+		req("numeric_functions", "value_expression"),
+		req("fn_extract", "interval_qualifier"),
+		req("string_functions", "value_expression"),
+		req("case_expression", "search_condition"),
+		req("case_expression", "value_expression"),
+		req("cast_specification", "data_type"),
+		req("cast_specification", "value_expression"),
+		req("row_value_constructor", "value_expression"),
+		req("set_function", "value_expression"),
+		req("window_function", "window_specification"),
+		req("wf_aggregate", "set_function"),
+		req("interval_literal_f", "interval_qualifier"),
+
+		// Predicates and conditions.
+		req("predicate", "value_expression"),
+		req("search_condition", "predicate"),
+		req("in_subquery", "subquery"),
+		req("exists_predicate", "subquery"),
+		req("unique_predicate", "subquery"),
+		req("quantified_comparison", "subquery"),
+
+		// Types.
+		req("type_interval", "interval_qualifier"),
+		req("type_ref", "identifier_chain"),
+		req("type_udt", "identifier_chain"),
+		req("type_row", "identifier_chain"),
+
+		// DML.
+		req("insert_statement", "identifier_chain"),
+		req("insert_statement", "value_expression"),
+		req("insert_from_query", "query_expression"),
+		req("update_statement", "identifier_chain"),
+		req("update_statement", "value_expression"),
+		req("positioned_update", "declare_cursor"),
+		req("delete_statement", "identifier_chain"),
+		req("positioned_delete", "declare_cursor"),
+		req("merge_statement", "from"),
+		req("merge_statement", "search_condition"),
+		req("merge_statement", "update_statement"),
+		req("merge_statement", "insert_statement"),
+
+		// DDL.
+		req("table_definition", "identifier_chain"),
+		req("table_definition", "data_type"),
+		req("column_constraint", "table_definition"),
+		req("references_constraint", "identifier_chain"),
+		req("check_constraint", "search_condition"),
+		req("table_constraint", "table_definition"),
+		req("table_constraint", "identifier_chain"),
+		req("check_table_constraint", "search_condition"),
+		req("view_definition", "query_expression"),
+		req("view_definition", "identifier_chain"),
+		req("domain_definition", "data_type"),
+		req("domain_definition", "identifier_chain"),
+		req("domain_definition", "search_condition"),
+		req("sequence_definition", "numeric_literal"),
+		req("sequence_definition", "identifier_chain"),
+		req("trigger_definition", "identifier_chain"),
+		req("routine_definition", "identifier_chain"),
+		req("routine_definition", "data_type"),
+		req("schema_definition", "identifier_chain"),
+		req("alter_table", "table_definition"),
+		req("alter_table_constraint", "table_constraint"),
+		req("drop_statements", "identifier_chain"),
+
+		// Access control.
+		req("grant_statement", "identifier_chain"),
+		req("revoke_statement", "grant_statement"),
+		req("grant_role", "grant_statement"),
+
+		// Cursors and dynamic SQL.
+		req("declare_cursor", "query_expression"),
+		req("fetch_absolute_relative", "numeric_literal"),
+
+		// Sensor extensions compose onto the SELECT base.
+		req("sensor_extensions", "query_specification"),
+		req("on_event", "query_statement_f"),
+		req("storage_point", "query_statement_f"),
+
+		// The query statement glue.
+		req("query_statement_f", "query_expression"),
+	}
+}

@@ -1,0 +1,145 @@
+package sql2003
+
+// Access-control (DCL) units: GRANT, REVOKE, roles (Foundation 12.x).
+
+func init() {
+	register("grant_statement", `
+grammar grant_statement ;
+statement : grant_statement ;
+grant_statement : GRANT privileges ON privilege_object TO grantee_list ( WITH GRANT OPTION )? ;
+privileges : privilege_action_list ;
+privilege_action_list : privilege_action ( COMMA privilege_action )* ;
+privilege_object : ( TABLE )? table_name ;
+grantee_list : grantee ( COMMA grantee )* ;
+grantee : PUBLIC | IDENTIFIER ;
+`, `
+tokens grant_statement ;
+GRANT : 'GRANT' ;
+ON : 'ON' ;
+TO : 'TO' ;
+WITH : 'WITH' ;
+OPTION : 'OPTION' ;
+TABLE : 'TABLE' ;
+PUBLIC : 'PUBLIC' ;
+COMMA : ',' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("priv_all", `
+grammar priv_all ;
+privileges : ALL PRIVILEGES ;
+`, `
+tokens priv_all ;
+ALL : 'ALL' ;
+PRIVILEGES : 'PRIVILEGES' ;
+`)
+	register("priv_select", `
+grammar priv_select ;
+privilege_action : SELECT ;
+`, `
+tokens priv_select ;
+SELECT : 'SELECT' ;
+`)
+	register("priv_insert", `
+grammar priv_insert ;
+privilege_action : INSERT ( LPAREN column_name_list RPAREN )? ;
+`, `
+tokens priv_insert ;
+INSERT : 'INSERT' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("priv_update", `
+grammar priv_update ;
+privilege_action : UPDATE ( LPAREN column_name_list RPAREN )? ;
+`, `
+tokens priv_update ;
+UPDATE : 'UPDATE' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("priv_delete", `
+grammar priv_delete ;
+privilege_action : DELETE ;
+`, `
+tokens priv_delete ;
+DELETE : 'DELETE' ;
+`)
+	register("priv_references", `
+grammar priv_references ;
+privilege_action : REFERENCES ( LPAREN column_name_list RPAREN )? ;
+`, `
+tokens priv_references ;
+REFERENCES : 'REFERENCES' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("priv_usage", `
+grammar priv_usage ;
+privilege_action : USAGE ;
+`, `
+tokens priv_usage ;
+USAGE : 'USAGE' ;
+`)
+	register("priv_trigger", `
+grammar priv_trigger ;
+privilege_action : TRIGGER ;
+`, `
+tokens priv_trigger ;
+TRIGGER : 'TRIGGER' ;
+`)
+	register("priv_execute", `
+grammar priv_execute ;
+privilege_action : EXECUTE ;
+`, `
+tokens priv_execute ;
+EXECUTE : 'EXECUTE' ;
+`)
+
+	register("revoke_statement", `
+grammar revoke_statement ;
+statement : revoke_statement ;
+revoke_statement : REVOKE ( GRANT OPTION FOR )? privileges ON privilege_object FROM grantee_list ( drop_behavior )? ;
+drop_behavior : CASCADE | RESTRICT ;
+`, `
+tokens revoke_statement ;
+REVOKE : 'REVOKE' ;
+GRANT : 'GRANT' ;
+OPTION : 'OPTION' ;
+FOR : 'FOR' ;
+ON : 'ON' ;
+FROM : 'FROM' ;
+CASCADE : 'CASCADE' ;
+RESTRICT : 'RESTRICT' ;
+`)
+
+	register("role_definition", `
+grammar role_definition ;
+statement : role_definition | drop_role_statement ;
+role_definition : CREATE ROLE IDENTIFIER ( WITH ADMIN grantee )? ;
+drop_role_statement : DROP ROLE IDENTIFIER ;
+`, `
+tokens role_definition ;
+CREATE : 'CREATE' ;
+DROP : 'DROP' ;
+ROLE : 'ROLE' ;
+WITH : 'WITH' ;
+ADMIN : 'ADMIN' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("grant_role", `
+grammar grant_role ;
+grant_statement : GRANT role_granted_list TO grantee_list ( WITH ADMIN OPTION )? ;
+role_granted_list : IDENTIFIER ( COMMA IDENTIFIER )* ;
+`, `
+tokens grant_role ;
+GRANT : 'GRANT' ;
+TO : 'TO' ;
+WITH : 'WITH' ;
+ADMIN : 'ADMIN' ;
+OPTION : 'OPTION' ;
+COMMA : ',' ;
+IDENTIFIER : <identifier> ;
+`)
+}

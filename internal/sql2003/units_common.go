@@ -1,0 +1,950 @@
+package sql2003
+
+// Common substrate units: identifiers, literals, value expressions,
+// predicates, search conditions. These are the sub-grammars that nearly
+// every statement-class feature imports nonterminals from (as Bali grammars
+// import definitions from other grammars).
+//
+// Granularity follows the paper's mapping rules: distinguishing terminals
+// (DISTINCT, ALL, each comparison operator, each aggregate) are features, so
+// they get their own units and compose by the append-choice rule.
+
+func init() {
+	// --- Identifiers and names (SQL:2003 Foundation 5.4, 6.6, 6.7) --------
+
+	register("identifier_chain", `
+grammar identifier_chain ;
+identifier_chain : actual_identifier ( PERIOD actual_identifier )* ;
+actual_identifier : IDENTIFIER ;
+column_name : actual_identifier ;
+column_reference : identifier_chain ;
+table_name : identifier_chain ;
+column_name_list : column_name ( COMMA column_name )* ;
+`, `
+tokens identifier_chain ;
+IDENTIFIER : <identifier> ;
+PERIOD : '.' ;
+COMMA : ',' ;
+`)
+
+	register("delimited_identifier", `
+grammar delimited_identifier ;
+actual_identifier : DELIMITED_IDENTIFIER ;
+`, `
+tokens delimited_identifier ;
+DELIMITED_IDENTIFIER : <delimited_identifier> ;
+`)
+
+	// --- Literals (Foundation 5.3) -----------------------------------------
+
+	register("literal_numeric", `
+grammar literal_numeric ;
+literal : unsigned_numeric_literal ;
+unsigned_numeric_literal : UNSIGNED_INTEGER ;
+signed_integer : ( sign )? UNSIGNED_INTEGER ;
+sign : PLUS | MINUS ;
+`, `
+tokens literal_numeric ;
+UNSIGNED_INTEGER : <integer> ;
+PLUS : '+' ;
+MINUS : '-' ;
+`)
+
+	register("literal_approximate", `
+grammar literal_approximate ;
+unsigned_numeric_literal : NUMBER ;
+`, `
+tokens literal_approximate ;
+NUMBER : <number> ;
+`)
+
+	register("literal_string", `
+grammar literal_string ;
+literal : character_string_literal ;
+character_string_literal : STRING ;
+`, `
+tokens literal_string ;
+STRING : <string> ;
+`)
+
+	register("literal_binary", `
+grammar literal_binary ;
+literal : binary_string_literal ;
+binary_string_literal : BINSTRING ;
+`, `
+tokens literal_binary ;
+BINSTRING : <binary_string> ;
+`)
+
+	register("literal_boolean", `
+grammar literal_boolean ;
+literal : boolean_literal ;
+boolean_literal : TRUE | FALSE | UNKNOWN ;
+`, `
+tokens literal_boolean ;
+TRUE : 'TRUE' ;
+FALSE : 'FALSE' ;
+UNKNOWN : 'UNKNOWN' ;
+`)
+
+	register("literal_datetime", `
+grammar literal_datetime ;
+literal : datetime_literal ;
+datetime_literal : DATE STRING | TIME STRING | TIMESTAMP STRING ;
+`, `
+tokens literal_datetime ;
+DATE : 'DATE' ;
+TIME : 'TIME' ;
+TIMESTAMP : 'TIMESTAMP' ;
+STRING : <string> ;
+`)
+
+	register("literal_interval", `
+grammar literal_interval ;
+literal : interval_literal ;
+interval_literal : INTERVAL ( sign )? STRING interval_qualifier ;
+`, `
+tokens literal_interval ;
+INTERVAL : 'INTERVAL' ;
+STRING : <string> ;
+PLUS : '+' ;
+MINUS : '-' ;
+`)
+
+	// The interval qualifier's non-second fields are features; with none of
+	// them selected the first start_field alternative is erased, leaving
+	// SECOND-only qualifiers.
+	register("interval_qualifier", `
+grammar interval_qualifier ;
+interval_qualifier : start_field ( TO end_field )? ;
+start_field
+    : non_second_datetime_field ( LPAREN UNSIGNED_INTEGER RPAREN )?
+    | SECOND ( LPAREN UNSIGNED_INTEGER ( COMMA UNSIGNED_INTEGER )? RPAREN )?
+    ;
+end_field
+    : non_second_datetime_field
+    | SECOND ( LPAREN UNSIGNED_INTEGER RPAREN )?
+    ;
+`, `
+tokens interval_qualifier ;
+TO : 'TO' ;
+SECOND : 'SECOND' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+UNSIGNED_INTEGER : <integer> ;
+`)
+
+	register("field_year", `
+grammar field_year ;
+non_second_datetime_field : YEAR ;
+`, `
+tokens field_year ;
+YEAR : 'YEAR' ;
+`)
+	register("field_month", `
+grammar field_month ;
+non_second_datetime_field : MONTH ;
+`, `
+tokens field_month ;
+MONTH : 'MONTH' ;
+`)
+	register("field_day", `
+grammar field_day ;
+non_second_datetime_field : DAY ;
+`, `
+tokens field_day ;
+DAY : 'DAY' ;
+`)
+	register("field_hour", `
+grammar field_hour ;
+non_second_datetime_field : HOUR ;
+`, `
+tokens field_hour ;
+HOUR : 'HOUR' ;
+`)
+	register("field_minute", `
+grammar field_minute ;
+non_second_datetime_field : MINUTE ;
+`, `
+tokens field_minute ;
+MINUTE : 'MINUTE' ;
+`)
+
+	// --- Value expressions (Foundation 6.25-6.29) --------------------------
+	// Operator sets are their own nonterminals so operator features compose
+	// by the paper's append-choice rule instead of duplicating whole
+	// expression spines.
+
+	register("value_expression", `
+grammar value_expression ;
+value_expression : numeric_value_expression ;
+numeric_value_expression : term ( additive_operator term )* ;
+additive_operator : PLUS | MINUS ;
+term : factor ( multiplicative_operator factor )* ;
+multiplicative_operator : ASTERISK | SOLIDUS ;
+factor : ( sign )? value_expression_primary ;
+value_expression_primary
+    : unsigned_value_specification
+    | column_reference
+    | LPAREN value_expression RPAREN
+    ;
+unsigned_value_specification : literal ;
+`, `
+tokens value_expression ;
+PLUS : '+' ;
+MINUS : '-' ;
+ASTERISK : '*' ;
+SOLIDUS : '/' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("string_concat", `
+grammar string_concat ;
+additive_operator : CONCAT ;
+`, `
+tokens string_concat ;
+CONCAT : '||' ;
+`)
+
+	register("host_parameter", `
+grammar host_parameter ;
+unsigned_value_specification : host_parameter_specification ;
+host_parameter_specification : HOSTPARAM ( ( INDICATOR )? HOSTPARAM )? ;
+`, `
+tokens host_parameter ;
+HOSTPARAM : <host_parameter> ;
+INDICATOR : 'INDICATOR' ;
+`)
+
+	register("dynamic_parameter", `
+grammar dynamic_parameter ;
+unsigned_value_specification : QMARK ;
+`, `
+tokens dynamic_parameter ;
+QMARK : <dynamic_parameter> ;
+`)
+
+	// Special value specifications, one unit per keyword feature.
+	register("value_current_date", `
+grammar value_current_date ;
+unsigned_value_specification : CURRENT_DATE ;
+`, `
+tokens value_current_date ;
+CURRENT_DATE : 'CURRENT_DATE' ;
+`)
+	register("value_current_time", `
+grammar value_current_time ;
+unsigned_value_specification : CURRENT_TIME ;
+`, `
+tokens value_current_time ;
+CURRENT_TIME : 'CURRENT_TIME' ;
+`)
+	register("value_current_timestamp", `
+grammar value_current_timestamp ;
+unsigned_value_specification : CURRENT_TIMESTAMP ;
+`, `
+tokens value_current_timestamp ;
+CURRENT_TIMESTAMP : 'CURRENT_TIMESTAMP' ;
+`)
+	register("value_localtime", `
+grammar value_localtime ;
+unsigned_value_specification : LOCALTIME | LOCALTIMESTAMP ;
+`, `
+tokens value_localtime ;
+LOCALTIME : 'LOCALTIME' ;
+LOCALTIMESTAMP : 'LOCALTIMESTAMP' ;
+`)
+	register("value_user", `
+grammar value_user ;
+unsigned_value_specification : CURRENT_USER | SESSION_USER | SYSTEM_USER | USER ;
+`, `
+tokens value_user ;
+CURRENT_USER : 'CURRENT_USER' ;
+SESSION_USER : 'SESSION_USER' ;
+SYSTEM_USER : 'SYSTEM_USER' ;
+USER : 'USER' ;
+`)
+	register("value_current_role", `
+grammar value_current_role ;
+unsigned_value_specification : CURRENT_ROLE ;
+`, `
+tokens value_current_role ;
+CURRENT_ROLE : 'CURRENT_ROLE' ;
+`)
+
+	register("scalar_subquery", `
+grammar scalar_subquery ;
+value_expression_primary : scalar_subquery ;
+scalar_subquery : subquery ;
+`, ``)
+
+	register("routine_invocation", `
+grammar routine_invocation ;
+value_expression_primary : routine_invocation ;
+routine_invocation : identifier_chain LPAREN ( sql_argument_list )? RPAREN ;
+sql_argument_list : value_expression ( COMMA value_expression )* ;
+`, `
+tokens routine_invocation ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	// --- Numeric value functions (Foundation 6.27) --------------------------
+
+	register("numeric_value_function", `
+grammar numeric_value_function ;
+value_expression_primary : numeric_value_function ;
+`, ``)
+
+	register("fn_position", `
+grammar fn_position ;
+numeric_value_function : position_expression ;
+position_expression : POSITION LPAREN value_expression IN value_expression RPAREN ;
+`, `
+tokens fn_position ;
+POSITION : 'POSITION' ;
+IN : 'IN' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_extract", `
+grammar fn_extract ;
+numeric_value_function : extract_expression ;
+extract_expression : EXTRACT LPAREN extract_field FROM value_expression RPAREN ;
+extract_field : non_second_datetime_field | SECOND | TIMEZONE_HOUR | TIMEZONE_MINUTE ;
+`, `
+tokens fn_extract ;
+EXTRACT : 'EXTRACT' ;
+FROM : 'FROM' ;
+SECOND : 'SECOND' ;
+TIMEZONE_HOUR : 'TIMEZONE_HOUR' ;
+TIMEZONE_MINUTE : 'TIMEZONE_MINUTE' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_length", `
+grammar fn_length ;
+numeric_value_function : length_expression ;
+length_expression : ( CHAR_LENGTH | CHARACTER_LENGTH | OCTET_LENGTH ) LPAREN value_expression RPAREN ;
+`, `
+tokens fn_length ;
+CHAR_LENGTH : 'CHAR_LENGTH' ;
+CHARACTER_LENGTH : 'CHARACTER_LENGTH' ;
+OCTET_LENGTH : 'OCTET_LENGTH' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_abs", `
+grammar fn_abs ;
+numeric_value_function : absolute_value_expression ;
+absolute_value_expression : ABS LPAREN value_expression RPAREN ;
+`, `
+tokens fn_abs ;
+ABS : 'ABS' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_mod", `
+grammar fn_mod ;
+numeric_value_function : modulus_expression ;
+modulus_expression : MOD LPAREN value_expression COMMA value_expression RPAREN ;
+`, `
+tokens fn_mod ;
+MOD : 'MOD' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+	register("fn_ln_exp", `
+grammar fn_ln_exp ;
+numeric_value_function : natural_logarithm | exponential_function ;
+natural_logarithm : LN LPAREN value_expression RPAREN ;
+exponential_function : EXP LPAREN value_expression RPAREN ;
+`, `
+tokens fn_ln_exp ;
+LN : 'LN' ;
+EXP : 'EXP' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_power_sqrt", `
+grammar fn_power_sqrt ;
+numeric_value_function : power_function | square_root ;
+power_function : POWER LPAREN value_expression COMMA value_expression RPAREN ;
+square_root : SQRT LPAREN value_expression RPAREN ;
+`, `
+tokens fn_power_sqrt ;
+POWER : 'POWER' ;
+SQRT : 'SQRT' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+	register("fn_floor_ceiling", `
+grammar fn_floor_ceiling ;
+numeric_value_function : floor_function | ceiling_function ;
+floor_function : FLOOR LPAREN value_expression RPAREN ;
+ceiling_function : ( CEIL | CEILING ) LPAREN value_expression RPAREN ;
+`, `
+tokens fn_floor_ceiling ;
+FLOOR : 'FLOOR' ;
+CEIL : 'CEIL' ;
+CEILING : 'CEILING' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_width_bucket", `
+grammar fn_width_bucket ;
+numeric_value_function : width_bucket_function ;
+width_bucket_function : WIDTH_BUCKET LPAREN value_expression COMMA value_expression COMMA value_expression COMMA value_expression RPAREN ;
+`, `
+tokens fn_width_bucket ;
+WIDTH_BUCKET : 'WIDTH_BUCKET' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	// --- String value functions (Foundation 6.29) -----------------------------
+
+	register("string_value_function", `
+grammar string_value_function ;
+value_expression_primary : string_value_function ;
+`, ``)
+
+	register("fn_substring", `
+grammar fn_substring ;
+string_value_function : character_substring_function ;
+character_substring_function : SUBSTRING LPAREN value_expression FROM value_expression ( FOR value_expression )? RPAREN ;
+`, `
+tokens fn_substring ;
+SUBSTRING : 'SUBSTRING' ;
+FROM : 'FROM' ;
+FOR : 'FOR' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_fold", `
+grammar fn_fold ;
+string_value_function : fold_function ;
+fold_function : ( UPPER | LOWER ) LPAREN value_expression RPAREN ;
+`, `
+tokens fn_fold ;
+UPPER : 'UPPER' ;
+LOWER : 'LOWER' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_trim", `
+grammar fn_trim ;
+string_value_function : trim_function ;
+trim_function : TRIM LPAREN ( trim_operands )? value_expression RPAREN ;
+trim_operands : ( trim_specification )? ( value_expression )? FROM ;
+trim_specification : LEADING | TRAILING | BOTH ;
+`, `
+tokens fn_trim ;
+TRIM : 'TRIM' ;
+LEADING : 'LEADING' ;
+TRAILING : 'TRAILING' ;
+BOTH : 'BOTH' ;
+FROM : 'FROM' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("fn_overlay", `
+grammar fn_overlay ;
+string_value_function : overlay_function ;
+overlay_function : OVERLAY LPAREN value_expression PLACING value_expression FROM value_expression ( FOR value_expression )? RPAREN ;
+`, `
+tokens fn_overlay ;
+OVERLAY : 'OVERLAY' ;
+PLACING : 'PLACING' ;
+FROM : 'FROM' ;
+FOR : 'FOR' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- CASE, CAST (Foundation 6.11, 6.12) --------------------------------
+
+	register("case_searched", `
+grammar case_searched ;
+value_expression_primary : case_expression ;
+case_expression : case_specification ;
+case_specification : searched_case ;
+searched_case : CASE ( searched_when_clause )+ ( else_clause )? END ;
+searched_when_clause : WHEN search_condition THEN result ;
+else_clause : ELSE result ;
+result : value_expression | NULL ;
+`, `
+tokens case_searched ;
+CASE : 'CASE' ;
+WHEN : 'WHEN' ;
+THEN : 'THEN' ;
+ELSE : 'ELSE' ;
+END : 'END' ;
+NULL : 'NULL' ;
+`)
+
+	register("case_simple", `
+grammar case_simple ;
+case_specification : simple_case ;
+simple_case : CASE value_expression ( simple_when_clause )+ ( else_clause )? END ;
+simple_when_clause : WHEN value_expression THEN result ;
+`, `
+tokens case_simple ;
+CASE : 'CASE' ;
+WHEN : 'WHEN' ;
+THEN : 'THEN' ;
+END : 'END' ;
+`)
+
+	register("case_nullif", `
+grammar case_nullif ;
+case_expression : nullif_abbreviation ;
+nullif_abbreviation : NULLIF LPAREN value_expression COMMA value_expression RPAREN ;
+`, `
+tokens case_nullif ;
+NULLIF : 'NULLIF' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("case_coalesce", `
+grammar case_coalesce ;
+case_expression : coalesce_abbreviation ;
+coalesce_abbreviation : COALESCE LPAREN value_expression ( COMMA value_expression )+ RPAREN ;
+`, `
+tokens case_coalesce ;
+COALESCE : 'COALESCE' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("cast_specification", `
+grammar cast_specification ;
+value_expression_primary : cast_specification ;
+cast_specification : CAST LPAREN cast_operand AS cast_target RPAREN ;
+cast_operand : value_expression | NULL ;
+cast_target : data_type ;
+`, `
+tokens cast_specification ;
+CAST : 'CAST' ;
+AS : 'AS' ;
+NULL : 'NULL' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- Aggregate (set) functions (Foundation 6.16, 10.9) -----------------
+	// The spine carries the call syntax; each aggregate keyword is a feature
+	// appending to set_function_type.
+
+	register("set_function", `
+grammar set_function ;
+value_expression_primary : set_function_specification ;
+set_function_specification : general_set_function ;
+general_set_function : set_function_type LPAREN ( set_quantifier )? aggregated_argument RPAREN ;
+aggregated_argument : value_expression ;
+`, `
+tokens set_function ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("agg_avg", `
+grammar agg_avg ;
+set_function_type : AVG ;
+`, `
+tokens agg_avg ;
+AVG : 'AVG' ;
+`)
+	register("agg_max", `
+grammar agg_max ;
+set_function_type : MAX ;
+`, `
+tokens agg_max ;
+MAX : 'MAX' ;
+`)
+	register("agg_min", `
+grammar agg_min ;
+set_function_type : MIN ;
+`, `
+tokens agg_min ;
+MIN : 'MIN' ;
+`)
+	register("agg_sum", `
+grammar agg_sum ;
+set_function_type : SUM ;
+`, `
+tokens agg_sum ;
+SUM : 'SUM' ;
+`)
+	register("agg_count", `
+grammar agg_count ;
+set_function_type : COUNT ;
+set_function_specification : COUNT LPAREN ASTERISK RPAREN ;
+`, `
+tokens agg_count ;
+COUNT : 'COUNT' ;
+ASTERISK : '*' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("agg_every", `
+grammar agg_every ;
+set_function_type : EVERY ;
+aggregated_argument : search_condition ;
+`, `
+tokens agg_every ;
+EVERY : 'EVERY' ;
+`)
+	register("agg_any_some", `
+grammar agg_any_some ;
+set_function_type : ANY | SOME ;
+aggregated_argument : search_condition ;
+`, `
+tokens agg_any_some ;
+ANY : 'ANY' ;
+SOME : 'SOME' ;
+`)
+	register("agg_stddev", `
+grammar agg_stddev ;
+set_function_type : STDDEV_POP | STDDEV_SAMP ;
+`, `
+tokens agg_stddev ;
+STDDEV_POP : 'STDDEV_POP' ;
+STDDEV_SAMP : 'STDDEV_SAMP' ;
+`)
+	register("agg_variance", `
+grammar agg_variance ;
+set_function_type : VAR_POP | VAR_SAMP ;
+`, `
+tokens agg_variance ;
+VAR_POP : 'VAR_POP' ;
+VAR_SAMP : 'VAR_SAMP' ;
+`)
+
+	register("filter_clause", `
+grammar filter_clause ;
+set_function_specification : general_set_function ( filter_clause )? ;
+filter_clause : FILTER LPAREN WHERE search_condition RPAREN ;
+`, `
+tokens filter_clause ;
+FILTER : 'FILTER' ;
+WHERE : 'WHERE' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- Window functions (Foundation 6.10) --------------------------------
+
+	register("window_function", `
+grammar window_function ;
+value_expression_primary : window_function ;
+window_function : window_function_type OVER window_name_or_specification ;
+window_name_or_specification : window_name | in_line_window_specification ;
+window_name : IDENTIFIER ;
+in_line_window_specification : window_specification ;
+`, `
+tokens window_function ;
+OVER : 'OVER' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("wf_rank", `
+grammar wf_rank ;
+window_function_type : RANK LPAREN RPAREN ;
+`, `
+tokens wf_rank ;
+RANK : 'RANK' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("wf_dense_rank", `
+grammar wf_dense_rank ;
+window_function_type : DENSE_RANK LPAREN RPAREN ;
+`, `
+tokens wf_dense_rank ;
+DENSE_RANK : 'DENSE_RANK' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("wf_percent_rank", `
+grammar wf_percent_rank ;
+window_function_type : PERCENT_RANK LPAREN RPAREN ;
+`, `
+tokens wf_percent_rank ;
+PERCENT_RANK : 'PERCENT_RANK' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("wf_cume_dist", `
+grammar wf_cume_dist ;
+window_function_type : CUME_DIST LPAREN RPAREN ;
+`, `
+tokens wf_cume_dist ;
+CUME_DIST : 'CUME_DIST' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("wf_row_number", `
+grammar wf_row_number ;
+window_function_type : ROW_NUMBER LPAREN RPAREN ;
+`, `
+tokens wf_row_number ;
+ROW_NUMBER : 'ROW_NUMBER' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("wf_aggregate", `
+grammar wf_aggregate ;
+window_function_type : general_set_function ;
+`, ``)
+
+	// --- Row value constructors (Foundation 7.1) ---------------------------
+
+	register("row_value_constructor", `
+grammar row_value_constructor ;
+row_value_constructor
+    : LPAREN row_value_constructor_element_list RPAREN
+    | ROW LPAREN row_value_constructor_element_list RPAREN
+    ;
+row_value_constructor_element_list : value_expression ( COMMA value_expression )* ;
+row_value_predicand : row_value_constructor ;
+`, `
+tokens row_value_constructor ;
+ROW : 'ROW' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	// --- Predicates (Foundation 8.x) ----------------------------------------
+	// The comparison predicate is the base; each comparison operator is a
+	// feature, and each further predicate appends a new right-hand-side (or
+	// whole-predicate) alternative.
+
+	register("comparison_predicate", `
+grammar comparison_predicate ;
+predicate : row_value_predicand predicate_rhs ;
+predicate_rhs : comparison_rhs ;
+comparison_rhs : comp_op row_value_predicand ;
+row_value_predicand : value_expression ;
+`, ``)
+
+	register("op_equals", `
+grammar op_equals ;
+comp_op : EQ ;
+`, `
+tokens op_equals ;
+EQ : '=' ;
+`)
+	register("op_not_equals", `
+grammar op_not_equals ;
+comp_op : NEQ ;
+`, `
+tokens op_not_equals ;
+NEQ : '<>' ;
+`)
+	register("op_less", `
+grammar op_less ;
+comp_op : LT ;
+`, `
+tokens op_less ;
+LT : '<' ;
+`)
+	register("op_greater", `
+grammar op_greater ;
+comp_op : GT ;
+`, `
+tokens op_greater ;
+GT : '>' ;
+`)
+	register("op_less_equals", `
+grammar op_less_equals ;
+comp_op : LTEQ ;
+`, `
+tokens op_less_equals ;
+LTEQ : '<=' ;
+`)
+	register("op_greater_equals", `
+grammar op_greater_equals ;
+comp_op : GTEQ ;
+`, `
+tokens op_greater_equals ;
+GTEQ : '>=' ;
+`)
+
+	register("null_predicate", `
+grammar null_predicate ;
+predicate_rhs : null_rhs ;
+null_rhs : IS ( NOT )? NULL ;
+`, `
+tokens null_predicate ;
+IS : 'IS' ;
+NOT : 'NOT' ;
+NULL : 'NULL' ;
+`)
+
+	register("between_predicate", `
+grammar between_predicate ;
+predicate_rhs : between_rhs ;
+between_rhs : ( NOT )? BETWEEN ( between_symmetry )? row_value_predicand AND row_value_predicand ;
+`, `
+tokens between_predicate ;
+NOT : 'NOT' ;
+BETWEEN : 'BETWEEN' ;
+AND : 'AND' ;
+`)
+
+	register("between_symmetry", `
+grammar between_symmetry ;
+between_symmetry : ASYMMETRIC | SYMMETRIC ;
+`, `
+tokens between_symmetry ;
+ASYMMETRIC : 'ASYMMETRIC' ;
+SYMMETRIC : 'SYMMETRIC' ;
+`)
+
+	register("in_predicate", `
+grammar in_predicate ;
+predicate_rhs : in_rhs ;
+in_rhs : ( NOT )? IN in_predicate_value ;
+in_predicate_value : LPAREN in_value_list RPAREN ;
+in_value_list : value_expression ( COMMA value_expression )* ;
+`, `
+tokens in_predicate ;
+NOT : 'NOT' ;
+IN : 'IN' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("in_subquery", `
+grammar in_subquery ;
+in_predicate_value : table_subquery ;
+table_subquery : subquery ;
+`, ``)
+
+	register("like_predicate", `
+grammar like_predicate ;
+predicate_rhs : like_rhs ;
+like_rhs : ( NOT )? LIKE character_pattern ( escape_clause )? ;
+character_pattern : value_expression ;
+`, `
+tokens like_predicate ;
+NOT : 'NOT' ;
+LIKE : 'LIKE' ;
+`)
+
+	register("escape_clause", `
+grammar escape_clause ;
+escape_clause : ESCAPE escape_character ;
+escape_character : value_expression ;
+`, `
+tokens escape_clause ;
+ESCAPE : 'ESCAPE' ;
+`)
+
+	register("similar_predicate", `
+grammar similar_predicate ;
+predicate_rhs : similar_rhs ;
+similar_rhs : ( NOT )? SIMILAR TO character_pattern ( escape_clause )? ;
+character_pattern : value_expression ;
+`, `
+tokens similar_predicate ;
+NOT : 'NOT' ;
+SIMILAR : 'SIMILAR' ;
+TO : 'TO' ;
+`)
+
+	register("exists_predicate", `
+grammar exists_predicate ;
+predicate : exists_predicate ;
+exists_predicate : EXISTS table_subquery ;
+table_subquery : subquery ;
+`, `
+tokens exists_predicate ;
+EXISTS : 'EXISTS' ;
+`)
+
+	register("unique_predicate", `
+grammar unique_predicate ;
+predicate : unique_predicate ;
+unique_predicate : UNIQUE table_subquery ;
+table_subquery : subquery ;
+`, `
+tokens unique_predicate ;
+UNIQUE : 'UNIQUE' ;
+`)
+
+	register("quantified_comparison", `
+grammar quantified_comparison ;
+comparison_rhs : comp_op quantifier table_subquery ;
+quantifier : ALL | SOME | ANY ;
+table_subquery : subquery ;
+`, `
+tokens quantified_comparison ;
+ALL : 'ALL' ;
+SOME : 'SOME' ;
+ANY : 'ANY' ;
+`)
+
+	register("overlaps_predicate", `
+grammar overlaps_predicate ;
+predicate_rhs : overlaps_rhs ;
+overlaps_rhs : OVERLAPS row_value_predicand ;
+`, `
+tokens overlaps_predicate ;
+OVERLAPS : 'OVERLAPS' ;
+`)
+
+	register("distinct_predicate", `
+grammar distinct_predicate ;
+predicate_rhs : distinct_rhs ;
+distinct_rhs : IS DISTINCT FROM row_value_predicand ;
+`, `
+tokens distinct_predicate ;
+IS : 'IS' ;
+DISTINCT : 'DISTINCT' ;
+FROM : 'FROM' ;
+`)
+
+	// --- Search conditions (Foundation 8.20, 6.34-6.39) --------------------
+
+	register("search_condition", `
+grammar search_condition ;
+search_condition : boolean_term ( OR boolean_term )* ;
+boolean_term : boolean_factor ( AND boolean_factor )* ;
+boolean_factor : ( NOT )? boolean_test ;
+boolean_test : boolean_primary ;
+boolean_primary : predicate | LPAREN search_condition RPAREN ;
+`, `
+tokens search_condition ;
+OR : 'OR' ;
+AND : 'AND' ;
+NOT : 'NOT' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("boolean_test_truth", `
+grammar boolean_test_truth ;
+boolean_test : boolean_primary ( IS ( NOT )? truth_value )? ;
+truth_value : TRUE | FALSE | UNKNOWN ;
+`, `
+tokens boolean_test_truth ;
+IS : 'IS' ;
+NOT : 'NOT' ;
+TRUE : 'TRUE' ;
+FALSE : 'FALSE' ;
+UNKNOWN : 'UNKNOWN' ;
+`)
+}

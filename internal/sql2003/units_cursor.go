@@ -1,0 +1,134 @@
+package sql2003
+
+// Cursor and dynamic-SQL units (Foundation 14.1-14.5, 20.x). Cursors are
+// core to the embedded-systems profiles the paper motivates: SCQL's
+// interaction model is cursor-based.
+
+func init() {
+	register("declare_cursor", `
+grammar declare_cursor ;
+statement : declare_cursor ;
+declare_cursor : DECLARE cursor_name ( cursor_sensitivity )? ( cursor_scrollability )? CURSOR ( cursor_holdability )? FOR cursor_specification ;
+cursor_name : IDENTIFIER ;
+cursor_sensitivity : SENSITIVE | INSENSITIVE | ASENSITIVE ;
+cursor_scrollability : SCROLL | NO SCROLL ;
+cursor_holdability : WITH HOLD | WITHOUT HOLD ;
+cursor_specification : query_expression ( order_by_clause )? ( updatability_clause )? ;
+`, `
+tokens declare_cursor ;
+DECLARE : 'DECLARE' ;
+CURSOR : 'CURSOR' ;
+SENSITIVE : 'SENSITIVE' ;
+INSENSITIVE : 'INSENSITIVE' ;
+ASENSITIVE : 'ASENSITIVE' ;
+SCROLL : 'SCROLL' ;
+NO : 'NO' ;
+WITH : 'WITH' ;
+WITHOUT : 'WITHOUT' ;
+HOLD : 'HOLD' ;
+FOR : 'FOR' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("updatability_clause", `
+grammar updatability_clause ;
+updatability_clause : FOR READ ONLY | FOR UPDATE ( OF column_name_list )? ;
+`, `
+tokens updatability_clause ;
+FOR : 'FOR' ;
+READ : 'READ' ;
+ONLY : 'ONLY' ;
+UPDATE : 'UPDATE' ;
+OF : 'OF' ;
+`)
+
+	register("open_close_statements", `
+grammar open_close_statements ;
+statement : open_statement | close_statement ;
+open_statement : OPEN cursor_name ;
+close_statement : CLOSE cursor_name ;
+cursor_name : IDENTIFIER ;
+`, `
+tokens open_close_statements ;
+OPEN : 'OPEN' ;
+CLOSE : 'CLOSE' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("fetch_statement", `
+grammar fetch_statement ;
+statement : fetch_statement ;
+fetch_statement : FETCH ( ( fetch_orientation )? FROM )? cursor_name INTO fetch_target_list ;
+fetch_target_list : HOSTPARAM ( COMMA HOSTPARAM )* ;
+cursor_name : IDENTIFIER ;
+`, `
+tokens fetch_statement ;
+FETCH : 'FETCH' ;
+FROM : 'FROM' ;
+INTO : 'INTO' ;
+COMMA : ',' ;
+HOSTPARAM : <host_parameter> ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("fetch_next_prior", `
+grammar fetch_next_prior ;
+fetch_orientation : NEXT | PRIOR ;
+`, `
+tokens fetch_next_prior ;
+NEXT : 'NEXT' ;
+PRIOR : 'PRIOR' ;
+`)
+
+	register("fetch_first_last", `
+grammar fetch_first_last ;
+fetch_orientation : FIRST | LAST ;
+`, `
+tokens fetch_first_last ;
+FIRST : 'FIRST' ;
+LAST : 'LAST' ;
+`)
+
+	register("fetch_absolute_relative", `
+grammar fetch_absolute_relative ;
+fetch_orientation : ( ABSOLUTE | RELATIVE ) signed_integer ;
+`, `
+tokens fetch_absolute_relative ;
+ABSOLUTE : 'ABSOLUTE' ;
+RELATIVE : 'RELATIVE' ;
+`)
+
+	// --- Dynamic SQL ------------------------------------------------------------
+
+	register("prepare_statement", `
+grammar prepare_statement ;
+statement : prepare_statement | deallocate_statement ;
+prepare_statement : PREPARE sql_statement_name FROM STRING ;
+deallocate_statement : DEALLOCATE PREPARE sql_statement_name ;
+sql_statement_name : IDENTIFIER ;
+`, `
+tokens prepare_statement ;
+PREPARE : 'PREPARE' ;
+DEALLOCATE : 'DEALLOCATE' ;
+FROM : 'FROM' ;
+STRING : <string> ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("execute_statement", `
+grammar execute_statement ;
+statement : execute_statement | execute_immediate_statement ;
+execute_statement : EXECUTE sql_statement_name ( USING execute_argument_list )? ;
+execute_argument_list : value_expression ( COMMA value_expression )* ;
+execute_immediate_statement : EXECUTE IMMEDIATE STRING ;
+sql_statement_name : IDENTIFIER ;
+`, `
+tokens execute_statement ;
+EXECUTE : 'EXECUTE' ;
+IMMEDIATE : 'IMMEDIATE' ;
+USING : 'USING' ;
+COMMA : ',' ;
+STRING : <string> ;
+IDENTIFIER : <identifier> ;
+`)
+}

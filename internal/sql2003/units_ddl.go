@@ -1,0 +1,430 @@
+package sql2003
+
+// Data-definition units (Foundation 11.x): schemas, tables, columns and
+// constraints, views, domains, sequences, triggers, routines, ALTER and
+// DROP statements.
+
+func init() {
+	// --- CREATE TABLE (11.3) ---------------------------------------------------
+
+	register("table_definition", `
+grammar table_definition ;
+statement : table_definition ;
+schema_element : table_definition ;
+table_definition : CREATE TABLE table_name LPAREN table_element ( COMMA table_element )* RPAREN ;
+table_element : column_definition ;
+column_definition : column_name data_type ( default_clause )? ( column_constraint_definition )* ;
+`, `
+tokens table_definition ;
+CREATE : 'CREATE' ;
+TABLE : 'TABLE' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("temporary_table", `
+grammar temporary_table ;
+table_definition : CREATE ( table_scope )? TABLE table_name LPAREN table_element ( COMMA table_element )* RPAREN ( ON COMMIT table_commit_action ROWS )? ;
+table_scope : ( GLOBAL | LOCAL ) TEMPORARY ;
+table_commit_action : PRESERVE | DELETE ;
+`, `
+tokens temporary_table ;
+CREATE : 'CREATE' ;
+TABLE : 'TABLE' ;
+GLOBAL : 'GLOBAL' ;
+LOCAL : 'LOCAL' ;
+TEMPORARY : 'TEMPORARY' ;
+ON : 'ON' ;
+COMMIT : 'COMMIT' ;
+PRESERVE : 'PRESERVE' ;
+DELETE : 'DELETE' ;
+ROWS : 'ROWS' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("default_clause", `
+grammar default_clause ;
+default_clause : DEFAULT default_option ;
+default_option : literal | NULL ;
+`, `
+tokens default_clause ;
+DEFAULT : 'DEFAULT' ;
+NULL : 'NULL' ;
+`)
+
+	register("identity_column", `
+grammar identity_column ;
+column_definition : column_name data_type ( default_clause )? ( identity_column_specification )? ( column_constraint_definition )* ;
+identity_column_specification : GENERATED ( ALWAYS | BY DEFAULT ) AS IDENTITY ( LPAREN ( sequence_generator_option )+ RPAREN )? ;
+`, `
+tokens identity_column ;
+GENERATED : 'GENERATED' ;
+ALWAYS : 'ALWAYS' ;
+BY : 'BY' ;
+DEFAULT : 'DEFAULT' ;
+AS : 'AS' ;
+IDENTITY : 'IDENTITY' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	// --- Column constraints (11.4) -----------------------------------------------
+
+	register("column_constraint", `
+grammar column_constraint ;
+column_constraint_definition : ( constraint_name_definition )? column_constraint ;
+constraint_name_definition : CONSTRAINT identifier_chain ;
+column_constraint : NOT NULL ;
+`, `
+tokens column_constraint ;
+CONSTRAINT : 'CONSTRAINT' ;
+NOT : 'NOT' ;
+NULL : 'NULL' ;
+`)
+
+	register("unique_column_constraint", `
+grammar unique_column_constraint ;
+column_constraint : UNIQUE | PRIMARY KEY ;
+`, `
+tokens unique_column_constraint ;
+UNIQUE : 'UNIQUE' ;
+PRIMARY : 'PRIMARY' ;
+KEY : 'KEY' ;
+`)
+
+	register("references_constraint", `
+grammar references_constraint ;
+column_constraint : references_specification ;
+references_specification : REFERENCES table_name ( LPAREN column_name_list RPAREN )? ( referential_action_clause )* ;
+referential_action_clause : ON UPDATE referential_action | ON DELETE referential_action ;
+referential_action : CASCADE | SET NULL | SET DEFAULT | RESTRICT | NO ACTION ;
+`, `
+tokens references_constraint ;
+REFERENCES : 'REFERENCES' ;
+ON : 'ON' ;
+UPDATE : 'UPDATE' ;
+DELETE : 'DELETE' ;
+CASCADE : 'CASCADE' ;
+SET : 'SET' ;
+NULL : 'NULL' ;
+DEFAULT : 'DEFAULT' ;
+RESTRICT : 'RESTRICT' ;
+NO : 'NO' ;
+ACTION : 'ACTION' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("check_constraint", `
+grammar check_constraint ;
+column_constraint : check_constraint_definition ;
+check_constraint_definition : CHECK LPAREN search_condition RPAREN ;
+`, `
+tokens check_constraint ;
+CHECK : 'CHECK' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- Table constraints (11.6) ---------------------------------------------------
+
+	register("table_constraint", `
+grammar table_constraint ;
+table_element : table_constraint_definition ;
+table_constraint_definition : ( constraint_name_definition )? table_constraint ;
+constraint_name_definition : CONSTRAINT identifier_chain ;
+table_constraint : unique_table_constraint ;
+unique_table_constraint : ( UNIQUE | PRIMARY KEY ) LPAREN column_name_list RPAREN ;
+`, `
+tokens table_constraint ;
+CONSTRAINT : 'CONSTRAINT' ;
+UNIQUE : 'UNIQUE' ;
+PRIMARY : 'PRIMARY' ;
+KEY : 'KEY' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("referential_table_constraint", `
+grammar referential_table_constraint ;
+table_constraint : referential_constraint ;
+referential_constraint : FOREIGN KEY LPAREN column_name_list RPAREN references_specification ;
+`, `
+tokens referential_table_constraint ;
+FOREIGN : 'FOREIGN' ;
+KEY : 'KEY' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("check_table_constraint", `
+grammar check_table_constraint ;
+table_constraint : check_constraint_definition ;
+check_constraint_definition : CHECK LPAREN search_condition RPAREN ;
+`, `
+tokens check_table_constraint ;
+CHECK : 'CHECK' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- CREATE VIEW (11.22) -----------------------------------------------------------
+
+	register("view_definition", `
+grammar view_definition ;
+statement : view_definition ;
+schema_element : view_definition ;
+view_definition : CREATE ( RECURSIVE )? VIEW table_name ( LPAREN view_column_list RPAREN )? AS query_expression ( WITH CHECK OPTION )? ;
+view_column_list : column_name_list ;
+`, `
+tokens view_definition ;
+CREATE : 'CREATE' ;
+RECURSIVE : 'RECURSIVE' ;
+VIEW : 'VIEW' ;
+AS : 'AS' ;
+WITH : 'WITH' ;
+CHECK : 'CHECK' ;
+OPTION : 'OPTION' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- CREATE DOMAIN (11.24) ---------------------------------------------------------
+
+	register("domain_definition", `
+grammar domain_definition ;
+statement : domain_definition ;
+schema_element : domain_definition ;
+domain_definition : CREATE DOMAIN identifier_chain ( AS )? data_type ( default_clause )? ( domain_constraint )* ;
+domain_constraint : ( constraint_name_definition )? check_constraint_definition ;
+constraint_name_definition : CONSTRAINT identifier_chain ;
+check_constraint_definition : CHECK LPAREN search_condition RPAREN ;
+`, `
+tokens domain_definition ;
+CREATE : 'CREATE' ;
+DOMAIN : 'DOMAIN' ;
+AS : 'AS' ;
+CONSTRAINT : 'CONSTRAINT' ;
+CHECK : 'CHECK' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- CREATE SEQUENCE (11.62) ---------------------------------------------------------
+
+	register("sequence_definition", `
+grammar sequence_definition ;
+statement : sequence_generator_definition ;
+schema_element : sequence_generator_definition ;
+sequence_generator_definition : CREATE SEQUENCE identifier_chain ( sequence_generator_option )* ;
+sequence_generator_option
+    : START WITH signed_integer
+    | INCREMENT BY signed_integer
+    | MAXVALUE signed_integer
+    | NO MAXVALUE
+    | MINVALUE signed_integer
+    | NO MINVALUE
+    | CYCLE
+    | NO CYCLE
+    ;
+`, `
+tokens sequence_definition ;
+CREATE : 'CREATE' ;
+SEQUENCE : 'SEQUENCE' ;
+START : 'START' ;
+WITH : 'WITH' ;
+INCREMENT : 'INCREMENT' ;
+BY : 'BY' ;
+MAXVALUE : 'MAXVALUE' ;
+MINVALUE : 'MINVALUE' ;
+NO : 'NO' ;
+CYCLE : 'CYCLE' ;
+`)
+
+	// --- CREATE TRIGGER (11.39) ------------------------------------------------------------
+
+	register("trigger_definition", `
+grammar trigger_definition ;
+statement : trigger_definition ;
+schema_element : trigger_definition ;
+trigger_definition : CREATE TRIGGER identifier_chain trigger_action_time trigger_event ON table_name ( triggered_action_coverage )? triggered_action ;
+trigger_action_time : BEFORE | AFTER ;
+trigger_event : INSERT | DELETE | UPDATE ( OF column_name_list )? ;
+triggered_action_coverage : FOR EACH ( ROW | STATEMENT ) ;
+triggered_action : ( WHEN LPAREN search_condition RPAREN )? statement ;
+`, `
+tokens trigger_definition ;
+CREATE : 'CREATE' ;
+TRIGGER : 'TRIGGER' ;
+BEFORE : 'BEFORE' ;
+AFTER : 'AFTER' ;
+INSERT : 'INSERT' ;
+DELETE : 'DELETE' ;
+UPDATE : 'UPDATE' ;
+OF : 'OF' ;
+ON : 'ON' ;
+FOR : 'FOR' ;
+EACH : 'EACH' ;
+ROW : 'ROW' ;
+STATEMENT : 'STATEMENT' ;
+WHEN : 'WHEN' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- SQL-invoked routines (11.50) ---------------------------------------------------------
+
+	register("routine_definition", `
+grammar routine_definition ;
+statement : routine_definition ;
+schema_element : routine_definition ;
+routine_definition : CREATE routine_kind identifier_chain LPAREN ( sql_parameter_list )? RPAREN ( returns_clause )? routine_body ;
+routine_kind : FUNCTION | PROCEDURE ;
+sql_parameter_list : sql_parameter ( COMMA sql_parameter )* ;
+sql_parameter : ( parameter_mode )? IDENTIFIER data_type ;
+parameter_mode : IN | OUT | INOUT ;
+returns_clause : RETURNS data_type ;
+routine_body : RETURN value_expression | BEGIN ( statement SEMICOLON )* END | statement ;
+`, `
+tokens routine_definition ;
+CREATE : 'CREATE' ;
+FUNCTION : 'FUNCTION' ;
+PROCEDURE : 'PROCEDURE' ;
+IN : 'IN' ;
+OUT : 'OUT' ;
+INOUT : 'INOUT' ;
+RETURNS : 'RETURNS' ;
+RETURN : 'RETURN' ;
+BEGIN : 'BEGIN' ;
+END : 'END' ;
+SEMICOLON : ';' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	// --- CREATE SCHEMA (11.1) -------------------------------------------------------------------
+
+	register("schema_definition", `
+grammar schema_definition ;
+statement : schema_definition ;
+schema_definition : CREATE SCHEMA schema_name_clause ( schema_element )* ;
+schema_name_clause : identifier_chain ( AUTHORIZATION IDENTIFIER )? ;
+`, `
+tokens schema_definition ;
+CREATE : 'CREATE' ;
+SCHEMA : 'SCHEMA' ;
+AUTHORIZATION : 'AUTHORIZATION' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	// --- ALTER TABLE (11.10) ---------------------------------------------------------------------
+
+	register("alter_table", `
+grammar alter_table ;
+statement : alter_table_statement ;
+alter_table_statement : ALTER TABLE table_name alter_table_action ;
+alter_table_action : add_column_definition ;
+add_column_definition : ADD ( COLUMN )? column_definition ;
+`, `
+tokens alter_table ;
+ALTER : 'ALTER' ;
+TABLE : 'TABLE' ;
+ADD : 'ADD' ;
+COLUMN : 'COLUMN' ;
+`)
+
+	register("alter_drop_column", `
+grammar alter_drop_column ;
+alter_table_action : drop_column_definition ;
+drop_column_definition : DROP ( COLUMN )? column_name ( drop_behavior )? ;
+drop_behavior : CASCADE | RESTRICT ;
+`, `
+tokens alter_drop_column ;
+DROP : 'DROP' ;
+COLUMN : 'COLUMN' ;
+CASCADE : 'CASCADE' ;
+RESTRICT : 'RESTRICT' ;
+`)
+
+	register("alter_column", `
+grammar alter_column ;
+alter_table_action : alter_column_definition ;
+alter_column_definition : ALTER ( COLUMN )? column_name alter_column_action ;
+alter_column_action : SET default_clause | DROP DEFAULT ;
+`, `
+tokens alter_column ;
+ALTER : 'ALTER' ;
+COLUMN : 'COLUMN' ;
+SET : 'SET' ;
+DROP : 'DROP' ;
+DEFAULT : 'DEFAULT' ;
+`)
+
+	register("alter_table_constraint", `
+grammar alter_table_constraint ;
+alter_table_action : add_table_constraint_definition | drop_table_constraint_definition ;
+add_table_constraint_definition : ADD table_constraint_definition ;
+drop_table_constraint_definition : DROP CONSTRAINT identifier_chain ( drop_behavior )? ;
+drop_behavior : CASCADE | RESTRICT ;
+`, `
+tokens alter_table_constraint ;
+ADD : 'ADD' ;
+DROP : 'DROP' ;
+CONSTRAINT : 'CONSTRAINT' ;
+CASCADE : 'CASCADE' ;
+RESTRICT : 'RESTRICT' ;
+`)
+
+	// --- DROP statements (11.21, 11.23, ...) -------------------------------------------------------
+
+	register("drop_table", `
+grammar drop_table ;
+statement : drop_table_statement ;
+drop_table_statement : DROP TABLE table_name ( drop_behavior )? ;
+drop_behavior : CASCADE | RESTRICT ;
+`, `
+tokens drop_table ;
+DROP : 'DROP' ;
+TABLE : 'TABLE' ;
+CASCADE : 'CASCADE' ;
+RESTRICT : 'RESTRICT' ;
+`)
+
+	register("drop_view", `
+grammar drop_view ;
+statement : drop_view_statement ;
+drop_view_statement : DROP VIEW table_name ( drop_behavior )? ;
+drop_behavior : CASCADE | RESTRICT ;
+`, `
+tokens drop_view ;
+DROP : 'DROP' ;
+VIEW : 'VIEW' ;
+CASCADE : 'CASCADE' ;
+RESTRICT : 'RESTRICT' ;
+`)
+
+	register("drop_other", `
+grammar drop_other ;
+statement : drop_schema_statement | drop_domain_statement | drop_sequence_statement | drop_trigger_statement ;
+drop_schema_statement : DROP SCHEMA identifier_chain ( drop_behavior )? ;
+drop_domain_statement : DROP DOMAIN identifier_chain ( drop_behavior )? ;
+drop_sequence_statement : DROP SEQUENCE identifier_chain ( drop_behavior )? ;
+drop_trigger_statement : DROP TRIGGER identifier_chain ;
+drop_behavior : CASCADE | RESTRICT ;
+`, `
+tokens drop_other ;
+DROP : 'DROP' ;
+SCHEMA : 'SCHEMA' ;
+DOMAIN : 'DOMAIN' ;
+SEQUENCE : 'SEQUENCE' ;
+TRIGGER : 'TRIGGER' ;
+CASCADE : 'CASCADE' ;
+RESTRICT : 'RESTRICT' ;
+`)
+}

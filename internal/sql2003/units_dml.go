@@ -1,0 +1,181 @@
+package sql2003
+
+// Data-manipulation units: INSERT, UPDATE, DELETE, MERGE (Foundation 14.x),
+// plus the top-level script/statement glue every dialect composes first.
+
+func init() {
+	// --- Top-level script ----------------------------------------------------
+
+	register("sql_script", `
+grammar sql_script ;
+start sql_script ;
+sql_script : statement ;
+`, ``)
+
+	register("multi_statement", `
+grammar multi_statement ;
+sql_script : statement ( SEMICOLON statement )* ( SEMICOLON )? ;
+`, `
+tokens multi_statement ;
+SEMICOLON : ';' ;
+`)
+
+	register("query_statement", `
+grammar query_statement ;
+statement : query_statement ;
+query_statement : query_expression ( order_by_clause )? ;
+`, ``)
+
+	// --- INSERT (Foundation 14.8) ---------------------------------------------
+
+	register("insert_statement", `
+grammar insert_statement ;
+statement : insert_statement ;
+insert_statement : INSERT INTO insertion_target insert_columns_and_source ;
+insertion_target : table_name ;
+insert_columns_and_source : ( LPAREN insert_column_list RPAREN )? insert_values_source ;
+insert_column_list : column_name_list ;
+insert_values_source : VALUES insert_row ;
+insert_row : LPAREN insert_value_list RPAREN ;
+insert_value_list : insert_value ( COMMA insert_value )* ;
+insert_value : value_expression ;
+`, `
+tokens insert_statement ;
+INSERT : 'INSERT' ;
+INTO : 'INTO' ;
+VALUES : 'VALUES' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("insert_multi_row", `
+grammar insert_multi_row ;
+insert_values_source : VALUES insert_row ( COMMA insert_row )* ;
+`, `
+tokens insert_multi_row ;
+VALUES : 'VALUES' ;
+COMMA : ',' ;
+`)
+
+	register("insert_defaults", `
+grammar insert_defaults ;
+insert_value : NULL | DEFAULT ;
+insert_columns_and_source : DEFAULT VALUES ;
+`, `
+tokens insert_defaults ;
+NULL : 'NULL' ;
+DEFAULT : 'DEFAULT' ;
+VALUES : 'VALUES' ;
+`)
+
+	register("insert_from_query", `
+grammar insert_from_query ;
+insert_values_source : query_expression ;
+`, ``)
+
+	// --- UPDATE (Foundation 14.11) ---------------------------------------------
+
+	register("update_statement", `
+grammar update_statement ;
+statement : update_statement ;
+update_statement : UPDATE target_table SET set_clause_list ( WHERE search_condition )? ;
+target_table : table_name ;
+set_clause_list : set_clause ( COMMA set_clause )* ;
+set_clause : set_target EQ update_source ;
+set_target : column_name ;
+update_source : value_expression ;
+`, `
+tokens update_statement ;
+UPDATE : 'UPDATE' ;
+SET : 'SET' ;
+WHERE : 'WHERE' ;
+EQ : '=' ;
+COMMA : ',' ;
+`)
+
+	register("update_defaults", `
+grammar update_defaults ;
+update_source : NULL | DEFAULT ;
+`, `
+tokens update_defaults ;
+NULL : 'NULL' ;
+DEFAULT : 'DEFAULT' ;
+`)
+
+	register("positioned_update", `
+grammar positioned_update ;
+update_statement : UPDATE target_table SET set_clause_list WHERE CURRENT OF cursor_name ;
+cursor_name : IDENTIFIER ;
+`, `
+tokens positioned_update ;
+UPDATE : 'UPDATE' ;
+SET : 'SET' ;
+WHERE : 'WHERE' ;
+CURRENT : 'CURRENT' ;
+OF : 'OF' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	// --- DELETE (Foundation 14.6/14.7) ------------------------------------------
+
+	register("delete_statement", `
+grammar delete_statement ;
+statement : delete_statement ;
+delete_statement : DELETE FROM target_table ( WHERE search_condition )? ;
+target_table : table_name ;
+`, `
+tokens delete_statement ;
+DELETE : 'DELETE' ;
+FROM : 'FROM' ;
+WHERE : 'WHERE' ;
+`)
+
+	register("positioned_delete", `
+grammar positioned_delete ;
+delete_statement : DELETE FROM target_table WHERE CURRENT OF cursor_name ;
+cursor_name : IDENTIFIER ;
+`, `
+tokens positioned_delete ;
+DELETE : 'DELETE' ;
+FROM : 'FROM' ;
+WHERE : 'WHERE' ;
+CURRENT : 'CURRENT' ;
+OF : 'OF' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	// --- MERGE (Foundation 14.9) --------------------------------------------------
+
+	register("merge_statement", `
+grammar merge_statement ;
+statement : merge_statement ;
+merge_statement : MERGE INTO target_table ( ( AS )? merge_correlation_name )? USING table_reference ON search_condition merge_operation_specification ;
+merge_correlation_name : IDENTIFIER ;
+merge_operation_specification : ( merge_when_clause )+ ;
+merge_when_clause : merge_when_matched_clause | merge_when_not_matched_clause ;
+merge_when_matched_clause : WHEN MATCHED THEN merge_update_specification ;
+merge_when_not_matched_clause : WHEN NOT MATCHED THEN merge_insert_specification ;
+merge_update_specification : UPDATE SET set_clause_list ;
+merge_insert_specification : INSERT ( LPAREN insert_column_list RPAREN )? VALUES insert_row ;
+target_table : table_name ;
+`, `
+tokens merge_statement ;
+MERGE : 'MERGE' ;
+INTO : 'INTO' ;
+USING : 'USING' ;
+ON : 'ON' ;
+AS : 'AS' ;
+WHEN : 'WHEN' ;
+MATCHED : 'MATCHED' ;
+NOT : 'NOT' ;
+THEN : 'THEN' ;
+UPDATE : 'UPDATE' ;
+SET : 'SET' ;
+INSERT : 'INSERT' ;
+VALUES : 'VALUES' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+IDENTIFIER : <identifier> ;
+`)
+}

@@ -1,0 +1,78 @@
+package sql2003
+
+// Extension units beyond SQL:2003 Foundation.
+//
+// TinySQL (Madden et al., TinyDB) is the paper's running example of a
+// scaled-down, extended dialect for sensor networks: single-table FROM, no
+// column aliases, plus acquisitional clauses — SAMPLE PERIOD, EPOCH
+// DURATION, LIFETIME, and ON EVENT. These compose onto the Foundation
+// query-specification base exactly as the paper describes language
+// extension: syntax from a different concern added without modifying the
+// base grammars (the MetaBorg/Bali comparison in Related Work).
+
+func init() {
+	register("sensor_query", `
+grammar sensor_query ;
+query_specification : SELECT ( set_quantifier )? select_list table_expression ( sensor_clause )* ;
+sensor_clause : sample_period_clause ;
+sample_period_clause : SAMPLE PERIOD_KW sensor_duration ( FOR sensor_duration )? ;
+sensor_duration : UNSIGNED_INTEGER ;
+`, `
+tokens sensor_query ;
+SELECT : 'SELECT' ;
+SAMPLE : 'SAMPLE' ;
+PERIOD_KW : 'PERIOD' ;
+FOR : 'FOR' ;
+UNSIGNED_INTEGER : <integer> ;
+`)
+
+	register("epoch_duration", `
+grammar epoch_duration ;
+sample_period_clause : EPOCH DURATION sensor_duration ;
+`, `
+tokens epoch_duration ;
+EPOCH : 'EPOCH' ;
+DURATION : 'DURATION' ;
+`)
+
+	register("lifetime_clause", `
+grammar lifetime_clause ;
+sensor_clause : lifetime_clause ;
+lifetime_clause : LIFETIME sensor_duration ;
+`, `
+tokens lifetime_clause ;
+LIFETIME : 'LIFETIME' ;
+`)
+
+	register("on_event", `
+grammar on_event ;
+statement : event_query ;
+event_query : ON EVENT event_name ( LPAREN event_argument_list RPAREN )? COLON query_statement ;
+event_name : IDENTIFIER ;
+event_argument_list : IDENTIFIER ( COMMA IDENTIFIER )* ;
+`, `
+tokens on_event ;
+ON : 'ON' ;
+EVENT : 'EVENT' ;
+COLON : ':' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("storage_point", `
+grammar storage_point ;
+statement : storage_point_definition ;
+storage_point_definition : CREATE STORAGE POINT IDENTIFIER SIZE UNSIGNED_INTEGER AS query_statement ;
+`, `
+tokens storage_point ;
+CREATE : 'CREATE' ;
+STORAGE : 'STORAGE' ;
+POINT : 'POINT' ;
+SIZE : 'SIZE' ;
+AS : 'AS' ;
+UNSIGNED_INTEGER : <integer> ;
+IDENTIFIER : <identifier> ;
+`)
+}

@@ -1,0 +1,557 @@
+package sql2003
+
+// Query-side units: query specification (paper Figure 1), table expression
+// (paper Figure 2), clauses, joins, query expressions with set operations,
+// WITH, ORDER BY, subqueries.
+
+func init() {
+	// --- Query specification (Figure 1) ------------------------------------
+
+	register("query_specification", `
+grammar query_specification ;
+query_specification : SELECT select_list table_expression ;
+`, `
+tokens query_specification ;
+SELECT : 'SELECT' ;
+`)
+
+	// The set-quantifier parent contributes the optional slot; ALL and
+	// DISTINCT are separate leaf features (exactly as in paper Figure 1).
+	register("set_quantifier_slot", `
+grammar set_quantifier_slot ;
+query_specification : SELECT ( set_quantifier )? select_list table_expression ;
+`, `
+tokens set_quantifier_slot ;
+SELECT : 'SELECT' ;
+`)
+
+	register("set_quantifier_distinct", `
+grammar set_quantifier_distinct ;
+set_quantifier : DISTINCT ;
+`, `
+tokens set_quantifier_distinct ;
+DISTINCT : 'DISTINCT' ;
+`)
+
+	register("set_quantifier_all", `
+grammar set_quantifier_all ;
+set_quantifier : ALL ;
+`, `
+tokens set_quantifier_all ;
+ALL : 'ALL' ;
+`)
+
+	register("select_list", `
+grammar select_list ;
+select_list : select_sublist ;
+select_sublist : derived_column ;
+derived_column : value_expression ;
+`, ``)
+
+	register("select_list_multi", `
+grammar select_list_multi ;
+select_list : select_sublist ( COMMA select_sublist )* ;
+`, `
+tokens select_list_multi ;
+COMMA : ',' ;
+`)
+
+	register("derived_column_alias", `
+grammar derived_column_alias ;
+derived_column : value_expression ( ( AS )? column_name )? ;
+`, `
+tokens derived_column_alias ;
+AS : 'AS' ;
+`)
+
+	register("select_asterisk", `
+grammar select_asterisk ;
+select_list : ASTERISK ;
+`, `
+tokens select_asterisk ;
+ASTERISK : '*' ;
+`)
+
+	register("qualified_asterisk", `
+grammar qualified_asterisk ;
+select_sublist : qualified_asterisk ;
+qualified_asterisk : identifier_chain PERIOD ASTERISK ;
+`, `
+tokens qualified_asterisk ;
+PERIOD : '.' ;
+ASTERISK : '*' ;
+`)
+
+	// --- Table expression (Figure 2) ---------------------------------------
+	// The base carries optional slots for every optional clause feature;
+	// unselected slots are erased after composition.
+
+	register("table_expression", `
+grammar table_expression ;
+table_expression : from_clause ( where_clause )? ( group_by_clause )? ( having_clause )? ( window_clause )? ;
+`, ``)
+
+	register("from_clause", `
+grammar from_clause ;
+from_clause : FROM table_reference_list ;
+table_reference_list : table_reference ;
+table_reference : table_primary ;
+table_primary : table_name ;
+`, `
+tokens from_clause ;
+FROM : 'FROM' ;
+`)
+
+	register("from_multi", `
+grammar from_multi ;
+table_reference_list : table_reference ( COMMA table_reference )* ;
+`, `
+tokens from_multi ;
+COMMA : ',' ;
+`)
+
+	register("table_alias", `
+grammar table_alias ;
+table_primary : table_name ( ( AS )? correlation_name ( LPAREN derived_column_list RPAREN )? )? ;
+correlation_name : IDENTIFIER ;
+derived_column_list : column_name_list ;
+`, `
+tokens table_alias ;
+AS : 'AS' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("derived_table", `
+grammar derived_table ;
+table_primary : derived_table ( AS )? correlation_name ( LPAREN derived_column_list RPAREN )? ;
+derived_table : table_subquery ;
+table_subquery : subquery ;
+`, `
+tokens derived_table ;
+AS : 'AS' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- Joins (Foundation 7.7) ---------------------------------------------
+
+	register("joined_table", `
+grammar joined_table ;
+table_reference : table_primary ( joined_table_tail )* ;
+table_primary : LPAREN table_reference RPAREN ;
+joined_table_tail : ( join_type )? JOIN table_primary join_specification ;
+join_type : INNER ;
+join_specification : join_condition ;
+join_condition : ON search_condition ;
+`, `
+tokens joined_table ;
+JOIN : 'JOIN' ;
+INNER : 'INNER' ;
+ON : 'ON' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("outer_join", `
+grammar outer_join ;
+join_type : outer_join_type ( OUTER )? ;
+`, `
+tokens outer_join ;
+OUTER : 'OUTER' ;
+`)
+
+	register("left_join", `
+grammar left_join ;
+outer_join_type : LEFT ;
+`, `
+tokens left_join ;
+LEFT : 'LEFT' ;
+`)
+	register("right_join", `
+grammar right_join ;
+outer_join_type : RIGHT ;
+`, `
+tokens right_join ;
+RIGHT : 'RIGHT' ;
+`)
+	register("full_join", `
+grammar full_join ;
+outer_join_type : FULL ;
+`, `
+tokens full_join ;
+FULL : 'FULL' ;
+`)
+
+	register("cross_join", `
+grammar cross_join ;
+joined_table_tail : CROSS JOIN table_primary ;
+`, `
+tokens cross_join ;
+CROSS : 'CROSS' ;
+JOIN : 'JOIN' ;
+`)
+
+	register("natural_join", `
+grammar natural_join ;
+joined_table_tail : NATURAL ( join_type )? JOIN table_primary ;
+`, `
+tokens natural_join ;
+NATURAL : 'NATURAL' ;
+JOIN : 'JOIN' ;
+`)
+
+	register("named_columns_join", `
+grammar named_columns_join ;
+join_specification : named_columns_join ;
+named_columns_join : USING LPAREN column_name_list RPAREN ;
+`, `
+tokens named_columns_join ;
+USING : 'USING' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- Clauses ------------------------------------------------------------
+
+	register("where_clause", `
+grammar where_clause ;
+where_clause : WHERE search_condition ;
+`, `
+tokens where_clause ;
+WHERE : 'WHERE' ;
+`)
+
+	register("group_by_clause", `
+grammar group_by_clause ;
+group_by_clause : GROUP BY grouping_element_list ;
+grouping_element_list : grouping_element ( COMMA grouping_element )* ;
+grouping_element : ordinary_grouping_set ;
+ordinary_grouping_set
+    : grouping_column_reference
+    | LPAREN grouping_column_reference_list RPAREN
+    ;
+grouping_column_reference_list : grouping_column_reference ( COMMA grouping_column_reference )* ;
+grouping_column_reference : column_reference ;
+`, `
+tokens group_by_clause ;
+GROUP : 'GROUP' ;
+BY : 'BY' ;
+COMMA : ',' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("rollup", `
+grammar rollup ;
+grouping_element : rollup_list ;
+rollup_list : ROLLUP LPAREN ordinary_grouping_set_list RPAREN ;
+ordinary_grouping_set_list : ordinary_grouping_set ( COMMA ordinary_grouping_set )* ;
+`, `
+tokens rollup ;
+ROLLUP : 'ROLLUP' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("cube", `
+grammar cube ;
+grouping_element : cube_list ;
+cube_list : CUBE LPAREN ordinary_grouping_set_list RPAREN ;
+ordinary_grouping_set_list : ordinary_grouping_set ( COMMA ordinary_grouping_set )* ;
+`, `
+tokens cube ;
+CUBE : 'CUBE' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	register("grouping_sets", `
+grammar grouping_sets ;
+grouping_element : grouping_sets_specification ;
+grouping_sets_specification : GROUPING SETS LPAREN grouping_element_list RPAREN ;
+`, `
+tokens grouping_sets ;
+GROUPING : 'GROUPING' ;
+SETS : 'SETS' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("empty_grouping_set", `
+grammar empty_grouping_set ;
+grouping_element : LPAREN RPAREN ;
+`, `
+tokens empty_grouping_set ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("having_clause", `
+grammar having_clause ;
+having_clause : HAVING search_condition ;
+`, `
+tokens having_clause ;
+HAVING : 'HAVING' ;
+`)
+
+	// --- Window clause (Foundation 7.11) -------------------------------------
+
+	register("window_clause", `
+grammar window_clause ;
+window_clause : WINDOW window_definition_list ;
+window_definition_list : window_definition ( COMMA window_definition )* ;
+window_definition : new_window_name AS window_specification ;
+new_window_name : IDENTIFIER ;
+`, `
+tokens window_clause ;
+WINDOW : 'WINDOW' ;
+AS : 'AS' ;
+COMMA : ',' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("window_specification", `
+grammar window_specification ;
+window_specification : LPAREN ( window_partition_clause )? ( window_order_clause )? ( window_frame_clause )? RPAREN ;
+`, `
+tokens window_specification ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("window_partition", `
+grammar window_partition ;
+window_partition_clause : PARTITION BY window_partition_column_reference_list ;
+window_partition_column_reference_list : column_reference ( COMMA column_reference )* ;
+`, `
+tokens window_partition ;
+PARTITION : 'PARTITION' ;
+BY : 'BY' ;
+COMMA : ',' ;
+`)
+
+	register("window_order", `
+grammar window_order ;
+window_order_clause : ORDER BY sort_specification_list ;
+sort_specification_list : sort_specification ( COMMA sort_specification )* ;
+sort_specification : sort_key ( ordering_specification )? ( null_ordering )? ;
+sort_key : value_expression ;
+`, `
+tokens window_order ;
+ORDER : 'ORDER' ;
+BY : 'BY' ;
+COMMA : ',' ;
+`)
+
+	register("window_frame", `
+grammar window_frame ;
+window_frame_clause : window_frame_units window_frame_extent ;
+window_frame_units : ROWS | RANGE ;
+window_frame_extent : window_frame_start | window_frame_between ;
+window_frame_start
+    : UNBOUNDED PRECEDING
+    | window_frame_preceding
+    | CURRENT ROW
+    ;
+window_frame_preceding : unsigned_value_specification PRECEDING ;
+window_frame_between : BETWEEN window_frame_bound AND window_frame_bound ;
+window_frame_bound
+    : window_frame_start
+    | UNBOUNDED FOLLOWING
+    | window_frame_following
+    ;
+window_frame_following : unsigned_value_specification FOLLOWING ;
+`, `
+tokens window_frame ;
+ROWS : 'ROWS' ;
+RANGE : 'RANGE' ;
+UNBOUNDED : 'UNBOUNDED' ;
+PRECEDING : 'PRECEDING' ;
+FOLLOWING : 'FOLLOWING' ;
+CURRENT : 'CURRENT' ;
+ROW : 'ROW' ;
+BETWEEN : 'BETWEEN' ;
+AND : 'AND' ;
+`)
+
+	// --- Query expressions and set operations (Foundation 7.13) --------------
+
+	register("query_expression", `
+grammar query_expression ;
+query_expression : query_expression_body ;
+query_expression_body : query_term ;
+query_term : query_primary ;
+query_primary : simple_table | LPAREN query_expression_body RPAREN ;
+simple_table : query_specification ;
+`, `
+tokens query_expression ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("union", `
+grammar union ;
+query_expression_body : query_term ( union_term )* ;
+union_term : union_operator query_term ;
+union_operator : UNION ;
+`, `
+tokens union ;
+UNION : 'UNION' ;
+`)
+
+	register("union_quantifier", `
+grammar union_quantifier ;
+union_operator : UNION ( ALL | DISTINCT )? ;
+`, `
+tokens union_quantifier ;
+UNION : 'UNION' ;
+ALL : 'ALL' ;
+DISTINCT : 'DISTINCT' ;
+`)
+
+	register("except", `
+grammar except ;
+union_operator : EXCEPT ;
+`, `
+tokens except ;
+EXCEPT : 'EXCEPT' ;
+`)
+
+	register("except_quantifier", `
+grammar except_quantifier ;
+union_operator : EXCEPT ( ALL | DISTINCT )? ;
+`, `
+tokens except_quantifier ;
+EXCEPT : 'EXCEPT' ;
+ALL : 'ALL' ;
+DISTINCT : 'DISTINCT' ;
+`)
+
+	register("intersect", `
+grammar intersect ;
+query_term : query_primary ( intersect_term )* ;
+intersect_term : INTERSECT ( ALL | DISTINCT )? query_primary ;
+`, `
+tokens intersect ;
+INTERSECT : 'INTERSECT' ;
+ALL : 'ALL' ;
+DISTINCT : 'DISTINCT' ;
+`)
+
+	register("corresponding", `
+grammar corresponding ;
+union_operator : UNION ( ALL | DISTINCT )? ( corresponding_spec )? ;
+corresponding_spec : CORRESPONDING ( BY LPAREN column_name_list RPAREN )? ;
+`, `
+tokens corresponding ;
+UNION : 'UNION' ;
+ALL : 'ALL' ;
+DISTINCT : 'DISTINCT' ;
+CORRESPONDING : 'CORRESPONDING' ;
+BY : 'BY' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("explicit_table", `
+grammar explicit_table ;
+simple_table : explicit_table ;
+explicit_table : TABLE table_name ;
+`, `
+tokens explicit_table ;
+TABLE : 'TABLE' ;
+`)
+
+	register("table_value_constructor", `
+grammar table_value_constructor ;
+simple_table : table_value_constructor ;
+table_value_constructor : VALUES row_value_expression_list ;
+row_value_expression_list : row_value_constructor ( COMMA row_value_constructor )* ;
+`, `
+tokens table_value_constructor ;
+VALUES : 'VALUES' ;
+COMMA : ',' ;
+`)
+
+	register("subquery", `
+grammar subquery ;
+subquery : LPAREN query_expression RPAREN ;
+`, `
+tokens subquery ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- WITH clause (Foundation 7.13 <with clause>) --------------------------
+
+	register("with_clause", `
+grammar with_clause ;
+query_expression : ( with_clause )? query_expression_body ;
+with_clause : WITH with_list ;
+with_list : with_list_element ( COMMA with_list_element )* ;
+with_list_element : query_name ( LPAREN column_name_list RPAREN )? AS LPAREN query_expression_body RPAREN ;
+query_name : IDENTIFIER ;
+`, `
+tokens with_clause ;
+WITH : 'WITH' ;
+AS : 'AS' ;
+COMMA : ',' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("recursive_with", `
+grammar recursive_with ;
+with_clause : WITH ( RECURSIVE )? with_list ;
+`, `
+tokens recursive_with ;
+WITH : 'WITH' ;
+RECURSIVE : 'RECURSIVE' ;
+`)
+
+	// --- ORDER BY (Foundation 14.1 <declare cursor>, 10.10 <sort spec list>) --
+
+	register("order_by_clause", `
+grammar order_by_clause ;
+order_by_clause : ORDER BY sort_specification_list ;
+sort_specification_list : sort_specification ( COMMA sort_specification )* ;
+sort_specification : sort_key ( ordering_specification )? ( null_ordering )? ;
+sort_key : value_expression ;
+`, `
+tokens order_by_clause ;
+ORDER : 'ORDER' ;
+BY : 'BY' ;
+COMMA : ',' ;
+`)
+
+	register("ordering_asc", `
+grammar ordering_asc ;
+ordering_specification : ASC ;
+`, `
+tokens ordering_asc ;
+ASC : 'ASC' ;
+`)
+
+	register("ordering_desc", `
+grammar ordering_desc ;
+ordering_specification : DESC ;
+`, `
+tokens ordering_desc ;
+DESC : 'DESC' ;
+`)
+
+	register("null_ordering", `
+grammar null_ordering ;
+null_ordering : NULLS FIRST | NULLS LAST ;
+`, `
+tokens null_ordering ;
+NULLS : 'NULLS' ;
+FIRST : 'FIRST' ;
+LAST : 'LAST' ;
+`)
+}

@@ -1,0 +1,186 @@
+package sql2003
+
+// Transaction, session and connection management units (Foundation 16.x,
+// 17.x, 19.x).
+
+func init() {
+	// --- Transactions ------------------------------------------------------------
+
+	register("transaction_statements", `
+grammar transaction_statements ;
+statement : start_transaction_statement | commit_statement | rollback_statement ;
+start_transaction_statement : START TRANSACTION ( transaction_mode ( COMMA transaction_mode )* )? ;
+commit_statement : COMMIT ( WORK )? ( chain_clause )? ;
+rollback_statement : ROLLBACK ( WORK )? ( chain_clause )? ( savepoint_clause )? ;
+`, `
+tokens transaction_statements ;
+START : 'START' ;
+TRANSACTION : 'TRANSACTION' ;
+COMMIT : 'COMMIT' ;
+ROLLBACK : 'ROLLBACK' ;
+WORK : 'WORK' ;
+COMMA : ',' ;
+`)
+
+	register("chain_clause", `
+grammar chain_clause ;
+chain_clause : AND ( NO )? CHAIN ;
+`, `
+tokens chain_clause ;
+AND : 'AND' ;
+NO : 'NO' ;
+CHAIN : 'CHAIN' ;
+`)
+
+	register("isolation_level", `
+grammar isolation_level ;
+transaction_mode : isolation_level ;
+isolation_level : ISOLATION LEVEL level_of_isolation ;
+`, `
+tokens isolation_level ;
+ISOLATION : 'ISOLATION' ;
+LEVEL : 'LEVEL' ;
+`)
+
+	register("isolation_read_uncommitted", `
+grammar isolation_read_uncommitted ;
+level_of_isolation : READ UNCOMMITTED ;
+`, `
+tokens isolation_read_uncommitted ;
+READ : 'READ' ;
+UNCOMMITTED : 'UNCOMMITTED' ;
+`)
+	register("isolation_read_committed", `
+grammar isolation_read_committed ;
+level_of_isolation : READ COMMITTED ;
+`, `
+tokens isolation_read_committed ;
+READ : 'READ' ;
+COMMITTED : 'COMMITTED' ;
+`)
+	register("isolation_repeatable_read", `
+grammar isolation_repeatable_read ;
+level_of_isolation : REPEATABLE READ ;
+`, `
+tokens isolation_repeatable_read ;
+REPEATABLE : 'REPEATABLE' ;
+READ : 'READ' ;
+`)
+	register("isolation_serializable", `
+grammar isolation_serializable ;
+level_of_isolation : SERIALIZABLE ;
+`, `
+tokens isolation_serializable ;
+SERIALIZABLE : 'SERIALIZABLE' ;
+`)
+
+	register("transaction_access_mode", `
+grammar transaction_access_mode ;
+transaction_mode : READ ONLY | READ WRITE ;
+`, `
+tokens transaction_access_mode ;
+READ : 'READ' ;
+ONLY : 'ONLY' ;
+WRITE : 'WRITE' ;
+`)
+
+	register("set_transaction", `
+grammar set_transaction ;
+statement : set_transaction_statement ;
+set_transaction_statement : SET ( LOCAL )? TRANSACTION transaction_mode ( COMMA transaction_mode )* ;
+`, `
+tokens set_transaction ;
+SET : 'SET' ;
+LOCAL : 'LOCAL' ;
+TRANSACTION : 'TRANSACTION' ;
+COMMA : ',' ;
+`)
+
+	register("savepoint_statements", `
+grammar savepoint_statements ;
+statement : savepoint_statement | release_savepoint_statement ;
+savepoint_statement : SAVEPOINT savepoint_name ;
+release_savepoint_statement : RELEASE SAVEPOINT savepoint_name ;
+savepoint_clause : TO SAVEPOINT savepoint_name ;
+savepoint_name : IDENTIFIER ;
+`, `
+tokens savepoint_statements ;
+SAVEPOINT : 'SAVEPOINT' ;
+RELEASE : 'RELEASE' ;
+TO : 'TO' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	// --- Session management ---------------------------------------------------------
+
+	register("session_statements", `
+grammar session_statements ;
+statement : set_schema_statement | set_catalog_statement | set_names_statement | set_path_statement ;
+set_schema_statement : SET SCHEMA value_specification ;
+set_catalog_statement : SET CATALOG value_specification ;
+set_names_statement : SET NAMES value_specification ;
+set_path_statement : SET PATH value_specification ;
+value_specification : literal | IDENTIFIER ;
+`, `
+tokens session_statements ;
+SET : 'SET' ;
+SCHEMA : 'SCHEMA' ;
+CATALOG : 'CATALOG' ;
+NAMES : 'NAMES' ;
+PATH : 'PATH' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("set_role", `
+grammar set_role ;
+statement : set_role_statement | set_session_authorization ;
+set_role_statement : SET ROLE ( NONE | value_specification ) ;
+set_session_authorization : SET SESSION AUTHORIZATION value_specification ;
+`, `
+tokens set_role ;
+SET : 'SET' ;
+ROLE : 'ROLE' ;
+NONE : 'NONE' ;
+SESSION : 'SESSION' ;
+AUTHORIZATION : 'AUTHORIZATION' ;
+`)
+
+	register("set_time_zone", `
+grammar set_time_zone ;
+statement : set_time_zone_statement ;
+set_time_zone_statement : SET TIME ZONE ( LOCAL | interval_literal | STRING ) ;
+`, `
+tokens set_time_zone ;
+SET : 'SET' ;
+TIME : 'TIME' ;
+ZONE : 'ZONE' ;
+LOCAL : 'LOCAL' ;
+STRING : <string> ;
+`)
+
+	// --- Connections -------------------------------------------------------------------
+
+	register("connection_statements", `
+grammar connection_statements ;
+statement : connect_statement | disconnect_statement | set_connection_statement ;
+connect_statement : CONNECT TO connection_target ;
+connection_target : STRING ( AS IDENTIFIER )? ( USER STRING )? | DEFAULT ;
+disconnect_statement : DISCONNECT disconnect_object ;
+disconnect_object : STRING | ALL | DEFAULT | CURRENT ;
+set_connection_statement : SET CONNECTION ( STRING | DEFAULT ) ;
+`, `
+tokens connection_statements ;
+CONNECT : 'CONNECT' ;
+TO : 'TO' ;
+DISCONNECT : 'DISCONNECT' ;
+SET : 'SET' ;
+CONNECTION : 'CONNECTION' ;
+AS : 'AS' ;
+USER : 'USER' ;
+ALL : 'ALL' ;
+DEFAULT : 'DEFAULT' ;
+CURRENT : 'CURRENT' ;
+STRING : <string> ;
+IDENTIFIER : <identifier> ;
+`)
+}

@@ -1,0 +1,270 @@
+package sql2003
+
+// Data type units (SQL:2003 Foundation 6.1 <data type>). The spine unit
+// carries the data_type structure; every type family is a feature appending
+// alternatives to predefined_type / base_data_type. A product must select at
+// least one type family wherever the data_type diagram is selected (OR
+// group in the feature model).
+
+func init() {
+	register("data_type", `
+grammar data_type ;
+data_type : base_data_type ;
+base_data_type : predefined_type ;
+`, ``)
+
+	register("type_parameters", `
+grammar type_parameters ;
+precision : UNSIGNED_INTEGER ;
+scale : UNSIGNED_INTEGER ;
+length : UNSIGNED_INTEGER ;
+`, `
+tokens type_parameters ;
+UNSIGNED_INTEGER : <integer> ;
+`)
+
+	// --- Exact numerics ----------------------------------------------------
+
+	register("type_smallint", `
+grammar type_smallint ;
+predefined_type : SMALLINT ;
+`, `
+tokens type_smallint ;
+SMALLINT : 'SMALLINT' ;
+`)
+	register("type_integer", `
+grammar type_integer ;
+predefined_type : INTEGER | INT ;
+`, `
+tokens type_integer ;
+INTEGER : 'INTEGER' ;
+INT : 'INT' ;
+`)
+	register("type_bigint", `
+grammar type_bigint ;
+predefined_type : BIGINT ;
+`, `
+tokens type_bigint ;
+BIGINT : 'BIGINT' ;
+`)
+	register("type_decimal", `
+grammar type_decimal ;
+predefined_type : exact_decimal_type ;
+exact_decimal_type : ( NUMERIC | DECIMAL | DEC ) ( LPAREN precision ( COMMA scale )? RPAREN )? ;
+`, `
+tokens type_decimal ;
+NUMERIC : 'NUMERIC' ;
+DECIMAL : 'DECIMAL' ;
+DEC : 'DEC' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+`)
+
+	// --- Approximate numerics -----------------------------------------------
+
+	register("type_float", `
+grammar type_float ;
+predefined_type : FLOAT ( LPAREN precision RPAREN )? ;
+`, `
+tokens type_float ;
+FLOAT : 'FLOAT' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("type_real", `
+grammar type_real ;
+predefined_type : REAL ;
+`, `
+tokens type_real ;
+REAL : 'REAL' ;
+`)
+	register("type_double", `
+grammar type_double ;
+predefined_type : DOUBLE PRECISION_KW ;
+`, `
+tokens type_double ;
+DOUBLE : 'DOUBLE' ;
+PRECISION_KW : 'PRECISION' ;
+`)
+
+	// --- Character strings ---------------------------------------------------
+
+	register("type_char", `
+grammar type_char ;
+predefined_type : character_string_type ;
+character_string_type : ( CHARACTER | CHAR ) ( VARYING )? ( LPAREN length RPAREN )? ;
+`, `
+tokens type_char ;
+CHARACTER : 'CHARACTER' ;
+CHAR : 'CHAR' ;
+VARYING : 'VARYING' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("type_varchar", `
+grammar type_varchar ;
+predefined_type : character_string_type ;
+character_string_type : VARCHAR LPAREN length RPAREN ;
+`, `
+tokens type_varchar ;
+VARCHAR : 'VARCHAR' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("type_clob", `
+grammar type_clob ;
+predefined_type : character_string_type ;
+character_string_type
+    : CLOB ( LPAREN length RPAREN )?
+    | ( CHARACTER | CHAR ) LARGE OBJECT ( LPAREN length RPAREN )?
+    ;
+`, `
+tokens type_clob ;
+CLOB : 'CLOB' ;
+CHARACTER : 'CHARACTER' ;
+CHAR : 'CHAR' ;
+LARGE : 'LARGE' ;
+OBJECT : 'OBJECT' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+	register("type_blob", `
+grammar type_blob ;
+predefined_type : binary_large_object_type ;
+binary_large_object_type
+    : BLOB ( LPAREN length RPAREN )?
+    | BINARY LARGE OBJECT ( LPAREN length RPAREN )?
+    ;
+`, `
+tokens type_blob ;
+BLOB : 'BLOB' ;
+BINARY : 'BINARY' ;
+LARGE : 'LARGE' ;
+OBJECT : 'OBJECT' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	// --- Boolean ----------------------------------------------------------------
+
+	register("type_boolean", `
+grammar type_boolean ;
+predefined_type : BOOLEAN ;
+`, `
+tokens type_boolean ;
+BOOLEAN : 'BOOLEAN' ;
+`)
+
+	// --- Datetimes -----------------------------------------------------------------
+	// TIME/TIMESTAMP carry an optional with-time-zone slot; the slot's
+	// production comes from the type_time_zone feature.
+
+	register("type_date", `
+grammar type_date ;
+predefined_type : DATE ;
+`, `
+tokens type_date ;
+DATE : 'DATE' ;
+`)
+	register("type_time", `
+grammar type_time ;
+predefined_type : time_type ;
+time_type : TIME ( LPAREN time_precision RPAREN )? ( with_or_without_time_zone )? ;
+time_precision : UNSIGNED_INTEGER ;
+`, `
+tokens type_time ;
+TIME : 'TIME' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+UNSIGNED_INTEGER : <integer> ;
+`)
+	register("type_timestamp", `
+grammar type_timestamp ;
+predefined_type : timestamp_type ;
+timestamp_type : TIMESTAMP ( LPAREN time_precision RPAREN )? ( with_or_without_time_zone )? ;
+time_precision : UNSIGNED_INTEGER ;
+`, `
+tokens type_timestamp ;
+TIMESTAMP : 'TIMESTAMP' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+UNSIGNED_INTEGER : <integer> ;
+`)
+	register("type_time_zone", `
+grammar type_time_zone ;
+with_or_without_time_zone : WITH TIME ZONE | WITHOUT TIME ZONE ;
+`, `
+tokens type_time_zone ;
+WITH : 'WITH' ;
+WITHOUT : 'WITHOUT' ;
+TIME : 'TIME' ;
+ZONE : 'ZONE' ;
+`)
+
+	// --- Interval ----------------------------------------------------------------------
+
+	register("type_interval", `
+grammar type_interval ;
+predefined_type : interval_type ;
+interval_type : INTERVAL interval_qualifier ;
+`, `
+tokens type_interval ;
+INTERVAL : 'INTERVAL' ;
+`)
+
+	// --- Constructed and user-defined types ----------------------------------------------
+
+	register("type_row", `
+grammar type_row ;
+base_data_type : row_type ;
+row_type : ROW LPAREN field_definition ( COMMA field_definition )* RPAREN ;
+field_definition : IDENTIFIER data_type ;
+`, `
+tokens type_row ;
+ROW : 'ROW' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+COMMA : ',' ;
+IDENTIFIER : <identifier> ;
+`)
+
+	register("type_array", `
+grammar type_array ;
+data_type : base_data_type ( collection_type_suffix )* ;
+collection_type_suffix : ARRAY ( LBRACKET UNSIGNED_INTEGER RBRACKET )? ;
+`, `
+tokens type_array ;
+ARRAY : 'ARRAY' ;
+LBRACKET : '[' ;
+RBRACKET : ']' ;
+UNSIGNED_INTEGER : <integer> ;
+`)
+
+	register("type_multiset", `
+grammar type_multiset ;
+data_type : base_data_type ( collection_type_suffix )* ;
+collection_type_suffix : MULTISET ;
+`, `
+tokens type_multiset ;
+MULTISET : 'MULTISET' ;
+`)
+
+	register("type_ref", `
+grammar type_ref ;
+base_data_type : reference_type ;
+reference_type : REF LPAREN user_defined_type RPAREN ;
+user_defined_type : identifier_chain ;
+`, `
+tokens type_ref ;
+REF : 'REF' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+`)
+
+	register("type_udt", `
+grammar type_udt ;
+base_data_type : user_defined_type ;
+user_defined_type : identifier_chain ;
+`, ``)
+}

@@ -1,0 +1,195 @@
+// Package workload generates deterministic synthetic query workloads for
+// the experiments. Each generator targets one of the application domains
+// the paper motivates: sensor networks (TinySQL-style acquisitional
+// queries), smart cards (SCQL-style cursor/DML traffic), interactive OLTP
+// (core SQL), and data warehousing (analytics with grouping extensions,
+// windows and set operations).
+//
+// Generators are pure functions of a seed, so benchmark runs are
+// reproducible without real traces — the substitution DESIGN.md documents
+// for the paper's unavailable workloads.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a small deterministic generator (SplitMix64-ish); good enough for
+// workload shaping and dependency-free.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+var (
+	sensorCols  = []string{"nodeid", "light", "temp", "accel", "mag", "voltage"}
+	sensorAggs  = []string{"AVG", "MIN", "MAX", "COUNT", "SUM"}
+	cardTables  = []string{"accounts", "purses", "holders", "keys_tbl"}
+	cardCols    = []string{"id", "owner", "balance", "pin_tries", "status"}
+	oltpTables  = []string{"customers", "orders", "items", "payments", "stock"}
+	oltpCols    = []string{"id", "name", "qty", "price", "created", "region", "status"}
+	whMeasures  = []string{"amount", "quantity", "discount", "net"}
+	whDims      = []string{"region", "product", "channel", "year_col", "quarter"}
+	whFunctions = []string{"SUM", "AVG", "MIN", "MAX", "COUNT"}
+)
+
+// Sensor returns n TinySQL-style acquisitional queries.
+func Sensor(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		switch r.intn(3) {
+		case 0:
+			b.WriteString(r.pick(sensorCols) + ", " + r.pick(sensorCols))
+		case 1:
+			fmt.Fprintf(&b, "%s(%s)", r.pick(sensorAggs), r.pick(sensorCols))
+		default:
+			b.WriteString("nodeid, " + r.pick(sensorCols))
+		}
+		b.WriteString(" FROM sensors")
+		if r.intn(2) == 0 {
+			fmt.Fprintf(&b, " WHERE %s > %d", r.pick(sensorCols), r.intn(1000))
+		}
+		if r.intn(3) == 0 {
+			fmt.Fprintf(&b, " GROUP BY %s", r.pick(sensorCols))
+		}
+		switch r.intn(3) {
+		case 0:
+			fmt.Fprintf(&b, " SAMPLE PERIOD %d", 256<<r.intn(4))
+		case 1:
+			fmt.Fprintf(&b, " SAMPLE PERIOD %d FOR %d", 256<<r.intn(4), 10+r.intn(90))
+		default:
+			fmt.Fprintf(&b, " LIFETIME %d", 1+r.intn(30))
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// SmartCard returns n SCQL-style card-application statements: short DML and
+// cursor-driven reads.
+func SmartCard(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		table := r.pick(cardTables)
+		col := r.pick(cardCols)
+		switch r.intn(5) {
+		case 0:
+			out[i] = fmt.Sprintf("SELECT %s FROM %s WHERE id = %d", col, table, r.intn(100))
+		case 1:
+			out[i] = fmt.Sprintf("INSERT INTO %s (id, %s) VALUES (%d, %d)", table, col, r.intn(100), r.intn(10000))
+		case 2:
+			out[i] = fmt.Sprintf("UPDATE %s SET %s = %d WHERE id = %d", table, col, r.intn(10000), r.intn(100))
+		case 3:
+			out[i] = fmt.Sprintf("DELETE FROM %s WHERE %s = %d", table, col, r.intn(100))
+		default:
+			out[i] = fmt.Sprintf("DECLARE c%d CURSOR FOR SELECT %s FROM %s WHERE status = %d",
+				r.intn(8), col, table, r.intn(4))
+		}
+	}
+	return out
+}
+
+// OLTP returns n interactive core-SQL statements.
+func OLTP(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		t := r.pick(oltpTables)
+		c1, c2 := r.pick(oltpCols), r.pick(oltpCols)
+		switch r.intn(6) {
+		case 0:
+			out[i] = fmt.Sprintf("SELECT %s, %s FROM %s WHERE %s = %d AND %s < %d",
+				c1, c2, t, c1, r.intn(1000), c2, r.intn(1000))
+		case 1:
+			out[i] = fmt.Sprintf("SELECT a.%s, b.%s FROM %s AS a LEFT JOIN %s AS b ON a.id = b.id WHERE a.%s IS NOT NULL",
+				c1, c2, t, r.pick(oltpTables), c2)
+		case 2:
+			out[i] = fmt.Sprintf("SELECT COUNT(*), %s FROM %s GROUP BY %s HAVING COUNT(*) > %d",
+				c1, t, c1, r.intn(10))
+		case 3:
+			out[i] = fmt.Sprintf("INSERT INTO %s (%s, %s) VALUES (%d, '%s')",
+				t, c1, c2, r.intn(1000), r.pick(oltpCols))
+		case 4:
+			out[i] = fmt.Sprintf("UPDATE %s SET %s = %s + %d WHERE %s IN (%d, %d, %d)",
+				t, c1, c1, r.intn(10), c2, r.intn(100), r.intn(100), r.intn(100))
+		default:
+			out[i] = fmt.Sprintf("SELECT %s FROM %s WHERE %s BETWEEN %d AND %d ORDER BY %s DESC",
+				c1, t, c2, r.intn(100), 100+r.intn(900), c1)
+		}
+	}
+	return out
+}
+
+// Analytics returns n warehouse-style analytical queries exercising the
+// grouping extensions, window functions, set operations and CTEs.
+func Analytics(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		m, fn := r.pick(whMeasures), r.pick(whFunctions)
+		d1, d2 := r.pick(whDims), r.pick(whDims)
+		switch r.intn(5) {
+		case 0:
+			out[i] = fmt.Sprintf("SELECT %s, %s(%s) FROM sales GROUP BY ROLLUP (%s, %s)",
+				d1, fn, m, d1, d2)
+		case 1:
+			out[i] = fmt.Sprintf("SELECT %s, RANK() OVER (PARTITION BY %s ORDER BY %s DESC) FROM sales",
+				d1, d1, m)
+		case 2:
+			out[i] = fmt.Sprintf("SELECT %s FROM sales WHERE %s > ALL (SELECT %s FROM budget) GROUP BY %s",
+				d1, m, m, d1)
+		case 3:
+			out[i] = fmt.Sprintf("WITH top_sales AS (SELECT %s, %s FROM sales WHERE %s > %d) SELECT %s, %s(%s) FROM top_sales GROUP BY %s",
+				d1, m, m, r.intn(1000), d1, fn, m, d1)
+		default:
+			out[i] = fmt.Sprintf("SELECT %s FROM sales UNION ALL SELECT %s FROM archive_sales",
+				d1, d1)
+		}
+	}
+	return out
+}
+
+// Minimal returns n single-column single-table queries in the paper's
+// worked-example dialect.
+func Minimal(seed uint64, n int) []string {
+	r := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		if r.intn(3) == 0 {
+			b.WriteString(r.pick([]string{"DISTINCT", "ALL"}) + " ")
+		}
+		fmt.Fprintf(&b, "%s FROM %s", r.pick(oltpCols), r.pick(oltpTables))
+		if r.intn(2) == 0 {
+			fmt.Fprintf(&b, " WHERE %s = %d", r.pick(oltpCols), r.intn(1000))
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// Bytes returns the total byte size of a workload, for MB/s reporting.
+func Bytes(queries []string) int64 {
+	var total int64
+	for _, q := range queries {
+		total += int64(len(q))
+	}
+	return total
+}

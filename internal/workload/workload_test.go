@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"sqlspl/internal/baseline"
+	"sqlspl/internal/dialect"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Sensor(42, 50)
+	b := Sensor(42, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sensor workload not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := Sensor(43, 50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+// TestWorkloadsParseInTheirDialects: every generated query is valid in the
+// dialect it targets — the generators define the in-dialect corpora for E8.
+func TestWorkloadsParseInTheirDialects(t *testing.T) {
+	cases := []struct {
+		name    dialect.Name
+		queries []string
+	}{
+		{dialect.TinySQL, Sensor(1, 200)},
+		{dialect.SCQL, SmartCard(2, 200)},
+		{dialect.Core, OLTP(3, 200)},
+		{dialect.Warehouse, Analytics(4, 200)},
+		{dialect.Minimal, Minimal(5, 200)},
+	}
+	for _, tc := range cases {
+		p, err := dialect.Build(tc.name)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", tc.name, err)
+		}
+		for _, q := range tc.queries {
+			if !p.Accepts(q) {
+				_, perr := p.Parse(q)
+				t.Errorf("%s rejected generated query %q: %v", tc.name, q, perr)
+			}
+		}
+	}
+}
+
+// TestBaselineParsesSharedWorkloads: the monolithic baseline handles the
+// OLTP and analytics corpora (it cannot handle sensor extensions — they are
+// not SQL:2003 — which is itself a paper point: extension requires
+// composition, the baseline has no mechanism for it).
+func TestBaselineParsesSharedWorkloads(t *testing.T) {
+	p := baseline.MustNew()
+	for _, q := range append(OLTP(3, 200), Analytics(4, 200)...) {
+		if !p.Accepts(q) {
+			_, err := p.Parse(q)
+			t.Errorf("baseline rejected %q: %v", q, err)
+		}
+	}
+	rejected := 0
+	for _, q := range Sensor(1, 50) {
+		if !p.Accepts(q) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("baseline unexpectedly accepts sensor-network extensions")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if Bytes([]string{"ab", "cde"}) != 5 {
+		t.Error("Bytes miscounts")
+	}
+}

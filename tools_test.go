@@ -1,0 +1,129 @@
+package sqlspl_test
+
+// Smoke tests that build and run every executable and example with the real
+// toolchain, so the user-facing entry points cannot rot silently. Skipped
+// with -short.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles executables; skipped with -short")
+	}
+	for _, ex := range []string{"quickstart", "sensornet", "smartcard", "extension", "warehouse"} {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			out := runTool(t, "./examples/"+ex)
+			if len(out) < 100 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCLIsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles executables; skipped with -short")
+	}
+	t.Run("sqlinventory", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlinventory")
+		for _, want := range []string{"query_specification", "table_expression", "feature diagrams"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("inventory output missing %q", want)
+			}
+		}
+	})
+	t.Run("sqlinventory-diagram", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlinventory", "-diagram", "table_expression")
+		for _, want := range []string{"from", "where", "optional"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("diagram output missing %q", want)
+			}
+		}
+	})
+	t.Run("sqlfpc-stats", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlfpc", "-dialect", "tinysql", "-stats")
+		if !strings.Contains(out, "productions") || !strings.Contains(out, "keywords") {
+			t.Errorf("stats output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlfpc-grammar", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlfpc", "-dialect", "minimal", "-grammar")
+		if !strings.Contains(out, "query_specification") || !strings.Contains(out, "where_clause") {
+			t.Errorf("grammar output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlfpc-check", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlfpc", "-dialect", "minimal", "-check", "SELECT a FROM t")
+		if !strings.Contains(out, "ACCEPT") {
+			t.Errorf("check output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlfpc-conflicts", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlfpc", "-dialect", "minimal", "-conflicts")
+		if !strings.Contains(out, "backtracking") {
+			t.Errorf("conflicts output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlparse", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlparse", "-dialect", "warehouse",
+			"SELECT a FROM t UNION SELECT b FROM u")
+		if !strings.Contains(out, "*ast.Select") {
+			t.Errorf("sqlparse output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlfpc-interactive", func(t *testing.T) {
+		t.Parallel()
+		cmd := exec.Command("go", "run", "./cmd/sqlfpc", "-interactive")
+		cmd.Stdin = strings.NewReader(
+			"dialect minimal\ncheck SELECT a, b FROM t\nselect multiple_columns\ncheck SELECT a, b FROM t\nquit\n")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("interactive session failed: %v\n%s", err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "REJECT") || !strings.Contains(text, "ACCEPT") {
+			t.Errorf("interactive output missing verdicts:\n%s", text)
+		}
+		if strings.Index(text, "REJECT") > strings.Index(text, "ACCEPT (6 tokens)") {
+			t.Errorf("selecting multiple_columns did not change the verdict:\n%s", text)
+		}
+	})
+	t.Run("sqldiff", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqldiff", "-a", "minimal", "-b", "tinysql",
+			"-probe", "SELECT nodeid FROM sensors SAMPLE PERIOD 1024")
+		if !strings.Contains(out, "keywords only in B") || !strings.Contains(out, "SAMPLE") {
+			t.Errorf("sqldiff output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlbench-e9", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlbench", "-exp", "E9", "-n", "10")
+		if !strings.Contains(out, "extension") || !strings.Contains(out, "true") {
+			t.Errorf("sqlbench output wrong:\n%s", out)
+		}
+	})
+}
