@@ -24,6 +24,18 @@ import (
 	"sqlspl/internal/workload"
 )
 
+// experiments is the known experiment set, in run order. -exp is validated
+// against it so a typo fails loudly instead of silently running nothing.
+var experiments = []struct {
+	name string
+	f    func(int)
+}{
+	{"E6", e6Size},
+	{"E7", e7Composition},
+	{"E8", e8Throughput},
+	{"E9", e9Extension},
+}
+
 func main() {
 	var (
 		exp  = flag.String("exp", "", "experiment to run: E6|E7|E8|E9 (default all)")
@@ -31,18 +43,29 @@ func main() {
 	)
 	flag.Parse()
 
-	run := func(name string, f func(int)) {
-		if *exp == "" || strings.EqualFold(*exp, name) {
-			f(*iter)
+	if *exp != "" {
+		known := false
+		names := make([]string, len(experiments))
+		for i, e := range experiments {
+			names[i] = e.name
+			known = known || strings.EqualFold(*exp, e.name)
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "sqlbench: unknown experiment %q (valid: %s)\n",
+				*exp, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
+	for _, e := range experiments {
+		if *exp == "" || strings.EqualFold(*exp, e.name) {
+			e.f(*iter)
 			fmt.Println()
 		}
 	}
-	run("E6", e6Size)
-	run("E7", e7Composition)
-	run("E8", e8Throughput)
-	run("E9", e9Extension)
 }
 
+// buildOrDie resolves a preset through the product catalog (dialect.Build):
+// experiments that reuse a dialect share one cached build.
 func buildOrDie(name dialect.Name) *core.Product {
 	p, err := dialect.Build(name)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
 	"sqlspl/internal/sql2003"
 )
 
@@ -37,17 +38,28 @@ const interactiveHelp = `commands:
 func runInteractive(in io.Reader, out io.Writer) error {
 	m := sql2003.MustModel()
 	cfg := feature.NewConfig()
+	// Builds resolve through the product catalog: re-building an unchanged
+	// selection (or returning to an earlier one) is a cache hit, which makes
+	// the paper's select-features/create-parser loop instant after the first
+	// composition of each selection. (Bound before the product variable
+	// below shadows the package name.)
+	cat := product.Default()
 	var product *core.Product
 
 	build := func() {
-		p, err := core.Build(m, sql2003.Registry{}, cfg, core.Options{Product: "interactive"})
+		before := cat.Metrics()
+		p, err := cat.Get(cfg, core.Options{Product: "interactive"})
 		if err != nil {
 			fmt.Fprintf(out, "build failed: %v\n", err)
 			return
 		}
 		product = p
-		fmt.Fprintf(out, "built: %d features -> %d productions, %d keywords\n",
-			p.Config.Len(), p.Grammar.Len(), len(p.Tokens.Keywords()))
+		note := ""
+		if cat.Metrics().Hits > before.Hits {
+			note = " (catalog hit: reused earlier build)"
+		}
+		fmt.Fprintf(out, "built: %d features -> %d productions, %d keywords%s\n",
+			p.Config.Len(), p.Grammar.Len(), len(p.Tokens.Keywords()), note)
 	}
 
 	fmt.Fprint(out, "sqlfpc interactive — type 'help' for commands\n")

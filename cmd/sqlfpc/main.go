@@ -24,6 +24,7 @@ import (
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/grammar"
+	"sqlspl/internal/product"
 	"sqlspl/internal/sql2003"
 )
 
@@ -66,7 +67,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "compose: "+format+"\n", args...)
 		}
 	}
-	product, err := core.Build(sql2003.MustModel(), sql2003.Registry{}, cfg, opts)
+	// Resolve through the catalog: a preset selection shares the cached
+	// build with everything else in the process. (Trace still fires — the
+	// request that builds is the one that traces, and a fresh CLI process
+	// always builds cold.)
+	cat := product.Default()
+	product, err := cat.Get(cfg, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,21 +1,36 @@
 // Command sqlparse parses SQL under a chosen product-line dialect and
-// prints the parse tree, the typed AST, or re-rendered SQL.
+// prints the parse tree, the typed AST, or re-rendered SQL. Products are
+// resolved through the shared product catalog (internal/product), so the
+// dialect's parser is composed once per process no matter how often it is
+// used.
 //
 // Usage:
 //
 //	sqlparse -dialect core 'SELECT a FROM t WHERE b = 1'
 //	echo 'SELECT * FROM sensors SAMPLE PERIOD 1024' | sqlparse -dialect tinysql -tree
 //	sqlparse -dialect warehouse -render 'select a from t union select b from u'
+//
+// Batch mode is the serving path: one cached product, many queries, many
+// goroutines. It reads one query per line from stdin, parses them over the
+// shared parser, and reports per-query verdicts in input order plus a
+// summary:
+//
+//	sqlparse -dialect core -batch -workers 8 < queries.sql
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"sqlspl/internal/ast"
+	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 )
 
@@ -24,8 +39,22 @@ func main() {
 		dialectN = flag.String("dialect", "core", "dialect: minimal|tinysql|scql|core|warehouse|full")
 		tree     = flag.Bool("tree", false, "print the concrete parse tree")
 		render   = flag.Bool("render", false, "print the SQL re-rendered from the typed AST")
+		batch    = flag.Bool("batch", false, "batch mode: parse one query per stdin line over one shared product")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parse goroutines in batch mode")
 	)
 	flag.Parse()
+
+	product, err := dialect.Build(dialect.Name(*dialectN))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *batch {
+		if err := runBatch(product, os.Stdin, os.Stdout, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	sql := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(sql) == "" {
@@ -39,10 +68,6 @@ func main() {
 		fatal(fmt.Errorf("no SQL given (argument or stdin)"))
 	}
 
-	product, err := dialect.Build(dialect.Name(*dialectN))
-	if err != nil {
-		fatal(err)
-	}
 	parseTree, err := product.Parse(sql)
 	if err != nil {
 		fatal(err)
@@ -62,6 +87,66 @@ func main() {
 	for i, st := range script.Statements {
 		fmt.Printf("-- statement %d: %T\n%s\n", i+1, st, st.SQL())
 	}
+}
+
+// runBatch parses every non-blank line of in over the shared product with
+// the given number of goroutines — the catalog's serving path: the product
+// was built (or cache-hit) once, and its Parser is safe for concurrent use.
+// Verdicts print in input order regardless of completion order.
+func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var queries []string
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if q := strings.TrimSpace(scanner.Text()); q != "" {
+			queries = append(queries, q)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("batch mode: no queries on stdin")
+	}
+
+	verdicts := make([]string, len(queries))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if _, err := product.Parse(queries[i]); err != nil {
+					verdicts[i] = fmt.Sprintf("REJECT %v", err)
+				} else {
+					verdicts[i] = "ACCEPT"
+				}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	accepted := 0
+	for i, v := range verdicts {
+		fmt.Fprintf(out, "%d: %s\n", i+1, v)
+		if v == "ACCEPT" {
+			accepted++
+		}
+	}
+	fmt.Fprintf(out, "-- %d queries: %d accepted, %d rejected (dialect %s, %d workers, %s, %.0f q/s)\n",
+		len(queries), accepted, len(queries)-accepted, product.Name, workers,
+		elapsed.Round(time.Microsecond), float64(len(queries))/elapsed.Seconds())
+	return nil
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/grammar"
+	"sqlspl/internal/product"
 	"sqlspl/internal/sql2003"
 )
 
@@ -87,35 +88,42 @@ func main() {
 		},
 	}}
 
+	// Extended models get their own catalog: the default catalog serves the
+	// stock SQL:2003 product line, this one serves sql2003+vendor. A real
+	// deployment would hold one catalog per (model, unit source) pair and
+	// let every tenant's selection build once.
+	cat := product.NewCatalog(model, src)
+
 	// Core dialect + the new feature.
 	feats, err := dialect.Features(dialect.Core)
 	if err != nil {
 		log.Fatal(err)
 	}
 	selection := feature.NewConfig(append(feats, "limit_clause")...)
-	product, err := core.Build(model, src, selection, core.Options{Product: "core+limit"})
+	extended, err := cat.Get(selection, core.Options{Product: "core+limit"})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("core+limit: %d productions (LIMIT composed onto query_statement without editing it)\n\n",
-		product.Grammar.Len())
-	fmt.Println(grammar.FormatProduction(product.Grammar.Production("query_statement")))
-	fmt.Println(grammar.FormatProduction(product.Grammar.Production("limit_clause")))
+		extended.Grammar.Len())
+	fmt.Println(grammar.FormatProduction(extended.Grammar.Production("query_statement")))
+	fmt.Println(grammar.FormatProduction(extended.Grammar.Production("limit_clause")))
 
 	for _, q := range []string{
 		"SELECT a FROM t ORDER BY a LIMIT 10",
 		"SELECT a FROM t LIMIT 10 OFFSET 20",
 		"SELECT a FROM t",
 	} {
-		if !product.Accepts(q) {
+		if !extended.Accepts(q) {
 			log.Fatalf("extended product rejected %q", q)
 		}
 		fmt.Printf("ACCEPT  %s\n", q)
 	}
 
 	// The unextended core product still rejects LIMIT — the extension lives
-	// only in products that select the feature.
+	// only in products that select the feature. (dialect.Build resolves
+	// through the default catalog, so this is cached too.)
 	plain, err := dialect.Build(dialect.Core)
 	if err != nil {
 		log.Fatal(err)
@@ -126,5 +134,5 @@ func main() {
 	fmt.Println("\nplain core still rejects LIMIT; and `SELECT limit FROM t` parses there,")
 	fmt.Println("because LIMIT is only reserved where the feature is selected:")
 	fmt.Printf("  plain core:  %v\n", plain.Accepts("SELECT limit FROM t"))
-	fmt.Printf("  core+limit:  %v\n", product.Accepts("SELECT limit FROM t"))
+	fmt.Printf("  core+limit:  %v\n", extended.Accepts("SELECT limit FROM t"))
 }

@@ -20,7 +20,7 @@ import (
 	"sqlspl/internal/core"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/grammar"
-	"sqlspl/internal/sql2003"
+	"sqlspl/internal/product"
 )
 
 func main() {
@@ -44,19 +44,28 @@ func main() {
 
 	// Steps 2-3 (paper): compose the sub-grammars and token files of the
 	// selected features, then create the parser for the composed grammar.
-	product, err := core.Build(sql2003.MustModel(), sql2003.Registry{}, selection, core.Options{
-		Product: "worked-example",
-	})
+	// We go through the product catalog — the serving-layer entry point —
+	// so an identical selection anywhere in the process reuses this build.
+	cat := product.Default()
+	worked, err := cat.Get(selection, core.Options{Product: "worked-example"})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Asking again is a catalog hit: same *core.Product, no recomposition.
+	again, err := cat.Get(selection, core.Options{Product: "worked-example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d entries, warm lookup returned the same product: %v\n",
+		cat.Len(), worked == again)
+
 	fmt.Printf("composed %d features -> %d sub-grammars -> %d productions, %d reserved words\n\n",
-		product.Config.Len(), len(product.Units), product.Grammar.Len(),
-		len(product.Tokens.Keywords()))
+		worked.Config.Len(), len(worked.Units), worked.Grammar.Len(),
+		len(worked.Tokens.Keywords()))
 
 	fmt.Println("== composed grammar ==")
-	fmt.Println(grammar.Format(product.Grammar))
+	fmt.Println(grammar.Format(worked.Grammar))
 
 	fmt.Println("== the product parses precisely the selected features ==")
 	queries := []string{
@@ -71,14 +80,14 @@ func main() {
 	}
 	for _, q := range queries {
 		verdict := "ACCEPT"
-		if !product.Accepts(q) {
+		if !worked.Accepts(q) {
 			verdict = "reject"
 		}
 		fmt.Printf("  %-42s %s\n", q, verdict)
 	}
 
 	fmt.Println("\n== parse tree for the headline query ==")
-	tree, err := product.Parse("SELECT DISTINCT a FROM t WHERE b = 1")
+	tree, err := worked.Parse("SELECT DISTINCT a FROM t WHERE b = 1")
 	if err != nil {
 		log.Fatal(err)
 	}

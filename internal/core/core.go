@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"sqlspl/internal/compose"
 	"sqlspl/internal/feature"
@@ -77,7 +78,7 @@ type Product struct {
 	// reserved words of this product's dialect.
 	Tokens *grammar.TokenSet
 	// Erased lists the optional slots removed because their features were
-	// not selected.
+	// not selected, in sorted (deterministic) order.
 	Erased []string
 	// Parser parses the product's language.
 	Parser *parser.Parser
@@ -152,6 +153,10 @@ func Build(m *feature.Model, src UnitSource, cfg *feature.Config, opts Options) 
 			erased = append(erased, fmt.Sprintf("%s: production removed (unreachable)", name))
 		}
 	}
+	// Sorted so Erased is deterministic across runs: compose.EraseUndefined
+	// returns sorted slots, but the unreachable-pruning lines are appended
+	// after, and fingerprints/golden tests need one canonical order.
+	sort.Strings(erased)
 	if err := grammar.Validate(g, ts); err != nil {
 		return nil, fmt.Errorf("composed grammar: %w", err)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"sqlspl/internal/core"
 	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
 	"sqlspl/internal/sql2003"
 )
 
@@ -155,18 +156,21 @@ func dup(ss []string) []string {
 	return out
 }
 
-// Build composes and generates the preset's parser product against the
-// SQL:2003 model and registry.
+// Build resolves the preset's parser product through the shared product
+// catalog (package product): the first request for a preset composes and
+// generates it; every later request — from any goroutine — returns the
+// same cached *core.Product. The returned product is shared and must be
+// treated as immutable; its Parser is safe for concurrent use.
 func Build(name Name) (*core.Product, error) {
 	feats, err := Features(name)
 	if err != nil {
 		return nil, err
 	}
-	m, err := sql2003.Model()
-	if err != nil {
-		return nil, err
-	}
-	return core.Build(m, sql2003.Registry{}, feature.NewConfig(feats...), core.Options{
+	return product.Default().Get(feature.NewConfig(feats...), core.Options{
 		Product: string(name),
 	})
 }
+
+// Catalog returns the catalog behind the presets — the process-wide
+// default catalog over the SQL:2003 model.
+func Catalog() *product.Catalog { return product.Default() }

@@ -1,0 +1,87 @@
+package dialect
+
+// Stress test backing the parser concurrency contract: a built Parser is
+// safe for concurrent Parse calls (internal/parser package docs). Many
+// goroutines hammer ONE shared product per dialect — the exact shape of
+// the catalog's serving path — and every goroutine checks not just the
+// accept/reject verdict but the reconstructed text of its parse tree, so
+// cross-talk between pooled run-states would be caught as corruption, not
+// just as a race-report. Run with -race (CI does).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sqlspl/internal/workload"
+)
+
+func TestConcurrentParseSharedParserPerDialect(t *testing.T) {
+	const (
+		goroutines = 8
+		queriesN   = 60
+	)
+	cases := []struct {
+		name    Name
+		queries []string
+	}{
+		{Minimal, workload.Minimal(41, queriesN)},
+		{TinySQL, workload.Sensor(42, queriesN)},
+		{SCQL, workload.SmartCard(43, queriesN)},
+		{Core, workload.OLTP(44, queriesN)},
+		{Warehouse, workload.Analytics(45, queriesN)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.name), func(t *testing.T) {
+			t.Parallel()
+			product, err := Build(tc.name) // one shared product, catalog-cached
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reference texts from a single-threaded pass.
+			want := make([]string, len(tc.queries))
+			for i, q := range tc.queries {
+				tree, err := product.Parse(q)
+				if err != nil {
+					t.Fatalf("workload query rejected: %q: %v", q, err)
+				}
+				want[i] = tree.Text()
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range tc.queries {
+						// Stagger start positions so goroutines disagree
+						// about which query is in flight at any moment.
+						q := (i + g*7) % len(tc.queries)
+						tree, err := product.Parse(tc.queries[q])
+						if err != nil {
+							errs <- err
+							return
+						}
+						if got := tree.Text(); got != want[q] {
+							errs <- fmt.Errorf("tree text corrupted under concurrency: got %q want %q", got, want[q])
+							return
+						}
+						// The error path (second, tracking run) must be
+						// concurrency-safe too.
+						if product.Accepts(tc.queries[q] + " ~~~") {
+							errs <- fmt.Errorf("garbage accepted for %q", tc.queries[q])
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}

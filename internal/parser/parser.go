@@ -11,12 +11,26 @@
 //
 // Composed grammars must be validated (grammar.Validate) before parsing:
 // the engine requires the absence of left recursion to terminate.
+//
+// # Concurrency
+//
+// A built Parser is immutable and safe for concurrent use: any number of
+// goroutines may call Parse, ParseTokens and Accepts on one shared Parser.
+// All mutable state of a parse — the memo table, interned token ids and
+// error bookkeeping — lives in a per-call run object; the Parser itself
+// (grammar, compiled program, lexer, options) is only ever read after New
+// returns. Run objects are recycled through a sync.Pool so steady-state
+// parsing allocates no fresh memo tables — the serving-path contract the
+// product catalog (package product) relies on when many goroutines share
+// one cached product. Returned parse trees reference only the token slice
+// of their own call and remain valid after the run is pooled.
 package parser
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"sqlspl/internal/grammar"
 	"sqlspl/internal/lexer"
@@ -128,7 +142,9 @@ type Options struct {
 }
 
 // Parser parses SQL text for one composed product grammar.
-// A Parser is safe for concurrent use; each Parse call runs independently.
+//
+// A Parser is safe for concurrent use: all fields are read-only after New,
+// and each Parse call draws its mutable run-state from an internal pool.
 type Parser struct {
 	g    *grammar.Grammar
 	lex  *lexer.Lexer
@@ -139,6 +155,10 @@ type Parser struct {
 	// nodes with cached nullable/FIRST annotations, token names interned to
 	// integer ids so prediction is a bitset test.
 	compiled *program
+
+	// runs recycles per-parse state (*run) so steady-state parsing reuses
+	// memo tables and id buffers instead of reallocating them per call.
+	runs sync.Pool
 }
 
 // New validates the grammar against the token set, builds the configured
@@ -201,17 +221,24 @@ func (p *Parser) ParseTokens(toks []lexer.Token) (*Tree, error) {
 	// Fast path: parse without collecting expected-token sets. Only when
 	// the input is rejected do we parse again with tracking on, so accepted
 	// inputs never pay for error bookkeeping.
-	r := newRun(p, toks, false)
+	r := p.getRun(toks, false)
 	results := r.parseNT(p.compiled.start, 0)
+	var tree *Tree
 	for _, res := range results {
 		if res.end == len(toks) {
 			if len(res.forest) == 1 {
-				return res.forest[0], nil
+				tree = res.forest[0]
+			} else {
+				tree = &Tree{Label: p.g.Start, Children: res.forest}
 			}
-			return &Tree{Label: p.g.Start, Children: res.forest}, nil
+			break
 		}
 	}
-	r = newRun(p, toks, true)
+	p.putRun(r)
+	if tree != nil {
+		return tree, nil
+	}
+	r = p.getRun(toks, true)
 	results = r.parseNT(p.compiled.start, 0)
 	// Build the error from the farthest failure; successful prefixes that
 	// stop short of EOF count as failures at their end position.
@@ -222,7 +249,9 @@ func (p *Parser) ParseTokens(toks []lexer.Token) (*Tree, error) {
 			r.expected = map[string]bool{}
 		}
 	}
-	return nil, r.syntaxError(far)
+	err := r.syntaxError(far)
+	p.putRun(r)
+	return nil, err
 }
 
 func (r *run) syntaxError(pos int) *SyntaxError {
@@ -264,13 +293,21 @@ type run struct {
 	expected map[string]bool // token names expected at far (track only)
 }
 
-// newRun interns the token stream and prepares per-parse state.
-func newRun(p *Parser, toks []lexer.Token, track bool) *run {
-	r := &run{p: p, toks: toks, memo: map[int64][]result{}, far: -1, track: track}
+// getRun draws per-parse state from the pool (or allocates the first time),
+// resets it for this call, and interns the token stream.
+func (p *Parser) getRun(toks []lexer.Token, track bool) *run {
+	r, _ := p.runs.Get().(*run)
+	if r == nil {
+		r = &run{memo: map[int64][]result{}}
+	}
+	r.p, r.toks, r.far, r.track = p, toks, -1, track
 	if track {
 		r.expected = map[string]bool{}
 	}
-	r.ids = make([]int, len(toks))
+	if cap(r.ids) < len(toks) {
+		r.ids = make([]int, len(toks))
+	}
+	r.ids = r.ids[:len(toks)]
 	for i, t := range toks {
 		if id, ok := p.compiled.tokenID[t.Name]; ok {
 			r.ids[i] = id
@@ -279,6 +316,18 @@ func newRun(p *Parser, toks []lexer.Token, track bool) *run {
 		}
 	}
 	return r
+}
+
+// putRun returns a run to the pool. The memo table is cleared so pooled
+// runs hold no references into finished parses (the returned Tree owns its
+// forests and token pointers independently); the map's buckets survive for
+// the next call — the allocation win the pool exists for.
+func (p *Parser) putRun(r *run) {
+	clear(r.memo)
+	r.p = nil
+	r.toks = nil
+	r.expected = nil
+	p.runs.Put(r)
 }
 
 func (r *run) fail(pos int, want string) {

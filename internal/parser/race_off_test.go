@@ -1,0 +1,7 @@
+//go:build !race
+
+package parser
+
+// Uninstrumented runs keep the tight wall-clock budget: these guards exist
+// to catch accidental exponential blowups, not scheduling noise.
+const timeBudgetScale = 1

@@ -1,0 +1,9 @@
+//go:build race
+
+package parser
+
+// The race detector slows the engine roughly an order of magnitude and CI
+// runs the suite with -race in parallel with other packages; scale the
+// wall-clock perf guards accordingly so they still catch complexity
+// regressions without flaking on instrumentation overhead.
+const timeBudgetScale = 10

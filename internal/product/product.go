@@ -1,0 +1,172 @@
+// Package product implements the product catalog: a concurrency-safe,
+// content-addressed cache of built parser products sitting between
+// internal/core and every consumer (presets, commands, examples, services).
+//
+// The paper's pipeline (select features → compose → generate parser) is a
+// pure function of the feature-instance description and the build options,
+// so identical selections always yield identical products. The catalog
+// exploits that: each build request is keyed by a canonical fingerprint of
+// (feature.Config, core.Options), and every distinct selection is composed
+// exactly once per process. Concurrent requests for the same product share
+// one in-flight build (singleflight) instead of racing to duplicate it —
+// the reuse that turns the product line from a library into a serving
+// layer, in the spirit of SpecDB's configuration → generated-variant cache.
+//
+// Products returned by a catalog are shared: callers must treat the
+// *core.Product — its Grammar, Tokens, Config and Parser — as immutable.
+// The embedded parser.Parser is safe for concurrent Parse calls, so one
+// cached product can serve any number of goroutines.
+package product
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/sql2003"
+)
+
+// Fingerprint returns the canonical content address of a build request:
+// a hex SHA-256 over the sorted selected-feature names and every
+// artifact-relevant field of the options. Two requests fingerprint equal
+// exactly when core.Build would produce interchangeable products.
+//
+// Options.Trace is deliberately excluded — it observes the build, it does
+// not shape the artifact. Consequently a cache hit emits no trace; only
+// the request that actually builds does.
+func Fingerprint(cfg *feature.Config, opts core.Options) string {
+	h := sha256.New()
+	for _, name := range cfg.Names() { // Names is sorted: canonical order.
+		io.WriteString(h, name)
+		io.WriteString(h, "\x00")
+	}
+	fmt.Fprintf(h, "|product=%s|start=%s|noclose=%t|lenient=%t|noerase=%t|keepunreach=%t|nopredict=%t|maxtokens=%d",
+		opts.Product, opts.Start, opts.NoAutoClose, opts.LenientOrder,
+		opts.NoErasure, opts.KeepUnreachable,
+		opts.Parser.DisablePrediction, opts.Parser.MaxTokens)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Metrics is a point-in-time snapshot of catalog traffic.
+type Metrics struct {
+	// Hits counts requests answered by an already-completed build.
+	Hits uint64
+	// Misses counts requests that performed the build themselves.
+	Misses uint64
+	// Shared counts requests that joined a build another goroutine had in
+	// flight (the singleflight path).
+	Shared uint64
+}
+
+// entry is one catalog slot. done is closed once product/err are final;
+// waiters block on it instead of holding the catalog lock.
+type entry struct {
+	done    chan struct{}
+	product *core.Product
+	err     error
+}
+
+// Catalog is a concurrency-safe build cache over one feature model and
+// unit source. The zero value is not usable; use NewCatalog or Default.
+type Catalog struct {
+	model *feature.Model
+	src   core.UnitSource
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits, misses, shared atomic.Uint64
+}
+
+// NewCatalog returns an empty catalog building against the given model and
+// unit source. The model and source must not change for the catalog's
+// lifetime — cached products would silently go stale.
+func NewCatalog(m *feature.Model, src core.UnitSource) *Catalog {
+	return &Catalog{model: m, src: src, entries: map[string]*entry{}}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultCat  *Catalog
+)
+
+// Default returns the process-wide catalog over the standard SQL:2003
+// model and unit registry — the catalog behind the dialect presets and
+// the CLIs. It is created lazily on first use.
+func Default() *Catalog {
+	defaultOnce.Do(func() {
+		defaultCat = NewCatalog(sql2003.MustModel(), sql2003.Registry{})
+	})
+	return defaultCat
+}
+
+// Get returns the product for the selection and options, building it on
+// first request. Concurrent Gets with the same fingerprint share a single
+// build; later Gets return the cached product (or the cached build error —
+// builds are deterministic, so failures are as cacheable as successes).
+//
+// The configuration is cloned before building: callers may keep mutating
+// cfg after Get returns without corrupting the cache.
+func (c *Catalog) Get(cfg *feature.Config, opts core.Options) (*core.Product, error) {
+	fp := Fingerprint(cfg, opts)
+	c.mu.Lock()
+	if e, ok := c.entries[fp]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Add(1)
+		default:
+			c.shared.Add(1)
+			<-e.done
+		}
+		return e.product, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[fp] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.product, e.err = core.Build(c.model, c.src, cfg.Clone(), opts)
+	close(e.done)
+	return e.product, e.err
+}
+
+// Lookup returns the cached product for the selection without building:
+// ok is false if the product is absent or still being built. A cached
+// build failure reports ok=false as well.
+func (c *Catalog) Lookup(cfg *feature.Config, opts core.Options) (*core.Product, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[Fingerprint(cfg, opts)]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		return e.product, e.err == nil
+	default:
+		return nil, false
+	}
+}
+
+// Len returns the number of catalog entries, including in-flight builds
+// and cached failures.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Metrics returns a snapshot of hit/miss/shared counters since creation.
+func (c *Catalog) Metrics() Metrics {
+	return Metrics{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Shared: c.shared.Load(),
+	}
+}

@@ -1,0 +1,178 @@
+package product
+
+import (
+	"sync"
+	"testing"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/sql2003"
+)
+
+// minimalFeatures mirrors the paper's worked example (dialect.Minimal);
+// spelled out here to keep the package free of a dialect dependency.
+var minimalFeatures = []string{
+	"query_specification", "select_list", "select_columns", "derived_column",
+	"table_expression", "from", "where",
+	"set_quantifier", "quantifier_all", "quantifier_distinct",
+	"search_condition", "predicate", "comparison", "op_equals",
+	"value_expression", "identifier_chain", "literal", "numeric_literal", "string_literal",
+}
+
+func newTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	return NewCatalog(sql2003.MustModel(), sql2003.Registry{})
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := feature.NewConfig("where", "from", "table_expression")
+	b := feature.NewConfig("table_expression", "where", "from")
+	if Fingerprint(a, core.Options{}) != Fingerprint(b, core.Options{}) {
+		t.Error("fingerprint depends on selection order")
+	}
+	c := feature.NewConfig("where", "from")
+	if Fingerprint(a, core.Options{}) == Fingerprint(c, core.Options{}) {
+		t.Error("different selections share a fingerprint")
+	}
+	if Fingerprint(a, core.Options{}) == Fingerprint(a, core.Options{NoErasure: true}) {
+		t.Error("artifact-relevant option ignored by fingerprint")
+	}
+	if Fingerprint(a, core.Options{}) != Fingerprint(a, core.Options{Trace: func(string, ...any) {}}) {
+		t.Error("Trace must not shape the fingerprint")
+	}
+}
+
+func TestGetCachesIdenticalSelections(t *testing.T) {
+	cat := newTestCatalog(t)
+	cfg := feature.NewConfig(minimalFeatures...)
+	p1, err := cat.Get(cfg, core.Options{Product: "minimal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cat.Get(cfg, core.Options{Product: "minimal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical selections built twice")
+	}
+	m := cat.Metrics()
+	if m.Misses != 1 || m.Hits != 1 {
+		t.Errorf("metrics = %+v, want 1 miss and 1 hit", m)
+	}
+	if !p1.Accepts("SELECT a FROM t WHERE b = 1") {
+		t.Error("cached product does not parse its dialect")
+	}
+}
+
+func TestGetDistinguishesOptions(t *testing.T) {
+	cat := newTestCatalog(t)
+	cfg := feature.NewConfig(minimalFeatures...)
+	p1, err := cat.Get(cfg, core.Options{Product: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cat.Get(cfg, core.Options{Product: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("different product names share one cache entry")
+	}
+	if cat.Len() != 2 {
+		t.Errorf("Len = %d, want 2", cat.Len())
+	}
+}
+
+func TestGetClonesConfig(t *testing.T) {
+	cat := newTestCatalog(t)
+	cfg := feature.NewConfig(minimalFeatures...)
+	p1, err := cat.Get(cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's config must not corrupt the cached product.
+	cfg.Deselect("where")
+	p2, err := cat.Get(feature.NewConfig(minimalFeatures...), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("cache miss after caller mutated its config")
+	}
+	if !p1.Config.Has("where") {
+		t.Error("cached product's config was mutated through the caller's reference")
+	}
+}
+
+func TestGetCachesFailures(t *testing.T) {
+	cat := newTestCatalog(t)
+	// An invalid selection: quantifier_all and quantifier_distinct are an
+	// alternative group, but selecting a lone child with no concept root
+	// fails validation.
+	bad := feature.NewConfig("quantifier_all")
+	if _, err := cat.Get(bad, core.Options{NoAutoClose: true}); err == nil {
+		t.Fatal("invalid selection built successfully")
+	}
+	if _, err := cat.Get(bad, core.Options{NoAutoClose: true}); err == nil {
+		t.Fatal("cached failure turned into success")
+	}
+	m := cat.Metrics()
+	if m.Misses != 1 {
+		t.Errorf("failure rebuilt: %d misses", m.Misses)
+	}
+}
+
+func TestConcurrentGetSingleflight(t *testing.T) {
+	cat := newTestCatalog(t)
+	const goroutines = 16
+	products := make([]*core.Product, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := feature.NewConfig(minimalFeatures...)
+			products[g], errs[g] = cat.Get(cfg, core.Options{Product: "minimal"})
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if products[g] != products[0] {
+			t.Fatal("concurrent gets returned distinct products")
+		}
+	}
+	m := cat.Metrics()
+	if m.Misses != 1 {
+		t.Errorf("%d builds for one selection under concurrency", m.Misses)
+	}
+	if m.Hits+m.Shared != goroutines-1 {
+		t.Errorf("metrics = %+v, want hits+shared = %d", m, goroutines-1)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	cat := newTestCatalog(t)
+	cfg := feature.NewConfig(minimalFeatures...)
+	if _, ok := cat.Lookup(cfg, core.Options{}); ok {
+		t.Error("Lookup hit on an empty catalog")
+	}
+	want, err := cat.Get(cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cat.Lookup(cfg, core.Options{})
+	if !ok || got != want {
+		t.Error("Lookup missed a cached product")
+	}
+}
+
+func TestDefaultCatalogIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default returned distinct catalogs")
+	}
+}

@@ -126,4 +126,32 @@ func TestCLIsRun(t *testing.T) {
 			t.Errorf("sqlbench output wrong:\n%s", out)
 		}
 	})
+	t.Run("sqlbench-bad-exp", func(t *testing.T) {
+		t.Parallel()
+		cmd := exec.Command("go", "run", "./cmd/sqlbench", "-exp", "E42")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("unknown experiment accepted:\n%s", out)
+		}
+		if !strings.Contains(string(out), "E6, E7, E8, E9") {
+			t.Errorf("error does not list valid experiments:\n%s", out)
+		}
+	})
+	t.Run("sqlparse-batch", func(t *testing.T) {
+		t.Parallel()
+		cmd := exec.Command("go", "run", "./cmd/sqlparse",
+			"-dialect", "core", "-batch", "-workers", "4")
+		cmd.Stdin = strings.NewReader(
+			"SELECT a FROM t\nSELECT b FROM u WHERE c = 1\nSELECT nope FROM\n")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("batch mode failed: %v\n%s", err, out)
+		}
+		text := string(out)
+		for _, want := range []string{"1: ACCEPT", "2: ACCEPT", "3: REJECT", "2 accepted, 1 rejected"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("batch output missing %q:\n%s", want, text)
+			}
+		}
+	})
 }
