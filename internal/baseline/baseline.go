@@ -42,7 +42,8 @@ var keywords = []string{
 	"START", "TRANSACTION", "COMMIT", "ROLLBACK", "WORK", "CHAIN",
 	"SAVEPOINT", "RELEASE", "ISOLATION", "LEVEL", "READ", "COMMITTED",
 	"UNCOMMITTED", "REPEATABLE", "SERIALIZABLE", "ONLY", "WRITE", "DECLARE",
-	"CURSOR", "OPEN", "CLOSE", "FETCH", "OF", "FOR", "INTEGER", "INT",
+	"CURSOR", "OPEN", "CLOSE", "FETCH", "OF", "FOR", "INDICATOR",
+	"INTEGER", "INT",
 	"SMALLINT", "BIGINT", "NUMERIC", "DECIMAL", "DEC", "FLOAT", "REAL",
 	"DOUBLE", "PRECISION", "CHAR", "CHARACTER", "VARCHAR", "VARYING",
 	"BOOLEAN", "DATE", "TIME", "TIMESTAMP", "INTERVAL", "ZONE", "WITHOUT",
@@ -106,6 +107,9 @@ func MustNew() *Parser {
 
 // Keywords returns the reserved words of the baseline (all of them, always).
 func (p *Parser) Keywords() []string { return p.lex.Keywords() }
+
+// Puncts returns the punctuation spellings the baseline scanner recognizes.
+func (p *Parser) Puncts() []string { return p.lex.Puncts() }
 
 // Parse parses a script.
 func (p *Parser) Parse(sql string) (*ast.Script, error) {
@@ -354,6 +358,9 @@ func (s *state) queryBody() (*ast.Select, error) {
 		if s.at("ALL", "DISTINCT") {
 			op.Quantifier = s.next().Name
 		}
+		if err := s.correspondingSpec(&op); err != nil {
+			return nil, err
+		}
 		right, err := s.queryTerm()
 		if err != nil {
 			return nil, err
@@ -374,6 +381,9 @@ func (s *state) queryTerm() (*ast.Select, error) {
 		op := ast.SetOp{Op: "INTERSECT"}
 		if s.at("ALL", "DISTINCT") {
 			op.Quantifier = s.next().Name
+		}
+		if err := s.correspondingSpec(&op); err != nil {
+			return nil, err
 		}
 		right, err := s.queryPrimary()
 		if err != nil {
@@ -671,6 +681,29 @@ func (s *state) tablePrimary() (*ast.TableRef, error) {
 		ref.AliasColumns = cols
 	}
 	return ref, nil
+}
+
+// correspondingSpec parses an optional CORRESPONDING [ BY ( columns ) ]
+// between a set operator and its right operand.
+func (s *state) correspondingSpec(op *ast.SetOp) error {
+	if !s.accept("CORRESPONDING") {
+		return nil
+	}
+	op.Corresponding = true
+	if s.accept("BY") {
+		if _, err := s.expect("LPAREN"); err != nil {
+			return err
+		}
+		cols, err := s.columnList()
+		if err != nil {
+			return err
+		}
+		op.CorrespondingBy = cols
+		if _, err := s.expect("RPAREN"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *state) columnList() ([]string, error) {

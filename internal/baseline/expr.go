@@ -268,7 +268,19 @@ func (s *state) primary() (ast.Expr, error) {
 	case s.at("BINSTRING"):
 		return &ast.Literal{Kind: ast.LitBinary, Text: s.next().Text}, nil
 	case s.at("HOSTPARAM"):
-		return &ast.Literal{Kind: ast.LitParameter, Text: s.next().Text}, nil
+		// <host parameter specification> ::= :name [ [ INDICATOR ] :ind ]
+		text := s.next().Text
+		if s.at("INDICATOR") {
+			text += " " + s.next().Name
+			ind, err := s.expect("HOSTPARAM")
+			if err != nil {
+				return nil, err
+			}
+			text += " " + ind.Text
+		} else if s.at("HOSTPARAM") {
+			text += " " + s.next().Text
+		}
+		return &ast.Literal{Kind: ast.LitParameter, Text: text}, nil
 	case s.at("QMARK_P"):
 		s.next()
 		return &ast.Literal{Kind: ast.LitParameter, Text: "?"}, nil

@@ -217,7 +217,7 @@ func (s *scanner) next() (Token, bool, error) {
 
 	switch {
 	case c == '\'':
-		text, err := s.scanString()
+		text, err := s.scanQuoted('\'', "string literal", startLine, startCol)
 		if err != nil {
 			return Token{}, false, err
 		}
@@ -229,14 +229,14 @@ func (s *scanner) next() (Token, bool, error) {
 
 	case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && s.l.classes[ClassBinaryString] != "":
 		s.advance(1)
-		text, err := s.scanString()
+		text, err := s.scanQuoted('\'', "binary string literal", startLine, startCol)
 		if err != nil {
 			return Token{}, false, err
 		}
 		return mk(s.l.classes[ClassBinaryString], "X"+text), true, nil
 
 	case c == '"':
-		text, err := s.scanDelimited()
+		text, err := s.scanQuoted('"', "delimited identifier", startLine, startCol)
 		if err != nil {
 			return Token{}, false, err
 		}
@@ -301,40 +301,22 @@ func (s *scanner) errAt(line, col int, format string, args ...any) error {
 	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
 }
 
-// scanString consumes a '...' literal with ” escapes, returning the raw
-// text including quotes.
-func (s *scanner) scanString() (string, error) {
-	startLine, startCol := s.line, s.col
+// scanQuoted consumes a quote-delimited lexeme (doubling the quote escapes
+// it), returning the raw text including quotes. startLine/startCol are the
+// token's start coordinates — for X'..' binary strings that is the X, not
+// the quote — so an unterminated-quote error always points at the token the
+// user began, while the message names where the input ran out.
+func (s *scanner) scanQuoted(quote byte, what string, startLine, startCol int) (string, error) {
 	start := s.pos
 	s.advance(1) // opening quote
 	for {
 		if s.pos >= len(s.src) {
-			return "", s.errAt(startLine, startCol, "unterminated string literal")
+			return "", s.errAt(startLine, startCol,
+				"unterminated %s: reached end of input at %d:%d", what, s.line, s.col)
 		}
-		if s.src[s.pos] == '\'' {
-			if s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' {
+		if s.src[s.pos] == quote {
+			if s.pos+1 < len(s.src) && s.src[s.pos+1] == quote {
 				s.advance(2) // escaped quote
-				continue
-			}
-			s.advance(1)
-			return s.src[start:s.pos], nil
-		}
-		s.advance(1)
-	}
-}
-
-// scanDelimited consumes a "..." identifier with "" escapes.
-func (s *scanner) scanDelimited() (string, error) {
-	startLine, startCol := s.line, s.col
-	start := s.pos
-	s.advance(1)
-	for {
-		if s.pos >= len(s.src) {
-			return "", s.errAt(startLine, startCol, "unterminated delimited identifier")
-		}
-		if s.src[s.pos] == '"' {
-			if s.pos+1 < len(s.src) && s.src[s.pos+1] == '"' {
-				s.advance(2)
 				continue
 			}
 			s.advance(1)
@@ -413,6 +395,17 @@ func isIdentStartByte(rest string) bool {
 
 func isIdentPart(r rune) bool {
 	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Puncts returns the punctuation spellings of this scanner configuration,
+// sorted longest-first (the scan order). Used by the differential oracle to
+// decide whether a construct is within a comparator's lexical surface.
+func (l *Lexer) Puncts() []string {
+	out := make([]string, len(l.puncts))
+	for i, p := range l.puncts {
+		out[i] = p.text
+	}
+	return out
 }
 
 // Keywords returns the reserved words of this scanner configuration, sorted.

@@ -1,6 +1,7 @@
 package lexer
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -321,5 +322,47 @@ func TestQuickIdentifierRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestUnterminatedQuotesPositioned: an unterminated quoted lexeme must fail
+// with an error positioned at the token's start — for X'.. binary strings
+// that is the X, not the quote — and a message naming both the lexeme kind
+// and where the input ran out.
+func TestUnterminatedQuotesPositioned(t *testing.T) {
+	l := newLexer(t, fullTokens)
+	cases := []struct {
+		src             string
+		line, col       int
+		endLine, endCol int
+		what            string
+	}{
+		{"SELECT 'abc", 1, 8, 1, 12, "string literal"},
+		{"SELECT 'it''s", 1, 8, 1, 14, "string literal"},
+		{"SELECT \"col", 1, 8, 1, 12, "delimited identifier"},
+		{"SELECT X'AB", 1, 8, 1, 12, "binary string literal"},
+		{"SELECT x'", 1, 8, 1, 10, "binary string literal"},
+		{"SELECT\n  'abc", 2, 3, 2, 7, "string literal"},
+	}
+	for _, c := range cases {
+		_, err := l.Scan(c.src)
+		if err == nil {
+			t.Errorf("Scan(%q) unexpectedly succeeded", c.src)
+			continue
+		}
+		lerr, ok := err.(*Error)
+		if !ok {
+			t.Errorf("Scan(%q) error is %T, want *Error", c.src, err)
+			continue
+		}
+		if lerr.Line != c.line || lerr.Col != c.col {
+			t.Errorf("Scan(%q) error at %d:%d, want %d:%d (token start)",
+				c.src, lerr.Line, lerr.Col, c.line, c.col)
+		}
+		wantMsg := fmt.Sprintf("unterminated %s: reached end of input at %d:%d",
+			c.what, c.endLine, c.endCol)
+		if lerr.Msg != wantMsg {
+			t.Errorf("Scan(%q) message %q, want %q", c.src, lerr.Msg, wantMsg)
+		}
 	}
 }

@@ -1,0 +1,67 @@
+package parser_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/parser"
+)
+
+// fuzzProduct builds the core dialect once per process with a token cap so
+// pathological fuzz inputs cannot blow up the parse stack or run unbounded.
+var fuzzProduct = sync.OnceValues(func() (*core.Product, error) {
+	feats, err := dialect.Features(dialect.Core)
+	if err != nil {
+		return nil, err
+	}
+	return dialect.Catalog().Get(feature.NewConfig(feats...), core.Options{
+		Product: "fuzz-core",
+		Parser:  parser.Options{MaxTokens: 512},
+	})
+})
+
+// FuzzParse drives the composed core-dialect parser with arbitrary input.
+// Contract: no panics; rejections carry an error; and accepted inputs
+// round-trip — the parse tree's token text must itself parse (the property
+// the sentence generator's space-joined rendering relies on).
+func FuzzParse(f *testing.F) {
+	p, err := fuzzProduct()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT t . a AS x , COUNT ( * ) FROM t , u WHERE a = 1 GROUP BY a HAVING COUNT ( * ) > 2 ORDER BY x DESC ;",
+		"INSERT INTO t ( a , b ) VALUES ( 1 , 'x' ) , ( 2 , DEFAULT )",
+		"UPDATE t SET a = a + 1 WHERE a IN ( SELECT b FROM u )",
+		"CREATE TABLE t ( a INTEGER PRIMARY KEY , b VARCHAR ( 10 ) )",
+		"SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END FROM t",
+		"SELECT FROM",
+		"1 2 3",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			t.Skip("oversized input")
+		}
+		tree, err := p.Parse(src)
+		if err != nil {
+			return
+		}
+		text := tree.Text()
+		if strings.TrimSpace(src) != "" && strings.TrimSpace(text) == "" {
+			t.Fatalf("accepted non-empty input %q but tree text is empty", src)
+		}
+		if _, err := p.Parse(text); err != nil {
+			t.Fatalf("round-trip failed: %q parsed but its tree text %q does not: %v",
+				src, text, err)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package sentence
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlspl/internal/baseline"
+	"sqlspl/internal/core"
+	"sqlspl/internal/grammar"
+	"sqlspl/internal/lexer"
+)
+
+// Report is one oracle disagreement, carrying everything needed to
+// reproduce and debug it: the generating product's feature selection, the
+// generator seed and sentence index, the original sentence, and the
+// token-minimized input on which the referees still disagree.
+type Report struct {
+	// Oracle names the referee that disagreed: "self", "superset" or
+	// "baseline".
+	Oracle string
+	// Product is the generating product's name; Features its selection.
+	Product  string
+	Features []string
+	// Seed and Index reproduce the sentence: a generator built with Seed
+	// emits the offending sentence as its Index-th (0-based) output.
+	Seed  int64
+	Index int
+	// Input is the generated sentence; Reduced the shrunk disagreement
+	// (equal to Input when shrinking could not remove any token).
+	Input   string
+	Reduced string
+	// Err is the rejecting parser's error on Reduced.
+	Err string
+}
+
+// String renders the report for CLI and test output.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"DISAGREEMENT [%s] product=%s seed=%d index=%d\n  input:    %s\n  reduced:  %s\n  error:    %s\n  features: %s",
+		r.Oracle, r.Product, r.Seed, r.Index, r.Input, r.Reduced, r.Err,
+		strings.Join(r.Features, ","))
+}
+
+// Oracle cross-examines generated sentences against up to three referees:
+//
+//  1. self — the generating product must parse its own sentences (the
+//     generator and the parse engine interpret the same grammar; any
+//     disagreement is a bug in one of them).
+//  2. superset — a product built from a feature superset must accept every
+//     sentence of the subset product (feature monotonicity: composition
+//     only appends or widens alternatives, erasure only removes optional
+//     slots, and generated identifiers avoid all model keywords).
+//  3. baseline — the monolithic hand-written parser must accept sentences
+//     whose constructs it covers (see baselineCovers).
+//
+// Disagreements are shrunk token-by-token before reporting.
+type Oracle struct {
+	// Product is the generating product. Required.
+	Product *core.Product
+	// Superset, if non-nil, is a product whose feature selection contains
+	// the Product's; its parser must accept everything Product's does.
+	Superset *core.Product
+	// Baseline, if non-nil, is the monolithic comparator parser.
+	Baseline *baseline.Parser
+	// ShrinkBudget caps predicate calls per shrink (default 4000).
+	ShrinkBudget int
+}
+
+// Check runs every configured referee over one sentence. seed and index
+// identify the sentence for reproduction and are copied into the reports.
+// A self-oracle failure short-circuits the other referees (they presuppose
+// the product accepts the sentence).
+func (o *Oracle) Check(sentence string, seed int64, index int) []Report {
+	base := Report{
+		Product:  o.Product.Name,
+		Features: o.Product.Config.Names(),
+		Seed:     seed,
+		Index:    index,
+		Input:    sentence,
+		Reduced:  sentence,
+	}
+
+	if _, err := o.Product.Parse(sentence); err != nil {
+		// The generator emitted something its own grammar's parser rejects:
+		// not shrinkable (any reduction changes what was generated), so
+		// report verbatim.
+		r := base
+		r.Oracle = "self"
+		r.Err = err.Error()
+		return []Report{r}
+	}
+
+	var out []Report
+	if o.Superset != nil {
+		if _, err := o.Superset.Parse(sentence); err != nil {
+			toks := o.tokens(sentence)
+			reduced := Shrink(toks, func(c []string) bool {
+				s := strings.Join(c, " ")
+				return o.Product.Accepts(s) && !o.Superset.Accepts(s)
+			}, o.ShrinkBudget)
+			r := base
+			r.Oracle = "superset"
+			r.Reduced = strings.Join(reduced, " ")
+			_, rerr := o.Superset.Parse(r.Reduced)
+			r.Err = errString(rerr)
+			out = append(out, r)
+		}
+	}
+	if o.Baseline != nil {
+		toks, err := o.Product.Parser.Lexer().Scan(sentence)
+		if err == nil && o.baselineCovers(toks) {
+			if _, berr := o.Baseline.Parse(sentence); berr != nil {
+				texts := tokenTexts(toks)
+				reduced := Shrink(texts, func(c []string) bool {
+					s := strings.Join(c, " ")
+					ct, cerr := o.Product.Parser.Lexer().Scan(s)
+					if cerr != nil || !o.baselineCovers(ct) {
+						return false
+					}
+					return o.Product.Accepts(s) && !o.Baseline.Accepts(s)
+				}, o.ShrinkBudget)
+				r := base
+				r.Oracle = "baseline"
+				r.Reduced = strings.Join(reduced, " ")
+				_, rerr := o.Baseline.Parse(r.Reduced)
+				r.Err = errString(rerr)
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "(accepted)"
+	}
+	return err.Error()
+}
+
+// tokens renders a sentence back into token texts via the product scanner;
+// on scan failure it falls back to whitespace fields (the shrink predicate
+// re-validates every candidate anyway).
+func (o *Oracle) tokens(sentence string) []string {
+	toks, err := o.Product.Parser.Lexer().Scan(sentence)
+	if err != nil {
+		return strings.Fields(sentence)
+	}
+	return tokenTexts(toks)
+}
+
+func tokenTexts(toks []lexer.Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// baselineHeads are the statement-introducing tokens the baseline parser's
+// statement() dispatch recognizes. A sentence whose statements start
+// anywhere else (e.g. a product whose start symbol is an expression
+// fragment) is outside baseline coverage.
+var baselineHeads = map[string]bool{
+	"SELECT": true, "WITH": true, "VALUES": true, "TABLE": true, "(": true,
+	"INSERT": true, "UPDATE": true, "DELETE": true,
+	"CREATE": true, "DROP": true, "ALTER": true, "GRANT": true,
+	"REVOKE": true, "START": true, "COMMIT": true, "ROLLBACK": true,
+	"SAVEPOINT": true, "RELEASE": true, "SET": true, "DECLARE": true,
+	"OPEN": true, "CLOSE": true, "FETCH": true, "MERGE": true,
+}
+
+// baselineCovers reports whether the baseline parser models the constructs
+// of this token stream — the oracle's "where the baseline covers the
+// construct" guard. Coverage is deliberately conservative:
+//
+//   - every statement (top-level semicolon segment) must begin with a token
+//     the baseline statement dispatch recognizes, and no segment may be
+//     empty (the baseline rejects bare semicolons that products with
+//     multi-statement scripts may permit);
+//   - every keyword and punctuation spelling must be one the baseline
+//     scanner reserves (extension keywords such as the TinySQL sensor
+//     clauses are thereby excluded);
+//   - every lexical class must be one the baseline scanner configures.
+func (o *Oracle) baselineCovers(toks []lexer.Token) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	kw := map[string]bool{}
+	for _, k := range o.Baseline.Keywords() {
+		kw[k] = true
+	}
+	punct := map[string]bool{}
+	for _, p := range o.Baseline.Puncts() {
+		punct[p] = true
+	}
+	depth := 0
+	atHead := true
+	for _, t := range toks {
+		def, ok := o.Product.Tokens.Get(t.Name)
+		if !ok {
+			return false
+		}
+		up := strings.ToUpper(t.Text)
+		if atHead && !baselineHeads[up] {
+			return false
+		}
+		atHead = false
+		switch def.Kind {
+		case grammar.Keyword:
+			if !kw[up] {
+				return false
+			}
+		case grammar.Punct:
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ";":
+				if depth == 0 {
+					atHead = true
+				}
+			}
+			if !punct[t.Text] {
+				return false
+			}
+		default: // grammar.Class
+			switch def.Text {
+			case lexer.ClassIdentifier, lexer.ClassDelimitedIdentifier,
+				lexer.ClassNumber, lexer.ClassInteger, lexer.ClassString,
+				lexer.ClassBinaryString, lexer.ClassHostParameter,
+				lexer.ClassDynamicParameter:
+				// The baseline scanner configures all of these ('?' via its
+				// QMARK_P punctuation).
+			default:
+				return false
+			}
+		}
+	}
+	// A trailing top-level semicolon leaves atHead set with nothing after
+	// it; the baseline accepts that (its statement loop exits at EOF), so
+	// it stays covered.
+	return true
+}

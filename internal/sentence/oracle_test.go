@@ -1,0 +1,183 @@
+package sentence
+
+import (
+	"strings"
+	"testing"
+
+	"sqlspl/internal/baseline"
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+)
+
+func buildPreset(t *testing.T, name dialect.Name) *core.Product {
+	t.Helper()
+	p, err := dialect.Build(name)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return p
+}
+
+// supersetOf builds the full product re-rooted at sub's start symbol so the
+// two parsers recognize comparable languages.
+func supersetOf(t *testing.T, sub *core.Product) *core.Product {
+	t.Helper()
+	feats, err := dialect.Features(dialect.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dialect.Catalog().Get(feature.NewConfig(feats...), core.Options{
+		Product: "full@" + sub.Grammar.Start,
+		Start:   sub.Grammar.Start,
+	})
+	if err != nil {
+		t.Fatalf("superset build: %v", err)
+	}
+	return p
+}
+
+// TestOracleCleanOnPresets is the subsystem's acceptance property: for every
+// preset dialect, a generated corpus produces zero disagreements against all
+// three referees.
+func TestOracleCleanOnPresets(t *testing.T) {
+	bl, err := baseline.New()
+	if err != nil {
+		t.Fatalf("baseline.New: %v", err)
+	}
+	n := 120
+	if testing.Short() {
+		n = 20
+	}
+	for _, name := range dialect.Names() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			p := buildPreset(t, name)
+			o := &Oracle{Product: p, Baseline: bl}
+			if name != dialect.Full {
+				o.Superset = supersetOf(t, p)
+			}
+			gen, err := New(p.Grammar, p.Tokens, Options{Seed: 11, MaxDepth: 9, Coverage: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := 0
+			for i := 0; i < n; i++ {
+				s := gen.Sentence()
+				for _, r := range o.Check(s, 11, i) {
+					t.Errorf("%s", r)
+				}
+				checked++
+			}
+			if checked != n {
+				t.Fatalf("checked %d of %d", checked, n)
+			}
+		})
+	}
+}
+
+// TestOracleSelfFailure: a sentence the product rejects yields an unshrunk
+// "self" report and short-circuits the other referees.
+func TestOracleSelfFailure(t *testing.T) {
+	p := buildPreset(t, dialect.Minimal)
+	o := &Oracle{Product: p, Superset: supersetOf(t, p)}
+	reports := o.Check("SELECT FROM FROM", 1, 3)
+	if len(reports) != 1 || reports[0].Oracle != "self" {
+		t.Fatalf("want one self report, got %v", reports)
+	}
+	r := reports[0]
+	if r.Seed != 1 || r.Index != 3 || r.Reduced != r.Input || r.Err == "" {
+		t.Errorf("malformed self report: %+v", r)
+	}
+	if !strings.Contains(r.String(), "DISAGREEMENT [self]") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+// TestOracleSupersetDisagreementShrinks: against a deliberately wrong
+// "superset" (minimal posing as a superset of core), the oracle reports a
+// disagreement whose reduced form is no longer than the input and still
+// witnesses the disagreement.
+func TestOracleSupersetDisagreementShrinks(t *testing.T) {
+	sub := buildPreset(t, dialect.Core)
+	// A "superset" that actually DROPS features (aliases, extra comparison
+	// operators) — a guaranteed monotonicity violation to exercise reporting.
+	feats, err := dialect.Features(dialect.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := feats[:0]
+	for _, f := range feats {
+		switch f {
+		case "column_alias", "op_not_equals", "op_less", "op_greater",
+			"op_less_equals", "op_greater_equals":
+		default:
+			kept = append(kept, f)
+		}
+	}
+	wrong, err := dialect.Catalog().Get(feature.NewConfig(kept...), core.Options{
+		Product: "core-shrunk@" + sub.Grammar.Start,
+		Start:   sub.Grammar.Start,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Oracle{Product: sub, Superset: wrong}
+	// A core sentence using constructs minimal lacks (alias, <>).
+	in := "SELECT c1 AS col_a FROM t1 WHERE c1 <> 5 ;"
+	if !sub.Accepts(in) {
+		t.Fatalf("core must accept %q", in)
+	}
+	reports := o.Check(in, 9, 0)
+	if len(reports) != 1 || reports[0].Oracle != "superset" {
+		t.Fatalf("want one superset report, got %v", reports)
+	}
+	r := reports[0]
+	rt := strings.Fields(r.Reduced)
+	if len(rt) == 0 || len(rt) > len(strings.Fields(in)) {
+		t.Errorf("reduced %q not a shrink of %q", r.Reduced, in)
+	}
+	if !sub.Accepts(r.Reduced) || wrong.Accepts(r.Reduced) {
+		t.Errorf("reduced form %q no longer witnesses the disagreement", r.Reduced)
+	}
+}
+
+// TestBaselineCoversRejectsExtensions: TinySQL's sensor clauses use keywords
+// the baseline does not reserve, so such sentences are out of coverage.
+func TestBaselineCoversRejectsExtensions(t *testing.T) {
+	bl, err := baseline.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPreset(t, dialect.TinySQL)
+	o := &Oracle{Product: p, Baseline: bl}
+	lx := p.Parser.Lexer()
+
+	covered, uncovered := 0, 0
+	samples := []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT c1 FROM t1", true},
+		{"SELECT c1 FROM t1 SAMPLE PERIOD 8", false}, // SAMPLE not a baseline keyword
+		{"", false}, // empty stream: nothing to cover
+	}
+	for _, s := range samples {
+		toks, err := lx.Scan(s.sql)
+		if err != nil {
+			t.Fatalf("scan %q: %v", s.sql, err)
+		}
+		got := o.baselineCovers(toks)
+		if got != s.want {
+			t.Errorf("baselineCovers(%q) = %v, want %v", s.sql, got, s.want)
+		}
+		if got {
+			covered++
+		} else {
+			uncovered++
+		}
+	}
+	if covered == 0 || uncovered == 0 {
+		t.Error("sample set did not exercise both outcomes")
+	}
+}

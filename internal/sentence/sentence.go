@@ -1,0 +1,420 @@
+// Package sentence generates syntactically valid SQL from composed product
+// grammars and checks the product line's central correctness claim against
+// differential oracles.
+//
+// The paper argues that feature composition yields a *correct* parser for
+// every valid feature selection. Hand-written accept/reject matrices only
+// sample that claim; this package checks it at machine scale. A Generator
+// walks any composed grammar.Grammar + TokenSet and emits sentences of the
+// product's language — deterministically (seeded), with bounded recursion
+// depth (a min-derivation-cost analysis guarantees termination), and
+// optionally coverage-guided (steering choice points toward alternatives no
+// earlier sentence exercised). An Oracle (oracle.go) then cross-examines
+// every sentence against three independent referees: the generating product
+// itself, any feature-superset product, and the monolithic baseline parser.
+// Disagreements are minimized by token-level shrinking (shrink.go) and
+// reported with the feature selection and seed that reproduce them.
+package sentence
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sqlspl/internal/grammar"
+)
+
+// Options configures a Generator. The zero value is usable: seed 0, default
+// depth, uniform choice.
+type Options struct {
+	// Seed makes generation deterministic: equal (grammar, tokens, options)
+	// and equal call sequences produce equal sentences.
+	Seed int64
+	// MaxDepth bounds nonterminal nesting. When the remaining budget cannot
+	// afford an alternative (per the min-cost analysis), that alternative is
+	// not taken; generation therefore always terminates. Defaults to 12.
+	// Grammars whose cheapest sentence is deeper than MaxDepth get exactly
+	// the budget they need.
+	MaxDepth int
+	// Coverage steers top-level choice points toward the least-exercised
+	// viable alternative instead of picking uniformly, so a corpus covers
+	// unexercised productions quickly. Coverage counters accumulate across
+	// Sentence calls; see the Coverage method.
+	Coverage bool
+	// Identifiers overrides the identifier pool. Entries colliding with the
+	// token set's keywords are dropped (they would lex as keywords, breaking
+	// the generated sentence). Leave nil for the default pool, which is also
+	// chosen to avoid the keywords of every feature in the SQL:2003 model so
+	// that generated sentences survive feature-superset products
+	// (monotonicity oracle).
+	Identifiers []string
+}
+
+// Generator emits sentences of one product grammar's language. Construct
+// with New. A Generator is NOT safe for concurrent use (it owns one RNG and
+// one coverage table); create one per goroutine.
+type Generator struct {
+	g    *grammar.Grammar
+	ts   *grammar.TokenSet
+	rng  *rand.Rand
+	opts Options
+
+	// cost maps each production to the minimal nonterminal-nesting depth of
+	// any sentence it derives (infCost if none exists, e.g. undefined NTs).
+	cost map[string]int
+	pool []string
+	// hits counts how often each top-level alternative of each production
+	// was chosen, for coverage-guided choice and the Coverage report.
+	hits map[string][]uint64
+}
+
+// infCost marks expressions with no finite derivation. Kept far below
+// MaxInt so sums never overflow.
+const infCost = 1 << 28
+
+// defaultPool is the identifier vocabulary. Every entry carries a digit or
+// underscore suffix precisely so it can never collide with an SQL keyword —
+// neither of the generating product nor of any superset product (keywords
+// are plain words in every unit of the model). That keeps sentences stable
+// under feature growth, which the monotonicity oracle depends on.
+var defaultPool = []string{
+	"t1", "t2", "u1", "emp_1", "dept_2", "col_a", "col_b", "c1", "c2",
+	"x1", "y2", "qty_3", "price_4", "v_a", "n_9", "log_t", "k_0",
+}
+
+// New builds a generator for the composed grammar and token set — normally
+// a product's Grammar and Tokens fields. It fails if the grammar has no
+// start symbol or the start symbol derives no finite sentence.
+func New(g *grammar.Grammar, ts *grammar.TokenSet, opts Options) (*Generator, error) {
+	if g.Start == "" {
+		return nil, fmt.Errorf("sentence: grammar %s has no start symbol", g.Name)
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 12
+	}
+	gen := &Generator{
+		g:    g,
+		ts:   ts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		opts: opts,
+		hits: map[string][]uint64{},
+	}
+	gen.computeCosts()
+	if gen.cost[g.Start] >= infCost {
+		return nil, fmt.Errorf("sentence: start symbol %s derives no finite sentence", g.Start)
+	}
+	pool := opts.Identifiers
+	if pool == nil {
+		pool = defaultPool
+	}
+	for _, id := range pool {
+		if !isKeywordOf(ts, id) {
+			gen.pool = append(gen.pool, id)
+		}
+	}
+	if len(gen.pool) == 0 {
+		// Every pool word reserved (pathological token set): synthesize.
+		gen.pool = []string{"zz_gen_1", "zz_gen_2"}
+	}
+	for _, p := range g.Productions() {
+		gen.hits[p.Name] = make([]uint64, len(p.Alternatives()))
+	}
+	return gen, nil
+}
+
+func isKeywordOf(ts *grammar.TokenSet, word string) bool {
+	up := strings.ToUpper(word)
+	for _, d := range ts.Defs() {
+		if d.Kind == grammar.Keyword && strings.ToUpper(d.Text) == up {
+			return true
+		}
+	}
+	return false
+}
+
+// computeCosts runs the min-derivation-depth fixed point: cost(production)
+// is the smallest nonterminal-nesting depth over all sentences it derives.
+func (gen *Generator) computeCosts() {
+	gen.cost = map[string]int{}
+	for _, p := range gen.g.Productions() {
+		gen.cost[p.Name] = infCost
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range gen.g.Productions() {
+			if c := gen.exprCost(p.Expr); c < gen.cost[p.Name] {
+				gen.cost[p.Name] = c
+				changed = true
+			}
+		}
+	}
+}
+
+// exprCost is the minimal nesting budget needed to derive a sentence from e
+// under the current fixed-point state. Optional and Star groups cost
+// nothing (skip them); a sequence costs its most expensive item (budget is
+// nesting depth, not length); a choice costs its cheapest alternative.
+func (gen *Generator) exprCost(e grammar.Expr) int {
+	switch x := e.(type) {
+	case grammar.Tok:
+		return 0
+	case grammar.NT:
+		c, ok := gen.cost[x.Name]
+		if !ok {
+			return infCost // undefined NT: unreachable in validated grammars
+		}
+		if c >= infCost {
+			return infCost
+		}
+		return 1 + c
+	case grammar.Seq:
+		max := 0
+		for _, it := range x.Items {
+			if c := gen.exprCost(it); c > max {
+				max = c
+			}
+		}
+		return max
+	case grammar.Choice:
+		min := infCost
+		for _, a := range x.Alts {
+			if c := gen.exprCost(a); c < min {
+				min = c
+			}
+		}
+		return min
+	case grammar.Opt:
+		return 0
+	case grammar.Star:
+		return 0
+	case grammar.Plus:
+		return gen.exprCost(x.Body)
+	}
+	return infCost
+}
+
+// Sentence generates one sentence and renders it with single spaces between
+// tokens (the form every scanner configuration re-tokenizes identically).
+func (gen *Generator) Sentence() string {
+	return strings.Join(gen.SentenceTokens(), " ")
+}
+
+// SentenceTokens generates one sentence as a token-text slice — the shape
+// the shrinker works on. An empty slice means the start symbol derived the
+// empty sentence (only possible for nullable start symbols; the generator
+// retries a few times to prefer non-empty output, deterministically).
+func (gen *Generator) SentenceTokens() []string {
+	var out []string
+	for attempt := 0; attempt < 4; attempt++ {
+		out = out[:0]
+		budget := gen.opts.MaxDepth
+		if c := gen.cost[gen.g.Start]; budget < c {
+			budget = c
+		}
+		out = gen.genNT(out, gen.g.Start, budget)
+		if len(out) > 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Generate emits n sentences.
+func (gen *Generator) Generate(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, gen.Sentence())
+	}
+	return out
+}
+
+// genNT derives the named production within the given nesting budget.
+func (gen *Generator) genNT(out []string, name string, budget int) []string {
+	p := gen.g.Production(name)
+	if p == nil {
+		return out // validated grammars have no undefined NTs
+	}
+	if c := gen.cost[name]; budget < c {
+		budget = c // only reachable at the start symbol; see New
+	}
+	alts := p.Alternatives()
+	idx := gen.chooseAlt(name, alts, budget)
+	gen.hits[name][idx]++
+	return gen.genExpr(out, alts[idx], budget)
+}
+
+// chooseAlt picks a top-level alternative affordable within budget —
+// uniformly, or (coverage mode) the least-exercised one.
+func (gen *Generator) chooseAlt(name string, alts []grammar.Expr, budget int) int {
+	viable := make([]int, 0, len(alts))
+	for i, a := range alts {
+		if gen.exprCost(a) <= budget {
+			viable = append(viable, i)
+		}
+	}
+	if len(viable) == 0 {
+		// Cannot happen when budget >= cost[name]; defend with the cheapest.
+		best, bestCost := 0, infCost+1
+		for i, a := range alts {
+			if c := gen.exprCost(a); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		return best
+	}
+	if gen.opts.Coverage {
+		minHits := uint64(1<<63 - 1)
+		least := viable[:0:0]
+		for _, i := range viable {
+			switch h := gen.hits[name][i]; {
+			case h < minHits:
+				minHits = h
+				least = append(least[:0], i)
+			case h == minHits:
+				least = append(least, i)
+			}
+		}
+		return least[gen.rng.Intn(len(least))]
+	}
+	return viable[gen.rng.Intn(len(viable))]
+}
+
+// genExpr derives expression e within budget, appending token texts to out.
+// Invariant: exprCost(e) <= budget on entry, so every mandatory part is
+// affordable; optional parts re-check before committing.
+func (gen *Generator) genExpr(out []string, e grammar.Expr, budget int) []string {
+	switch x := e.(type) {
+	case grammar.Tok:
+		return append(out, gen.render(x.Name))
+	case grammar.NT:
+		return gen.genNT(out, x.Name, budget-1)
+	case grammar.Seq:
+		for _, it := range x.Items {
+			out = gen.genExpr(out, it, budget)
+		}
+		return out
+	case grammar.Choice:
+		viable := make([]grammar.Expr, 0, len(x.Alts))
+		for _, a := range x.Alts {
+			if gen.exprCost(a) <= budget {
+				viable = append(viable, a)
+			}
+		}
+		if len(viable) == 0 {
+			return out // unreachable under the invariant
+		}
+		return gen.genExpr(out, viable[gen.rng.Intn(len(viable))], budget)
+	case grammar.Opt:
+		if gen.exprCost(x.Body) <= budget && gen.rng.Intn(2) == 0 {
+			return gen.genExpr(out, x.Body, budget)
+		}
+		return out
+	case grammar.Star:
+		for n := 0; n < 3 && gen.exprCost(x.Body) <= budget && gen.rng.Intn(5) < 2; n++ {
+			out = gen.genExpr(out, x.Body, budget)
+		}
+		return out
+	case grammar.Plus:
+		out = gen.genExpr(out, x.Body, budget)
+		for n := 0; n < 2 && gen.rng.Intn(5) < 2; n++ {
+			out = gen.genExpr(out, x.Body, budget)
+		}
+		return out
+	}
+	return out
+}
+
+// render produces concrete text for one terminal that the product's scanner
+// configuration tokenizes back to exactly the same token name. Keywords and
+// punctuation render as their defined spelling; lexical classes sample a
+// concrete lexeme from the class.
+func (gen *Generator) render(tokName string) string {
+	def, ok := gen.ts.Get(tokName)
+	if !ok {
+		return tokName // validated token sets define every referenced token
+	}
+	switch def.Kind {
+	case grammar.Keyword, grammar.Punct:
+		return def.Text
+	}
+	switch def.Text {
+	case "identifier":
+		return gen.ident()
+	case "delimited_identifier":
+		return `"` + gen.ident() + `"`
+	case "integer":
+		return fmt.Sprintf("%d", gen.rng.Intn(1000))
+	case "number":
+		// Always a non-integer spelling: in token sets that also bind the
+		// integer class, a bare-digit rendering would lex as the integer
+		// token and the sentence would no longer re-parse.
+		if gen.rng.Intn(4) == 0 {
+			return fmt.Sprintf("%d.%dE%d", gen.rng.Intn(10), gen.rng.Intn(100), gen.rng.Intn(6))
+		}
+		return fmt.Sprintf("%d.%d", gen.rng.Intn(100), gen.rng.Intn(100))
+	case "string":
+		words := []string{"abc", "x%", "2008-03-29", "10:30:00", "it''s", "srv"}
+		return "'" + words[gen.rng.Intn(len(words))] + "'"
+	case "binary_string":
+		return fmt.Sprintf("X'%02X'", gen.rng.Intn(256))
+	case "host_parameter":
+		return ":" + gen.ident()
+	case "dynamic_parameter":
+		return "?"
+	}
+	return gen.ident() // unknown class: defensive, mirrors lexer fallback
+}
+
+func (gen *Generator) ident() string {
+	return gen.pool[gen.rng.Intn(len(gen.pool))]
+}
+
+// Coverage summarizes which productions and top-level alternatives the
+// generator has exercised since construction.
+type Coverage struct {
+	// Productions / Alternatives count the grammar's choice surface.
+	Productions, Alternatives int
+	// ProductionsHit / AlternativesHit count what generation exercised.
+	ProductionsHit, AlternativesHit int
+	// Unexercised lists "production#alt-index" keys never chosen, sorted.
+	Unexercised []string
+}
+
+// Percent is the alternative-coverage ratio in [0,100].
+func (c Coverage) Percent() float64 {
+	if c.Alternatives == 0 {
+		return 100
+	}
+	return 100 * float64(c.AlternativesHit) / float64(c.Alternatives)
+}
+
+// String renders a one-line summary.
+func (c Coverage) String() string {
+	return fmt.Sprintf("%d/%d productions, %d/%d alternatives (%.1f%%) exercised",
+		c.ProductionsHit, c.Productions, c.AlternativesHit, c.Alternatives, c.Percent())
+}
+
+// Coverage reports cumulative choice-point coverage.
+func (gen *Generator) Coverage() Coverage {
+	var c Coverage
+	for _, p := range gen.g.Productions() {
+		c.Productions++
+		hs := gen.hits[p.Name]
+		c.Alternatives += len(hs)
+		hit := false
+		for i, h := range hs {
+			if h > 0 {
+				c.AlternativesHit++
+				hit = true
+			} else {
+				c.Unexercised = append(c.Unexercised, fmt.Sprintf("%s#%d", p.Name, i))
+			}
+		}
+		if hit {
+			c.ProductionsHit++
+		}
+	}
+	sort.Strings(c.Unexercised)
+	return c
+}

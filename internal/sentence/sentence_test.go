@@ -1,0 +1,236 @@
+package sentence
+
+import (
+	"strings"
+	"testing"
+
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/grammar"
+)
+
+// tiny builds a small self-contained grammar for unit tests.
+func tiny(t *testing.T) (*grammar.Grammar, *grammar.TokenSet) {
+	t.Helper()
+	g, err := grammar.ParseGrammar(`
+grammar tiny ;
+query : SELECT item ( COMMA item )* FROM IDENTIFIER ( WHERE cond )? ;
+item : IDENTIFIER | NUMBER ;
+cond : IDENTIFIER EQ atom ;
+atom : NUMBER | IDENTIFIER | cond2 ;
+cond2 : LPAREN cond RPAREN ;
+`)
+	if err != nil {
+		t.Fatalf("ParseGrammar: %v", err)
+	}
+	ts, err := grammar.ParseTokens(`
+tokens tiny ;
+SELECT : 'SELECT' ;
+FROM : 'FROM' ;
+WHERE : 'WHERE' ;
+COMMA : ',' ;
+EQ : '=' ;
+LPAREN : '(' ;
+RPAREN : ')' ;
+IDENTIFIER : <identifier> ;
+NUMBER : <number> ;
+`)
+	if err != nil {
+		t.Fatalf("ParseTokens: %v", err)
+	}
+	return g, ts
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g, ts := tiny(t)
+	a, err := New(g, ts, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, ts, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sa, sb := a.Sentence(), b.Sentence()
+		if sa != sb {
+			t.Fatalf("sentence %d diverged:\n  a: %s\n  b: %s", i, sa, sb)
+		}
+	}
+	c, err := New(g, ts, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Sentence() == c.Sentence() {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical 50-sentence streams")
+	}
+}
+
+func TestSentencesStartWithSelect(t *testing.T) {
+	g, ts := tiny(t)
+	gen, err := New(g, ts, Options{Seed: 1, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s := gen.Sentence()
+		if !strings.HasPrefix(s, "SELECT ") || !strings.Contains(s, " FROM ") {
+			t.Fatalf("sentence %d not query-shaped: %q", i, s)
+		}
+	}
+}
+
+func TestDepthBoundTerminatesDeepGrammar(t *testing.T) {
+	// A grammar whose only finite escape is several levels down: the
+	// min-cost analysis must lift the budget to the cheapest sentence.
+	g, err := grammar.ParseGrammar(`
+grammar deep ;
+a : LBRACK b RBRACK ;
+b : LBRACK c RBRACK ;
+c : LBRACK d RBRACK ;
+d : X | LBRACK a RBRACK ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := grammar.NewTokenSet("deep")
+	for name, text := range map[string]string{"LBRACK": "[", "RBRACK": "]", "X": "x"} {
+		if err := ts.Add(grammar.TokenDef{Name: name, Kind: grammar.Punct, Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen, err := New(g, ts, Options{Seed: 5, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s := gen.Sentence()
+		if len(s) == 0 || len(s) > 4000 {
+			t.Fatalf("suspicious sentence length %d", len(s))
+		}
+	}
+}
+
+func TestInfiniteGrammarRejected(t *testing.T) {
+	g, err := grammar.ParseGrammar(`
+grammar inf ;
+a : LPAREN a RPAREN ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := grammar.NewTokenSet("inf")
+	_ = ts.Add(grammar.TokenDef{Name: "LPAREN", Kind: grammar.Punct, Text: "("})
+	_ = ts.Add(grammar.TokenDef{Name: "RPAREN", Kind: grammar.Punct, Text: ")"})
+	if _, err := New(g, ts, Options{}); err == nil {
+		t.Fatal("grammar with no finite sentence must be rejected")
+	}
+}
+
+func TestIdentifierPoolAvoidsKeywords(t *testing.T) {
+	g, ts := tiny(t)
+	gen, err := New(g, ts, Options{Seed: 2, Identifiers: []string{"select", "ok_1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.pool) != 1 || gen.pool[0] != "ok_1" {
+		t.Fatalf("pool not filtered against keywords: %v", gen.pool)
+	}
+}
+
+// TestAllDialectSentencesParse is the package-level acceptance property:
+// every sentence generated from every preset dialect parses under the
+// product that generated it.
+func TestAllDialectSentencesParse(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	for _, name := range dialect.Names() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			p, err := dialect.Build(name)
+			if err != nil {
+				t.Fatalf("Build(%s): %v", name, err)
+			}
+			gen, err := New(p.Grammar, p.Tokens, Options{Seed: 7, MaxDepth: 10})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				s := gen.Sentence()
+				if _, perr := p.Parse(s); perr != nil {
+					t.Fatalf("sentence %d rejected by generating product:\n  %s\n  %v", i, s, perr)
+				}
+			}
+		})
+	}
+}
+
+// TestCoverageModeBeatsUniform: coverage-guided generation exercises at
+// least as many alternatives as uniform choice on the same budget.
+func TestCoverageModeBeatsUniform(t *testing.T) {
+	p, err := dialect.Build(dialect.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := New(p.Grammar, p.Tokens, Options{Seed: 3, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := New(p.Grammar, p.Tokens, Options{Seed: 3, MaxDepth: 10, Coverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		uni.Sentence()
+		cov.Sentence()
+	}
+	cu, cc := uni.Coverage(), cov.Coverage()
+	t.Logf("uniform:  %s", cu)
+	t.Logf("coverage: %s", cc)
+	if cc.AlternativesHit < cu.AlternativesHit {
+		t.Errorf("coverage mode exercised fewer alternatives (%d) than uniform (%d)",
+			cc.AlternativesHit, cu.AlternativesHit)
+	}
+	if cc.Alternatives != cu.Alternatives || cc.Productions != cu.Productions {
+		t.Errorf("coverage denominators diverged: %+v vs %+v", cc, cu)
+	}
+}
+
+func TestShrink(t *testing.T) {
+	toks := strings.Fields("a b c d e f g h")
+	// Keep: must contain both c and f.
+	keep := func(c []string) bool {
+		hasC, hasF := false, false
+		for _, t := range c {
+			if t == "c" {
+				hasC = true
+			}
+			if t == "f" {
+				hasF = true
+			}
+		}
+		return hasC && hasF
+	}
+	got := Shrink(toks, keep, 0)
+	if len(got) != 2 || got[0] != "c" || got[1] != "f" {
+		t.Errorf("Shrink = %v, want [c f]", got)
+	}
+	// Predicate false on input: unchanged.
+	if got := Shrink(toks, func([]string) bool { return false }, 0); len(got) != len(toks) {
+		t.Errorf("Shrink on failing predicate must return input unchanged, got %v", got)
+	}
+	if got := Shrink(nil, keep, 0); len(got) != 0 {
+		t.Errorf("Shrink(nil) = %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package sentence
+
+// Shrink minimizes a token-text slice while keep stays true — the reducer
+// behind oracle disagreement reports. It is a delta-debugging-style greedy
+// pass: repeatedly try deleting contiguous spans (halving span size down to
+// single tokens) and adopt any deletion that preserves the predicate, until
+// a full single-token pass makes no progress or the predicate-call budget
+// is exhausted.
+//
+// keep must be true for toks itself; Shrink returns toks unchanged
+// otherwise. The returned slice is always a subsequence of toks for which
+// keep holds, so a reported disagreement remains a disagreement.
+func Shrink(toks []string, keep func([]string) bool, budget int) []string {
+	if len(toks) == 0 || !keep(toks) {
+		return toks
+	}
+	if budget <= 0 {
+		budget = 4000
+	}
+	cur := append([]string(nil), toks...)
+	calls := 0
+	try := func(cand []string) bool {
+		if calls >= budget {
+			return false
+		}
+		calls++
+		return keep(cand)
+	}
+	for progress := true; progress && calls < budget; {
+		progress = false
+		for size := len(cur) / 2; size >= 1; size /= 2 {
+			for start := 0; start+size <= len(cur); {
+				cand := make([]string, 0, len(cur)-size)
+				cand = append(cand, cur[:start]...)
+				cand = append(cand, cur[start+size:]...)
+				if try(cand) {
+					cur = cand
+					progress = true
+					// Do not advance: new material shifted into start.
+				} else {
+					start += size
+				}
+			}
+			if calls >= budget {
+				break
+			}
+		}
+	}
+	return cur
+}

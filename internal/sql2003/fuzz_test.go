@@ -1,0 +1,59 @@
+package sql2003
+
+import (
+	"strings"
+	"testing"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/feature"
+)
+
+// FuzzCompose drives the whole composition pipeline with arbitrary feature
+// selections decoded from fuzz bytes: each input byte selects one feature of
+// the model (mod the feature count), duplicates are harmless. Contract: the
+// pipeline never panics — it either builds a working parser or returns an
+// error — and a built parser rejects garbage and can be rebuilt
+// deterministically from the same selection.
+func FuzzCompose(f *testing.F) {
+	m := MustModel()
+	names := m.FeatureNames()
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte("query core-ish selection bytes"))
+	all := make([]byte, 0, 64)
+	for i := 0; i < 256; i += 4 {
+		all = append(all, byte(i))
+	}
+	f.Add(all)
+
+	f.Fuzz(func(t *testing.T, sel []byte) {
+		if len(sel) > 120 {
+			sel = sel[:120] // bound composition cost per exec
+		}
+		feats := make([]string, 0, len(sel))
+		for _, b := range sel {
+			feats = append(feats, names[int(b)%len(names)])
+		}
+		cfg := feature.NewConfig(feats...)
+		product, err := core.Build(m, Registry{}, cfg, core.Options{Product: "fuzzed"})
+		if err != nil {
+			// Invalid selections (constraint violations, empty grammars) must
+			// fail with an error, never a panic.
+			return
+		}
+		if product.Accepts("§§ nonsense £") {
+			t.Fatalf("selection %v: product accepts garbage", feats)
+		}
+		again, err := core.Build(m, Registry{}, cfg, core.Options{Product: "fuzzed"})
+		if err != nil {
+			t.Fatalf("selection %v: rebuild failed after successful build: %v", feats, err)
+		}
+		if a, b := product.Grammar.Start, again.Grammar.Start; a != b {
+			t.Fatalf("selection %v: rebuild start symbol %q != %q", feats, b, a)
+		}
+		if a, b := strings.Join(product.Tokens.Names(), ","), strings.Join(again.Tokens.Names(), ","); a != b {
+			t.Fatalf("selection %v: rebuild token sets differ", feats)
+		}
+	})
+}

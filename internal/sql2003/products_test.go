@@ -5,6 +5,7 @@ import (
 
 	"sqlspl/internal/core"
 	"sqlspl/internal/feature"
+	"sqlspl/internal/sentence"
 )
 
 // productCase builds a product from a seed selection (plus mechanical
@@ -308,4 +309,78 @@ func TestStatementClassProducts(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestFeatureMonotonicity is the machine-scale check of the composition
+// rules' central consequence: growing a feature selection only grows the
+// language. For sampled pairs (sub ⊆ super) of valid configurations, every
+// sentence generated from the sub product must also parse under the super
+// product built at the same start symbol. Composition replaces an
+// alternative only when the new one CONTAINS the old (internal/compose), so
+// any counterexample here is a bug in compose, erasure, or the generator.
+func TestFeatureMonotonicity(t *testing.T) {
+	m := MustModel()
+	queryCore := []string{
+		"sql_script", "query_statement_f", "query_expression",
+		"query_specification", "select_list", "select_columns", "derived_column",
+		"table_expression", "from",
+		"value_expression", "identifier_chain", "literal", "numeric_literal",
+	}
+	pairs, sentencesChecked := 0, 0
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(200); seed < 200+seeds; seed++ {
+		subCfg, err := m.Sample(seed, 0.10, queryCore...)
+		if err != nil {
+			t.Fatalf("seed %d: sample sub: %v", seed, err)
+		}
+		extraCfg, err := m.Sample(seed+1000, 0.10, queryCore...)
+		if err != nil {
+			t.Fatalf("seed %d: sample extra: %v", seed, err)
+		}
+		superCfg := subCfg.Clone()
+		superCfg.Select(extraCfg.Names()...)
+
+		sub, err := core.Build(m, Registry{}, subCfg, core.Options{Product: "mono-sub"})
+		if err != nil {
+			continue // sampled selection unbuildable; not this test's concern
+		}
+		super, err := core.Build(m, Registry{}, superCfg, core.Options{
+			Product: "mono-super",
+			Start:   sub.Grammar.Start,
+		})
+		if err != nil {
+			// The union of two valid samples can violate XOR constraints or
+			// fail validation; such pairs are skipped, and the pairs counter
+			// below ensures enough usable ones remain.
+			continue
+		}
+		pairs++
+
+		gen, err := sentence.New(sub.Grammar, sub.Tokens, sentence.Options{
+			Seed: seed, MaxDepth: 6,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: generator: %v", seed, err)
+		}
+		for i := 0; i < 12; i++ {
+			s := gen.Sentence()
+			if _, perr := sub.Parse(s); perr != nil {
+				t.Errorf("seed %d sentence %d: sub product rejects its own sentence %q: %v",
+					seed, i, s, perr)
+				continue
+			}
+			if _, perr := super.Parse(s); perr != nil {
+				t.Errorf("seed %d sentence %d: MONOTONICITY VIOLATION\n  sub features:   %v\n  super adds:     %v\n  sentence:       %q\n  super error:    %v",
+					seed, i, subCfg.Names(), extraCfg.Names(), s, perr)
+			}
+			sentencesChecked++
+		}
+	}
+	if pairs < 8 {
+		t.Fatalf("only %d usable sub/super pairs (want >= 8); sampling drifted", pairs)
+	}
+	t.Logf("checked %d sentences over %d config pairs", sentencesChecked, pairs)
 }
