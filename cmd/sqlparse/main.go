@@ -9,17 +9,26 @@
 //	sqlparse -dialect core 'SELECT a FROM t WHERE b = 1'
 //	echo 'SELECT * FROM sensors SAMPLE PERIOD 1024' | sqlparse -dialect tinysql -tree
 //	sqlparse -dialect warehouse -render 'select a from t union select b from u'
+//	sqlparse -dialect core -json 'SELECT a FROM t'   # same wire format as sqlserved
+//
+// With -json the result — tree, AST or diagnostics — is emitted in the
+// serving subsystem's wire format (internal/server): the CLI and the HTTP
+// service share one response encoder, so a query parsed at the terminal
+// and one parsed over the network produce the same JSON.
 //
 // Batch mode is the serving path: one cached product, many queries, many
 // goroutines. It reads one query per line from stdin, parses them over the
 // shared parser, and reports per-query verdicts in input order plus a
-// summary:
+// summary. Per-line parse errors go to stderr, and the exit status is
+// nonzero if any line failed:
 //
 //	sqlparse -dialect core -batch -workers 8 < queries.sql
+//	sqlparse -dialect core -batch -json < queries.sql   # NDJSON, one object per line
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +41,7 @@ import (
 	"sqlspl/internal/ast"
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/server"
 )
 
 func main() {
@@ -39,6 +49,7 @@ func main() {
 		dialectN = flag.String("dialect", "core", "dialect: minimal|tinysql|scql|core|warehouse|full")
 		tree     = flag.Bool("tree", false, "print the concrete parse tree")
 		render   = flag.Bool("render", false, "print the SQL re-rendered from the typed AST")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON in the sqlserved wire format")
 		batch    = flag.Bool("batch", false, "batch mode: parse one query per stdin line over one shared product")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parse goroutines in batch mode")
 	)
@@ -49,9 +60,23 @@ func main() {
 		fatal(err)
 	}
 
+	// The wire shape implied by the print flags: the default (statement
+	// dump) corresponds to the AST shape.
+	want := server.WantAST
+	switch {
+	case *tree:
+		want = server.WantTree
+	case *render:
+		want = server.WantRender
+	}
+
 	if *batch {
-		if err := runBatch(product, os.Stdin, os.Stdout, *workers); err != nil {
+		rejected, err := runBatch(product, os.Stdin, os.Stdout, *workers, *jsonOut, want)
+		if err != nil {
 			fatal(err)
+		}
+		if rejected > 0 {
+			os.Exit(1)
 		}
 		return
 	}
@@ -66,6 +91,22 @@ func main() {
 	}
 	if strings.TrimSpace(sql) == "" {
 		fatal(fmt.Errorf("no SQL given (argument or stdin)"))
+	}
+
+	if *jsonOut {
+		// One parse, one JSON document — the shared encoder does the work.
+		// Diagnostics ride inside the document; the exit status still
+		// reports the verdict for scripting.
+		resp := server.Outcome(product, sql, want)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
+		}
+		if !resp.OK {
+			os.Exit(1)
+		}
+		return
 	}
 
 	parseTree, err := product.Parse(sql)
@@ -92,8 +133,12 @@ func main() {
 // runBatch parses every non-blank line of in over the shared product with
 // the given number of goroutines — the catalog's serving path: the product
 // was built (or cache-hit) once, and its Parser is safe for concurrent use.
-// Verdicts print in input order regardless of completion order.
-func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int) error {
+// Verdicts print in input order regardless of completion order; per-line
+// parse errors go to stderr and the returned count makes the exit status
+// nonzero when any line failed. With jsonOut the verdict lines are NDJSON
+// in the sqlserved wire format (one compact ParseResponse per query) and
+// the summary moves to stderr so stdout stays machine-readable.
+func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int, jsonOut bool, want string) (rejected int, err error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -106,13 +151,13 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int) e
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return err
+		return 0, err
 	}
 	if len(queries) == 0 {
-		return fmt.Errorf("batch mode: no queries on stdin")
+		return 0, fmt.Errorf("batch mode: no queries on stdin")
 	}
 
-	verdicts := make([]string, len(queries))
+	responses := make([]*server.ParseResponse, len(queries))
 	next := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -121,11 +166,19 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int) e
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if _, err := product.Parse(queries[i]); err != nil {
-					verdicts[i] = fmt.Sprintf("REJECT %v", err)
-				} else {
-					verdicts[i] = "ACCEPT"
+				if jsonOut {
+					responses[i] = server.Outcome(product, queries[i], want)
+					continue
 				}
+				// Verdict-only: parse without building a response shape,
+				// preserving batch mode's original parse-only semantics.
+				r := &server.ParseResponse{Dialect: product.Name}
+				if _, err := product.Parse(queries[i]); err != nil {
+					r.Error = server.EncodeDiagnostic(err)
+				} else {
+					r.OK = true
+				}
+				responses[i] = r
 			}
 		}()
 	}
@@ -137,16 +190,33 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int) e
 	elapsed := time.Since(start)
 
 	accepted := 0
-	for i, v := range verdicts {
-		fmt.Fprintf(out, "%d: %s\n", i+1, v)
-		if v == "ACCEPT" {
+	for i, resp := range responses {
+		if resp.OK {
 			accepted++
+		} else {
+			fmt.Fprintf(os.Stderr, "sqlparse: line %d: %s\n", i+1, resp.Error.Message)
+		}
+		if jsonOut {
+			data, err := json.Marshal(resp)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(out, "%s\n", data)
+		} else if resp.OK {
+			fmt.Fprintf(out, "%d: ACCEPT\n", i+1)
+		} else {
+			fmt.Fprintf(out, "%d: REJECT %s\n", i+1, resp.Error.Message)
 		}
 	}
-	fmt.Fprintf(out, "-- %d queries: %d accepted, %d rejected (dialect %s, %d workers, %s, %.0f q/s)\n",
+	summary := fmt.Sprintf("-- %d queries: %d accepted, %d rejected (dialect %s, %d workers, %s, %.0f q/s)\n",
 		len(queries), accepted, len(queries)-accepted, product.Name, workers,
 		elapsed.Round(time.Microsecond), float64(len(queries))/elapsed.Seconds())
-	return nil
+	if jsonOut {
+		fmt.Fprint(os.Stderr, summary)
+	} else {
+		fmt.Fprint(out, summary)
+	}
+	return len(queries) - accepted, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,309 @@
+// loadgen.go is the end-to-end serving benchmark: it starts a private
+// sqlserved instance (fresh catalog, fresh registry — so /metrics reflects
+// exactly this run), drives it over real HTTP with the deterministic
+// workloads from internal/workload, and prints a per-dialect
+// throughput/latency table. It then cross-checks the server's own
+// telemetry against the client's request count: the latency histogram must
+// have observed every request, and the product-cache hit/miss/coalesce
+// counters must sum to the request count (every request resolves the
+// catalog exactly once). Any request error or telemetry mismatch makes the
+// run fail — this is the acceptance gate, not just a benchmark.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlspl/internal/product"
+	"sqlspl/internal/server"
+	"sqlspl/internal/sql2003"
+	"sqlspl/internal/telemetry"
+	"sqlspl/internal/workload"
+)
+
+type loadgenConfig struct {
+	total       int
+	dialects    []string
+	concurrency int
+	want        string
+	seed        uint64
+	timeout     time.Duration
+}
+
+// runLoadgen drives the benchmark and returns an error on any failed
+// request or telemetry mismatch.
+func runLoadgen(cfg loadgenConfig) error {
+	if cfg.total < 1 {
+		return fmt.Errorf("loadgen: -n must be positive")
+	}
+	if len(cfg.dialects) == 0 {
+		return fmt.Errorf("loadgen: no dialects")
+	}
+	if cfg.concurrency < 1 {
+		cfg.concurrency = 1
+	}
+	if !server.ValidWant(cfg.want) {
+		return fmt.Errorf("loadgen: unknown want %q", cfg.want)
+	}
+
+	// Pre-generate the traffic: one deterministic pool per dialect, cycled
+	// by request index. Request i targets dialect i%len — round-robin, so
+	// every dialect's parser serves interleaved traffic, the serving shape
+	// the catalog exists for.
+	pool := map[string][]string{}
+	poolSize := cfg.total/len(cfg.dialects) + 1
+	if poolSize > 2000 {
+		poolSize = 2000 // cycle a bounded pool; determinism is per-seed anyway
+	}
+	for i, d := range cfg.dialects {
+		queries, ok := workload.ForDialect(d, cfg.seed+uint64(i), poolSize)
+		if !ok {
+			return fmt.Errorf("loadgen: no workload for dialect %q", d)
+		}
+		pool[d] = queries
+	}
+
+	// Private server: its catalog and registry see only this run.
+	s := server.New(server.Config{
+		Catalog:        product.NewCatalog(sql2003.MustModel(), sql2003.Registry{}),
+		Registry:       telemetry.NewRegistry(),
+		MaxInFlight:    2 * cfg.concurrency, // never shed our own load
+		RequestTimeout: cfg.timeout,
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	base := "http://" + addr
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.concurrency * 2,
+		MaxIdleConnsPerHost: cfg.concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+	if err := waitReady(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	fmt.Printf("loadgen: %d requests, dialects [%s], concurrency %d, want %s, seed %d\n",
+		cfg.total, strings.Join(cfg.dialects, " "), cfg.concurrency, cfg.want, cfg.seed)
+
+	// Fire. Latencies land in a preallocated per-request slice (workers
+	// write disjoint indices; no lock), errors in a bounded sample.
+	latencies := make([]time.Duration, cfg.total)
+	failed := make([]bool, cfg.total)
+	var errCount atomic.Uint64
+	var errSample sync.Map
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.total {
+					return
+				}
+				d := cfg.dialects[i%len(cfg.dialects)]
+				q := pool[d][(i/len(cfg.dialects))%len(pool[d])]
+				t0 := time.Now()
+				err := postParse(client, base, server.ParseRequest{Dialect: d, SQL: q, Want: cfg.want})
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					failed[i] = true
+					errCount.Add(1)
+					errSample.LoadOrStore(fmt.Sprintf("%s: %v", d, err), true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	printTable(cfg, latencies, failed, elapsed)
+	errs := int(errCount.Load())
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d/%d requests failed; sample:\n", errs, cfg.total)
+		shown := 0
+		errSample.Range(func(k, _ any) bool {
+			fmt.Fprintf(os.Stderr, "  %s\n", k)
+			shown++
+			return shown < 5
+		})
+	}
+
+	mismatches, err := verifyMetrics(client, base, cfg.total)
+	if err != nil {
+		return err
+	}
+	if errs > 0 || mismatches > 0 {
+		return fmt.Errorf("loadgen: %d request errors, %d telemetry mismatches", errs, mismatches)
+	}
+	fmt.Printf("loadgen: OK — %d requests, zero errors, telemetry consistent\n", cfg.total)
+	return nil
+}
+
+// postParse issues one parse request; any transport failure, non-200
+// status or ok=false response is an error.
+func postParse(client *http.Client, base string, req server.ParseRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/parse", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))
+	}
+	var pr server.ParseResponse
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return err
+	}
+	if !pr.OK {
+		return fmt.Errorf("parse rejected: %s", truncate(pr.Error.Message, 200))
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// waitReady polls /readyz until 200 or the deadline.
+func waitReady(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %s", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// printTable renders the per-dialect and total throughput/latency rows.
+func printTable(cfg loadgenConfig, latencies []time.Duration, failed []bool, elapsed time.Duration) {
+	fmt.Printf("%-11s %9s %7s %11s %9s %9s %9s\n",
+		"DIALECT", "REQUESTS", "ERRORS", "QPS", "P50", "P95", "P99")
+	row := func(name string, lats []time.Duration, errs int, wall time.Duration) {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) time.Duration {
+			if len(lats) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(lats)))
+			if i >= len(lats) {
+				i = len(lats) - 1
+			}
+			return lats[i]
+		}
+		qps := float64(len(lats)) / wall.Seconds()
+		fmt.Printf("%-11s %9d %7d %11.0f %9s %9s %9s\n", name, len(lats), errs, qps,
+			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
+	}
+	for di, d := range cfg.dialects {
+		var lats []time.Duration
+		errs := 0
+		for i := di; i < cfg.total; i += len(cfg.dialects) {
+			lats = append(lats, latencies[i])
+			if failed[i] {
+				errs++
+			}
+		}
+		// Per-dialect QPS shares the wall clock: dialects are interleaved,
+		// so each row reports its share of the total rate.
+		row(d, lats, errs, elapsed)
+	}
+	all := make([]time.Duration, len(latencies))
+	copy(all, latencies)
+	totalErrs := 0
+	for _, f := range failed {
+		if f {
+			totalErrs++
+		}
+	}
+	row("TOTAL", all, totalErrs, elapsed)
+}
+
+// verifyMetrics scrapes /metrics as JSON and asserts the two invariants
+// the acceptance criteria name: the latency histogram observed every
+// request, and the product-cache counters sum to the request count.
+func verifyMetrics(client *http.Client, base string, total int) (mismatches int, err error) {
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("metrics scrape: %w", err)
+	}
+	value := func(name string) float64 {
+		if m := snap.Find(name); m != nil {
+			return m.Value
+		}
+		return -1
+	}
+
+	hist := snap.Find("sqlserved_parse_latency_seconds")
+	if hist == nil || hist.Count != uint64(total) {
+		got := uint64(0)
+		if hist != nil {
+			got = hist.Count
+		}
+		fmt.Printf("telemetry MISMATCH: latency histogram count = %d, want %d\n", got, total)
+		mismatches++
+	} else {
+		fmt.Printf("telemetry: latency histogram count = %d, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs\n",
+			hist.Count, hist.P50*1e6, hist.P95*1e6, hist.P99*1e6)
+	}
+
+	hits := value("sqlspl_product_cache_hits_total")
+	misses := value("sqlspl_product_cache_misses_total")
+	shared := value("sqlspl_product_cache_shared_total")
+	if sum := hits + misses + shared; sum != float64(total) {
+		fmt.Printf("telemetry MISMATCH: cache hits(%.0f)+misses(%.0f)+shared(%.0f) = %.0f, want %d\n",
+			hits, misses, shared, sum, total)
+		mismatches++
+	} else {
+		fmt.Printf("telemetry: cache hits %.0f + misses %.0f + coalesced %.0f = %d requests\n",
+			hits, misses, shared, total)
+	}
+	if reqs := value("sqlserved_parse_requests_total"); reqs != float64(total) {
+		fmt.Printf("telemetry MISMATCH: parse_requests_total = %.0f, want %d\n", reqs, total)
+		mismatches++
+	}
+	return mismatches, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"unicode"
 	"unicode/utf8"
 
@@ -133,16 +134,48 @@ func (e *Error) Error() string {
 // the paper's "parse precisely the selected features".
 func (l *Lexer) Scan(src string) ([]Token, error) {
 	s := &scanner{l: l, src: src, line: 1, col: 1}
+	hot.scans.Add(1)
 	var out []Token
 	for {
 		tok, ok, err := s.next()
 		if err != nil {
+			hot.errors.Add(1)
 			return nil, err
 		}
 		if !ok {
+			hot.tokens.Add(uint64(len(out)))
 			return out, nil
 		}
 		out = append(out, tok)
+	}
+}
+
+// Counters is a snapshot of process-wide scanner counters, aggregated
+// across every Lexer. Like parser.Counters it exists for metrics scraping:
+// the serving layer samples it with a telemetry CounterFunc, so the lexer
+// itself depends on nothing. Fields are individually atomic and monotone;
+// the snapshot is not one consistent cut. Tokens is added once per
+// completed scan, not per token, keeping the hot-path cost to two atomic
+// adds per Scan.
+type Counters struct {
+	// Scans counts Scan calls.
+	Scans uint64
+	// Errors counts scans that failed with a lexical error.
+	Errors uint64
+	// Tokens counts tokens produced by successful scans.
+	Tokens uint64
+}
+
+var hot struct {
+	scans, errors, tokens atomic.Uint64
+}
+
+// HotCounters returns the current process-wide scan counters.
+func HotCounters() Counters {
+	return Counters{
+		Scans:  hot.scans.Load(),
+		Errors: hot.errors.Load(),
+		Tokens: hot.tokens.Load(),
 	}
 }
 

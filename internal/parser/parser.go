@@ -31,10 +31,45 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"sqlspl/internal/grammar"
 	"sqlspl/internal/lexer"
 )
+
+// Counters is a snapshot of process-wide hot-path counters, aggregated
+// across every Parser in the process. The serving layer samples it at
+// metrics-scrape time (internal/telemetry CounterFunc), which is why it
+// lives here: the parser keeps its own atomics and stays free of any
+// telemetry dependency. Each field is read individually; the snapshot is
+// not one consistent cut, but every field is monotone.
+type Counters struct {
+	// Parses counts ParseTokens calls (one per Parse).
+	Parses uint64
+	// Rejects counts parses that returned a syntax error.
+	Rejects uint64
+	// ErrorPasses counts second (expected-token-tracking) passes; rejected
+	// inputs pay for one, accepted inputs never do.
+	ErrorPasses uint64
+	// Tokens counts tokens fed to ParseTokens.
+	Tokens uint64
+}
+
+// hot holds the counters behind HotCounters. One atomic add per parse (two
+// on the reject path) — negligible against even the smallest parse.
+var hot struct {
+	parses, rejects, errorPasses, tokens atomic.Uint64
+}
+
+// HotCounters returns the current process-wide parse counters.
+func HotCounters() Counters {
+	return Counters{
+		Parses:      hot.parses.Load(),
+		Rejects:     hot.rejects.Load(),
+		ErrorPasses: hot.errorPasses.Load(),
+		Tokens:      hot.tokens.Load(),
+	}
+}
 
 // Tree is a node of the concrete parse tree. Nodes carrying a production
 // name (Label) wrap the material derived by that production; leaves carry
@@ -218,6 +253,8 @@ func (p *Parser) ParseTokens(toks []lexer.Token) (*Tree, error) {
 	if p.opts.MaxTokens > 0 && len(toks) > p.opts.MaxTokens {
 		return nil, fmt.Errorf("input of %d tokens exceeds configured maximum %d", len(toks), p.opts.MaxTokens)
 	}
+	hot.parses.Add(1)
+	hot.tokens.Add(uint64(len(toks)))
 	// Fast path: parse without collecting expected-token sets. Only when
 	// the input is rejected do we parse again with tracking on, so accepted
 	// inputs never pay for error bookkeeping.
@@ -238,6 +275,8 @@ func (p *Parser) ParseTokens(toks []lexer.Token) (*Tree, error) {
 	if tree != nil {
 		return tree, nil
 	}
+	hot.rejects.Add(1)
+	hot.errorPasses.Add(1)
 	r = p.getRun(toks, true)
 	results = r.parseNT(p.compiled.start, 0)
 	// Build the error from the farthest failure; successful prefixes that

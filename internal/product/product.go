@@ -53,6 +53,9 @@ func Fingerprint(cfg *feature.Config, opts core.Options) string {
 }
 
 // Metrics is a point-in-time snapshot of catalog traffic.
+//
+// Deprecated: use Stats, which additionally reports catalog occupancy and
+// in-flight builds and documents the snapshot's concurrency contract.
 type Metrics struct {
 	// Hits counts requests answered by an already-completed build.
 	Hits uint64
@@ -61,6 +64,33 @@ type Metrics struct {
 	// Shared counts requests that joined a build another goroutine had in
 	// flight (the singleflight path).
 	Shared uint64
+}
+
+// Stats is a public point-in-time snapshot of catalog state and traffic —
+// the shape the serving layer's /metrics endpoint exposes.
+//
+// Concurrency contract: a snapshot may be taken at any time, from any
+// goroutine, without blocking builders — counters are read individually
+// from atomics and the entry table is scanned under the catalog lock. The
+// three traffic counters are each monotone, but the snapshot is NOT one
+// consistent cut: a Get racing the snapshot may have bumped Hits but not
+// yet appear anywhere else, so derived equalities (for instance
+// Hits+Misses+Shared == requests issued) hold only once the Gets being
+// counted have returned. Entries and InFlight describe the table at the
+// instant of the scan.
+type Stats struct {
+	// Hits counts requests answered by an already-completed build.
+	Hits uint64
+	// Misses counts requests that performed the build themselves.
+	Misses uint64
+	// Shared counts requests that joined a build another goroutine had in
+	// flight (the singleflight path).
+	Shared uint64
+	// Entries is the number of catalog slots: completed products, cached
+	// build failures, and builds still in flight.
+	Entries int
+	// InFlight is the number of builds currently running.
+	InFlight int
 }
 
 // entry is one catalog slot. done is closed once product/err are final;
@@ -163,10 +193,30 @@ func (c *Catalog) Len() int {
 }
 
 // Metrics returns a snapshot of hit/miss/shared counters since creation.
+//
+// Deprecated: use Stats.
 func (c *Catalog) Metrics() Metrics {
-	return Metrics{
+	s := c.Stats()
+	return Metrics{Hits: s.Hits, Misses: s.Misses, Shared: s.Shared}
+}
+
+// Stats returns a snapshot of catalog traffic and occupancy. See the Stats
+// type for the concurrency contract.
+func (c *Catalog) Stats() Stats {
+	s := Stats{
 		Hits:   c.hits.Load(),
 		Misses: c.misses.Load(),
 		Shared: c.shared.Load(),
 	}
+	c.mu.Lock()
+	s.Entries = len(c.entries)
+	for _, e := range c.entries {
+		select {
+		case <-e.done:
+		default:
+			s.InFlight++
+		}
+	}
+	c.mu.Unlock()
+	return s
 }

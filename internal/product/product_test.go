@@ -155,6 +155,34 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 	}
 }
 
+func TestStatsSnapshot(t *testing.T) {
+	cat := newTestCatalog(t)
+	if s := cat.Stats(); s != (Stats{}) {
+		t.Errorf("fresh catalog stats = %+v, want zero", s)
+	}
+	cfg := feature.NewConfig(minimalFeatures...)
+	if _, err := cat.Get(cfg, core.Options{Product: "minimal"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Get(cfg, core.Options{Product: "minimal"}); err != nil {
+		t.Fatal(err)
+	}
+	s := cat.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.Shared != 0 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit", s)
+	}
+	if s.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", s.Entries)
+	}
+	if s.InFlight != 0 {
+		t.Errorf("InFlight = %d, want 0 after builds settle", s.InFlight)
+	}
+	// The deprecated Metrics view stays consistent with Stats.
+	if m := cat.Metrics(); m.Hits != s.Hits || m.Misses != s.Misses || m.Shared != s.Shared {
+		t.Errorf("Metrics %+v disagrees with Stats %+v", m, s)
+	}
+}
+
 func TestLookup(t *testing.T) {
 	cat := newTestCatalog(t)
 	cfg := feature.NewConfig(minimalFeatures...)

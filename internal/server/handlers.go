@@ -1,0 +1,282 @@
+// handlers.go implements the HTTP endpoints. All bodies are JSON; parse
+// results use the shared wire encoder (wire.go), so responses are
+// byte-identical to sqlparse -json output for the same query.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+)
+
+// errorBody is the JSON shape of non-parse failures (bad request,
+// saturation, deadline). Parse failures ride inside ParseResponse instead.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decode reads a JSON body with the configured size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// reject429 sheds one request at the admission controller.
+func (s *Server) reject429(w http.ResponseWriter) {
+	s.m.rejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server at capacity; retry"})
+}
+
+// handleParse serves POST /v1/parse.
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req ParseRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if !ValidWant(req.Want) {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown want %q (tree|ast|render)", req.Want)})
+		return
+	}
+	if !s.admit() {
+		s.reject429(w)
+		return
+	}
+	defer s.release()
+	s.m.parseReqs.Inc()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	p, label, err := s.resolve(req.Dialect, req.Features)
+	if err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.m.dialect(label).Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// The engine has no preemption points, so the deadline is enforced
+	// around the parse, not inside it: an overrunning parse is abandoned to
+	// finish in the background. Its latency is observed there, keeping the
+	// histogram an honest record of every parse attempted.
+	done := make(chan *ParseResponse, 1)
+	go func() {
+		start := time.Now()
+		resp := Outcome(p, req.SQL, req.Want)
+		s.m.latency.Observe(time.Since(start).Seconds())
+		if resp.Error != nil {
+			s.m.parseErrors.Inc()
+		}
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.m.timeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorBody{Error: fmt.Sprintf("parse exceeded deadline %s", s.cfg.RequestTimeout)})
+	}
+}
+
+// handleBatch serves POST /v1/batch: one product resolution, then the
+// cmd/sqlparse -batch worker pattern — a bounded pool of goroutines
+// draining an index channel over the shared parser, verdicts in input
+// order. The batch holds a single admission slot; intra-batch parallelism
+// is bounded separately by Config.BatchWorkers.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "batch has no queries"})
+		return
+	}
+	if !ValidWant(req.Want) && req.Want != "" {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown want %q", req.Want)})
+		return
+	}
+	if !s.admit() {
+		s.reject429(w)
+		return
+	}
+	defer s.release()
+	s.m.batchReqs.Inc()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	p, label, err := s.resolve(req.Dialect, req.Features)
+	if err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.m.dialect(label).Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	done := make(chan *BatchResponse, 1)
+	go func() { done <- s.runBatch(ctx, p, &req) }()
+	select {
+	case resp := <-done:
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.m.timeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorBody{Error: fmt.Sprintf("batch exceeded deadline %s", s.cfg.RequestTimeout)})
+	}
+}
+
+// runBatch executes the worker pattern. If ctx expires mid-batch the
+// dispatcher stops handing out work; in-flight queries finish and the
+// (already timed-out) response is discarded by the caller.
+func (s *Server) runBatch(ctx context.Context, p *core.Product, req *BatchRequest) *BatchResponse {
+	start := time.Now()
+	results := make([]BatchResult, len(req.Queries))
+	workers := s.cfg.BatchWorkers
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				qStart := time.Now()
+				resp := Outcome(p, req.Queries[i], orVerdict(req.Want))
+				s.m.latency.Observe(time.Since(qStart).Seconds())
+				if resp.Error != nil {
+					s.m.parseErrors.Inc()
+				}
+				results[i] = BatchResult{OK: resp.OK, Error: resp.Error}
+				if req.Want != "" {
+					results[i].Response = resp
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range req.Queries {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	out := &BatchResponse{Dialect: p.Name, Results: results}
+	for _, res := range results {
+		if res.OK {
+			out.Accepted++
+		} else {
+			out.Rejected++
+		}
+	}
+	out.ElapsedMicros = time.Since(start).Microseconds()
+	return out
+}
+
+// orVerdict maps the batch "verdict only" default onto the cheapest shape:
+// a render-free parse. The tree/AST is still built by the engine; we just
+// skip encoding it.
+func orVerdict(want string) string {
+	if want == "" {
+		return WantRender
+	}
+	return want
+}
+
+// handleDialects serves GET /v1/dialects: the presets, their sizes, and
+// whether each is already resident in the catalog.
+func (s *Server) handleDialects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	var out []DialectInfo
+	for _, name := range dialect.Names() {
+		feats, err := dialect.Features(name)
+		if err != nil {
+			continue
+		}
+		info := DialectInfo{Name: string(name), Features: len(feats)}
+		_, info.Built = s.cat.Lookup(feature.NewConfig(feats...), core.Options{Product: string(name)})
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz is liveness: 200 whenever the process serves HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 once warmed and not draining. Load
+// balancers watch this; Shutdown fails it before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "starting")
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// handleMetrics serves the registry: Prometheus text by default, JSON with
+// ?format=json or an Accept: application/json header.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}

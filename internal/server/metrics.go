@@ -1,0 +1,91 @@
+// metrics.go wires the serving subsystem into the telemetry registry:
+// handler-owned counters and histograms, plus scrape-time samplers over
+// the counters other packages own (product catalog, parser, lexer).
+package server
+
+import (
+	"sync"
+
+	"sqlspl/internal/lexer"
+	"sqlspl/internal/parser"
+	"sqlspl/internal/product"
+	"sqlspl/internal/telemetry"
+)
+
+// metricsBundle holds every metric the handlers touch. Per-dialect
+// counters are created lazily on first request for a dialect.
+type metricsBundle struct {
+	reg *telemetry.Registry
+
+	parseReqs   *telemetry.Counter
+	batchReqs   *telemetry.Counter
+	rejected    *telemetry.Counter // admission 429s
+	timeouts    *telemetry.Counter // deadline 504s
+	badRequests *telemetry.Counter // malformed bodies / unknown dialects
+	parseErrors *telemetry.Counter // well-formed requests whose SQL was rejected
+	inflight    *telemetry.Gauge
+	latency     *telemetry.Histogram
+
+	mu        sync.Mutex
+	byDialect map[string]*telemetry.Counter
+}
+
+func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBundle {
+	m := &metricsBundle{
+		reg:       reg,
+		byDialect: map[string]*telemetry.Counter{},
+
+		parseReqs:   reg.Counter("sqlserved_parse_requests_total", "parse requests admitted"),
+		batchReqs:   reg.Counter("sqlserved_batch_requests_total", "batch requests admitted"),
+		rejected:    reg.Counter("sqlserved_rejected_total", "requests shed by the admission controller (429)"),
+		timeouts:    reg.Counter("sqlserved_timeouts_total", "requests that exceeded the per-request deadline (504)"),
+		badRequests: reg.Counter("sqlserved_bad_requests_total", "malformed requests (400)"),
+		parseErrors: reg.Counter("sqlserved_parse_errors_total", "queries rejected by their dialect's parser"),
+		inflight:    reg.Gauge("sqlserved_inflight", "requests currently admitted"),
+		latency:     reg.Histogram("sqlserved_parse_latency_seconds", "per-query parse+encode latency", nil),
+	}
+
+	// Product-cache counters, sampled from the catalog at scrape time. For
+	// a server with a private catalog, hits+misses+shared equals the number
+	// of catalog resolutions — one per parse/batch request — which is how
+	// the load generator cross-checks /metrics against its request count.
+	reg.CounterFunc("sqlspl_product_cache_hits_total", "catalog requests answered from cache",
+		func() uint64 { return cat.Stats().Hits })
+	reg.CounterFunc("sqlspl_product_cache_misses_total", "catalog requests that built the product",
+		func() uint64 { return cat.Stats().Misses })
+	reg.CounterFunc("sqlspl_product_cache_shared_total", "catalog requests coalesced onto an in-flight build",
+		func() uint64 { return cat.Stats().Shared })
+	reg.GaugeFunc("sqlspl_product_cache_entries", "catalog slots (products, failures, in-flight builds)",
+		func() float64 { return float64(cat.Stats().Entries) })
+	reg.GaugeFunc("sqlspl_product_cache_inflight_builds", "builds currently running",
+		func() float64 { return float64(cat.Stats().InFlight) })
+
+	// Parser/lexer hot-path counters (process-wide, so they include
+	// non-server parses in the same process — documented in DESIGN §8).
+	reg.CounterFunc("sqlspl_parser_parses_total", "ParseTokens calls process-wide",
+		func() uint64 { return parser.HotCounters().Parses })
+	reg.CounterFunc("sqlspl_parser_rejects_total", "parses that returned a syntax error",
+		func() uint64 { return parser.HotCounters().Rejects })
+	reg.CounterFunc("sqlspl_parser_tokens_total", "tokens fed to the parse engine",
+		func() uint64 { return parser.HotCounters().Tokens })
+	reg.CounterFunc("sqlspl_lexer_scans_total", "Scan calls process-wide",
+		func() uint64 { return lexer.HotCounters().Scans })
+	reg.CounterFunc("sqlspl_lexer_tokens_total", "tokens produced by successful scans",
+		func() uint64 { return lexer.HotCounters().Tokens })
+	reg.CounterFunc("sqlspl_lexer_errors_total", "scans that failed with a lexical error",
+		func() uint64 { return lexer.HotCounters().Errors })
+	return m
+}
+
+// dialect returns the request counter for one dialect label.
+func (m *metricsBundle) dialect(name string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.byDialect[name]
+	if !ok {
+		c = m.reg.Counter("sqlserved_dialect_requests_total", "requests per dialect",
+			telemetry.Label{Key: "dialect", Value: name})
+		m.byDialect[name] = c
+	}
+	return c
+}

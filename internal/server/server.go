@@ -1,0 +1,230 @@
+// Package server is the networked parse-serving subsystem: an HTTP
+// service that resolves parser products through the product catalog and
+// serves parse requests for any preset dialect or explicit feature
+// selection, with built-in telemetry.
+//
+// The paper generates one parser per feature selection; the product
+// catalog (internal/product) makes those parsers shareable within a
+// process; this package makes them shareable across one. Because the
+// catalog coalesces builds and the generated parsers are safe for
+// concurrent use, the server holds no per-request parser state at all:
+// a request is admission → catalog lookup → parse → encode.
+//
+// Operational behaviour, in the order a request meets it:
+//
+//   - Admission: a semaphore bounds in-flight requests (Config.MaxInFlight).
+//     At saturation the server answers 429 with Retry-After immediately
+//     rather than queueing — load-shedding at the front door keeps parse
+//     latency flat under overload.
+//   - Deadline: each admitted request runs under Config.RequestTimeout.
+//     A parse that overruns gets 504; the abandoned parse goroutine is
+//     left to finish (the engine has no preemption points) and its
+//     latency is still observed, so the histogram never undercounts.
+//   - Drain: Shutdown first fails readiness (/readyz → 503, so load
+//     balancers stop routing), then gracefully drains: in-flight requests
+//     complete, new connections are refused.
+//
+// Telemetry: every server owns a telemetry.Registry exposed at /metrics
+// (Prometheus text or JSON). Request counters, per-dialect counters and
+// the parse-latency histogram are maintained by the handlers; the product
+// catalog's hit/miss/coalesce counters and the parser/lexer hot-path
+// counters are sampled at scrape time, making cache behaviour under load
+// visible for the first time.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
+	"sqlspl/internal/telemetry"
+)
+
+// Config configures a Server. The zero value serves the default catalog
+// with sensible bounds.
+type Config struct {
+	// Catalog resolves products; nil means product.Default().
+	Catalog *product.Catalog
+	// Registry receives the server's metrics; nil means a fresh registry.
+	Registry *telemetry.Registry
+	// MaxInFlight bounds concurrently admitted requests; <= 0 means
+	// 4 × GOMAXPROCS (parses are CPU-bound; a small multiple keeps the
+	// cores busy while bounding memory).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline; <= 0 means 10s.
+	RequestTimeout time.Duration
+	// BatchWorkers bounds parse goroutines within one batch request;
+	// <= 0 means GOMAXPROCS.
+	BatchWorkers int
+	// MaxBodyBytes caps request bodies; <= 0 means 4 MiB.
+	MaxBodyBytes int64
+	// Warm lists presets to build before the server reports ready.
+	Warm []dialect.Name
+}
+
+// Server is the parse service. Construct with New; a Server serves until
+// Shutdown.
+type Server struct {
+	cfg Config
+	cat *product.Catalog
+	reg *telemetry.Registry
+	sem chan struct{}
+	mux *http.ServeMux
+	hs  *http.Server
+	ln  net.Listener
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	m *metricsBundle
+
+	// testHookAdmitted, when set, runs inside the admitted section of the
+	// parse handler, before the parse. Tests use it to hold requests
+	// in-flight deterministically.
+	testHookAdmitted func()
+}
+
+// New builds a server from the config. It does not listen yet; call Start
+// (or mount Handler on a listener of your own).
+func New(cfg Config) *Server {
+	if cfg.Catalog == nil {
+		cfg.Catalog = product.Default()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+	s := &Server{
+		cfg: cfg,
+		cat: cfg.Catalog,
+		reg: cfg.Registry,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.m = newMetricsBundle(s.reg, s.cat)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/parse", s.handleParse)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/dialects", s.handleDialects)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Handler returns the server's HTTP handler, for mounting under a custom
+// http.Server (tests use this with httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Catalog returns the catalog the server resolves products through.
+func (s *Server) Catalog() *product.Catalog { return s.cat }
+
+// Warm builds every preset in Config.Warm through the catalog. It is
+// called by Start before readiness; exported so embedders running their
+// own listener can warm explicitly.
+func (s *Server) Warm() error {
+	for _, name := range s.cfg.Warm {
+		if _, _, err := s.resolve(string(name), nil); err != nil {
+			return fmt.Errorf("warm %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Start listens on addr (host:port; port 0 picks a free port), warms the
+// configured presets, marks the server ready and serves in the background.
+// It returns the bound address. The liveness endpoint answers as soon as
+// Start's listener is up; readiness flips only after warming.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go func() {
+		// ErrServerClosed is the normal Shutdown result; anything else
+		// surfaces on the next request, which is as good as a crash here.
+		_ = s.hs.Serve(ln)
+	}()
+	if err := s.Warm(); err != nil {
+		ln.Close()
+		return "", err
+	}
+	s.ready.Store(true)
+	return ln.Addr().String(), nil
+}
+
+// MarkReady flips readiness without Start — for embedders using Handler.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Shutdown drains the server: readiness fails immediately (load balancers
+// stop routing), in-flight requests run to completion, and the listener
+// closes. It returns when the drain finishes or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.ready.Store(false)
+	return s.hs.Shutdown(ctx)
+}
+
+// admit tries to take an in-flight slot without blocking. Admission is
+// deliberately non-queueing: a saturated server sheds load with 429 so
+// clients retry against fresh capacity instead of stacking up behind it.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.m.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns an admission slot.
+func (s *Server) release() {
+	s.m.inflight.Add(-1)
+	<-s.sem
+}
+
+// resolve turns a dialect name or an explicit feature selection into a
+// product via the catalog. The label names the dialect for metrics; for
+// explicit selections it is "custom".
+func (s *Server) resolve(dialectName string, features []string) (*core.Product, string, error) {
+	switch {
+	case dialectName != "" && len(features) > 0:
+		return nil, "", fmt.Errorf("request selects both dialect %q and an explicit feature list; choose one", dialectName)
+	case dialectName != "":
+		feats, err := dialect.Features(dialect.Name(dialectName))
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := s.cat.Get(feature.NewConfig(feats...), core.Options{Product: dialectName})
+		return p, dialectName, err
+	case len(features) > 0:
+		p, err := s.cat.Get(feature.NewConfig(features...), core.Options{Product: "custom"})
+		return p, "custom", err
+	}
+	return nil, "", fmt.Errorf("request selects no dialect and no features")
+}

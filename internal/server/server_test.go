@@ -1,0 +1,502 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
+	"sqlspl/internal/sql2003"
+	"sqlspl/internal/telemetry"
+)
+
+// mustConfig returns the closed feature config for a preset.
+func mustConfig(t *testing.T, name dialect.Name) *feature.Config {
+	t.Helper()
+	feats, err := dialect.Features(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return feature.NewConfig(feats...)
+}
+
+func minimalOpts() core.Options { return core.Options{Product: "minimal"} }
+
+// freshServer returns a server over a private catalog and registry so
+// tests observe exactly their own traffic.
+func freshServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Catalog == nil {
+		cfg.Catalog = product.NewCatalog(sql2003.MustModel(), sql2003.Registry{})
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	return New(cfg)
+}
+
+// startServer starts s on a loopback port and registers a drain cleanup.
+func startServer(t *testing.T, s *Server) string {
+	t.Helper()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return addr
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to within
+// slack of the baseline, failing after a deadline with a full stack dump.
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s", baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestParseEndpointShapes(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + addr + "/v1/parse"
+
+	t.Run("render", func(t *testing.T) {
+		status, body, _ := postJSON(t, client, url, ParseRequest{
+			Dialect: "core", SQL: "select a , b from t where c = 1", Want: WantRender})
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || resp.SQL != "SELECT a, b FROM t WHERE c = 1" {
+			t.Errorf("render response = %+v", resp)
+		}
+	})
+	t.Run("tree", func(t *testing.T) {
+		_, body, _ := postJSON(t, client, url, ParseRequest{
+			Dialect: "minimal", SQL: "SELECT a FROM t", Want: WantTree})
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || resp.Tree == nil || resp.Tree.Label == "" {
+			t.Errorf("tree response = %+v", resp)
+		}
+	})
+	t.Run("ast", func(t *testing.T) {
+		_, body, _ := postJSON(t, client, url, ParseRequest{
+			Dialect: "core", SQL: "SELECT a FROM t; DELETE FROM u", Want: WantAST})
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || len(resp.Statements) != 2 ||
+			resp.Statements[0].Type != "Select" || resp.Statements[1].Type != "Delete" {
+			t.Errorf("ast response = %+v", resp)
+		}
+	})
+	t.Run("syntax-error", func(t *testing.T) {
+		status, body, _ := postJSON(t, client, url, ParseRequest{
+			Dialect: "minimal", SQL: "SELECT a, b FROM t"}) // multiple_columns unselected
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || resp.Error == nil || resp.Error.Line != 1 || len(resp.Error.Expected) == 0 {
+			t.Errorf("diagnostic = %+v", resp.Error)
+		}
+	})
+	t.Run("features-selection", func(t *testing.T) {
+		feats, err := dialect.Features(dialect.Minimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, body, _ := postJSON(t, client, url, ParseRequest{
+			Features: feats, SQL: "SELECT a FROM t", Want: WantRender})
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || resp.Dialect != "custom" {
+			t.Errorf("features response = %+v", resp)
+		}
+	})
+	t.Run("bad-dialect", func(t *testing.T) {
+		status, _, _ := postJSON(t, client, url, ParseRequest{Dialect: "nope", SQL: "SELECT 1"})
+		if status != http.StatusBadRequest {
+			t.Errorf("unknown dialect status = %d, want 400", status)
+		}
+	})
+	t.Run("bad-want", func(t *testing.T) {
+		status, _, _ := postJSON(t, client, url, ParseRequest{Dialect: "core", SQL: "SELECT a FROM t", Want: "xml"})
+		if status != http.StatusBadRequest {
+			t.Errorf("unknown want status = %d, want 400", status)
+		}
+	})
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	status, body, _ := postJSON(t, client, "http://"+addr+"/v1/batch", BatchRequest{
+		Dialect: "core",
+		Queries: []string{"SELECT a FROM t", "SELECT nope FROM", "DELETE FROM u WHERE x = 1"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Rejected != 1 {
+		t.Errorf("batch verdicts = %d accepted, %d rejected, want 2/1", resp.Accepted, resp.Rejected)
+	}
+	if len(resp.Results) != 3 || resp.Results[1].OK || resp.Results[1].Error == nil {
+		t.Errorf("batch results = %+v", resp.Results)
+	}
+	if resp.Results[0].Response != nil {
+		t.Error("verdict-only batch carried full responses")
+	}
+}
+
+func TestGracefulDrainCompletesInflight(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := freshServer(t, Config{RequestTimeout: 30 * time.Second})
+	s.testHookAdmitted = func() {
+		once.Do(func() { close(admitted) })
+		<-release
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	// One request goes in-flight and blocks on the hook.
+	reqDone := make(chan error, 1)
+	go func() {
+		status, body, _ := postJSON(t, client, "http://"+addr+"/v1/parse",
+			ParseRequest{Dialect: "minimal", SQL: "SELECT a FROM t", Want: WantRender})
+		if status != http.StatusOK {
+			reqDone <- fmt.Errorf("in-flight request got %d: %s", status, body)
+			return
+		}
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil || !resp.OK {
+			reqDone <- fmt.Errorf("in-flight request response %s: %v", body, err)
+			return
+		}
+		reqDone <- nil
+	}()
+	<-admitted
+
+	// Drain while the request is still in flight.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Readiness must fail during the drain (checked through the handler:
+	// the listener is already closed to new connections).
+	for {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		if rec.Code == http.StatusServiceUnavailable && strings.Contains(rec.Body.String(), "draining") {
+			break
+		}
+		select {
+		case err := <-shutdownDone:
+			t.Fatalf("shutdown returned (%v) before draining was observable", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Releasing the hook lets the in-flight parse complete successfully —
+	// the drain waited for it.
+	close(release)
+	if err := <-reqDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+	client.CloseIdleConnections()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+func TestAdmissionRejectsAtCapacity(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := freshServer(t, Config{MaxInFlight: 1, RequestTimeout: 30 * time.Second})
+	s.testHookAdmitted = func() {
+		once.Do(func() { close(admitted) })
+		<-release
+	}
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + addr + "/v1/parse"
+
+	// Fill the single slot.
+	firstDone := make(chan error, 1)
+	go func() {
+		status, body, _ := postJSON(t, client, url,
+			ParseRequest{Dialect: "minimal", SQL: "SELECT a FROM t"})
+		if status != http.StatusOK {
+			firstDone <- fmt.Errorf("first request got %d: %s", status, body)
+			return
+		}
+		firstDone <- nil
+	}()
+	<-admitted
+
+	// The next request is shed immediately with 429 + Retry-After.
+	status, body, header := postJSON(t, client, url,
+		ParseRequest{Dialect: "minimal", SQL: "SELECT a FROM t"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated request got %d: %s", status, body)
+	}
+	if header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.m.rejected.Value(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	// After release, capacity is back.
+	status, body, _ = postJSON(t, client, url, ParseRequest{Dialect: "minimal", SQL: "SELECT a FROM t"})
+	if status != http.StatusOK {
+		t.Fatalf("post-release request got %d: %s", status, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	client.CloseIdleConnections()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+func TestConcurrentDistinctDialectsCoalesce(t *testing.T) {
+	s := freshServer(t, Config{MaxInFlight: 64, RequestTimeout: 60 * time.Second})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + addr + "/v1/parse"
+
+	dialects := []string{"minimal", "tinysql", "scql"}
+	queries := map[string]string{
+		"minimal": "SELECT a FROM t",
+		"tinysql": "SELECT nodeid FROM sensors SAMPLE PERIOD 1024",
+		"scql":    "DELETE FROM purses WHERE id = 3",
+	}
+	const perDialect = 8
+	errs := make(chan error, perDialect*len(dialects))
+	var wg sync.WaitGroup
+	for _, d := range dialects {
+		for i := 0; i < perDialect; i++ {
+			wg.Add(1)
+			go func(d string) {
+				defer wg.Done()
+				status, body, _ := postJSON(t, client, url,
+					ParseRequest{Dialect: d, SQL: queries[d], Want: WantRender})
+				var resp ParseResponse
+				if err := json.Unmarshal(body, &resp); err != nil {
+					errs <- err
+					return
+				}
+				if status != http.StatusOK || !resp.OK {
+					errs <- fmt.Errorf("%s: status %d, resp %s", d, status, body)
+					return
+				}
+				errs <- nil
+			}(d)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every dialect was requested 8× concurrently against a cold catalog,
+	// but each product was built exactly once: the rest of the requests hit
+	// the cache or coalesced onto the in-flight build.
+	st := s.Catalog().Stats()
+	if st.Misses != uint64(len(dialects)) {
+		t.Errorf("misses = %d, want %d (one build per distinct dialect)", st.Misses, len(dialects))
+	}
+	total := uint64(perDialect * len(dialects))
+	if st.Hits+st.Misses+st.Shared != total {
+		t.Errorf("hits(%d)+misses(%d)+shared(%d) != %d requests", st.Hits, st.Misses, st.Shared, total)
+	}
+	if st.Entries != len(dialects) || st.InFlight != 0 {
+		t.Errorf("entries = %d, inflight = %d, want %d and 0", st.Entries, st.InFlight, len(dialects))
+	}
+}
+
+func TestMetricsEndpointFormats(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	if status, _, _ := postJSON(t, client, "http://"+addr+"/v1/parse",
+		ParseRequest{Dialect: "core", SQL: "SELECT a FROM t"}); status != http.StatusOK {
+		t.Fatalf("parse failed with %d", status)
+	}
+
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"sqlserved_parse_requests_total 1",
+		`sqlserved_dialect_requests_total{dialect="core"} 1`,
+		"sqlserved_parse_latency_seconds_count 1",
+		"sqlspl_product_cache_misses_total 1",
+		"# TYPE sqlserved_parse_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	resp, err = client.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if m := snap.Find("sqlserved_parse_latency_seconds"); m == nil || m.Count != 1 {
+		t.Errorf("json latency metric = %+v, want count 1", m)
+	}
+	if m := snap.Find("sqlspl_parser_parses_total"); m == nil || m.Value < 1 {
+		t.Errorf("json parser counter = %+v, want >= 1", m)
+	}
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	s := freshServer(t, Config{Warm: []dialect.Name{dialect.Minimal}})
+	// Before Start: not ready.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("pre-start readyz = %d, want 503", rec.Code)
+	}
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	// Warm built the preset before readiness.
+	if _, ok := s.Catalog().Lookup(mustConfig(t, dialect.Minimal), minimalOpts()); !ok {
+		t.Error("warm did not populate the catalog before readiness")
+	}
+	resp, err := client.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz = %d, want 200", resp.StatusCode)
+	}
+	resp, err = client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Dialects listing marks the warmed preset as built.
+	resp, err = client.Get("http://" + addr + "/v1/dialects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []DialectInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DialectInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if !byName["minimal"].Built || byName["warehouse"].Built {
+		t.Errorf("built flags wrong: %+v", byName)
+	}
+}

@@ -1,0 +1,209 @@
+// wire.go defines the serving subsystem's JSON wire format and the one
+// response encoder behind it. The encoder is shared verbatim by the HTTP
+// handlers (cmd/sqlserved) and the CLI (cmd/sqlparse -json), so a query
+// parsed at the terminal and a query parsed over the network produce the
+// same bytes — there is exactly one opinion in the codebase about what a
+// parse result looks like.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/core"
+	"sqlspl/internal/lexer"
+	"sqlspl/internal/parser"
+)
+
+// The response shapes a parse can request.
+const (
+	WantTree   = "tree"   // concrete parse tree
+	WantAST    = "ast"    // typed AST nodes with per-statement SQL
+	WantRender = "render" // SQL re-rendered from the typed AST
+)
+
+// ValidWant reports whether want names a known response shape. The empty
+// string is valid and means WantRender.
+func ValidWant(want string) bool {
+	switch want {
+	case "", WantTree, WantAST, WantRender:
+		return true
+	}
+	return false
+}
+
+// ParseRequest is the body of POST /v1/parse. Exactly one of Dialect
+// (a preset name) or Features (an explicit feature selection, closed
+// automatically) selects the product.
+type ParseRequest struct {
+	Dialect  string   `json:"dialect,omitempty"`
+	Features []string `json:"features,omitempty"`
+	SQL      string   `json:"sql"`
+	Want     string   `json:"want,omitempty"` // tree | ast | render (default render)
+}
+
+// BatchRequest is the body of POST /v1/batch: one product, many queries,
+// parsed concurrently server-side (the cmd/sqlparse -batch worker pattern).
+type BatchRequest struct {
+	Dialect  string   `json:"dialect,omitempty"`
+	Features []string `json:"features,omitempty"`
+	Queries  []string `json:"queries"`
+	Want     string   `json:"want,omitempty"` // per-query shape; empty = verdict only
+}
+
+// Diagnostic is a structured parse/scan error.
+type Diagnostic struct {
+	Message  string   `json:"message"`
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Found    string   `json:"found,omitempty"`
+	Expected []string `json:"expected,omitempty"`
+}
+
+// TokenJSON is one scanned token.
+type TokenJSON struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// TreeNode is the JSON form of a parser.Tree node: interior nodes carry
+// Label and Children, leaves carry Token.
+type TreeNode struct {
+	Label    string      `json:"label,omitempty"`
+	Token    *TokenJSON  `json:"token,omitempty"`
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// StatementJSON is one typed AST statement: its concrete node type, its
+// re-rendered SQL, and the node itself marshalled structurally. Node is an
+// ast.Statement when encoding; clients decoding a response see the generic
+// JSON object (the concrete Go type cannot round-trip through an
+// interface field).
+type StatementJSON struct {
+	Type string `json:"type"`
+	SQL  string `json:"sql"`
+	Node any    `json:"node"`
+}
+
+// ParseResponse is the body of a parse result — HTTP response and
+// sqlparse -json output alike. Exactly one of Tree, Statements or SQL is
+// populated on success, matching Want; Error is set when OK is false.
+type ParseResponse struct {
+	OK            bool            `json:"ok"`
+	Dialect       string          `json:"dialect"`
+	Want          string          `json:"want"`
+	Tree          *TreeNode       `json:"tree,omitempty"`
+	Statements    []StatementJSON `json:"statements,omitempty"`
+	SQL           string          `json:"sql,omitempty"`
+	Error         *Diagnostic     `json:"error,omitempty"`
+	ElapsedMicros int64           `json:"elapsed_us"`
+}
+
+// BatchResult is one query's verdict within a batch response. When the
+// request asked for a shape, Response carries it; otherwise only the
+// verdict and any diagnostic are present.
+type BatchResult struct {
+	OK       bool           `json:"ok"`
+	Error    *Diagnostic    `json:"error,omitempty"`
+	Response *ParseResponse `json:"response,omitempty"`
+}
+
+// BatchResponse is the body of a batch result, in input order.
+type BatchResponse struct {
+	Dialect       string        `json:"dialect"`
+	Results       []BatchResult `json:"results"`
+	Accepted      int           `json:"accepted"`
+	Rejected      int           `json:"rejected"`
+	ElapsedMicros int64         `json:"elapsed_us"`
+}
+
+// DialectInfo describes one preset in GET /v1/dialects.
+type DialectInfo struct {
+	Name     string `json:"name"`
+	Features int    `json:"features"`
+	Built    bool   `json:"built"` // already resident in the catalog
+}
+
+// EncodeTree converts a parse tree to its wire form.
+func EncodeTree(t *parser.Tree) *TreeNode {
+	if t == nil {
+		return nil
+	}
+	n := &TreeNode{Label: t.Label}
+	if t.Token != nil {
+		n.Token = &TokenJSON{Name: t.Token.Name, Text: t.Token.Text, Line: t.Token.Line, Col: t.Token.Col}
+	}
+	for _, c := range t.Children {
+		n.Children = append(n.Children, EncodeTree(c))
+	}
+	return n
+}
+
+// EncodeDiagnostic converts a parse or scan error to its wire form,
+// preserving structure for the error types the pipeline produces.
+func EncodeDiagnostic(err error) *Diagnostic {
+	if err == nil {
+		return nil
+	}
+	var syn *parser.SyntaxError
+	if errors.As(err, &syn) {
+		return &Diagnostic{
+			Message:  syn.Error(),
+			Line:     syn.Line,
+			Col:      syn.Col,
+			Found:    syn.Found,
+			Expected: syn.Expected,
+		}
+	}
+	var lex *lexer.Error
+	if errors.As(err, &lex) {
+		return &Diagnostic{Message: lex.Error(), Line: lex.Line, Col: lex.Col}
+	}
+	return &Diagnostic{Message: err.Error()}
+}
+
+// Outcome parses sql over the shared product and encodes the result in the
+// requested shape. It is the single parse-and-encode path: HTTP handlers
+// and the sqlparse CLI both call it. want must satisfy ValidWant.
+func Outcome(p *core.Product, sql, want string) *ParseResponse {
+	if want == "" {
+		want = WantRender
+	}
+	resp := &ParseResponse{Dialect: p.Name, Want: want}
+	start := time.Now()
+	defer func() { resp.ElapsedMicros = time.Since(start).Microseconds() }()
+
+	tree, err := p.Parse(sql)
+	if err != nil {
+		resp.Error = EncodeDiagnostic(err)
+		return resp
+	}
+	switch want {
+	case WantTree:
+		resp.Tree = EncodeTree(tree)
+	case WantAST, WantRender:
+		script, err := ast.NewBuilder(nil).Build(tree)
+		if err != nil {
+			resp.Error = &Diagnostic{Message: fmt.Sprintf("semantic actions: %v", err)}
+			return resp
+		}
+		if want == WantRender {
+			resp.SQL = script.SQL()
+		} else {
+			for _, st := range script.Statements {
+				resp.Statements = append(resp.Statements, StatementJSON{
+					Type: strings.TrimPrefix(fmt.Sprintf("%T", st), "*ast."),
+					SQL:  st.SQL(),
+					Node: st,
+				})
+			}
+		}
+	}
+	resp.OK = true
+	return resp
+}

@@ -1,0 +1,379 @@
+// Package telemetry is a small, dependency-free metrics registry for the
+// serving layer: atomic counters and gauges, function-sampled metrics, and
+// bounded histograms with quantile estimation. A registry renders itself in
+// two formats — Prometheus text exposition (for scrapers) and JSON (for
+// programmatic consumers such as the sqlserved load generator) — from the
+// same metric set, so the two views can never disagree about what exists.
+//
+// Design constraints, in order: zero dependencies beyond the standard
+// library, cheap enough to sit on parse hot paths (one atomic add per
+// observation), and a fixed memory bound (histograms bucket into a fixed
+// bound slice; no per-observation storage).
+//
+// Function-sampled metrics (CounterFunc, GaugeFunc) exist to surface
+// counters owned elsewhere — the product catalog's hit/miss counters, the
+// parser's hot-path counters — without making those packages depend on
+// telemetry: the owning package keeps its own atomics, and the registry
+// samples them at scrape time.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one static metric label. Labels distinguish series within a
+// family (same base name, e.g. one counter per dialect).
+type Label struct {
+	Key, Value string
+}
+
+// LatencyBuckets are the default histogram bounds for parse latencies, in
+// seconds: 50µs to 2.5s, roughly geometric. Parses in this product line
+// run from a few microseconds (minimal) to low milliseconds (warehouse),
+// so the low buckets carry the resolution.
+var LatencyBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Counter is a monotonically increasing counter. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over float64 observations
+// (conventionally seconds). Observations are counted into the first bucket
+// whose upper bound is >= the value; values beyond the last bound land in
+// an implicit +Inf bucket. Sum and count are tracked exactly; quantiles are
+// estimated by linear interpolation within the owning bucket, so their
+// resolution is the bucket width.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts,
+// interpolating linearly within the bucket that holds the rank. Values in
+// the +Inf bucket report the last finite bound (an underestimate, as with
+// any bounded histogram). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // +Inf bucket: clamp to last finite bound
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*((rank-cum)/n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is one registered series.
+type metric struct {
+	base   string // family name, no labels
+	labels []Label
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64  // CounterFunc
+	gfn     func() float64 // GaugeFunc
+}
+
+// name renders the full series name including labels.
+func (m *metric) name() string {
+	if len(m.labels) == 0 {
+		return m.base
+	}
+	parts := make([]string, len(m.labels))
+	for i, l := range m.labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return m.base + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Registry holds a set of metrics and renders them. Methods are safe for
+// concurrent use; metric registration is get-or-create, so two goroutines
+// asking for the same (name, labels) receive the same metric.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric          // registration order, for stable output
+	byName  map[string]*metric // full rendered name -> metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// register implements get-or-create. It panics if the name exists with a
+// different metric type — that is a programming error, not a runtime state.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.name()]; ok {
+		if prev.typ != m.typ {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", m.name(), m.typ, prev.typ))
+		}
+		return prev
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[m.name()] = m
+	return m
+}
+
+// Counter returns the counter with the given name and labels, creating it
+// on first request.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(&metric{base: name, labels: labels, help: help, typ: "counter", counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first request.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(&metric{base: name, labels: labels, help: help, typ: "gauge", gauge: &Gauge{}})
+	return m.gauge
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at render
+// time. fn must be safe for concurrent use and monotone for the output to
+// be a well-formed counter.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(&metric{base: name, labels: labels, help: help, typ: "counter", cfn: fn})
+}
+
+// GaugeFunc registers a gauge sampled from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&metric{base: name, labels: labels, help: help, typ: "gauge", gfn: fn})
+}
+
+// Histogram returns the histogram with the given name, labels and bucket
+// bounds (ascending; nil means LatencyBuckets), creating it on first
+// request. Bounds are fixed at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	m := r.register(&metric{base: name, labels: labels, help: help, typ: "histogram", hist: h})
+	return m.hist
+}
+
+// snapshot returns the metric list under the lock; values are read after,
+// from atomics, so a scrape never blocks observers.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). HELP/TYPE headers are emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshot()
+	headered := map[string]bool{}
+	var b strings.Builder
+	for _, m := range metrics {
+		if !headered[m.base] {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.base, m.help, m.base, m.typ)
+			headered[m.base] = true
+		}
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name(), m.counter.Value())
+		case m.cfn != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name(), m.cfn())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name(), m.gauge.Value())
+		case m.gfn != nil:
+			fmt.Fprintf(&b, "%s %g\n", m.name(), m.gfn())
+		case m.hist != nil:
+			writePromHistogram(&b, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative _bucket
+// lines, then _sum and _count.
+func writePromHistogram(b *strings.Builder, m *metric) {
+	h := m.hist
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b.WriteString(histLine(m, fmt.Sprintf("%g", bound), cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b.WriteString(histLine(m, "+Inf", cum))
+	fmt.Fprintf(b, "%s_sum%s %g\n", m.base, labelSuffix(m.labels, ""), h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", m.base, labelSuffix(m.labels, ""), h.Count())
+}
+
+func histLine(m *metric, le string, cum uint64) string {
+	return fmt.Sprintf("%s_bucket%s %d\n", m.base, labelSuffix(m.labels, le), cum)
+}
+
+// labelSuffix renders {k="v",...,le="x"}; le is appended when non-empty.
+func labelSuffix(labels []Label, le string) string {
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Value))
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("le=%q", le))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SnapshotBucket is one histogram bucket in a JSON snapshot (non-cumulative).
+type SnapshotBucket struct {
+	LE    float64 `json:"le"` // upper bound; +Inf encoded as the JSON number 0 with Inf=true
+	Inf   bool    `json:"inf,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// SnapshotMetric is one metric in a JSON snapshot. Scalar metrics fill
+// Value; histograms fill Count/Sum/quantiles/Buckets.
+type SnapshotMetric struct {
+	Name    string           `json:"name"`
+	Type    string           `json:"type"`
+	Help    string           `json:"help,omitempty"`
+	Value   float64          `json:"value,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	P50     float64          `json:"p50,omitempty"`
+	P95     float64          `json:"p95,omitempty"`
+	P99     float64          `json:"p99,omitempty"`
+	Buckets []SnapshotBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is the JSON form of a registry.
+type Snapshot struct {
+	Metrics []SnapshotMetric `json:"metrics"`
+}
+
+// Find returns the first metric with the given full name (including any
+// label suffix), or nil.
+func (s *Snapshot) Find(name string) *SnapshotMetric {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot captures all metrics as plain values.
+func (r *Registry) Snapshot() *Snapshot {
+	metrics := r.snapshot()
+	out := &Snapshot{Metrics: make([]SnapshotMetric, 0, len(metrics))}
+	for _, m := range metrics {
+		sm := SnapshotMetric{Name: m.name(), Type: m.typ, Help: m.help}
+		switch {
+		case m.counter != nil:
+			sm.Value = float64(m.counter.Value())
+		case m.cfn != nil:
+			sm.Value = float64(m.cfn())
+		case m.gauge != nil:
+			sm.Value = float64(m.gauge.Value())
+		case m.gfn != nil:
+			sm.Value = m.gfn()
+		case m.hist != nil:
+			h := m.hist
+			sm.Count, sm.Sum = h.Count(), h.Sum()
+			sm.P50, sm.P95, sm.P99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+			for i, bound := range h.bounds {
+				sm.Buckets = append(sm.Buckets, SnapshotBucket{LE: bound, Count: h.counts[i].Load()})
+			}
+			sm.Buckets = append(sm.Buckets, SnapshotBucket{Inf: true, Count: h.counts[len(h.bounds)].Load()})
+		}
+		out.Metrics = append(out.Metrics, sm)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests")
+	g := r.Gauge("inflight", "in-flight")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Label{"dialect", "core"})
+	b := r.Counter("x_total", "x", Label{"dialect", "core"})
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "x", Label{"dialect", "tinysql"})
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x", Label{"dialect", "core"})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	// 100 observations at ~0.5ms, 10 at ~50ms: p50 in the first bucket,
+	// p99 in the third.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count = %d, want 110", h.Count())
+	}
+	if got, want := h.Sum(), 100*0.0005+10*0.05; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.001 {
+		t.Errorf("p50 = %g, want within (0, 0.001]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.01 || p99 > 0.1 {
+		t.Errorf("p99 = %g, want within (0.01, 0.1]", p99)
+	}
+	// Values beyond the last bound clamp to it.
+	h2 := r.Histogram("big_seconds", "big", []float64{0.001})
+	h2.Observe(99)
+	if q := h2.Quantile(0.5); q != 0.001 {
+		t.Errorf("overflow quantile = %g, want clamp to 0.001", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_seconds", "empty", nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "total requests").Add(7)
+	r.Counter("by_dialect_total", "per dialect", Label{"dialect", "core"}).Add(3)
+	r.Counter("by_dialect_total", "per dialect", Label{"dialect", "scql"}).Add(4)
+	r.GaugeFunc("cache_entries", "entries", func() float64 { return 2 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP reqs_total total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 7",
+		`by_dialect_total{dialect="core"} 3`,
+		`by_dialect_total{dialect="scql"} 4`,
+		"cache_entries 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with multiple labelled series.
+	if n := strings.Count(out, "# TYPE by_dialect_total"); n != 1 {
+		t.Errorf("TYPE header for by_dialect_total emitted %d times, want 1", n)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Add(41)
+	r.CounterFunc("sampled_total", "sampled", func() uint64 { return 9 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.002)
+	h.Observe(0.002)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if m := snap.Find("hits_total"); m == nil || m.Value != 41 {
+		t.Errorf("hits_total = %+v, want value 41", m)
+	}
+	if m := snap.Find("sampled_total"); m == nil || m.Value != 9 {
+		t.Errorf("sampled_total = %+v, want value 9", m)
+	}
+	m := snap.Find("lat_seconds")
+	if m == nil || m.Count != 2 || len(m.Buckets) != 3 {
+		t.Fatalf("lat_seconds = %+v, want count 2 with 3 buckets", m)
+	}
+	if m.Buckets[0].Count != 2 {
+		t.Errorf("first bucket = %d, want 2 (JSON buckets are non-cumulative)", m.Buckets[0].Count)
+	}
+	if snap.Find("no_such_metric") != nil {
+		t.Error("Find returned a metric for an unknown name")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "c", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-4000) > 1e-6 {
+		t.Errorf("sum = %g, want 4000", got)
+	}
+}

@@ -185,6 +185,26 @@ func Minimal(seed uint64, n int) []string {
 	return out
 }
 
+// ForDialect returns the workload that exercises the named preset dialect
+// — the pairing sqlbench E8 and the sqlserved load generator share. The
+// name is a dialect preset name (string to keep this package free of a
+// dialect dependency); ok is false for unknown names.
+func ForDialect(name string, seed uint64, n int) (queries []string, ok bool) {
+	switch name {
+	case "minimal":
+		return Minimal(seed, n), true
+	case "tinysql":
+		return Sensor(seed, n), true
+	case "scql":
+		return SmartCard(seed, n), true
+	case "core":
+		return OLTP(seed, n), true
+	case "warehouse", "full":
+		return Analytics(seed, n), true
+	}
+	return nil, false
+}
+
 // Bytes returns the total byte size of a workload, for MB/s reporting.
 func Bytes(queries []string) int64 {
 	var total int64

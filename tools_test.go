@@ -139,18 +139,74 @@ func TestCLIsRun(t *testing.T) {
 	})
 	t.Run("sqlparse-batch", func(t *testing.T) {
 		t.Parallel()
+		// A batch with a failing line exits nonzero and reports the error
+		// on stderr; the ordered verdicts stay on stdout.
 		cmd := exec.Command("go", "run", "./cmd/sqlparse",
 			"-dialect", "core", "-batch", "-workers", "4")
 		cmd.Stdin = strings.NewReader(
 			"SELECT a FROM t\nSELECT b FROM u WHERE c = 1\nSELECT nope FROM\n")
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		if err == nil {
+			t.Fatalf("batch with a rejected line exited zero:\n%s", stdout.String())
+		}
+		if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+			t.Fatalf("batch exit = %v, want exit status 1\nstderr: %s", err, stderr.String())
+		}
+		for _, want := range []string{"1: ACCEPT", "2: ACCEPT", "3: REJECT", "2 accepted, 1 rejected"} {
+			if !strings.Contains(stdout.String(), want) {
+				t.Errorf("batch stdout missing %q:\n%s", want, stdout.String())
+			}
+		}
+		if !strings.Contains(stderr.String(), "line 3:") {
+			t.Errorf("batch stderr missing per-line error:\n%s", stderr.String())
+		}
+	})
+	t.Run("sqlparse-batch-all-ok", func(t *testing.T) {
+		t.Parallel()
+		cmd := exec.Command("go", "run", "./cmd/sqlparse",
+			"-dialect", "core", "-batch", "-workers", "2")
+		cmd.Stdin = strings.NewReader("SELECT a FROM t\nSELECT b FROM u\n")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
-			t.Fatalf("batch mode failed: %v\n%s", err, out)
+			t.Fatalf("clean batch exited nonzero: %v\n%s", err, out)
 		}
-		text := string(out)
-		for _, want := range []string{"1: ACCEPT", "2: ACCEPT", "3: REJECT", "2 accepted, 1 rejected"} {
-			if !strings.Contains(text, want) {
-				t.Errorf("batch output missing %q:\n%s", want, text)
+		if !strings.Contains(string(out), "2 accepted, 0 rejected") {
+			t.Errorf("batch output wrong:\n%s", out)
+		}
+	})
+	t.Run("sqlserved-loadgen", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlserved", "-loadgen", "-n", "300",
+			"-loadgen-dialects", "minimal,tinysql,core", "-concurrency", "8")
+		for _, want := range []string{"zero errors", "telemetry consistent", "TOTAL"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("loadgen output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("sqlparse-json", func(t *testing.T) {
+		t.Parallel()
+		out := runTool(t, "./cmd/sqlparse", "-dialect", "core", "-json",
+			"SELECT a FROM t WHERE b = 1")
+		for _, want := range []string{`"ok": true`, `"type": "Select"`, `"sql": "SELECT a FROM t WHERE b = 1"`} {
+			if !strings.Contains(out, want) {
+				t.Errorf("json output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("sqlparse-json-diagnostic", func(t *testing.T) {
+		t.Parallel()
+		cmd := exec.Command("go", "run", "./cmd/sqlparse", "-dialect", "minimal", "-json",
+			"SELECT a, b FROM t")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("rejected query exited zero:\n%s", out)
+		}
+		for _, want := range []string{`"ok": false`, `"expected"`, `"line": 1`} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("json diagnostic missing %q:\n%s", want, out)
 			}
 		}
 	})
