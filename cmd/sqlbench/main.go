@@ -9,9 +9,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,8 +42,10 @@ func main() {
 	var (
 		exp  = flag.String("exp", "", "experiment to run: E6|E7|E8|E9 (default all)")
 		iter = flag.Int("n", 2000, "queries per throughput measurement")
+		jout = flag.String("json", "", "write the E8 benchmark series (ns/query, MB/s, allocs/query per workload/parser) to this file, e.g. BENCH_parse.json")
 	)
 	flag.Parse()
+	jsonPath = *jout
 
 	if *exp != "" {
 		known := false
@@ -62,6 +66,53 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if jsonPath != "" {
+		if err := writeBenchJSON(jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d benchmark rows to %s\n", len(benchRows), jsonPath)
+	}
+}
+
+// benchRow is one machine-readable measurement of the E8 series: one
+// workload parsed by one parser. allocs/bytes per query are measured with
+// runtime.MemStats deltas around the timed loop, the same quantities
+// go test -benchmem reports.
+type benchRow struct {
+	Workload       string  `json:"workload"`
+	Parser         string  `json:"parser"`
+	Queries        int     `json:"queries"`
+	Accepted       int     `json:"accepted"`
+	NsPerQuery     int64   `json:"ns_per_query"`
+	QPS            float64 `json:"qps"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+}
+
+// jsonPath, when set by -json, makes report() collect rows for the series
+// file written at exit.
+var (
+	jsonPath  string
+	benchRows []benchRow
+)
+
+func writeBenchJSON(path string) error {
+	out := struct {
+		GoVersion string     `json:"go_version"`
+		Timestamp string     `json:"timestamp"`
+		Rows      []benchRow `json:"rows"`
+	}{
+		GoVersion: runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Rows:      benchRows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // buildOrDie resolves a preset through the product catalog (dialect.Build):
@@ -160,6 +211,10 @@ func e8Throughput(n int) {
 }
 
 func report(workloadName, parserName string, queries []string, accepts func(string) bool) {
+	var before, after runtime.MemStats
+	if jsonPath != "" {
+		runtime.ReadMemStats(&before)
+	}
 	ok := 0
 	start := time.Now()
 	for _, q := range queries {
@@ -176,6 +231,20 @@ func report(workloadName, parserName string, queries []string, accepts func(stri
 	qps := float64(len(queries)) / elapsed.Seconds()
 	nsq := elapsed.Nanoseconds() / int64(len(queries))
 	mbs := float64(workload.Bytes(queries)) / (1 << 20) / elapsed.Seconds()
+	if jsonPath != "" {
+		runtime.ReadMemStats(&after)
+		benchRows = append(benchRows, benchRow{
+			Workload:       workloadName,
+			Parser:         parserName,
+			Queries:        len(queries),
+			Accepted:       ok,
+			NsPerQuery:     nsq,
+			QPS:            qps,
+			MBPerSec:       mbs,
+			AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / float64(len(queries)),
+			BytesPerQuery:  float64(after.TotalAlloc-before.TotalAlloc) / float64(len(queries)),
+		})
+	}
 	note := ""
 	if ok < len(queries) {
 		note = fmt.Sprintf("  (!! only %d/%d accepted)", ok, len(queries))

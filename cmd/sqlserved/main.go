@@ -43,7 +43,7 @@ func main() {
 		n           = flag.Int("n", 12000, "loadgen: total requests")
 		lgDialects  = flag.String("loadgen-dialects", "tinysql,scql,core", "loadgen: comma-separated preset dialects to drive")
 		concurrency = flag.Int("concurrency", 32, "loadgen: concurrent client connections")
-		want        = flag.String("want", "render", "loadgen: response shape per request (tree|ast|render)")
+		want        = flag.String("want", "render", "loadgen: response shape per request (verdict|tree|ast|render)")
 		seed        = flag.Uint64("seed", 1, "loadgen: workload seed")
 	)
 	flag.Parse()

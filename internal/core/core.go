@@ -199,6 +199,12 @@ func (p *Product) Parse(sql string) (*parser.Tree, error) { return p.Parser.Pars
 // Accepts reports whether sql is in the product's language.
 func (p *Product) Accepts(sql string) bool { return p.Parser.Accepts(sql) }
 
+// Check reports whether sql is in the product's language, returning nil on
+// accept and the scan or syntax error otherwise. Unlike Parse it builds no
+// tree — the allocation-free verdict path behind batch verdicts and
+// want=verdict serving.
+func (p *Product) Check(sql string) error { return p.Parser.Check(sql) }
+
 // Stats summarizes the product for the size experiments (E6).
 type Stats struct {
 	Features    int

@@ -1,0 +1,70 @@
+package lexer
+
+import (
+	"testing"
+)
+
+// The scanner half of the warm serving path's zero-allocation contract:
+// with a reused token buffer, ScanInto must not allocate per query once
+// the buffer has grown to the working size. Keyword folding, punct
+// dispatch and token texts must all stay off the heap.
+
+func TestScanIntoAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	l := newLexer(t, fullTokens)
+	queries := []string{
+		"SELECT a, b FROM t WHERE a = 1",
+		"select count_of_things from \"Some Table\" where x <> 1.5e3",
+		"SELECT * FROM t WHERE s = 'it''s' AND b = X'CAFE' AND h = :host AND q = ?",
+	}
+	var buf []Token
+	for _, q := range queries { // warm the buffer to the working size
+		toks, err := l.ScanInto(q, buf[:0])
+		if err != nil {
+			t.Fatalf("warmup %q: %v", q, err)
+		}
+		buf = toks
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, q := range queries {
+			toks, err := l.ScanInto(q, buf[:0])
+			if err != nil {
+				t.Fatalf("ScanInto(%q): %v", q, err)
+			}
+			buf = toks
+		}
+	}) / float64(len(queries))
+	if avg > 0 {
+		t.Errorf("warm ScanInto allocates %.2f/query, budget 0", avg)
+	}
+}
+
+// ScanInto must agree token-for-token with Scan.
+func TestScanIntoMatchesScan(t *testing.T) {
+	l := newLexer(t, fullTokens)
+	srcs := []string{
+		"",
+		"SELECT a, b FROM t WHERE a = 1",
+		"x'ab' X'CD' :param ? \"quoted id\" 1.5 'str'",
+		"-- comment\nSELECT /* block */ a",
+	}
+	var buf []Token
+	for _, src := range srcs {
+		want, err1 := l.Scan(src)
+		got, err2 := l.ScanInto(src, buf[:0])
+		buf = got
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Scan(%q) err=%v, ScanInto err=%v", src, err1, err2)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("Scan(%q): %d tokens vs %d", src, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("Scan(%q)[%d] = %+v, ScanInto = %+v", src, i, want[i], got[i])
+			}
+		}
+	}
+}

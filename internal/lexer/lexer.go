@@ -62,6 +62,19 @@ type Lexer struct {
 	keywords map[string]string // upper-cased spelling -> token name
 	puncts   []punct           // sorted longest-first for maximal munch
 	classes  map[string]string // class name -> token name
+
+	// maxKw is the longest keyword spelling: words longer than it cannot be
+	// keywords, which lets the ASCII fold path reject without a map lookup.
+	maxKw int
+	// byFirst indexes puncts by first byte (longest-first within a bucket),
+	// so the scanner tries only the spellings that can possibly match
+	// instead of the whole longest-first list.
+	byFirst [256][]punct
+
+	// Cached class bindings ("" when the class is not configured), hoisted
+	// out of the per-token map lookups on the scan hot path.
+	clsIdent, clsDelim, clsNumber, clsInteger string
+	clsString, clsBinary, clsHost, clsDynamic string
 }
 
 type punct struct {
@@ -103,6 +116,25 @@ func New(ts *grammar.TokenSet) (*Lexer, error) {
 		}
 		return l.puncts[i].text < l.puncts[j].text
 	})
+	for _, p := range l.puncts {
+		if p.text == "" {
+			return nil, fmt.Errorf("lexer: empty punctuation spelling for token %s", p.name)
+		}
+		l.byFirst[p.text[0]] = append(l.byFirst[p.text[0]], p)
+	}
+	for k := range l.keywords {
+		if len(k) > l.maxKw {
+			l.maxKw = len(k)
+		}
+	}
+	l.clsIdent = l.classes[ClassIdentifier]
+	l.clsDelim = l.classes[ClassDelimitedIdentifier]
+	l.clsNumber = l.classes[ClassNumber]
+	l.clsInteger = l.classes[ClassInteger]
+	l.clsString = l.classes[ClassString]
+	l.clsBinary = l.classes[ClassBinaryString]
+	l.clsHost = l.classes[ClassHostParameter]
+	l.clsDynamic = l.classes[ClassDynamicParameter]
 	return l, nil
 }
 
@@ -133,17 +165,33 @@ func (e *Error) Error() string {
 // dialect an unknown word in keyword position is a lexical error, mirroring
 // the paper's "parse precisely the selected features".
 func (l *Lexer) Scan(src string) ([]Token, error) {
-	s := &scanner{l: l, src: src, line: 1, col: 1}
+	out, err := l.ScanInto(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanInto is Scan with a caller-supplied token buffer: tokens are appended
+// to buf (usually buf[:0] of a pooled slice) and the possibly-grown slice is
+// returned. Once the buffer has warmed up to the working token count, a scan
+// performs zero heap allocations — the variant the parser's pooled runs use
+// on the warm serving path. Tokens reference src; they are valid as long as
+// src is.
+func (l *Lexer) ScanInto(src string, buf []Token) ([]Token, error) {
+	s := scanner{l: l, src: src, line: 1, col: 1}
 	hot.scans.Add(1)
-	var out []Token
+	out := buf
 	for {
 		tok, ok, err := s.next()
 		if err != nil {
 			hot.errors.Add(1)
-			return nil, err
+			// Emptied but capacity-preserving, so pooled callers keep any
+			// growth the partial scan paid for.
+			return out[:len(buf)], err
 		}
 		if !ok {
-			hot.tokens.Add(uint64(len(out)))
+			hot.tokens.Add(uint64(len(out) - len(buf)))
 			return out, nil
 		}
 		out = append(out, tok)
@@ -158,7 +206,7 @@ func (l *Lexer) Scan(src string) ([]Token, error) {
 // completed scan, not per token, keeping the hot-path cost to two atomic
 // adds per Scan.
 type Counters struct {
-	// Scans counts Scan calls.
+	// Scans counts Scan and ScanInto calls.
 	Scans uint64
 	// Errors counts scans that failed with a lexical error.
 	Errors uint64
@@ -187,10 +235,6 @@ type scanner struct {
 	col  int
 }
 
-func (s *scanner) errf(format string, args ...any) error {
-	return &Error{Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
-}
-
 // advance consumes n bytes, maintaining line/col.
 func (s *scanner) advance(n int) {
 	for i := 0; i < n; i++ {
@@ -215,11 +259,11 @@ func (s *scanner) skipSpaceAndComments() error {
 				s.advance(1)
 			}
 		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
-			start := *s
+			startLine, startCol := s.line, s.col
 			s.advance(2)
 			for {
 				if s.pos+1 >= len(s.src) {
-					return start.errf("unterminated block comment")
+					return s.errAt(startLine, startCol, "unterminated block comment")
 				}
 				if s.src[s.pos] == '*' && s.src[s.pos+1] == '/' {
 					s.advance(2)
@@ -254,72 +298,67 @@ func (s *scanner) next() (Token, bool, error) {
 		if err != nil {
 			return Token{}, false, err
 		}
-		name, ok := s.l.classes[ClassString]
-		if !ok {
+		if s.l.clsString == "" {
 			return Token{}, false, s.errAt(startLine, startCol, "string literals not enabled in this dialect")
 		}
-		return mk(name, text), true, nil
+		return mk(s.l.clsString, text), true, nil
 
-	case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && s.l.classes[ClassBinaryString] != "":
+	case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && s.l.clsBinary != "":
+		start := s.pos
 		s.advance(1)
-		text, err := s.scanQuoted('\'', "binary string literal", startLine, startCol)
-		if err != nil {
+		if _, err := s.scanQuoted('\'', "binary string literal", startLine, startCol); err != nil {
 			return Token{}, false, err
 		}
-		return mk(s.l.classes[ClassBinaryString], "X"+text), true, nil
+		return mk(s.l.clsBinary, s.src[start:s.pos]), true, nil
 
 	case c == '"':
 		text, err := s.scanQuoted('"', "delimited identifier", startLine, startCol)
 		if err != nil {
 			return Token{}, false, err
 		}
-		name, ok := s.l.classes[ClassDelimitedIdentifier]
-		if !ok {
+		name := s.l.clsDelim
+		if name == "" {
 			// Fall back to the plain identifier class when configured: many
 			// scaled-down dialects fold both identifier forms together.
-			name, ok = s.l.classes[ClassIdentifier]
+			name = s.l.clsIdent
 		}
-		if !ok {
+		if name == "" {
 			return Token{}, false, s.errAt(startLine, startCol, "delimited identifiers not enabled in this dialect")
 		}
 		return mk(name, text), true, nil
 
 	case c >= '0' && c <= '9' || (c == '.' && s.pos+1 < len(s.src) && isDigit(s.src[s.pos+1])):
 		text, isInt := s.scanNumber()
-		if isInt {
-			if name, ok := s.l.classes[ClassInteger]; ok {
-				return mk(name, text), true, nil
-			}
+		if isInt && s.l.clsInteger != "" {
+			return mk(s.l.clsInteger, text), true, nil
 		}
-		if name, ok := s.l.classes[ClassNumber]; ok {
-			return mk(name, text), true, nil
-		}
-		if name, ok := s.l.classes[ClassInteger]; ok && isInt {
-			return mk(name, text), true, nil
+		if s.l.clsNumber != "" {
+			return mk(s.l.clsNumber, text), true, nil
 		}
 		return Token{}, false, s.errAt(startLine, startCol, "numeric literals not enabled in this dialect")
 
-	case c == ':' && s.pos+1 < len(s.src) && isIdentStartByte(s.src[s.pos+1:]) && s.l.classes[ClassHostParameter] != "":
+	case c == ':' && s.pos+1 < len(s.src) && isIdentStartByte(s.src[s.pos+1:]) && s.l.clsHost != "":
+		start := s.pos
 		s.advance(1)
-		word := s.scanWord()
-		return mk(s.l.classes[ClassHostParameter], ":"+word), true, nil
+		s.scanWord()
+		return mk(s.l.clsHost, s.src[start:s.pos]), true, nil
 
-	case c == '?' && s.l.classes[ClassDynamicParameter] != "":
+	case c == '?' && s.l.clsDynamic != "":
 		s.advance(1)
-		return mk(s.l.classes[ClassDynamicParameter], "?"), true, nil
+		return mk(s.l.clsDynamic, "?"), true, nil
 
 	case isIdentStartByte(s.src[s.pos:]):
 		word := s.scanWord()
-		if name, ok := s.l.keywords[strings.ToUpper(word)]; ok {
+		if name, ok := s.l.keyword(word); ok {
 			return mk(name, word), true, nil
 		}
-		if name, ok := s.l.classes[ClassIdentifier]; ok {
-			return mk(name, word), true, nil
+		if s.l.clsIdent != "" {
+			return mk(s.l.clsIdent, word), true, nil
 		}
 		return Token{}, false, s.errAt(startLine, startCol, "unknown word %q (identifiers not enabled in this dialect)", word)
 
 	default:
-		for _, p := range s.l.puncts {
+		for _, p := range s.l.byFirst[c] {
 			if strings.HasPrefix(s.src[s.pos:], p.text) {
 				s.advance(len(p.text))
 				return mk(p.name, p.text), true, nil
@@ -328,6 +367,43 @@ func (s *scanner) next() (Token, bool, error) {
 		r, _ := utf8.DecodeRuneInString(s.src[s.pos:])
 		return Token{}, false, s.errAt(startLine, startCol, "unexpected character %q", r)
 	}
+}
+
+// maxFoldLen bounds the stack buffer of the ASCII keyword fold; SQL
+// keywords are far shorter, and longer words take the Unicode path.
+const maxFoldLen = 64
+
+// keyword resolves word against the configured keyword set. The common
+// case — an ASCII word — is folded to upper case in a stack buffer and
+// looked up without allocating (the compiler elides the string conversion
+// in a direct map index). Non-ASCII words fall back to the full Unicode
+// upper-case fold: length cutoffs are not sound there, since Unicode
+// uppercasing can shrink a word (ſ→S, ı→I).
+func (l *Lexer) keyword(word string) (string, bool) {
+	if len(word) <= maxFoldLen {
+		var buf [maxFoldLen]byte
+		ascii := true
+		for i := 0; i < len(word); i++ {
+			c := word[i]
+			if c >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+			if 'a' <= c && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			buf[i] = c
+		}
+		if ascii {
+			if len(word) > l.maxKw {
+				return "", false
+			}
+			name, ok := l.keywords[string(buf[:len(word)])]
+			return name, ok
+		}
+	}
+	name, ok := l.keywords[strings.ToUpper(word)]
+	return name, ok
 }
 
 func (s *scanner) errAt(line, col int, format string, args ...any) error {
@@ -367,7 +443,7 @@ func (s *scanner) scanNumber() (string, bool) {
 	for s.pos < len(s.src) && isDigit(s.src[s.pos]) {
 		s.advance(1)
 	}
-	if s.pos < len(s.src) && s.src[s.pos] == '.' && s.pos+1 <= len(s.src) {
+	if s.pos < len(s.src) && s.src[s.pos] == '.' {
 		// Avoid consuming `1..2` style ranges: require digit or end after dot.
 		if s.pos+1 < len(s.src) && s.src[s.pos+1] == '.' {
 			return s.src[start:s.pos], isInt

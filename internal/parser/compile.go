@@ -55,6 +55,9 @@ func (n *cnode) has(id int) bool {
 type program struct {
 	// prods holds compiled productions, indexed by production id.
 	prods []*cnode
+	// names holds production names, indexed by production id (so the hot
+	// path never walks g.Productions()).
+	names []string
 	// prodIndex maps production names to ids.
 	prodIndex map[string]int
 	// alts caches each production's top-level alternatives.
@@ -79,10 +82,12 @@ func compile(g *grammar.Grammar, an *grammar.Analysis) *program {
 		pr.prodIndex[p.Name] = i
 	}
 	pr.prods = make([]*cnode, g.Len())
+	pr.names = make([]string, g.Len())
 	pr.alts = make([][]*cnode, g.Len())
 	for i, p := range g.Productions() {
 		n := pr.compileExpr(p.Expr, an)
 		pr.prods[i] = n
+		pr.names[i] = p.Name
 		if n.kind == cChoice {
 			pr.alts[i] = n.items
 		} else {

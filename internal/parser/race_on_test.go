@@ -7,3 +7,8 @@ package parser
 // wall-clock perf guards accordingly so they still catch complexity
 // regressions without flaking on instrumentation overhead.
 const timeBudgetScale = 10
+
+// raceEnabled gates the allocation-budget tests: the race detector's
+// instrumentation allocates on its own, so alloc counts are only meaningful
+// uninstrumented.
+const raceEnabled = true

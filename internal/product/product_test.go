@@ -204,3 +204,66 @@ func TestDefaultCatalogIsShared(t *testing.T) {
 		t.Error("Default returned distinct catalogs")
 	}
 }
+
+// TestWarmServingPathAllocationBudget pins the end-to-end serving
+// contract: a catalog-cached product's verdict path (Accepts/Check) must
+// not allocate per query once the parser's pooled run-state has warmed up.
+// This is the same budget internal/parser enforces, asserted here through
+// the catalog so a regression anywhere on the product path (cache lookup
+// included) is caught.
+func TestWarmServingPathAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	cat := newTestCatalog(t)
+	cfg := feature.NewConfig(minimalFeatures...)
+	opts := core.Options{Product: "minimal"}
+	queries := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT a FROM t WHERE b = 1",
+		"SELECT a FROM t WHERE b = 'x'",
+	}
+	warm, err := cat.Get(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for _, q := range queries {
+			if !warm.Accepts(q) {
+				t.Fatalf("warmup rejected %q", q)
+			}
+		}
+	}
+	// The parse calls themselves: zero allocations.
+	avg := testing.AllocsPerRun(200, func() {
+		for _, q := range queries {
+			if !warm.Accepts(q) {
+				t.Fatalf("rejected %q", q)
+			}
+			if err := warm.Check(q); err != nil {
+				t.Fatalf("Check(%q): %v", q, err)
+			}
+		}
+	})
+	if avg > 0 {
+		t.Errorf("warm product parse path allocates %.2f per round, budget 0", avg)
+	}
+
+	// The catalog lookup in front of them: bounded by the fingerprint
+	// canonicalisation (sorted name slice, hash, hex key), independent of
+	// query count. The budget is deliberately explicit so an accidental
+	// rebuild (or a cache miss regression) fails loudly.
+	const lookupBudget = 60
+	lookup := testing.AllocsPerRun(200, func() {
+		p, err := cat.Get(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != warm {
+			t.Fatal("cache returned a different product")
+		}
+	})
+	if lookup > lookupBudget {
+		t.Errorf("warm catalog lookup allocates %.2f, budget %d", lookup, lookupBudget)
+	}
+}

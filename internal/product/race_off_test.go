@@ -1,10 +1,6 @@
 //go:build !race
 
-package parser
-
-// Uninstrumented runs keep the tight wall-clock budget: these guards exist
-// to catch accidental exponential blowups, not scheduling noise.
-const timeBudgetScale = 1
+package product
 
 // raceEnabled gates the allocation-budget tests: the race detector's
 // instrumentation allocates on its own, so alloc counts are only meaningful

@@ -58,7 +58,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ValidWant(req.Want) {
 		s.m.badRequests.Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown want %q (tree|ast|render)", req.Want)})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown want %q (verdict|tree|ast|render)", req.Want)})
 		return
 	}
 	if !s.admit() {
@@ -216,12 +216,15 @@ dispatch:
 	return out
 }
 
-// orVerdict maps the batch "verdict only" default onto the cheapest shape:
-// a render-free parse. The tree/AST is still built by the engine; we just
-// skip encoding it.
+// orVerdict maps the batch "verdict only" default onto the verdict shape,
+// which rides the parser's allocation-free check path: no tree or AST is
+// built for queries whose callers only asked whether they parse. (Note the
+// semantics this implies: a query the grammar accepts but whose semantic
+// actions would fail still gets OK=true — the verdict answers "is it in
+// the language", not "can it be rendered".)
 func orVerdict(want string) string {
 	if want == "" {
-		return WantRender
+		return WantVerdict
 	}
 	return want
 }

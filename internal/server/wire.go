@@ -20,16 +20,17 @@ import (
 
 // The response shapes a parse can request.
 const (
-	WantTree   = "tree"   // concrete parse tree
-	WantAST    = "ast"    // typed AST nodes with per-statement SQL
-	WantRender = "render" // SQL re-rendered from the typed AST
+	WantVerdict = "verdict" // accept/reject only — no tree is materialised
+	WantTree    = "tree"    // concrete parse tree
+	WantAST     = "ast"     // typed AST nodes with per-statement SQL
+	WantRender  = "render"  // SQL re-rendered from the typed AST
 )
 
 // ValidWant reports whether want names a known response shape. The empty
 // string is valid and means WantRender.
 func ValidWant(want string) bool {
 	switch want {
-	case "", WantTree, WantAST, WantRender:
+	case "", WantVerdict, WantTree, WantAST, WantRender:
 		return true
 	}
 	return false
@@ -42,7 +43,7 @@ type ParseRequest struct {
 	Dialect  string   `json:"dialect,omitempty"`
 	Features []string `json:"features,omitempty"`
 	SQL      string   `json:"sql"`
-	Want     string   `json:"want,omitempty"` // tree | ast | render (default render)
+	Want     string   `json:"want,omitempty"` // verdict | tree | ast | render (default render)
 }
 
 // BatchRequest is the body of POST /v1/batch: one product, many queries,
@@ -177,6 +178,17 @@ func Outcome(p *core.Product, sql, want string) *ParseResponse {
 	resp := &ParseResponse{Dialect: p.Name, Want: want}
 	start := time.Now()
 	defer func() { resp.ElapsedMicros = time.Since(start).Microseconds() }()
+
+	if want == WantVerdict {
+		// Verdict needs no tree: ride the parser's allocation-free check
+		// path instead of building a parse tree just to discard it.
+		if err := p.Check(sql); err != nil {
+			resp.Error = EncodeDiagnostic(err)
+			return resp
+		}
+		resp.OK = true
+		return resp
+	}
 
 	tree, err := p.Parse(sql)
 	if err != nil {
