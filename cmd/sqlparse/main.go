@@ -16,6 +16,12 @@
 // service share one response encoder, so a query parsed at the terminal
 // and one parsed over the network produce the same JSON.
 //
+// On a parse failure the human-readable mode reports every failing
+// statement of the script — statement recovery resynchronises at top-level
+// semicolons — each with a line:col position and a caret excerpt pointing
+// at the offending span. -json carries the same list structurally in the
+// response's "diagnostics" field.
+//
 // Batch mode is the serving path: one cached product, many queries, many
 // goroutines. It reads one query per line from stdin, parses them over the
 // shared parser, and reports per-query verdicts in input order plus a
@@ -41,6 +47,7 @@ import (
 	"sqlspl/internal/ast"
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/parser"
 	"sqlspl/internal/server"
 )
 
@@ -111,7 +118,8 @@ func main() {
 
 	parseTree, err := product.Parse(sql)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, renderFailure(product, sql))
+		os.Exit(1)
 	}
 	if *tree {
 		fmt.Print(parseTree.Dump())
@@ -217,6 +225,19 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int, j
 		fmt.Fprint(out, summary)
 	}
 	return len(queries) - accepted, nil
+}
+
+// renderFailure runs statement recovery over a rejected script and renders
+// every diagnostic with a caret excerpt — all the errors, not just the
+// farthest failure the parse itself reported.
+func renderFailure(p *core.Product, sql string) string {
+	diags := p.Diagnose(sql)
+	if len(diags) == 0 {
+		// Parse failed but recovery found nothing to report; never fail
+		// silently.
+		return "sqlparse: parse failed"
+	}
+	return parser.RenderDiagnostics(sql, diags)
 }
 
 func fatal(err error) {

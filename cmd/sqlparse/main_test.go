@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+)
+
+func coreProduct(t *testing.T) *core.Product {
+	t.Helper()
+	p, err := dialect.Build(dialect.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// A scanner error mid-batch (here: a line longer than the scanner's buffer)
+// must surface as a batch failure, not be silently swallowed after the
+// queries read so far.
+func TestRunBatchScannerErrorPropagates(t *testing.T) {
+	p := coreProduct(t)
+	in := strings.NewReader("SELECT a FROM t\n" + strings.Repeat("x", (1<<20)+16) + "\n")
+	var out strings.Builder
+	_, err := runBatch(p, in, &out, 2, false, "verdict")
+	if err == nil {
+		t.Fatal("runBatch swallowed the scanner error")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("err = %v, want bufio.ErrTooLong", err)
+	}
+}
+
+func TestRunBatchVerdictsInOrder(t *testing.T) {
+	p := coreProduct(t)
+	in := strings.NewReader("SELECT a FROM t\nSELECT FROM t\n\nSELECT b FROM u\n")
+	var out strings.Builder
+	rejected, err := runBatch(p, in, &out, 4, false, "verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 1 {
+		t.Errorf("rejected = %d, want 1", rejected)
+	}
+	got := out.String()
+	for _, want := range []string{"1: ACCEPT", "2: REJECT", "3: ACCEPT", "3 queries: 2 accepted, 1 rejected"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBatchEmptyInput(t *testing.T) {
+	p := coreProduct(t)
+	var out strings.Builder
+	if _, err := runBatch(p, strings.NewReader("\n  \n"), &out, 1, false, "verdict"); err == nil {
+		t.Error("blank batch input should be reported, got nil error")
+	}
+}
+
+// The human failure report carries one caret-annotated diagnostic per
+// failing statement, with 1-based line:col positions.
+func TestRenderFailureCarets(t *testing.T) {
+	p := coreProduct(t)
+	script := "SELECT a FROM t ;\nSELECT FROM t ;\nDELETE t"
+	got := renderFailure(p, script)
+	for _, want := range []string{"2:8:", "3:8:", "SELECT FROM t ;", "^"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "1:") && strings.HasPrefix(got, "1:") {
+		t.Errorf("valid first statement produced a diagnostic:\n%s", got)
+	}
+}

@@ -453,3 +453,24 @@ func TestMiddlewareStacking(t *testing.T) {
 		t.Errorf("wrap order = %v, want outermost-last registration first", order)
 	}
 }
+
+func TestBuildEmptyInput(t *testing.T) {
+	// Empty and comment-only input parses to an empty tree; Build must turn
+	// it into a zero-statement script for every start symbol shape —
+	// sql_script dialects and single-statement ones alike.
+	for _, name := range []dialect.Name{dialect.Core, dialect.Minimal} {
+		for _, src := range []string{"", "   ", "-- note\n"} {
+			tree, err := product(t, name).Parse(src)
+			if err != nil {
+				t.Fatalf("%s: Parse(%q): %v", name, src, err)
+			}
+			script, err := NewBuilder(nil).Build(tree)
+			if err != nil {
+				t.Fatalf("%s: Build(%q): %v", name, src, err)
+			}
+			if len(script.Statements) != 0 {
+				t.Errorf("%s: Build(%q) = %d statements, want 0", name, src, len(script.Statements))
+			}
+		}
+	}
+}

@@ -67,6 +67,11 @@ func (b *Builder) Build(t *parser.Tree) (*Script, error) {
 	if t == nil {
 		return nil, fmt.Errorf("ast: nil parse tree")
 	}
+	if !t.IsLeaf() && len(t.Children) == 0 {
+		// The empty parse of an empty (whitespace/comment-only) input: a
+		// clean zero-statement script, whatever the start symbol.
+		return &Script{}, nil
+	}
 	if t.Label == "sql_script" {
 		script := &Script{}
 		for _, c := range t.Children {

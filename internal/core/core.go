@@ -205,6 +205,12 @@ func (p *Product) Accepts(sql string) bool { return p.Parser.Accepts(sql) }
 // want=verdict serving.
 func (p *Product) Check(sql string) error { return p.Parser.Check(sql) }
 
+// Diagnose checks sql with statement-level error recovery: instead of
+// stopping at the farthest failure it resynchronizes at top-level ';'
+// boundaries and reports every failing statement. Nil means sql is in the
+// product's language (shorthand for p.Parser.ParseRecover).
+func (p *Product) Diagnose(sql string) []parser.Diagnostic { return p.Parser.ParseRecover(sql) }
+
 // Stats summarizes the product for the size experiments (E6).
 type Stats struct {
 	Features    int

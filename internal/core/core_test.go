@@ -215,3 +215,35 @@ func TestEmptySelection(t *testing.T) {
 		t.Error("empty selection accepted")
 	}
 }
+
+func TestDiagnoseRecoversPerStatement(t *testing.T) {
+	p := buildMinimal(t, Options{Product: "diagnose"})
+	if diags := p.Diagnose("SELECT a FROM t"); len(diags) != 0 {
+		t.Errorf("Diagnose(valid) = %v, want none", diags)
+	}
+	// minimal has no SEMICOLON token: the ';' is a scan diagnostic, and
+	// recovery still reaches the broken second statement.
+	diags := p.Diagnose("SELECT a FROM t ; SELECT FROM u")
+	if len(diags) != 2 {
+		t.Fatalf("Diagnose = %v, want 2 diagnostics", diags)
+	}
+}
+
+func TestEmptyInputIsCleanScript(t *testing.T) {
+	p := buildMinimal(t, Options{Product: "empty-input"})
+	for _, src := range []string{"", "  \n", "-- nothing here\n"} {
+		tree, err := p.Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(tree.Children) != 0 {
+			t.Errorf("Parse(%q) tree has %d children, want 0", src, len(tree.Children))
+		}
+		if err := p.Check(src); err != nil {
+			t.Errorf("Check(%q): %v", src, err)
+		}
+		if diags := p.Diagnose(src); len(diags) != 0 {
+			t.Errorf("Diagnose(%q) = %v, want none", src, diags)
+		}
+	}
+}

@@ -33,6 +33,28 @@ type Token struct {
 	Text string
 	// Line and Col are 1-based source coordinates of the token start.
 	Line, Col int
+	// Off and End are the token's byte-offset span in the scanned source:
+	// src[Off:End] is exactly Text. Diagnostics use the span to anchor caret
+	// excerpts and wire-format positions without re-deriving offsets from
+	// line/column arithmetic.
+	Off, End int
+}
+
+// EndPos returns the 1-based line/column of the first position after the
+// token — where the input continues. Computed from the token's own text, so
+// it needs no source or line index; multi-line tokens (string literals with
+// embedded newlines) are handled.
+func (t Token) EndPos() (line, col int) {
+	line, col = t.Line, t.Col
+	for i := 0; i < len(t.Text); i++ {
+		if t.Text[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 // String formats the token for diagnostics.
@@ -149,8 +171,17 @@ func validClass(name string) bool {
 
 // Error is a scan error with source position.
 type Error struct {
+	// Line and Col are the 1-based coordinates of the offending lexeme's
+	// start (for unterminated quotes, the opening token, not end of input).
 	Line, Col int
-	Msg       string
+	// Off is the byte offset of that same position.
+	Off int
+	// Resume is the scanner's byte position when the error was raised — the
+	// earliest offset at which a recovering caller could restart scanning.
+	// For an unexpected character it equals Off; for unterminated quotes and
+	// comments it is where the input ran out.
+	Resume int
+	Msg    string
 }
 
 // Error implements error.
@@ -179,16 +210,32 @@ func (l *Lexer) Scan(src string) ([]Token, error) {
 // on the warm serving path. Tokens reference src; they are valid as long as
 // src is.
 func (l *Lexer) ScanInto(src string, buf []Token) ([]Token, error) {
-	s := scanner{l: l, src: src, line: 1, col: 1}
+	out, err := l.ScanPartialFrom(src, 0, 1, 1, buf)
+	if err != nil {
+		// Emptied but capacity-preserving, so pooled callers keep any
+		// growth the partial scan paid for.
+		return out[:len(buf)], err
+	}
+	return out, nil
+}
+
+// ScanPartialFrom scans src beginning at byte offset off — whose 1-based
+// line/column the caller supplies (1, 1 for offset 0) — appending tokens to
+// buf. Unlike ScanInto it does not discard progress on a lexical error: the
+// tokens scanned before the error are returned alongside it, and the
+// *Error's Off/Resume offsets tell a recovering caller where scanning can
+// restart. Statement-level error recovery (internal/parser) uses this to
+// keep diagnosing the statements around a broken lexeme. Token offsets are
+// absolute within src regardless of off.
+func (l *Lexer) ScanPartialFrom(src string, off, line, col int, buf []Token) ([]Token, error) {
+	s := scanner{l: l, src: src, pos: off, line: line, col: col}
 	hot.scans.Add(1)
 	out := buf
 	for {
 		tok, ok, err := s.next()
 		if err != nil {
 			hot.errors.Add(1)
-			// Emptied but capacity-preserving, so pooled callers keep any
-			// growth the partial scan paid for.
-			return out[:len(buf)], err
+			return out, err
 		}
 		if !ok {
 			hot.tokens.Add(uint64(len(out) - len(buf)))
@@ -259,11 +306,11 @@ func (s *scanner) skipSpaceAndComments() error {
 				s.advance(1)
 			}
 		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
-			startLine, startCol := s.line, s.col
+			startOff, startLine, startCol := s.pos, s.line, s.col
 			s.advance(2)
 			for {
 				if s.pos+1 >= len(s.src) {
-					return s.errAt(startLine, startCol, "unterminated block comment")
+					return s.errAt(startOff, startLine, startCol, "unterminated block comment")
 				}
 				if s.src[s.pos] == '*' && s.src[s.pos+1] == '/' {
 					s.advance(2)
@@ -285,34 +332,34 @@ func (s *scanner) next() (Token, bool, error) {
 	if s.pos >= len(s.src) {
 		return Token{}, false, nil
 	}
-	startLine, startCol := s.line, s.col
+	startOff, startLine, startCol := s.pos, s.line, s.col
 	c := s.src[s.pos]
 
 	mk := func(name, text string) Token {
-		return Token{Name: name, Text: text, Line: startLine, Col: startCol}
+		return Token{Name: name, Text: text, Line: startLine, Col: startCol, Off: startOff, End: s.pos}
 	}
 
 	switch {
 	case c == '\'':
-		text, err := s.scanQuoted('\'', "string literal", startLine, startCol)
+		text, err := s.scanQuoted('\'', "string literal", startOff, startLine, startCol)
 		if err != nil {
 			return Token{}, false, err
 		}
 		if s.l.clsString == "" {
-			return Token{}, false, s.errAt(startLine, startCol, "string literals not enabled in this dialect")
+			return Token{}, false, s.errAt(startOff, startLine, startCol, "string literals not enabled in this dialect")
 		}
 		return mk(s.l.clsString, text), true, nil
 
 	case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && s.l.clsBinary != "":
 		start := s.pos
 		s.advance(1)
-		if _, err := s.scanQuoted('\'', "binary string literal", startLine, startCol); err != nil {
+		if _, err := s.scanQuoted('\'', "binary string literal", startOff, startLine, startCol); err != nil {
 			return Token{}, false, err
 		}
 		return mk(s.l.clsBinary, s.src[start:s.pos]), true, nil
 
 	case c == '"':
-		text, err := s.scanQuoted('"', "delimited identifier", startLine, startCol)
+		text, err := s.scanQuoted('"', "delimited identifier", startOff, startLine, startCol)
 		if err != nil {
 			return Token{}, false, err
 		}
@@ -323,7 +370,7 @@ func (s *scanner) next() (Token, bool, error) {
 			name = s.l.clsIdent
 		}
 		if name == "" {
-			return Token{}, false, s.errAt(startLine, startCol, "delimited identifiers not enabled in this dialect")
+			return Token{}, false, s.errAt(startOff, startLine, startCol, "delimited identifiers not enabled in this dialect")
 		}
 		return mk(name, text), true, nil
 
@@ -335,7 +382,7 @@ func (s *scanner) next() (Token, bool, error) {
 		if s.l.clsNumber != "" {
 			return mk(s.l.clsNumber, text), true, nil
 		}
-		return Token{}, false, s.errAt(startLine, startCol, "numeric literals not enabled in this dialect")
+		return Token{}, false, s.errAt(startOff, startLine, startCol, "numeric literals not enabled in this dialect")
 
 	case c == ':' && s.pos+1 < len(s.src) && isIdentStartByte(s.src[s.pos+1:]) && s.l.clsHost != "":
 		start := s.pos
@@ -355,7 +402,7 @@ func (s *scanner) next() (Token, bool, error) {
 		if s.l.clsIdent != "" {
 			return mk(s.l.clsIdent, word), true, nil
 		}
-		return Token{}, false, s.errAt(startLine, startCol, "unknown word %q (identifiers not enabled in this dialect)", word)
+		return Token{}, false, s.errAt(startOff, startLine, startCol, "unknown word %q (identifiers not enabled in this dialect)", word)
 
 	default:
 		for _, p := range s.l.byFirst[c] {
@@ -365,7 +412,7 @@ func (s *scanner) next() (Token, bool, error) {
 			}
 		}
 		r, _ := utf8.DecodeRuneInString(s.src[s.pos:])
-		return Token{}, false, s.errAt(startLine, startCol, "unexpected character %q", r)
+		return Token{}, false, s.errAt(startOff, startLine, startCol, "unexpected character %q", r)
 	}
 }
 
@@ -406,21 +453,23 @@ func (l *Lexer) keyword(word string) (string, bool) {
 	return name, ok
 }
 
-func (s *scanner) errAt(line, col int, format string, args ...any) error {
-	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+// errAt builds a scan error anchored at byte offset off (with its 1-based
+// line/col); Resume records how far the scanner got, for recovering callers.
+func (s *scanner) errAt(off, line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Off: off, Resume: s.pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 // scanQuoted consumes a quote-delimited lexeme (doubling the quote escapes
-// it), returning the raw text including quotes. startLine/startCol are the
-// token's start coordinates — for X'..' binary strings that is the X, not
-// the quote — so an unterminated-quote error always points at the token the
-// user began, while the message names where the input ran out.
-func (s *scanner) scanQuoted(quote byte, what string, startLine, startCol int) (string, error) {
+// it), returning the raw text including quotes. startOff/startLine/startCol
+// are the token's start coordinates — for X'..' binary strings that is the
+// X, not the quote — so an unterminated-quote error always points at the
+// token the user began, while the message names where the input ran out.
+func (s *scanner) scanQuoted(quote byte, what string, startOff, startLine, startCol int) (string, error) {
 	start := s.pos
 	s.advance(1) // opening quote
 	for {
 		if s.pos >= len(s.src) {
-			return "", s.errAt(startLine, startCol,
+			return "", s.errAt(startOff, startLine, startCol,
 				"unterminated %s: reached end of input at %d:%d", what, s.line, s.col)
 		}
 		if s.src[s.pos] == quote {

@@ -366,3 +366,141 @@ func TestUnterminatedQuotesPositioned(t *testing.T) {
 		}
 	}
 }
+
+// --- Byte-offset spans and the line index ---------------------------------
+
+func TestTokenSpans(t *testing.T) {
+	l := newLexer(t, fullTokens)
+	src := "SELECT a,\n  'x''y' FROM t"
+	toks, err := l.Scan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Off < 0 || tok.End > len(src) || tok.Off >= tok.End {
+			t.Fatalf("degenerate span %d:%d for %s", tok.Off, tok.End, tok)
+		}
+		if got := src[tok.Off:tok.End]; got != tok.Text {
+			t.Errorf("src[%d:%d] = %q, want token text %q", tok.Off, tok.End, got, tok.Text)
+		}
+	}
+	// Spans are strictly increasing and non-overlapping.
+	for i := 1; i < len(toks); i++ {
+		if toks[i].Off < toks[i-1].End {
+			t.Errorf("token %d span %d overlaps previous end %d", i, toks[i].Off, toks[i-1].End)
+		}
+	}
+}
+
+func TestTokenEndPos(t *testing.T) {
+	cases := []struct {
+		tok       Token
+		line, col int
+	}{
+		{Token{Text: "SELECT", Line: 1, Col: 1}, 1, 7},
+		{Token{Text: "t", Line: 3, Col: 9}, 3, 10},
+		{Token{Text: "'a\nb'", Line: 2, Col: 4}, 3, 3},
+	}
+	for _, c := range cases {
+		line, col := c.tok.EndPos()
+		if line != c.line || col != c.col {
+			t.Errorf("EndPos(%q at %d:%d) = %d:%d, want %d:%d",
+				c.tok.Text, c.tok.Line, c.tok.Col, line, col, c.line, c.col)
+		}
+	}
+}
+
+func TestScanErrorOffsets(t *testing.T) {
+	l := newLexer(t, fullTokens)
+	src := "SELECT a ; FROM t"
+	_, err := l.Scan(src)
+	lerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error = %v (%T)", err, err)
+	}
+	if src[lerr.Off] != ';' {
+		t.Errorf("Off = %d (%q), want offset of ';'", lerr.Off, src[lerr.Off])
+	}
+	if lerr.Resume != lerr.Off {
+		t.Errorf("Resume = %d, want %d for unexpected character", lerr.Resume, lerr.Off)
+	}
+
+	src = "SELECT 'unterminated"
+	_, err = l.Scan(src)
+	lerr, ok = err.(*Error)
+	if !ok {
+		t.Fatalf("error = %v (%T)", err, err)
+	}
+	if src[lerr.Off] != '\'' {
+		t.Errorf("Off = %d, want offset of opening quote", lerr.Off)
+	}
+	if lerr.Resume != len(src) {
+		t.Errorf("Resume = %d, want end of input %d", lerr.Resume, len(src))
+	}
+}
+
+func TestScanPartialFromKeepsPrefix(t *testing.T) {
+	l := newLexer(t, fullTokens)
+	src := "SELECT a ; b"
+	toks, err := l.ScanPartialFrom(src, 0, 1, 1, nil)
+	if err == nil {
+		t.Fatal("want lexical error at ';'")
+	}
+	if names(toks) != "SELECT IDENTIFIER" {
+		t.Errorf("partial tokens = %q, want the prefix before the error", names(toks))
+	}
+	// Restarting after the error continues with absolute offsets.
+	lerr := err.(*Error)
+	line, col := NewLineIndex(src).Pos(lerr.Resume + 1)
+	toks, err = l.ScanPartialFrom(src, lerr.Resume+1, line, col, toks)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if names(toks) != "SELECT IDENTIFIER IDENTIFIER" {
+		t.Errorf("resumed tokens = %q", names(toks))
+	}
+	last := toks[len(toks)-1]
+	if src[last.Off:last.End] != "b" {
+		t.Errorf("resumed token span = %d:%d (%q), offsets must stay absolute",
+			last.Off, last.End, src[last.Off:last.End])
+	}
+}
+
+func TestLineIndex(t *testing.T) {
+	src := "one\ntwo\n\nfour"
+	ix := NewLineIndex(src)
+	if ix.Lines() != 4 {
+		t.Fatalf("Lines = %d, want 4", ix.Lines())
+	}
+	cases := []struct{ off, line, col int }{
+		{0, 1, 1}, {3, 1, 4}, {4, 2, 1}, {7, 2, 4}, {8, 3, 1}, {9, 4, 1},
+		{13, 4, 5}, // one past the end
+		{99, 4, 5}, // clamped
+		{-1, 1, 1}, // clamped
+	}
+	for _, c := range cases {
+		line, col := ix.Pos(c.off)
+		if line != c.line || col != c.col {
+			t.Errorf("Pos(%d) = %d:%d, want %d:%d", c.off, line, col, c.line, c.col)
+		}
+	}
+	for i, want := range []string{"one", "two", "", "four"} {
+		if got := ix.LineText(i + 1); got != want {
+			t.Errorf("LineText(%d) = %q, want %q", i+1, got, want)
+		}
+	}
+	if got := ix.LineText(0); got != "" {
+		t.Errorf("LineText(0) = %q", got)
+	}
+	if got := ix.LineText(5); got != "" {
+		t.Errorf("LineText(5) = %q", got)
+	}
+	// Empty source: one empty line, Pos answers 1:1 everywhere.
+	ix = NewLineIndex("")
+	if ix.Lines() != 1 {
+		t.Errorf("empty Lines = %d", ix.Lines())
+	}
+	if line, col := ix.Pos(0); line != 1 || col != 1 {
+		t.Errorf("empty Pos(0) = %d:%d", line, col)
+	}
+}

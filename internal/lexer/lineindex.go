@@ -1,0 +1,60 @@
+package lexer
+
+import "sort"
+
+// LineIndex maps byte offsets in one source text to 1-based line/column
+// positions and back to line contents. Diagnostics build one lazily — only
+// when an error actually needs rendering — so the scan and parse hot paths
+// never pay for it. The index holds the start offset of every line; lookups
+// are a binary search.
+//
+// Columns are byte-based, matching the scanner's own column accounting:
+// for ASCII sources they equal display columns, and caret excerpts align.
+type LineIndex struct {
+	src    string
+	starts []int // starts[i] is the byte offset of line i+1
+}
+
+// NewLineIndex builds the index for src in one pass.
+func NewLineIndex(src string) *LineIndex {
+	ix := &LineIndex{src: src, starts: []int{0}}
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			ix.starts = append(ix.starts, i+1)
+		}
+	}
+	return ix
+}
+
+// Pos returns the 1-based line and column of byte offset off. Offsets past
+// the end of the source answer as one past the last character — the
+// position "end of input" diagnostics point at.
+func (ix *LineIndex) Pos(off int) (line, col int) {
+	if off < 0 {
+		off = 0
+	}
+	if off > len(ix.src) {
+		off = len(ix.src)
+	}
+	// The last line whose start is <= off.
+	i := sort.Search(len(ix.starts), func(i int) bool { return ix.starts[i] > off }) - 1
+	return i + 1, off - ix.starts[i] + 1
+}
+
+// Lines returns the number of lines in the source (at least 1: an empty
+// source is one empty line).
+func (ix *LineIndex) Lines() int { return len(ix.starts) }
+
+// LineText returns the text of the 1-based line, without its trailing
+// newline. Out-of-range lines answer "".
+func (ix *LineIndex) LineText(line int) string {
+	if line < 1 || line > len(ix.starts) {
+		return ""
+	}
+	lo := ix.starts[line-1]
+	hi := len(ix.src)
+	if line < len(ix.starts) {
+		hi = ix.starts[line] - 1
+	}
+	return ix.src[lo:hi]
+}

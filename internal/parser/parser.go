@@ -42,7 +42,6 @@ package parser
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,12 +68,19 @@ type Counters struct {
 	ErrorPasses uint64
 	// Tokens counts tokens fed to the engine.
 	Tokens uint64
+	// Recoveries counts ParseRecover calls that entered the slow
+	// statement-resynchronization path (rejected or unscannable scripts).
+	Recoveries uint64
+	// Diagnostics counts diagnostics produced by recovery, sentinels
+	// included.
+	Diagnostics uint64
 }
 
 // hot holds the counters behind HotCounters. One atomic add per parse (two
 // on the reject path) — negligible against even the smallest parse.
 var hot struct {
 	parses, rejects, errorPasses, tokens atomic.Uint64
+	recoveries, diagnostics              atomic.Uint64
 }
 
 // HotCounters returns the current process-wide parse counters.
@@ -84,6 +90,8 @@ func HotCounters() Counters {
 		Rejects:     hot.rejects.Load(),
 		ErrorPasses: hot.errorPasses.Load(),
 		Tokens:      hot.tokens.Load(),
+		Recoveries:  hot.recoveries.Load(),
+		Diagnostics: hot.diagnostics.Load(),
 	}
 }
 
@@ -190,6 +198,10 @@ type Options struct {
 	// MaxTokens caps input length as a defence against pathological inputs
 	// in embedded deployments; 0 means no cap.
 	MaxTokens int
+	// MaxDiagnostics caps how many diagnostics ParseRecover reports before
+	// appending the TooManyErrors sentinel and stopping; 0 means
+	// DefaultMaxDiagnostics.
+	MaxDiagnostics int
 }
 
 // Parser parses SQL text for one composed product grammar.
@@ -206,6 +218,11 @@ type Parser struct {
 	// nodes with cached nullable/FIRST annotations, token names interned to
 	// integer ids so prediction is a bitset test.
 	compiled *program
+
+	// display maps terminal names to their diagnostic rendering (keyword
+	// spellings upper-cased, punctuation quoted); names absent from the map
+	// are dropped from expected sets.
+	display map[string]string
 
 	// runs recycles per-parse state (*run) so steady-state parsing reuses
 	// memo tables, slabs and token buffers instead of reallocating them per
@@ -227,6 +244,7 @@ func New(g *grammar.Grammar, ts *grammar.TokenSet, opts Options) (*Parser, error
 	}
 	p := &Parser{g: g, lex: lx, an: grammar.Analyze(g), opts: opts}
 	p.compiled = compile(g, p.an)
+	p.display = displayNames(ts)
 	return p, nil
 }
 
@@ -238,11 +256,17 @@ func (p *Parser) Lexer() *lexer.Lexer { return p.lex }
 
 // SyntaxError reports a parse failure at the farthest position reached.
 type SyntaxError struct {
-	// Line and Col locate the offending token (or end of input).
+	// Line and Col locate the offending token — or, at end of input, the
+	// position just past the last token.
 	Line, Col int
+	// Span is the byte-offset region of the offending token in the source
+	// (a point at end of input).
+	Span Span
 	// Found is the unexpected token, or "end of input".
 	Found string
-	// Expected lists the token names that would have allowed progress.
+	// Expected lists display names of the tokens that would have allowed
+	// progress: keyword spellings upper-cased, punctuation quoted,
+	// deduplicated across aliases, internal names dropped.
 	Expected []string
 }
 
@@ -258,7 +282,8 @@ func (e *SyntaxError) Error() string {
 // Parse scans and parses src, returning the parse tree rooted at the
 // grammar's start symbol. The whole input must be consumed. The returned
 // tree owns its nodes and tokens: it stays valid after the parse's pooled
-// run-state is recycled.
+// run-state is recycled. Empty input — whitespace/comment-only — parses
+// to a childless tree labelled with the start symbol.
 func (p *Parser) Parse(src string) (*Tree, error) {
 	r := p.getRun()
 	toks, err := p.lex.ScanInto(src, r.tokBuf[:0])
@@ -272,7 +297,7 @@ func (p *Parser) Parse(src string) (*Tree, error) {
 		return nil, err
 	}
 	tree, perr := p.parseTree(r, toks)
-	if tree != nil {
+	if tree != nil && len(toks) > 0 {
 		// The tree's leaves point into the scanned token slice: the buffer's
 		// ownership transfers to the tree, the pool starts a fresh one.
 		r.tokBuf = nil
@@ -320,6 +345,8 @@ func (p *Parser) Accepts(src string) bool {
 // and the scan or syntax error otherwise. Like Accepts it builds no tree
 // (the accept path is allocation-free); unlike Accepts a reject pays for
 // the second, expected-token-tracking pass to produce a full *SyntaxError.
+// Empty input (whitespace/comment-only) checks clean, matching Parse's
+// empty tree.
 func (p *Parser) Check(src string) error {
 	r := p.getRun()
 	toks, err := p.lex.ScanInto(src, r.tokBuf[:0])
@@ -327,6 +354,10 @@ func (p *Parser) Check(src string) error {
 	if err != nil {
 		p.putRun(r)
 		return err
+	}
+	if len(toks) == 0 {
+		p.putRun(r)
+		return nil
 	}
 	if err := p.checkMaxTokens(toks); err != nil {
 		p.putRun(r)
@@ -354,6 +385,14 @@ func (p *Parser) checkMaxTokens(toks []lexer.Token) error {
 // parseTree runs the tree-building fast pass over toks and, on rejection,
 // the tracked error pass. r must be fresh from getRun; the caller putRuns.
 func (p *Parser) parseTree(r *run, toks []lexer.Token) (*Tree, error) {
+	if len(toks) == 0 {
+		// Empty input — nothing left after whitespace and comments — is a
+		// clean "no statements" parse, not a farthest-failure at EOF: an
+		// empty tree labelled with the start symbol. (Accepts deliberately
+		// stays strict: language membership of "" is a grammar question,
+		// and accept/reject matrices pin it.)
+		return &Tree{Label: p.g.Start}, nil
+	}
 	hot.parses.Add(1)
 	hot.tokens.Add(uint64(len(toks)))
 	// Fast pass: parse without collecting expected-token sets. Only when
@@ -380,7 +419,7 @@ func (p *Parser) parseTree(r *run, toks []lexer.Token) (*Tree, error) {
 // errorPass re-parses with expected-token tracking and builds the syntax
 // error from the farthest failure. Successful prefixes that stop short of
 // EOF count as failures at their end position.
-func (p *Parser) errorPass(r *run, toks []lexer.Token) error {
+func (p *Parser) errorPass(r *run, toks []lexer.Token) *SyntaxError {
 	hot.rejects.Add(1)
 	hot.errorPasses.Add(1)
 	r.begin(toks, true, false)
@@ -400,19 +439,21 @@ func (r *run) syntaxError(pos int) *SyntaxError {
 	if pos >= 0 && pos < len(r.toks) {
 		t := r.toks[pos]
 		e.Line, e.Col = t.Line, t.Col
+		e.Span = Span{Start: t.Off, End: t.End, Line: t.Line, Col: t.Col}
 		e.Found = t.String()
 	} else {
 		e.Found = "end of input"
 		if n := len(r.toks); n > 0 {
-			e.Line, e.Col = r.toks[n-1].Line, r.toks[n-1].Col
+			// Point just past the last token, not at its start.
+			last := r.toks[n-1]
+			e.Line, e.Col = last.EndPos()
+			e.Span = Span{Start: last.End, End: last.End, Line: e.Line, Col: e.Col}
 		} else {
 			e.Line, e.Col = 1, 1
+			e.Span = Span{Line: 1, Col: 1}
 		}
 	}
-	for name := range r.expected {
-		e.Expected = append(e.Expected, name)
-	}
-	sort.Strings(e.Expected)
+	e.Expected = r.p.displayExpected(r.expected)
 	return e
 }
 

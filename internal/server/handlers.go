@@ -87,6 +87,18 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	// histogram an honest record of every parse attempted.
 	done := make(chan *ParseResponse, 1)
 	go func() {
+		// A panic here would kill the whole daemon, not just the request:
+		// this goroutine is outside the serving middleware. Convert it to a
+		// nil response, which the select below answers with a 500.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Inc()
+				done <- nil
+			}
+		}()
+		if s.testHookParse != nil {
+			s.testHookParse()
+		}
 		start := time.Now()
 		resp := Outcome(p, req.SQL, req.Want)
 		s.m.latency.Observe(time.Since(start).Seconds())
@@ -97,6 +109,10 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	}()
 	select {
 	case resp := <-done:
+		if resp == nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal error: parse panicked"})
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.m.timeouts.Inc()
@@ -180,16 +196,7 @@ func (s *Server) runBatch(ctx context.Context, p *core.Product, req *BatchReques
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				qStart := time.Now()
-				resp := Outcome(p, req.Queries[i], orVerdict(req.Want))
-				s.m.latency.Observe(time.Since(qStart).Seconds())
-				if resp.Error != nil {
-					s.m.parseErrors.Inc()
-				}
-				results[i] = BatchResult{OK: resp.OK, Error: resp.Error}
-				if req.Want != "" {
-					results[i].Response = resp
-				}
+				s.batchOne(p, req, results, i)
 			}
 		}()
 	}
@@ -214,6 +221,27 @@ dispatch:
 	}
 	out.ElapsedMicros = time.Since(start).Microseconds()
 	return out
+}
+
+// batchOne parses one batch query. A panic poisons only this result, not
+// the worker, the batch, or the daemon.
+func (s *Server) batchOne(p *core.Product, req *BatchRequest, results []BatchResult, i int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.m.panics.Inc()
+			results[i] = BatchResult{Error: &Diagnostic{Message: "internal error: parse panicked"}}
+		}
+	}()
+	qStart := time.Now()
+	resp := Outcome(p, req.Queries[i], orVerdict(req.Want))
+	s.m.latency.Observe(time.Since(qStart).Seconds())
+	if resp.Error != nil {
+		s.m.parseErrors.Inc()
+	}
+	results[i] = BatchResult{OK: resp.OK, Error: resp.Error, Diagnostics: resp.Diagnostics}
+	if req.Want != "" {
+		results[i].Response = resp
+	}
 }
 
 // orVerdict maps the batch "verdict only" default onto the verdict shape,

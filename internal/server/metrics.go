@@ -23,6 +23,7 @@ type metricsBundle struct {
 	timeouts    *telemetry.Counter // deadline 504s
 	badRequests *telemetry.Counter // malformed bodies / unknown dialects
 	parseErrors *telemetry.Counter // well-formed requests whose SQL was rejected
+	panics      *telemetry.Counter // handler/parse panics recovered (500)
 	inflight    *telemetry.Gauge
 	latency     *telemetry.Histogram
 
@@ -41,6 +42,7 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBun
 		timeouts:    reg.Counter("sqlserved_timeouts_total", "requests that exceeded the per-request deadline (504)"),
 		badRequests: reg.Counter("sqlserved_bad_requests_total", "malformed requests (400)"),
 		parseErrors: reg.Counter("sqlserved_parse_errors_total", "queries rejected by their dialect's parser"),
+		panics:      reg.Counter("sqlserved_parse_panics_total", "panics recovered into 500s instead of killing the daemon"),
 		inflight:    reg.Gauge("sqlserved_inflight", "requests currently admitted"),
 		latency:     reg.Histogram("sqlserved_parse_latency_seconds", "per-query parse+encode latency", nil),
 	}
@@ -68,6 +70,10 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBun
 		func() uint64 { return parser.HotCounters().Rejects })
 	reg.CounterFunc("sqlspl_parser_tokens_total", "tokens fed to the parse engine",
 		func() uint64 { return parser.HotCounters().Tokens })
+	reg.CounterFunc("sqlspl_parser_recoveries_total", "statement-recovery passes over rejected scripts",
+		func() uint64 { return parser.HotCounters().Recoveries })
+	reg.CounterFunc("sqlspl_parser_diagnostics_total", "diagnostics produced by statement recovery",
+		func() uint64 { return parser.HotCounters().Diagnostics })
 	reg.CounterFunc("sqlspl_lexer_scans_total", "Scan calls process-wide",
 		func() uint64 { return lexer.HotCounters().Scans })
 	reg.CounterFunc("sqlspl_lexer_tokens_total", "tokens produced by successful scans",

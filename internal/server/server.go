@@ -90,6 +90,10 @@ type Server struct {
 	// parse handler, before the parse. Tests use it to hold requests
 	// in-flight deterministically.
 	testHookAdmitted func()
+	// testHookParse, when set, runs inside the parse goroutine before the
+	// parse. Tests use it to inject panics where they would escape the
+	// serving middleware and kill the daemon.
+	testHookParse func()
 }
 
 // New builds a server from the config. It does not listen yet; call Start
@@ -128,13 +132,32 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.hs = &http.Server{Handler: s.withRecovery(s.mux), ReadHeaderTimeout: 5 * time.Second}
 	return s
 }
 
-// Handler returns the server's HTTP handler, for mounting under a custom
-// http.Server (tests use this with httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// withRecovery converts a handler panic into a 500 with the panic counted,
+// instead of letting net/http tear down the connection (or, for panics in
+// non-handler goroutines, the process). It is the outermost middleware:
+// whatever else breaks, the daemon keeps serving.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Inc()
+				// Best effort: if the handler already started the response
+				// the status is on the wire and this write is dropped.
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Handler returns the server's HTTP handler (with panic recovery), for
+// mounting under a custom http.Server (tests use this with httptest).
+func (s *Server) Handler() http.Handler { return s.withRecovery(s.mux) }
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }

@@ -55,13 +55,19 @@ type BatchRequest struct {
 	Want     string   `json:"want,omitempty"` // per-query shape; empty = verdict only
 }
 
-// Diagnostic is a structured parse/scan error.
+// Diagnostic is a structured parse/scan error. Off and End are the 0-based
+// byte-offset span of the offending region in the submitted SQL (omitted
+// when zero); Line and Col are 1-based. Hint, when present, explains how
+// statement recovery proceeded (or carries the too-many-errors sentinel).
 type Diagnostic struct {
 	Message  string   `json:"message"`
 	Line     int      `json:"line,omitempty"`
 	Col      int      `json:"col,omitempty"`
+	Off      int      `json:"off,omitempty"`
+	End      int      `json:"end,omitempty"`
 	Found    string   `json:"found,omitempty"`
 	Expected []string `json:"expected,omitempty"`
+	Hint     string   `json:"hint,omitempty"`
 }
 
 // TokenJSON is one scanned token.
@@ -93,7 +99,10 @@ type StatementJSON struct {
 
 // ParseResponse is the body of a parse result — HTTP response and
 // sqlparse -json output alike. Exactly one of Tree, Statements or SQL is
-// populated on success, matching Want; Error is set when OK is false.
+// populated on success, matching Want. On failure Error keeps the legacy
+// single farthest-failure diagnostic (compatibility), while Diagnostics
+// carries the statement-recovery view: every failing statement of the
+// script, sorted by position.
 type ParseResponse struct {
 	OK            bool            `json:"ok"`
 	Dialect       string          `json:"dialect"`
@@ -102,16 +111,18 @@ type ParseResponse struct {
 	Statements    []StatementJSON `json:"statements,omitempty"`
 	SQL           string          `json:"sql,omitempty"`
 	Error         *Diagnostic     `json:"error,omitempty"`
+	Diagnostics   []*Diagnostic   `json:"diagnostics,omitempty"`
 	ElapsedMicros int64           `json:"elapsed_us"`
 }
 
 // BatchResult is one query's verdict within a batch response. When the
 // request asked for a shape, Response carries it; otherwise only the
-// verdict and any diagnostic are present.
+// verdict and any diagnostics are present.
 type BatchResult struct {
-	OK       bool           `json:"ok"`
-	Error    *Diagnostic    `json:"error,omitempty"`
-	Response *ParseResponse `json:"response,omitempty"`
+	OK          bool           `json:"ok"`
+	Error       *Diagnostic    `json:"error,omitempty"`
+	Diagnostics []*Diagnostic  `json:"diagnostics,omitempty"`
+	Response    *ParseResponse `json:"response,omitempty"`
 }
 
 // BatchResponse is the body of a batch result, in input order.
@@ -157,15 +168,43 @@ func EncodeDiagnostic(err error) *Diagnostic {
 			Message:  syn.Error(),
 			Line:     syn.Line,
 			Col:      syn.Col,
+			Off:      syn.Span.Start,
+			End:      syn.Span.End,
 			Found:    syn.Found,
 			Expected: syn.Expected,
 		}
 	}
 	var lex *lexer.Error
 	if errors.As(err, &lex) {
-		return &Diagnostic{Message: lex.Error(), Line: lex.Line, Col: lex.Col}
+		return &Diagnostic{Message: lex.Error(), Line: lex.Line, Col: lex.Col, Off: lex.Off}
 	}
 	return &Diagnostic{Message: err.Error()}
+}
+
+// EncodeParserDiagnostic converts one recovery diagnostic to its wire form.
+func EncodeParserDiagnostic(d *parser.Diagnostic) *Diagnostic {
+	return &Diagnostic{
+		Message:  d.Message(),
+		Line:     d.Span.Line,
+		Col:      d.Span.Col,
+		Off:      d.Span.Start,
+		End:      d.Span.End,
+		Found:    d.Got,
+		Expected: d.Expected,
+		Hint:     d.Hint,
+	}
+}
+
+// EncodeDiagnostics converts a recovery pass's diagnostics to wire form.
+func EncodeDiagnostics(diags []parser.Diagnostic) []*Diagnostic {
+	if len(diags) == 0 {
+		return nil
+	}
+	out := make([]*Diagnostic, len(diags))
+	for i := range diags {
+		out[i] = EncodeParserDiagnostic(&diags[i])
+	}
+	return out
 }
 
 // Outcome parses sql over the shared product and encodes the result in the
@@ -179,11 +218,20 @@ func Outcome(p *core.Product, sql, want string) *ParseResponse {
 	start := time.Now()
 	defer func() { resp.ElapsedMicros = time.Since(start).Microseconds() }()
 
+	// fail records the legacy single farthest-failure error and the full
+	// statement-recovery view. Only rejected input pays for the recovery
+	// pass; accepted queries stay on the fast (verdict: allocation-free)
+	// path.
+	fail := func(err error) {
+		resp.Error = EncodeDiagnostic(err)
+		resp.Diagnostics = EncodeDiagnostics(p.Diagnose(sql))
+	}
+
 	if want == WantVerdict {
 		// Verdict needs no tree: ride the parser's allocation-free check
 		// path instead of building a parse tree just to discard it.
 		if err := p.Check(sql); err != nil {
-			resp.Error = EncodeDiagnostic(err)
+			fail(err)
 			return resp
 		}
 		resp.OK = true
@@ -192,7 +240,7 @@ func Outcome(p *core.Product, sql, want string) *ParseResponse {
 
 	tree, err := p.Parse(sql)
 	if err != nil {
-		resp.Error = EncodeDiagnostic(err)
+		fail(err)
 		return resp
 	}
 	switch want {
