@@ -6,6 +6,7 @@
 //	sqlbench -exp E7     # composition + generation cost vs dialect
 //	sqlbench -exp E8     # parse throughput: products vs monolithic baseline
 //	sqlbench -exp E9     # extension composability (sensor clauses)
+//	sqlbench -exp E11    # engine comparison: interpreted vs generated per preset
 package main
 
 import (
@@ -21,9 +22,14 @@ import (
 	"sqlspl/internal/codegen"
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/sql2003"
 	"sqlspl/internal/workload"
+
+	// Link the pregenerated preset parsers so E11 benchmarks the real
+	// serving configuration: presets promote to generated engines.
+	_ "sqlspl/internal/engine/generated"
 )
 
 // experiments is the known experiment set, in run order. -exp is validated
@@ -36,13 +42,14 @@ var experiments = []struct {
 	{"E7", e7Composition},
 	{"E8", e8Throughput},
 	{"E9", e9Extension},
+	{"E11", e11Engines},
 }
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment to run: E6|E7|E8|E9 (default all)")
+		exp  = flag.String("exp", "", "experiment to run: E6|E7|E8|E9|E11 (default all)")
 		iter = flag.Int("n", 2000, "queries per throughput measurement")
-		jout = flag.String("json", "", "write the E8 benchmark series (ns/query, MB/s, allocs/query per workload/parser) to this file, e.g. BENCH_parse.json")
+		jout = flag.String("json", "", "write the E8/E11 benchmark series (ns/query, MB/s, allocs/query per workload/parser) to this file, e.g. BENCH_parse.json")
 	)
 	flag.Parse()
 	jsonPath = *jout
@@ -75,8 +82,9 @@ func main() {
 	}
 }
 
-// benchRow is one machine-readable measurement of the E8 series: one
-// workload parsed by one parser. allocs/bytes per query are measured with
+// benchRow is one machine-readable measurement of the E8/E11 series: one
+// workload parsed by one parser (for E11, one preset's corpus parsed by
+// one engine backend). allocs/bytes per query are measured with
 // runtime.MemStats deltas around the timed loop, the same quantities
 // go test -benchmem reports.
 type benchRow struct {
@@ -289,6 +297,45 @@ func e9Extension(int) {
 	fmt.Printf("grammar: %d productions with extension, %d without (delta %+d; base unchanged)\n",
 		withExt.Grammar.Len(), withoutExt.Grammar.Len(),
 		withExt.Grammar.Len()-withoutExt.Grammar.Len())
+}
+
+// e11Engines compares the two parse-engine backends head-to-head per
+// preset (experiment E11): the interpreted packrat engine versus the
+// pregenerated parser the catalog promotes the preset to. Both run the
+// same dialect-appropriate corpus through the engine seam's verdict path
+// (Check), the serving fast path of sqlserved and sqlparse -batch.
+func e11Engines(n int) {
+	fmt.Println("E11: engine comparison — interpreted vs generated, per preset")
+	fmt.Printf("%-11s %-12s %10s %12s %10s\n", "PRESET", "ENGINE", "QUERIES/S", "NS/QUERY", "MB/S")
+	rows := []struct {
+		name    dialect.Name
+		queries []string
+	}{
+		{dialect.Minimal, workload.Minimal(21, n)},
+		{dialect.TinySQL, workload.Sensor(22, n)},
+		{dialect.SCQL, workload.SmartCard(23, n)},
+		{dialect.Core, workload.OLTP(24, n)},
+		{dialect.Warehouse, workload.Analytics(25, n)},
+		{dialect.Full, workload.Analytics(26, n)},
+	}
+	for _, r := range rows {
+		p := buildOrDie(r.name)
+		eng, err := dialect.Engine(r.name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlbench: engine %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		interp := engine.Interpreted(p, "")
+		report(string(r.name), "interpreted", r.queries, interp.Accepts)
+		if eng.Info().Kind != engine.KindGenerated {
+			fmt.Printf("%-11s %-12s %10s (no generated parser registered for this preset)\n",
+				r.name, "generated", "-")
+			continue
+		}
+		report(string(r.name), "generated", r.queries, eng.Accepts)
+	}
+	fmt.Println("(generated = pregenerated standalone parser, promoted by catalog fingerprint;")
+	fmt.Println(" interpreted = packrat interpreter over the composed grammar)")
 }
 
 func max(a, b int) int {

@@ -47,7 +47,7 @@ func runInteractive(in io.Reader, out io.Writer) error {
 	var product *core.Product
 
 	build := func() {
-		before := cat.Metrics()
+		before := cat.Stats()
 		p, err := cat.Get(cfg, core.Options{Product: "interactive"})
 		if err != nil {
 			fmt.Fprintf(out, "build failed: %v\n", err)
@@ -55,7 +55,7 @@ func runInteractive(in io.Reader, out io.Writer) error {
 		}
 		product = p
 		note := ""
-		if cat.Metrics().Hits > before.Hits {
+		if cat.Stats().Hits > before.Hits {
 			note = " (catalog hit: reused earlier build)"
 		}
 		fmt.Fprintf(out, "built: %d features -> %d productions, %d keywords%s\n",

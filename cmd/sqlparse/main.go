@@ -22,7 +22,12 @@
 // at the offending span. -json carries the same list structurally in the
 // response's "diagnostics" field.
 //
-// Batch mode is the serving path: one cached product, many queries, many
+// The CLI resolves the dialect's serving engine through the catalog: a
+// preset with a pregenerated parser (internal/engine/generated) parses on
+// the generated backend, anything else on the interpreted one — the same
+// promotion rule sqlserved applies.
+//
+// Batch mode is the serving path: one cached engine, many queries, many
 // goroutines. It reads one query per line from stdin, parses them over the
 // shared parser, and reports per-query verdicts in input order plus a
 // summary. Per-line parse errors go to stderr, and the exit status is
@@ -45,8 +50,8 @@ import (
 	"time"
 
 	"sqlspl/internal/ast"
-	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/parser"
 	"sqlspl/internal/server"
 )
@@ -62,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 
-	product, err := dialect.Build(dialect.Name(*dialectN))
+	eng, err := dialect.Engine(dialect.Name(*dialectN))
 	if err != nil {
 		fatal(err)
 	}
@@ -78,7 +83,7 @@ func main() {
 	}
 
 	if *batch {
-		rejected, err := runBatch(product, os.Stdin, os.Stdout, *workers, *jsonOut, want)
+		rejected, err := runBatch(eng, os.Stdin, os.Stdout, *workers, *jsonOut, want)
 		if err != nil {
 			fatal(err)
 		}
@@ -104,7 +109,7 @@ func main() {
 		// One parse, one JSON document — the shared encoder does the work.
 		// Diagnostics ride inside the document; the exit status still
 		// reports the verdict for scripting.
-		resp := server.Outcome(product, sql, want)
+		resp := server.Outcome(eng, sql, want)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(resp); err != nil {
@@ -116,9 +121,9 @@ func main() {
 		return
 	}
 
-	parseTree, err := product.Parse(sql)
+	parseTree, err := eng.Parse(sql)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, renderFailure(product, sql))
+		fmt.Fprintln(os.Stderr, renderFailure(eng, sql))
 		os.Exit(1)
 	}
 	if *tree {
@@ -138,15 +143,15 @@ func main() {
 	}
 }
 
-// runBatch parses every non-blank line of in over the shared product with
-// the given number of goroutines — the catalog's serving path: the product
-// was built (or cache-hit) once, and its Parser is safe for concurrent use.
+// runBatch parses every non-blank line of in over the shared engine with
+// the given number of goroutines — the catalog's serving path: the engine
+// was resolved (or cache-hit) once, and it is safe for concurrent use.
 // Verdicts print in input order regardless of completion order; per-line
 // parse errors go to stderr and the returned count makes the exit status
 // nonzero when any line failed. With jsonOut the verdict lines are NDJSON
 // in the sqlserved wire format (one compact ParseResponse per query) and
 // the summary moves to stderr so stdout stays machine-readable.
-func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int, jsonOut bool, want string) (rejected int, err error) {
+func runBatch(eng engine.Engine, in io.Reader, out io.Writer, workers int, jsonOut bool, want string) (rejected int, err error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -175,13 +180,13 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int, j
 			defer wg.Done()
 			for i := range next {
 				if jsonOut {
-					responses[i] = server.Outcome(product, queries[i], want)
+					responses[i] = server.Outcome(eng, queries[i], want)
 					continue
 				}
 				// Verdict-only: parse without building a response shape,
 				// preserving batch mode's original parse-only semantics.
-				r := &server.ParseResponse{Dialect: product.Name}
-				if _, err := product.Parse(queries[i]); err != nil {
+				r := &server.ParseResponse{Dialect: eng.Info().Product}
+				if _, err := eng.Parse(queries[i]); err != nil {
 					r.Error = server.EncodeDiagnostic(err)
 				} else {
 					r.OK = true
@@ -217,7 +222,7 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int, j
 		}
 	}
 	summary := fmt.Sprintf("-- %d queries: %d accepted, %d rejected (dialect %s, %d workers, %s, %.0f q/s)\n",
-		len(queries), accepted, len(queries)-accepted, product.Name, workers,
+		len(queries), accepted, len(queries)-accepted, eng.Info().Product, workers,
 		elapsed.Round(time.Microsecond), float64(len(queries))/elapsed.Seconds())
 	if jsonOut {
 		fmt.Fprint(os.Stderr, summary)
@@ -229,9 +234,10 @@ func runBatch(product *core.Product, in io.Reader, out io.Writer, workers int, j
 
 // renderFailure runs statement recovery over a rejected script and renders
 // every diagnostic with a caret excerpt — all the errors, not just the
-// farthest failure the parse itself reported.
-func renderFailure(p *core.Product, sql string) string {
-	diags := p.Diagnose(sql)
+// farthest failure the parse itself reported. (Generated engines delegate
+// Diagnose to the interpreted parser; the output is identical.)
+func renderFailure(eng engine.Engine, sql string) string {
+	diags := eng.Diagnose(sql)
 	if len(diags) == 0 {
 		// Parse failed but recovery found nothing to report; never fail
 		// silently.

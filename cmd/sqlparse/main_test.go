@@ -6,27 +6,27 @@ import (
 	"strings"
 	"testing"
 
-	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/engine"
 )
 
-func coreProduct(t *testing.T) *core.Product {
+func coreEngine(t *testing.T) engine.Engine {
 	t.Helper()
-	p, err := dialect.Build(dialect.Core)
+	eng, err := dialect.Engine(dialect.Core)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return eng
 }
 
 // A scanner error mid-batch (here: a line longer than the scanner's buffer)
 // must surface as a batch failure, not be silently swallowed after the
 // queries read so far.
 func TestRunBatchScannerErrorPropagates(t *testing.T) {
-	p := coreProduct(t)
+	eng := coreEngine(t)
 	in := strings.NewReader("SELECT a FROM t\n" + strings.Repeat("x", (1<<20)+16) + "\n")
 	var out strings.Builder
-	_, err := runBatch(p, in, &out, 2, false, "verdict")
+	_, err := runBatch(eng, in, &out, 2, false, "verdict")
 	if err == nil {
 		t.Fatal("runBatch swallowed the scanner error")
 	}
@@ -36,10 +36,10 @@ func TestRunBatchScannerErrorPropagates(t *testing.T) {
 }
 
 func TestRunBatchVerdictsInOrder(t *testing.T) {
-	p := coreProduct(t)
+	eng := coreEngine(t)
 	in := strings.NewReader("SELECT a FROM t\nSELECT FROM t\n\nSELECT b FROM u\n")
 	var out strings.Builder
-	rejected, err := runBatch(p, in, &out, 4, false, "verdict")
+	rejected, err := runBatch(eng, in, &out, 4, false, "verdict")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,9 +55,9 @@ func TestRunBatchVerdictsInOrder(t *testing.T) {
 }
 
 func TestRunBatchEmptyInput(t *testing.T) {
-	p := coreProduct(t)
+	eng := coreEngine(t)
 	var out strings.Builder
-	if _, err := runBatch(p, strings.NewReader("\n  \n"), &out, 1, false, "verdict"); err == nil {
+	if _, err := runBatch(eng, strings.NewReader("\n  \n"), &out, 1, false, "verdict"); err == nil {
 		t.Error("blank batch input should be reported, got nil error")
 	}
 }
@@ -65,9 +65,9 @@ func TestRunBatchEmptyInput(t *testing.T) {
 // The human failure report carries one caret-annotated diagnostic per
 // failing statement, with 1-based line:col positions.
 func TestRenderFailureCarets(t *testing.T) {
-	p := coreProduct(t)
+	eng := coreEngine(t)
 	script := "SELECT a FROM t ;\nSELECT FROM t ;\nDELETE t"
-	got := renderFailure(p, script)
+	got := renderFailure(eng, script)
 	for _, want := range []string{"2:8:", "3:8:", "SELECT FROM t ;", "^"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("report lacks %q:\n%s", want, got)

@@ -2,7 +2,10 @@
 // requests for any preset dialect or explicit feature selection resolve
 // through the shared product catalog, with admission control, per-request
 // deadlines, graceful drain on SIGTERM/SIGINT, and built-in telemetry at
-// /metrics (Prometheus text or JSON).
+// /metrics (Prometheus text or JSON). Preset dialects serve through their
+// pregenerated standalone parsers (the catalog promotes matching builds;
+// see sqlspl_catalog_promotions_total in /metrics); explicit feature
+// selections serve through the interpreted engine.
 //
 //	sqlserved -addr :8080 -warm all
 //	curl -s localhost:8080/v1/parse -d '{"dialect":"tinysql","sql":"SELECT nodeid FROM sensors SAMPLE PERIOD 1024"}'

@@ -105,8 +105,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("core+limit: %d productions (LIMIT composed onto query_statement without editing it)\n\n",
-		extended.Grammar.Len())
+	// An extended selection has no pregenerated parser, so the engine seam
+	// resolves the interpreted backend — extensions work the moment they
+	// compose, no regeneration step required.
+	eng, err := cat.Engine(selection, core.Options{Product: "core+limit"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("core+limit: %d productions (LIMIT composed onto query_statement without editing it), engine: %s\n\n",
+		extended.Grammar.Len(), eng.Info().Kind)
 	fmt.Println(grammar.FormatProduction(extended.Grammar.Production("query_statement")))
 	fmt.Println(grammar.FormatProduction(extended.Grammar.Production("limit_clause")))
 
@@ -115,7 +123,7 @@ func main() {
 		"SELECT a FROM t LIMIT 10 OFFSET 20",
 		"SELECT a FROM t",
 	} {
-		if !extended.Accepts(q) {
+		if !eng.Accepts(q) {
 			log.Fatalf("extended product rejected %q", q)
 		}
 		fmt.Printf("ACCEPT  %s\n", q)
@@ -134,5 +142,5 @@ func main() {
 	fmt.Println("\nplain core still rejects LIMIT; and `SELECT limit FROM t` parses there,")
 	fmt.Println("because LIMIT is only reserved where the feature is selected:")
 	fmt.Printf("  plain core:  %v\n", plain.Accepts("SELECT limit FROM t"))
-	fmt.Printf("  core+limit:  %v\n", extended.Accepts("SELECT limit FROM t"))
+	fmt.Printf("  core+limit:  %v\n", eng.Accepts("SELECT limit FROM t"))
 }

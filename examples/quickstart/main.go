@@ -60,6 +60,17 @@ func main() {
 	fmt.Printf("catalog: %d entries, warm lookup returned the same product: %v\n",
 		cat.Len(), worked == again)
 
+	// The serving surface parses through the engine seam rather than the
+	// product directly. An ad-hoc selection like this one has no
+	// pregenerated parser, so the catalog resolves the interpreted engine;
+	// the preset dialects promote to generated backends (see the other
+	// examples).
+	eng, err := cat.Engine(selection, core.Options{Product: "worked-example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: %s/%s\n", eng.Info().Product, eng.Info().Kind)
+
 	fmt.Printf("composed %d features -> %d sub-grammars -> %d productions, %d reserved words\n\n",
 		worked.Config.Len(), len(worked.Units), worked.Grammar.Len(),
 		len(worked.Tokens.Keywords()))
@@ -80,14 +91,14 @@ func main() {
 	}
 	for _, q := range queries {
 		verdict := "ACCEPT"
-		if !worked.Accepts(q) {
+		if !eng.Accepts(q) {
 			verdict = "reject"
 		}
 		fmt.Printf("  %-42s %s\n", q, verdict)
 	}
 
 	fmt.Println("\n== parse tree for the headline query ==")
-	tree, err := worked.Parse("SELECT DISTINCT a FROM t WHERE b = 1")
+	tree, err := eng.Parse("SELECT DISTINCT a FROM t WHERE b = 1")
 	if err != nil {
 		log.Fatal(err)
 	}

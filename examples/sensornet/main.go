@@ -18,6 +18,10 @@ import (
 
 	"sqlspl/internal/ast"
 	"sqlspl/internal/dialect"
+
+	// Link the pregenerated preset parsers so the catalog promotes the
+	// dialect to its generated engine.
+	_ "sqlspl/internal/engine/generated"
 )
 
 func main() {
@@ -25,8 +29,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("tinysql product: %d productions, %d reserved words: %v\n\n",
+	// Parsing goes through the engine seam: the preset's fingerprint
+	// matches a pregenerated parser, so this resolves the generated
+	// backend (the product above still carries the composition artifacts).
+	eng, err := dialect.Engine(dialect.TinySQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tinysql product: %d productions, %d reserved words: %v\n",
 		product.Grammar.Len(), len(product.Tokens.Keywords()), product.Tokens.Keywords())
+	fmt.Printf("serving engine: %s\n\n", eng.Info().Kind)
 
 	queries := []string{
 		// Canonical TinyDB queries from the literature.
@@ -39,7 +51,7 @@ func main() {
 	}
 	builder := ast.NewBuilder(nil)
 	for _, q := range queries {
-		tree, err := product.Parse(q)
+		tree, err := eng.Parse(q)
 		if err != nil {
 			log.Fatalf("%q: %v", q, err)
 		}
@@ -64,14 +76,14 @@ func main() {
 		"SELECT s.light FROM sensors s JOIN rooms r ON a = b", // no joins
 		"SELECT light FROM sensors ORDER BY light",            // no ORDER BY
 	} {
-		if product.Accepts(q) {
+		if eng.Accepts(q) {
 			log.Fatalf("dialect unexpectedly accepts %q", q)
 		}
 		fmt.Printf("  reject: %s\n", q)
 	}
 
 	// The word ORDER is not reserved here, so sensor fields may use it.
-	if !product.Accepts("SELECT order FROM sensors SAMPLE PERIOD 1024") {
+	if !eng.Accepts("SELECT order FROM sensors SAMPLE PERIOD 1024") {
 		log.Fatal("unselected keyword should be usable as a field name")
 	}
 	fmt.Println("\nnote: ORDER is not reserved in this dialect — `SELECT order FROM sensors` parses.")

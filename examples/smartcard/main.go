@@ -17,6 +17,10 @@ import (
 
 	"sqlspl/internal/ast"
 	"sqlspl/internal/dialect"
+
+	// Link the pregenerated preset parsers so the catalog promotes the
+	// profile to its generated engine.
+	_ "sqlspl/internal/engine/generated"
 )
 
 func main() {
@@ -32,6 +36,15 @@ func main() {
 		product.Grammar.Len(), len(product.Tokens.Keywords()),
 		full.Grammar.Len(), len(full.Tokens.Keywords()))
 
+	// Parse through the engine seam — on a card-sized profile the
+	// pregenerated standalone parser is the whole point: no composition
+	// machinery ships, just the parser for exactly these features.
+	eng, err := dialect.Engine(dialect.SCQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving engine: %s\n\n", eng.Info().Kind)
+
 	session := []string{
 		"CREATE TABLE purses ( id INTEGER, holder VARCHAR(20), balance INTEGER )",
 		"INSERT INTO purses (id, holder, balance) VALUES (1, 'alice', 500)",
@@ -46,7 +59,7 @@ func main() {
 	}
 	builder := ast.NewBuilder(nil)
 	for _, stmt := range session {
-		tree, err := product.Parse(stmt)
+		tree, err := eng.Parse(stmt)
 		if err != nil {
 			log.Fatalf("%q: %v", stmt, err)
 		}
@@ -64,7 +77,7 @@ func main() {
 		"SELECT RANK() OVER (ORDER BY balance) FROM purses",
 		"CREATE TABLE blobs ( b BLOB )",
 	} {
-		if product.Accepts(stmt) {
+		if eng.Accepts(stmt) {
 			log.Fatalf("profile unexpectedly accepts %q", stmt)
 		}
 		fmt.Printf("reject  %s\n", stmt)

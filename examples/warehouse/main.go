@@ -16,6 +16,10 @@ import (
 
 	"sqlspl/internal/ast"
 	"sqlspl/internal/dialect"
+
+	// Link the pregenerated preset parsers so the catalog promotes the
+	// dialect to its generated engine.
+	_ "sqlspl/internal/engine/generated"
 )
 
 func main() {
@@ -23,8 +27,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("warehouse product: %d productions, %d keywords\n\n",
-		product.Grammar.Len(), len(product.Tokens.Keywords()))
+	eng, err := dialect.Engine(dialect.Warehouse)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warehouse product: %d productions, %d keywords (engine: %s)\n\n",
+		product.Grammar.Len(), len(product.Tokens.Keywords()), eng.Info().Kind)
 
 	queries := []string{
 		"SELECT region, product, SUM(amount) FROM sales GROUP BY ROLLUP (region, product)",
@@ -38,7 +46,7 @@ func main() {
 	}
 	builder := ast.NewBuilder(nil)
 	for _, q := range queries {
-		tree, err := product.Parse(q)
+		tree, err := eng.Parse(q)
 		if err != nil {
 			log.Fatalf("%q: %v", q, err)
 		}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"sqlspl/internal/core"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/product"
 	"sqlspl/internal/sql2003"
@@ -167,6 +168,25 @@ func Build(name Name) (*core.Product, error) {
 		return nil, err
 	}
 	return product.Default().Get(feature.NewConfig(feats...), core.Options{
+		Product: string(name),
+	})
+}
+
+// Engine resolves the preset's serving engine through the shared product
+// catalog: the pregenerated parser when one is registered for the preset's
+// fingerprint (and current), the interpreted product otherwise. Callers
+// that only parse should prefer this over Build; Build remains for callers
+// that need the composition artifacts (grammar, token set, erased units).
+//
+// Note: the pregenerated parsers are linked only by binaries that import
+// sqlspl/internal/engine/generated (the serving surface does); without
+// that import every preset resolves to its interpreted engine.
+func Engine(name Name) (engine.Engine, error) {
+	feats, err := Features(name)
+	if err != nil {
+		return nil, err
+	}
+	return product.Default().Engine(feature.NewConfig(feats...), core.Options{
 		Product: string(name),
 	})
 }

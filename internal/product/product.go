@@ -16,6 +16,18 @@
 // *core.Product — its Grammar, Tokens, Config and Parser — as immutable.
 // The embedded parser.Parser is safe for concurrent Parse calls, so one
 // cached product can serve any number of goroutines.
+//
+// # Engine promotion
+//
+// Every catalog slot also resolves a serving engine (internal/engine) for
+// its product, inside the singleflight build — before the slot is
+// published, so promotion is atomic: no caller ever observes a product
+// whose engine is still undecided. When a pregenerated parser is
+// registered under the slot's fingerprint and its grammar hash matches the
+// freshly built product, the slot promotes to the generated engine
+// (counted in Stats.Promotions); otherwise the interpreted engine serves.
+// Engine returns the slot's engine; Get keeps returning the raw product
+// for callers that need the composition artifacts themselves.
 package product
 
 import (
@@ -27,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"sqlspl/internal/core"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/sql2003"
 )
@@ -52,20 +65,6 @@ func Fingerprint(cfg *feature.Config, opts core.Options) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Metrics is a point-in-time snapshot of catalog traffic.
-//
-// Deprecated: use Stats, which additionally reports catalog occupancy and
-// in-flight builds and documents the snapshot's concurrency contract.
-type Metrics struct {
-	// Hits counts requests answered by an already-completed build.
-	Hits uint64
-	// Misses counts requests that performed the build themselves.
-	Misses uint64
-	// Shared counts requests that joined a build another goroutine had in
-	// flight (the singleflight path).
-	Shared uint64
-}
-
 // Stats is a public point-in-time snapshot of catalog state and traffic —
 // the shape the serving layer's /metrics endpoint exposes.
 //
@@ -86,6 +85,9 @@ type Stats struct {
 	// Shared counts requests that joined a build another goroutine had in
 	// flight (the singleflight path).
 	Shared uint64
+	// Promotions counts builds whose product was promoted to a registered
+	// generated engine (fingerprint and grammar hash both matched).
+	Promotions uint64
 	// Entries is the number of catalog slots: completed products, cached
 	// build failures, and builds still in flight.
 	Entries int
@@ -93,11 +95,12 @@ type Stats struct {
 	InFlight int
 }
 
-// entry is one catalog slot. done is closed once product/err are final;
+// entry is one catalog slot. done is closed once product/err/eng are final;
 // waiters block on it instead of holding the catalog lock.
 type entry struct {
 	done    chan struct{}
 	product *core.Product
+	eng     engine.Engine
 	err     error
 }
 
@@ -111,6 +114,7 @@ type Catalog struct {
 	entries map[string]*entry
 
 	hits, misses, shared atomic.Uint64
+	promotions           atomic.Uint64
 }
 
 // NewCatalog returns an empty catalog building against the given model and
@@ -143,6 +147,21 @@ func Default() *Catalog {
 // The configuration is cloned before building: callers may keep mutating
 // cfg after Get returns without corrupting the cache.
 func (c *Catalog) Get(cfg *feature.Config, opts core.Options) (*core.Product, error) {
+	e := c.resolve(cfg, opts)
+	return e.product, e.err
+}
+
+// Engine returns the serving engine for the selection, building the
+// product on first request exactly like Get. The engine is the generated
+// backend when one is registered for the fingerprint and current, the
+// interpreted backend otherwise.
+func (c *Catalog) Engine(cfg *feature.Config, opts core.Options) (engine.Engine, error) {
+	e := c.resolve(cfg, opts)
+	return e.eng, e.err
+}
+
+// resolve is the singleflight slot lookup behind Get and Engine.
+func (c *Catalog) resolve(cfg *feature.Config, opts core.Options) *entry {
 	fp := Fingerprint(cfg, opts)
 	c.mu.Lock()
 	if e, ok := c.entries[fp]; ok {
@@ -154,7 +173,7 @@ func (c *Catalog) Get(cfg *feature.Config, opts core.Options) (*core.Product, er
 			c.shared.Add(1)
 			<-e.done
 		}
-		return e.product, e.err
+		return e
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[fp] = e
@@ -162,8 +181,18 @@ func (c *Catalog) Get(cfg *feature.Config, opts core.Options) (*core.Product, er
 
 	c.misses.Add(1)
 	e.product, e.err = core.Build(c.model, c.src, cfg.Clone(), opts)
+	if e.err == nil {
+		// Resolve the serving engine inside the singleflight, before the
+		// slot is published: promotion is atomic with the build, so every
+		// waiter observes the same engine decision.
+		var promoted bool
+		e.eng, promoted = engine.ForProduct(e.product, fp)
+		if promoted {
+			c.promotions.Add(1)
+		}
+	}
 	close(e.done)
-	return e.product, e.err
+	return e
 }
 
 // Lookup returns the cached product for the selection without building:
@@ -192,21 +221,14 @@ func (c *Catalog) Len() int {
 	return len(c.entries)
 }
 
-// Metrics returns a snapshot of hit/miss/shared counters since creation.
-//
-// Deprecated: use Stats.
-func (c *Catalog) Metrics() Metrics {
-	s := c.Stats()
-	return Metrics{Hits: s.Hits, Misses: s.Misses, Shared: s.Shared}
-}
-
 // Stats returns a snapshot of catalog traffic and occupancy. See the Stats
 // type for the concurrency contract.
 func (c *Catalog) Stats() Stats {
 	s := Stats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Shared: c.shared.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Shared:     c.shared.Load(),
+		Promotions: c.promotions.Load(),
 	}
 	c.mu.Lock()
 	s.Entries = len(c.entries)

@@ -56,9 +56,9 @@ func TestGetCachesIdenticalSelections(t *testing.T) {
 	if p1 != p2 {
 		t.Error("identical selections built twice")
 	}
-	m := cat.Metrics()
+	m := cat.Stats()
 	if m.Misses != 1 || m.Hits != 1 {
-		t.Errorf("metrics = %+v, want 1 miss and 1 hit", m)
+		t.Errorf("stats = %+v, want 1 miss and 1 hit", m)
 	}
 	if !p1.Accepts("SELECT a FROM t WHERE b = 1") {
 		t.Error("cached product does not parse its dialect")
@@ -117,7 +117,7 @@ func TestGetCachesFailures(t *testing.T) {
 	if _, err := cat.Get(bad, core.Options{NoAutoClose: true}); err == nil {
 		t.Fatal("cached failure turned into success")
 	}
-	m := cat.Metrics()
+	m := cat.Stats()
 	if m.Misses != 1 {
 		t.Errorf("failure rebuilt: %d misses", m.Misses)
 	}
@@ -146,7 +146,7 @@ func TestConcurrentGetSingleflight(t *testing.T) {
 			t.Fatal("concurrent gets returned distinct products")
 		}
 	}
-	m := cat.Metrics()
+	m := cat.Stats()
 	if m.Misses != 1 {
 		t.Errorf("%d builds for one selection under concurrency", m.Misses)
 	}
@@ -176,10 +176,6 @@ func TestStatsSnapshot(t *testing.T) {
 	}
 	if s.InFlight != 0 {
 		t.Errorf("InFlight = %d, want 0 after builds settle", s.InFlight)
-	}
-	// The deprecated Metrics view stays consistent with Stats.
-	if m := cat.Metrics(); m.Hits != s.Hits || m.Misses != s.Misses || m.Shared != s.Shared {
-		t.Errorf("Metrics %+v disagrees with Stats %+v", m, s)
 	}
 }
 

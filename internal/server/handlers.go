@@ -14,6 +14,7 @@ import (
 
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
 )
 
@@ -71,7 +72,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		s.testHookAdmitted()
 	}
 
-	p, label, err := s.resolve(req.Dialect, req.Features)
+	eng, label, err := s.resolve(req.Dialect, req.Features)
 	if err != nil {
 		s.m.badRequests.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
@@ -100,7 +101,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 			s.testHookParse()
 		}
 		start := time.Now()
-		resp := Outcome(p, req.SQL, req.Want)
+		resp := Outcome(eng, req.SQL, req.Want)
 		s.m.latency.Observe(time.Since(start).Seconds())
 		if resp.Error != nil {
 			s.m.parseErrors.Inc()
@@ -157,7 +158,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.testHookAdmitted()
 	}
 
-	p, label, err := s.resolve(req.Dialect, req.Features)
+	eng, label, err := s.resolve(req.Dialect, req.Features)
 	if err != nil {
 		s.m.badRequests.Inc()
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
@@ -168,7 +169,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	done := make(chan *BatchResponse, 1)
-	go func() { done <- s.runBatch(ctx, p, &req) }()
+	go func() { done <- s.runBatch(ctx, eng, &req) }()
 	select {
 	case resp := <-done:
 		writeJSON(w, http.StatusOK, resp)
@@ -182,7 +183,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // runBatch executes the worker pattern. If ctx expires mid-batch the
 // dispatcher stops handing out work; in-flight queries finish and the
 // (already timed-out) response is discarded by the caller.
-func (s *Server) runBatch(ctx context.Context, p *core.Product, req *BatchRequest) *BatchResponse {
+func (s *Server) runBatch(ctx context.Context, eng engine.Engine, req *BatchRequest) *BatchResponse {
 	start := time.Now()
 	results := make([]BatchResult, len(req.Queries))
 	workers := s.cfg.BatchWorkers
@@ -196,7 +197,7 @@ func (s *Server) runBatch(ctx context.Context, p *core.Product, req *BatchReques
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s.batchOne(p, req, results, i)
+				s.batchOne(eng, req, results, i)
 			}
 		}()
 	}
@@ -211,7 +212,7 @@ dispatch:
 	close(next)
 	wg.Wait()
 
-	out := &BatchResponse{Dialect: p.Name, Results: results}
+	out := &BatchResponse{Dialect: eng.Info().Product, Results: results}
 	for _, res := range results {
 		if res.OK {
 			out.Accepted++
@@ -225,7 +226,7 @@ dispatch:
 
 // batchOne parses one batch query. A panic poisons only this result, not
 // the worker, the batch, or the daemon.
-func (s *Server) batchOne(p *core.Product, req *BatchRequest, results []BatchResult, i int) {
+func (s *Server) batchOne(eng engine.Engine, req *BatchRequest, results []BatchResult, i int) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.m.panics.Inc()
@@ -233,7 +234,7 @@ func (s *Server) batchOne(p *core.Product, req *BatchRequest, results []BatchRes
 		}
 	}()
 	qStart := time.Now()
-	resp := Outcome(p, req.Queries[i], orVerdict(req.Want))
+	resp := Outcome(eng, req.Queries[i], orVerdict(req.Want))
 	s.m.latency.Observe(time.Since(qStart).Seconds())
 	if resp.Error != nil {
 		s.m.parseErrors.Inc()
@@ -272,6 +273,12 @@ func (s *Server) handleDialects(w http.ResponseWriter, r *http.Request) {
 		}
 		info := DialectInfo{Name: string(name), Features: len(feats)}
 		_, info.Built = s.cat.Lookup(feature.NewConfig(feats...), core.Options{Product: string(name)})
+		if info.Built {
+			// A cache hit: the slot's engine decision is already final.
+			if eng, err := s.cat.Engine(feature.NewConfig(feats...), core.Options{Product: string(name)}); err == nil {
+				info.Engine = string(eng.Info().Kind)
+			}
+		}
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)

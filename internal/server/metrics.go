@@ -6,6 +6,7 @@ package server
 import (
 	"sync"
 
+	"sqlspl/internal/engine"
 	"sqlspl/internal/lexer"
 	"sqlspl/internal/parser"
 	"sqlspl/internal/product"
@@ -61,6 +62,20 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBun
 		func() float64 { return float64(cat.Stats().Entries) })
 	reg.GaugeFunc("sqlspl_product_cache_inflight_builds", "builds currently running",
 		func() float64 { return float64(cat.Stats().InFlight) })
+
+	// Engine-seam counters: how many builds promoted to a generated
+	// backend, and how much traffic the generated engines actually served
+	// (process-wide, like the parser/lexer counters below).
+	reg.CounterFunc("sqlspl_catalog_promotions_total", "builds promoted to a registered generated engine",
+		func() uint64 { return cat.Stats().Promotions })
+	reg.CounterFunc("sqlspl_engine_generated_parses_total", "Parse calls served by generated engines",
+		func() uint64 { return engine.HotCounters().GenParses })
+	reg.CounterFunc("sqlspl_engine_generated_checks_total", "Check calls served by generated engines",
+		func() uint64 { return engine.HotCounters().GenChecks })
+	reg.CounterFunc("sqlspl_engine_diagnose_fallbacks_total", "Diagnose calls generated engines delegated to the interpreted parser",
+		func() uint64 { return engine.HotCounters().DiagFallbacks })
+	reg.CounterFunc("sqlspl_engine_stale_skips_total", "promotions refused because the registered parser's grammar hash was stale",
+		func() uint64 { return engine.HotCounters().StaleSkips })
 
 	// Parser/lexer hot-path counters (process-wide, so they include
 	// non-server parses in the same process — documented in DESIGN §8).

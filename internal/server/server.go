@@ -43,9 +43,14 @@ import (
 
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
 	"sqlspl/internal/product"
 	"sqlspl/internal/telemetry"
+
+	// The serving surface links the pregenerated preset parsers: the
+	// catalog promotes matching products to their generated engines.
+	_ "sqlspl/internal/engine/generated"
 )
 
 // Config configures a Server. The zero value serves the default catalog
@@ -232,9 +237,12 @@ func (s *Server) release() {
 }
 
 // resolve turns a dialect name or an explicit feature selection into a
-// product via the catalog. The label names the dialect for metrics; for
-// explicit selections it is "custom".
-func (s *Server) resolve(dialectName string, features []string) (*core.Product, string, error) {
+// serving engine via the catalog: the generated backend for promoted
+// presets, the interpreted backend otherwise (explicit selections always
+// interpret — no parser is pregenerated for arbitrary configurations).
+// The label names the dialect for metrics; for explicit selections it is
+// "custom".
+func (s *Server) resolve(dialectName string, features []string) (engine.Engine, string, error) {
 	switch {
 	case dialectName != "" && len(features) > 0:
 		return nil, "", fmt.Errorf("request selects both dialect %q and an explicit feature list; choose one", dialectName)
@@ -243,11 +251,11 @@ func (s *Server) resolve(dialectName string, features []string) (*core.Product, 
 		if err != nil {
 			return nil, "", err
 		}
-		p, err := s.cat.Get(feature.NewConfig(feats...), core.Options{Product: dialectName})
-		return p, dialectName, err
+		eng, err := s.cat.Engine(feature.NewConfig(feats...), core.Options{Product: dialectName})
+		return eng, dialectName, err
 	case len(features) > 0:
-		p, err := s.cat.Get(feature.NewConfig(features...), core.Options{Product: "custom"})
-		return p, "custom", err
+		eng, err := s.cat.Engine(feature.NewConfig(features...), core.Options{Product: "custom"})
+		return eng, "custom", err
 	}
 	return nil, "", fmt.Errorf("request selects no dialect and no features")
 }

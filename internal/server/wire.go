@@ -13,7 +13,7 @@ import (
 	"time"
 
 	"sqlspl/internal/ast"
-	"sqlspl/internal/core"
+	"sqlspl/internal/engine"
 	"sqlspl/internal/lexer"
 	"sqlspl/internal/parser"
 )
@@ -138,7 +138,8 @@ type BatchResponse struct {
 type DialectInfo struct {
 	Name     string `json:"name"`
 	Features int    `json:"features"`
-	Built    bool   `json:"built"` // already resident in the catalog
+	Built    bool   `json:"built"`            // already resident in the catalog
+	Engine   string `json:"engine,omitempty"` // serving backend once built: interpreted | generated
 }
 
 // EncodeTree converts a parse tree to its wire form.
@@ -207,30 +208,33 @@ func EncodeDiagnostics(diags []parser.Diagnostic) []*Diagnostic {
 	return out
 }
 
-// Outcome parses sql over the shared product and encodes the result in the
-// requested shape. It is the single parse-and-encode path: HTTP handlers
-// and the sqlparse CLI both call it. want must satisfy ValidWant.
-func Outcome(p *core.Product, sql, want string) *ParseResponse {
+// Outcome parses sql over the resolved engine and encodes the result in
+// the requested shape. It is the single parse-and-encode path: HTTP
+// handlers and the sqlparse CLI both call it, whichever backend —
+// interpreted or generated — the catalog promoted the product to. want
+// must satisfy ValidWant.
+func Outcome(eng engine.Engine, sql, want string) *ParseResponse {
 	if want == "" {
 		want = WantRender
 	}
-	resp := &ParseResponse{Dialect: p.Name, Want: want}
+	resp := &ParseResponse{Dialect: eng.Info().Product, Want: want}
 	start := time.Now()
 	defer func() { resp.ElapsedMicros = time.Since(start).Microseconds() }()
 
 	// fail records the legacy single farthest-failure error and the full
 	// statement-recovery view. Only rejected input pays for the recovery
 	// pass; accepted queries stay on the fast (verdict: allocation-free)
-	// path.
+	// path. Diagnose may fall back to the interpreted engine — generated
+	// runtimes do not cover statement recovery.
 	fail := func(err error) {
 		resp.Error = EncodeDiagnostic(err)
-		resp.Diagnostics = EncodeDiagnostics(p.Diagnose(sql))
+		resp.Diagnostics = EncodeDiagnostics(eng.Diagnose(sql))
 	}
 
 	if want == WantVerdict {
-		// Verdict needs no tree: ride the parser's allocation-free check
+		// Verdict needs no tree: ride the engine's allocation-free check
 		// path instead of building a parse tree just to discard it.
-		if err := p.Check(sql); err != nil {
+		if err := eng.Check(sql); err != nil {
 			fail(err)
 			return resp
 		}
@@ -238,7 +242,7 @@ func Outcome(p *core.Product, sql, want string) *ParseResponse {
 		return resp
 	}
 
-	tree, err := p.Parse(sql)
+	tree, err := eng.Parse(sql)
 	if err != nil {
 		fail(err)
 		return resp
