@@ -1,0 +1,92 @@
+// Command benchgate enforces the engine-parity regression gate on a
+// BENCH_parse.json series written by sqlbench: for every workload that
+// carries both an interpreted and a generated row (the E11 series), the
+// generated engine's ns/query must not exceed the interpreted engine's
+// by more than -max-slowdown. CI runs it after the benchmark step so the
+// specialized-codegen win cannot silently rot.
+//
+//	benchgate -file BENCH_parse.json -max-slowdown 0.10
+//
+// Exit status: 0 when every pair is within budget, 1 on a regression or
+// when the series contains no generated/interpreted pairs at all (a
+// registration failure would otherwise pass vacuously), 2 on bad input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type row struct {
+	Workload   string  `json:"workload"`
+	Parser     string  `json:"parser"`
+	NsPerQuery float64 `json:"ns_per_query"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_parse.json", "benchmark series to check")
+	maxSlowdown := flag.Float64("max-slowdown", 0.10,
+		"maximum tolerated generated-vs-interpreted slowdown (0.10 = 10%)")
+	flag.Parse()
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var series struct {
+		Rows []row `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &series); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *file, err)
+		os.Exit(2)
+	}
+
+	interp := map[string]float64{}
+	gen := map[string]float64{}
+	var order []string
+	for _, r := range series.Rows {
+		switch r.Parser {
+		case "interpreted":
+			if _, seen := interp[r.Workload]; !seen {
+				order = append(order, r.Workload)
+			}
+			interp[r.Workload] = r.NsPerQuery
+		case "generated":
+			gen[r.Workload] = r.NsPerQuery
+		}
+	}
+
+	pairs, failed := 0, false
+	for _, w := range order {
+		g, ok := gen[w]
+		if !ok {
+			continue
+		}
+		i := interp[w]
+		if i <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: interpreted ns/query %v unusable\n", w, i)
+			os.Exit(2)
+		}
+		pairs++
+		slowdown := g/i - 1
+		verdict := "ok"
+		if slowdown > *maxSlowdown {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-11s generated %8.0f ns/query vs interpreted %8.0f (%+.1f%%, budget %+.0f%%)  %s\n",
+			w, g, i, 100*slowdown, 100**maxSlowdown, verdict)
+	}
+	if pairs == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no generated/interpreted pairs in series — generated engines missing?")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: generated engine regression exceeds budget")
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d engine pairs within %.0f%% budget\n", pairs, 100**maxSlowdown)
+}

@@ -26,10 +26,12 @@ func TestGenerateMinimalSource(t *testing.T) {
 	for _, want := range []string{
 		"package minsql",
 		"DO NOT EDIT",
-		`register("query_specification",`,
+		"parses production query_specification",
 		`"SELECT":`,
 		`"WHERE":`,
 		`const startSymbol = "query_specification"`,
+		"func parseStart(r *run, pos int)",
+		"var bs0 = bits{",
 		"func Parse(src string)",
 		"func Accepts(src string)",
 	} {
@@ -41,6 +43,13 @@ func TestGenerateMinimalSource(t *testing.T) {
 	for _, no := range []string{`"GROUP"`, `"ORDER"`, `"INSERT"`} {
 		if strings.Contains(text, no) {
 			t.Errorf("generated source leaks unselected keyword %s", no)
+		}
+	}
+	// The combinator layer and its runtime finalize step are gone: the
+	// emitter writes straight-line per-production functions instead.
+	for _, no := range []string{"register(", "func finalize", "pfunc", "var predict"} {
+		if strings.Contains(text, no) {
+			t.Errorf("generated source still contains combinator-era artifact %q", no)
 		}
 	}
 }

@@ -11,6 +11,15 @@ package codegen
 // allocations (trees escape anyway) and reports failures as *SyntaxError
 // with canonicalised expected sets, end-of-input positions past the last
 // token, and clean zero-statement parses for empty/comment-only input.
+//
+// Unlike the pre-PR-7 combinator runtime there is no runtime finalize step:
+// the emitter interns every grammar-referenced terminal to a dense id at
+// generation time, the scanner stamps that id on each token it produces,
+// FIRST-set prediction tests literal package-level bitsets, and each
+// production parses through its own emitted straight-line function (p0, p1,
+// ...) instead of a tree of combinator closures. The runtime below is only
+// the scanner, the pooled run state, and the shared helpers those emitted
+// functions call into.
 const runtimeHeader = `
 import (
 	"fmt"
@@ -22,7 +31,10 @@ import (
 )
 
 // Token is one scanned lexical element. Off and End are the byte-offset
-// span in the scanned source: src[Off:End] is exactly Text.
+// span in the scanned source: src[Off:End] is exactly Text. ID is the
+// terminal's generation-time interned id (-1 when the grammar never
+// references the terminal), stamped by the scanner so the parse hot path
+// never hashes a token name.
 type Token struct {
 	Name string
 	Text string
@@ -30,6 +42,7 @@ type Token struct {
 	Col  int
 	Off  int
 	End  int
+	ID   int32
 }
 
 // EndPos returns the 1-based line/column just past the token, computed
@@ -55,9 +68,17 @@ func (t Token) String() string {
 	return fmt.Sprintf("%s(%q)", t.Name, t.Text)
 }
 
+// kw is a keyword table entry: the terminal name and its interned id.
+type kw struct {
+	name string
+	id   int32
+}
+
+// punct is a punctuation table entry in maximal-munch order.
 type punct struct {
 	text string
 	name string
+	id   int32
 }
 
 // Keywords returns the reserved words of this product, sorted.
@@ -151,7 +172,7 @@ const maxFoldLen = 64
 // keywordOf resolves word against the keyword table. ASCII words are folded
 // to upper case in a stack buffer and looked up without allocating; longer
 // or non-ASCII words take the (allocating, rare) Unicode path.
-func keywordOf(word string) (string, bool) {
+func keywordOf(word string) (kw, bool) {
 	if len(word) <= maxFoldLen {
 		var buf [maxFoldLen]byte
 		ascii := true
@@ -167,26 +188,20 @@ func keywordOf(word string) (string, bool) {
 			buf[i] = c
 		}
 		if ascii {
-			if len(word) > tables.maxKw {
-				return "", false
+			if len(word) > maxKwLen {
+				return kw{}, false
 			}
-			name, ok := keywords[string(buf[:len(word)])]
-			return name, ok
+			k, ok := keywords[string(buf[:len(word)])]
+			return k, ok
 		}
 	}
-	name, ok := keywords[strings.ToUpper(word)]
-	return name, ok
-}
-
-// scan tokenizes src, allocating a fresh token slice (Parse path).
-func scan(src string) ([]Token, error) {
-	return scanInto(src, nil)
+	k, ok := keywords[strings.ToUpper(word)]
+	return k, ok
 }
 
 // scanInto appends src's tokens to buf (usually a pooled slice). Once the
 // buffer has warmed up, a scan allocates nothing. Tokens reference src.
 func scanInto(src string, buf []Token) ([]Token, error) {
-	finalize()
 	s := &scanState{src: src, line: 1, col: 1}
 	out := buf
 	for {
@@ -222,8 +237,8 @@ func scanInto(src string, buf []Token) ([]Token, error) {
 		}
 		startOff, line, col := s.pos, s.line, s.col
 		c := s.src[s.pos]
-		mk := func(name, text string) {
-			out = append(out, Token{Name: name, Text: text, Line: line, Col: col, Off: startOff, End: s.pos})
+		mk := func(name string, id int32, text string) {
+			out = append(out, Token{Name: name, Text: text, Line: line, Col: col, Off: startOff, End: s.pos, ID: id})
 		}
 		switch {
 		case c == '\'':
@@ -234,58 +249,58 @@ func scanInto(src string, buf []Token) ([]Token, error) {
 			if classString == "" {
 				return out[:len(buf)], s.errAt(startOff, line, col, "string literals not enabled in this dialect")
 			}
-			mk(classString, text)
+			mk(classString, classStringID, text)
 		case (c == 'X' || c == 'x') && s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' && classBinary != "":
 			s.advance(1)
 			if _, err := scanQuoted(s, '\'', "binary string literal", startOff, line, col); err != nil {
 				return out[:len(buf)], err
 			}
-			mk(classBinary, s.src[startOff:s.pos])
+			mk(classBinary, classBinaryID, s.src[startOff:s.pos])
 		case c == '"':
 			text, err := scanQuoted(s, '"', "delimited identifier", startOff, line, col)
 			if err != nil {
 				return out[:len(buf)], err
 			}
-			name := classDelim
+			name, id := classDelim, classDelimID
 			if name == "" {
-				name = classIdent
+				name, id = classIdent, classIdentID
 			}
 			if name == "" {
 				return out[:len(buf)], s.errAt(startOff, line, col, "delimited identifiers not enabled in this dialect")
 			}
-			mk(name, text)
+			mk(name, id, text)
 		case isDigitB(c) || (c == '.' && s.pos+1 < len(s.src) && isDigitB(s.src[s.pos+1])):
 			text, isInt := scanNumber(s)
 			switch {
 			case isInt && classInteger != "":
-				mk(classInteger, text)
+				mk(classInteger, classIntegerID, text)
 			case classNumber != "":
-				mk(classNumber, text)
+				mk(classNumber, classNumberID, text)
 			default:
 				return out[:len(buf)], s.errAt(startOff, line, col, "numeric literals not enabled in this dialect")
 			}
 		case c == ':' && s.pos+1 < len(s.src) && identStartsAt(s.src[s.pos+1:]) && classHost != "":
 			s.advance(1)
 			scanWord(s)
-			mk(classHost, s.src[startOff:s.pos])
+			mk(classHost, classHostID, s.src[startOff:s.pos])
 		case c == '?' && classDynamic != "":
 			s.advance(1)
-			mk(classDynamic, "?")
+			mk(classDynamic, classDynamicID, "?")
 		case identStartsAt(s.src[s.pos:]):
 			word := scanWord(s)
-			if name, ok := keywordOf(word); ok {
-				mk(name, word)
+			if k, ok := keywordOf(word); ok {
+				mk(k.name, k.id, word)
 			} else if classIdent != "" {
-				mk(classIdent, word)
+				mk(classIdent, classIdentID, word)
 			} else {
 				return out[:len(buf)], s.errAt(startOff, line, col, "unknown word %q (identifiers not enabled in this dialect)", word)
 			}
 		default:
 			matched := false
-			for _, p := range tables.byFirst[c] {
+			for _, p := range punctTable[c] {
 				if strings.HasPrefix(s.src[s.pos:], p.text) {
 					s.advance(len(p.text))
-					mk(p.name, p.text)
+					mk(p.name, p.id, p.text)
 					matched = true
 					break
 				}
@@ -392,107 +407,17 @@ type result struct {
 	forest []*Node
 }
 
-// pfunc parses at pos, appending every distinct end position to dst.
-type pfunc func(r *run, pos int, dst []result) []result
+// setFn is the shape of emitted set-mode expression parsers: parse at pos,
+// appending every distinct end position to dst.
+type setFn func(r *run, pos int, dst []result) []result
 
-// altsOf records the top-level alternatives of each production so parseNT
-// can align them with the emitted predict sets.
-var altsOf = map[string][]pfunc{}
+// bits is an interned-id bitset over the token universe — the FIRST-set
+// representation prediction tests against. The emitter writes one literal
+// per distinct set; all literals share the same word width.
+type bits []uint64
 
-// prodOrder is the registration order; it fixes the flat-memo row indices.
-var prodOrder []string
-
-// register installs a production from its top-level alternatives.
-func register(name string, alts ...pfunc) {
-	altsOf[name] = alts
-	prodOrder = append(prodOrder, name)
-}
-
-// tokSet is an interned-id bitset over the token universe — the FIRST-set
-// representation prediction tests against, mirroring the interpreted
-// engine's compiled alternatives (hashing strings per candidate alternative
-// would dominate parseNT on large grammars).
-type tokSet []uint64
-
-func (s tokSet) has(id int) bool {
-	if id < 0 {
-		return false
-	}
-	return s[id>>6]&(1<<(uint(id)&63)) != 0
-}
-
-// tables holds the runtime lookup structures derived from the emitted
-// literals — built once, read-only afterwards (safe for concurrent parses).
-var tables struct {
-	once      sync.Once
-	prodIndex map[string]int
-	prodNames []string
-	prodAlts  [][]pfunc
-	predict   [][]map[string]bool // per production, per alternative; nil = nullable
-	firstBits [][]tokSet          // same shape, interned for the hot path
-	tokID     map[string]int
-	startIdx  int
-	maxKw     int
-	byFirst   [256][]punct
-}
-
-func finalize() {
-	tables.once.Do(func() {
-		tables.prodIndex = make(map[string]int, len(prodOrder))
-		tables.prodNames = make([]string, len(prodOrder))
-		tables.prodAlts = make([][]pfunc, len(prodOrder))
-		tables.predict = make([][]map[string]bool, len(prodOrder))
-		tables.tokID = make(map[string]int)
-		intern := func(name string) int {
-			id, ok := tables.tokID[name]
-			if !ok {
-				id = len(tables.tokID)
-				tables.tokID[name] = id
-			}
-			return id
-		}
-		for i, name := range prodOrder {
-			tables.prodIndex[name] = i
-			tables.prodNames[i] = name
-			tables.prodAlts[i] = altsOf[name]
-			tables.predict[i] = predict[name]
-			for _, set := range predict[name] {
-				for tok := range set {
-					intern(tok)
-				}
-			}
-		}
-		words := (len(tables.tokID) + 63) / 64
-		if words == 0 {
-			words = 1
-		}
-		tables.firstBits = make([][]tokSet, len(prodOrder))
-		for i, name := range prodOrder {
-			sets := predict[name]
-			bits := make([]tokSet, len(sets))
-			for j, set := range sets {
-				if set == nil {
-					continue // nullable alternative: never pruned
-				}
-				b := make(tokSet, words)
-				for tok := range set {
-					id := tables.tokID[tok]
-					b[id>>6] |= 1 << (uint(id) & 63)
-				}
-				bits[j] = b
-			}
-			tables.firstBits[i] = bits
-		}
-		tables.startIdx = tables.prodIndex[startSymbol]
-		for k := range keywords {
-			if len(k) > tables.maxKw {
-				tables.maxKw = len(k)
-			}
-		}
-		for _, p := range puncts {
-			tables.byFirst[p.text[0]] = append(tables.byFirst[p.text[0]], p)
-		}
-	})
+func (b bits) has(id int32) bool {
+	return id >= 0 && b[uint32(id)>>6]&(1<<(uint32(id)&63)) != 0
 }
 
 // memoEntry is one slot of the flat packrat table; live when its generation
@@ -508,7 +433,118 @@ const (
 	maxRetainedMemoSlots = 1 << 18
 	maxRetainedResults   = 1 << 16
 	maxRetainedTokens    = 1 << 13
+	maxRetainedChunks    = 64
 )
+
+// Slab sizes for tree nodes and forest (child-list) storage.
+const (
+	nodeChunkLen   = 256
+	forestChunkLen = 512
+)
+
+// nodeSlab hands out Node values from fixed-size chunks. alloc always
+// returns a zeroed node: fresh chunks are zero, recycle zeroes the used
+// region, and handoff removes transferred chunks entirely.
+type nodeSlab struct {
+	chunks [][]Node
+	ci, ni int // next free slot is chunks[ci][ni]
+}
+
+func (s *nodeSlab) alloc() *Node {
+	if s.ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]Node, nodeChunkLen))
+	}
+	t := &s.chunks[s.ci][s.ni]
+	if s.ni++; s.ni == nodeChunkLen {
+		s.ci++
+		s.ni = 0
+	}
+	return t
+}
+
+// recycle makes every chunk reusable for the next pass, zeroing used
+// slots so pooled chunks neither pin token slices from finished parses
+// nor leak stale fields into the next alloc.
+func (s *nodeSlab) recycle() {
+	for i := 0; i < s.ci; i++ {
+		clear(s.chunks[i])
+	}
+	if s.ci < len(s.chunks) && s.ni > 0 {
+		clear(s.chunks[s.ci][:s.ni])
+	}
+	s.ci, s.ni = 0, 0
+}
+
+// handoff transfers ownership of every chunk that handed out a node to
+// the tree being returned: transferred chunks leave the slab, untouched
+// spares stay for the next run.
+func (s *nodeSlab) handoff() {
+	used := s.ci
+	if s.ni > 0 {
+		used++
+	}
+	if used == 0 {
+		return
+	}
+	n := copy(s.chunks, s.chunks[used:])
+	for i := n; i < len(s.chunks); i++ {
+		s.chunks[i] = nil
+	}
+	s.chunks = s.chunks[:n]
+	s.ci, s.ni = 0, 0
+}
+
+// forestSlab carves child-list ([]*Node) storage out of fixed-size
+// chunks. Requests larger than a chunk fall back to the heap and escape
+// with the tree they belong to.
+type forestSlab struct {
+	chunks [][]*Node
+	ci, ni int
+}
+
+// alloc returns a zero-length slice with exact capacity n (three-index
+// slicing), so an append beyond it can never bleed into a neighbour.
+func (s *forestSlab) alloc(n int) []*Node {
+	if n > forestChunkLen {
+		return make([]*Node, 0, n)
+	}
+	if s.ci == len(s.chunks) || s.ni+n > forestChunkLen {
+		if s.ci < len(s.chunks) {
+			s.ci++ // retire the current chunk; its tail is wasted
+		}
+		if s.ci == len(s.chunks) {
+			s.chunks = append(s.chunks, make([]*Node, forestChunkLen))
+		}
+		s.ni = 0
+	}
+	c := s.chunks[s.ci]
+	out := c[s.ni : s.ni : s.ni+n]
+	s.ni += n
+	return out
+}
+
+// recycle resets the slab. Used slots point only at slab-owned Node
+// values, which nodeSlab.recycle has already zeroed, so no clearing is
+// needed to break retention chains.
+func (s *forestSlab) recycle() { s.ci, s.ni = 0, 0 }
+
+// handoff mirrors nodeSlab.handoff for the forest chunks backing a
+// returned tree's child lists.
+func (s *forestSlab) handoff() {
+	used := s.ci
+	if s.ni > 0 {
+		used++
+	}
+	if used == 0 {
+		return
+	}
+	n := copy(s.chunks, s.chunks[used:])
+	for i := n; i < len(s.chunks); i++ {
+		s.chunks[i] = nil
+	}
+	s.chunks = s.chunks[:n]
+	s.ci, s.ni = 0, 0
+}
 
 // run is the per-parse state, recycled through a sync.Pool.
 type run struct {
@@ -528,13 +564,14 @@ type run struct {
 	ints     [][]int
 	intsN    int
 
-	// tokBuf is the pooled token buffer behind Check/Accepts.
-	tokBuf []Token
+	// Slab allocators for tree nodes and child lists; chunks backing a
+	// returned tree are handed off to the caller, spares stay pooled.
+	nodes   nodeSlab
+	forests forestSlab
 
-	// tokIDs holds each token's interned id (-1 = not in any FIRST set),
-	// precomputed in begin so prediction never hashes a name on the hot
-	// path.
-	tokIDs []int32
+	// tokBuf is the pooled token buffer behind Parse/Check/Accepts; handed
+	// off with the tree when a parse returns one.
+	tokBuf []Token
 
 	buildTrees bool
 	far        int
@@ -552,18 +589,15 @@ func getRun() *run {
 	return r
 }
 
+// putRun returns a run to the pool. Slabs are recycled (zeroing anything
+// a failed tree pass left behind) and oversized buffers dropped, so a
+// pooled run holds no references into finished parses: returned trees
+// own their chunks and token slices independently.
 func putRun(r *run) {
-	if r.buildTrees {
-		// Tree passes leave heap node pointers in the arena; drop them so a
-		// pooled run cannot pin a returned tree in memory.
-		clear(r.results[:cap(r.results)])
-		for i := range r.scratch {
-			s := r.scratch[i]
-			clear(s[:cap(s)])
-		}
-		r.buildTrees = false
-	}
+	r.buildTrees = false
 	r.toks = nil
+	r.nodes.recycle()
+	r.forests.recycle()
 	if len(r.memo) > maxRetainedMemoSlots {
 		r.memo = nil
 	}
@@ -573,15 +607,30 @@ func putRun(r *run) {
 	if cap(r.tokBuf) > maxRetainedTokens {
 		r.tokBuf = nil
 	}
-	if cap(r.tokIDs) > maxRetainedTokens {
-		r.tokIDs = nil
+	if len(r.nodes.chunks) > maxRetainedChunks {
+		r.nodes.chunks = nil
+	}
+	if len(r.forests.chunks) > maxRetainedChunks {
+		r.forests.chunks = nil
 	}
 	runs.Put(r)
 }
 
-// begin prepares the run for one pass over toks.
+// scrub zeroes every scratch and arena slot so the pooled run retains no
+// reference into the forest chunks just handed off with a returned tree.
+// Only the tree-returning path pays for it; Check and Accepts never hold
+// forests, and failed passes reference only slab-owned (recycled) chunks.
+func (r *run) scrub() {
+	clear(r.results[:cap(r.results)])
+	for i := range r.scratch {
+		s := r.scratch[i]
+		clear(s[:cap(s)])
+	}
+}
+
+// begin prepares the run for one pass over toks. Tokens carry their interned
+// ids from the scanner, so there is no per-pass interning step.
 func (r *run) begin(toks []Token, track, buildTrees bool) {
-	finalize()
 	r.toks = toks
 	r.far = -1
 	r.track = track
@@ -593,19 +642,8 @@ func (r *run) begin(toks []Token, track, buildTrees bool) {
 			clear(r.expected)
 		}
 	}
-	if cap(r.tokIDs) < len(toks) {
-		r.tokIDs = make([]int32, len(toks))
-	}
-	r.tokIDs = r.tokIDs[:len(toks)]
-	for i := range toks {
-		id, ok := tables.tokID[toks[i].Name]
-		if !ok {
-			id = -1
-		}
-		r.tokIDs[i] = int32(id)
-	}
 	r.width = len(toks) + 1
-	need := len(tables.prodNames) * r.width
+	need := numProds * r.width
 	if need > len(r.memo) {
 		size := 2 * len(r.memo)
 		if size < need {
@@ -616,13 +654,17 @@ func (r *run) begin(toks []Token, track, buildTrees bool) {
 	}
 	r.gen++
 	r.results = r.results[:0]
+	r.nodes.recycle()
+	r.forests.recycle()
 }
 
-func (r *run) nameAt(pos int) string {
+// idAt returns the interned id of the token at pos (-1 at end of input or
+// for terminals the grammar never references).
+func (r *run) idAt(pos int) int32 {
 	if pos < len(r.toks) {
-		return r.toks[pos].Name
+		return r.toks[pos].ID
 	}
-	return ""
+	return -1
 }
 
 func (r *run) fail(pos int, want string) {
@@ -638,6 +680,18 @@ func (r *run) fail(pos int, want string) {
 		r.expected[want] = true
 	} else if pos == r.far {
 		r.expected[want] = true
+	}
+}
+
+// predictMiss records a pruned alternative's FIRST set at pos, exactly as
+// the interpreted engine does when prediction rejects an alternative.
+func (r *run) predictMiss(pos int, names []string) {
+	if r.track && pos >= r.far {
+		for _, n := range names {
+			r.fail(pos, n)
+		}
+	} else if pos > r.far {
+		r.far = pos
 	}
 }
 
@@ -669,13 +723,23 @@ func (r *run) putInts(s []int) {
 	r.ints[r.intsN] = s
 }
 
+// newNode allocates a labelled interior node from the node slab.
+func (r *run) newNode(label string, children []*Node) *Node {
+	t := r.nodes.alloc()
+	t.Label = label
+	t.Children = children
+	return t
+}
+
 // leafForest returns the single-leaf forest for the token at pos, or nil
 // when the pass is not materialising trees.
 func (r *run) leafForest(pos int) []*Node {
 	if !r.buildTrees {
 		return nil
 	}
-	return []*Node{{Token: &r.toks[pos]}}
+	t := r.nodes.alloc()
+	t.Token = &r.toks[pos]
+	return append(r.forests.alloc(1), t)
 }
 
 // nodeForest wraps children under a labelled node, or nil off the tree path.
@@ -683,10 +747,11 @@ func (r *run) nodeForest(label string, children []*Node) []*Node {
 	if !r.buildTrees {
 		return nil
 	}
-	return []*Node{{Label: label, Children: children}}
+	return append(r.forests.alloc(1), r.newNode(label, children))
 }
 
-// merge concatenates two forests without copying when either side is empty.
+// merge concatenates two forests without copying when either side is
+// empty. Forests are never mutated after construction, so sharing is safe.
 func (r *run) merge(a, b []*Node) []*Node {
 	switch {
 	case len(a) == 0:
@@ -694,7 +759,7 @@ func (r *run) merge(a, b []*Node) []*Node {
 	case len(b) == 0:
 		return a
 	}
-	out := make([]*Node, 0, len(a)+len(b))
+	out := r.forests.alloc(len(a) + len(b))
 	out = append(out, a...)
 	return append(out, b...)
 }
@@ -727,202 +792,47 @@ func sortByEndDesc(rs []result) {
 	}
 }
 
-// parseNT parses production idx at pos, memoised in the flat table, with
-// FIRST-set prediction over the emitted per-alternative sets.
-func (r *run) parseNT(idx, pos int) []result {
-	slot := idx*r.width + pos
-	if e := r.memo[slot]; e.gen == r.gen {
-		return r.results[e.off : e.off+e.n]
+// repeat explores every reachable end position of body*, guarding against
+// zero-width iterations, longest first. body is an emitted top-level
+// function, so constructing the loop allocates nothing.
+func (r *run) repeat(pos int, allowEmpty bool, dst []result, body setFn) []result {
+	start := len(dst)
+	if allowEmpty {
+		dst = append(dst, result{end: pos})
 	}
-	name := tables.prodNames[idx]
-	out := r.getScratch()
+	frontier := r.getScratch()
+	next := r.getScratch()
 	tmp := r.getScratch()
-	laID := -1
-	if pos < len(r.tokIDs) {
-		laID = int(r.tokIDs[pos])
-	}
-	alts := tables.prodAlts[idx]
-	sets := tables.predict[idx]
-	bits := tables.firstBits[idx]
-	for i, alt := range alts {
-		if i < len(bits) && bits[i] != nil && !bits[i].has(laID) {
-			if r.track && pos >= r.far {
-				for tok := range sets[i] {
-					r.fail(pos, tok)
-				}
-			} else if pos > r.far {
-				r.far = pos
-			}
-			continue
-		}
-		tmp = alt(r, pos, tmp[:0])
-		for _, res := range tmp {
-			if hasEnd(out, res.end) {
-				continue
-			}
-			out = append(out, result{end: res.end, forest: r.nodeForest(name, res.forest)})
-		}
-	}
-	sortByEndDesc(out)
-	off := int32(len(r.results))
-	r.results = append(r.results, out...)
-	n := int32(len(out))
-	r.putScratch(tmp)
-	r.putScratch(out)
-	r.memo[slot] = memoEntry{gen: r.gen, off: off, n: n}
-	return r.results[off : off+n]
-}
-
-func empty() pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		return append(dst, result{end: pos})
-	}
-}
-
-func tok(name string) pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		if r.nameAt(pos) == name {
-			return append(dst, result{end: pos + 1, forest: r.leafForest(pos)})
-		}
-		r.fail(pos, name)
-		return dst
-	}
-}
-
-// ntAt references production idx directly — the emitter knows each
-// production's registration order, so generated references skip the name
-// lookup entirely.
-func ntAt(idx int) pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		return append(dst, r.parseNT(idx, pos)...)
-	}
-}
-
-// nt references a production by name (kept for hand-written grammars and
-// names the emitter cannot resolve). A reference to an undefined
-// production derives nothing.
-func nt(name string) pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		idx, ok := tables.prodIndex[name]
-		if !ok {
-			return dst
-		}
-		return append(dst, r.parseNT(idx, pos)...)
-	}
-}
-
-func seq(items ...pfunc) pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		cur := r.getScratch()
-		next := r.getScratch()
-		tmp := r.getScratch()
-		cur = append(cur, result{end: pos})
-		for _, item := range items {
-			next = next[:0]
-			for _, c := range cur {
-				tmp = item(r, c.end, tmp[:0])
-				for _, res := range tmp {
-					if hasEnd(next, res.end) {
-						continue
-					}
-					next = append(next, result{end: res.end, forest: r.merge(c.forest, res.forest)})
-				}
-			}
-			if len(next) == 0 {
-				cur = cur[:0]
-				break
-			}
-			cur, next = next, cur
-		}
-		dst = append(dst, cur...)
-		r.putScratch(tmp)
-		r.putScratch(next)
-		r.putScratch(cur)
-		return dst
-	}
-}
-
-// choice tries alternatives in order, keeping the first representative
-// forest for each distinct end position.
-func choice(alts ...pfunc) pfunc {
-	if len(alts) == 1 {
-		return alts[0]
-	}
-	return func(r *run, pos int, dst []result) []result {
-		start := len(dst)
-		for _, alt := range alts {
-			altStart := len(dst)
-			dst = alt(r, pos, dst)
-			keep := altStart
-			for i := altStart; i < len(dst); i++ {
-				if hasEnd(dst[start:keep], dst[i].end) {
+	visited := r.getInts()
+	frontier = append(frontier, result{end: pos})
+	visited = append(visited, pos)
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, st := range frontier {
+			tmp = body(r, st.end, tmp[:0])
+			for _, res := range tmp {
+				if res.end <= st.end || containsInt(visited, res.end) {
 					continue
 				}
-				dst[keep] = dst[i]
-				keep++
+				visited = append(visited, res.end)
+				ns := result{end: res.end, forest: r.merge(st.forest, res.forest)}
+				next = append(next, ns)
+				dst = append(dst, ns)
 			}
-			dst = dst[:keep]
 		}
-		return dst
+		frontier, next = next, frontier
 	}
-}
-
-func opt(body pfunc) pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		start := len(dst)
-		dst = body(r, pos, dst)
-		if hasEnd(dst[start:], pos) {
-			return dst
-		}
-		return append(dst, result{end: pos})
-	}
-}
-
-func star(body pfunc) pfunc { return repeat(body, true) }
-func plus(body pfunc) pfunc { return repeat(body, false) }
-
-// repeat explores every reachable end position of body*, guarding against
-// zero-width iterations, longest first.
-func repeat(body pfunc, allowEmpty bool) pfunc {
-	return func(r *run, pos int, dst []result) []result {
-		start := len(dst)
-		if allowEmpty {
-			dst = append(dst, result{end: pos})
-		}
-		frontier := r.getScratch()
-		next := r.getScratch()
-		tmp := r.getScratch()
-		visited := r.getInts()
-		frontier = append(frontier, result{end: pos})
-		visited = append(visited, pos)
-		for len(frontier) > 0 {
-			next = next[:0]
-			for _, st := range frontier {
-				tmp = body(r, st.end, tmp[:0])
-				for _, res := range tmp {
-					if res.end <= st.end || containsInt(visited, res.end) {
-						continue
-					}
-					visited = append(visited, res.end)
-					ns := result{end: res.end, forest: r.merge(st.forest, res.forest)}
-					next = append(next, ns)
-					dst = append(dst, ns)
-				}
-			}
-			frontier, next = next, frontier
-		}
-		r.putInts(visited)
-		r.putScratch(tmp)
-		r.putScratch(next)
-		r.putScratch(frontier)
-		sortByEndDesc(dst[start:])
-		return dst
-	}
+	r.putInts(visited)
+	r.putScratch(tmp)
+	r.putScratch(next)
+	r.putScratch(frontier)
+	sortByEndDesc(dst[start:])
+	return dst
 }
 
 // accepted reports whether the start production derives the whole input.
 func (r *run) accepted() bool {
-	for _, res := range r.parseNT(tables.startIdx, 0) {
+	for _, res := range parseStart(r, 0) {
 		if res.end == len(r.toks) {
 			return true
 		}
@@ -934,7 +844,7 @@ func (r *run) accepted() bool {
 // error from the farthest failure, pointing past the last token at EOF.
 func (r *run) errorPass(toks []Token) error {
 	r.begin(toks, true, false)
-	results := r.parseNT(tables.startIdx, 0)
+	results := parseStart(r, 0)
 	far := r.far
 	for _, res := range results {
 		if res.end > far {
@@ -979,27 +889,37 @@ func (r *run) errorPass(toks []Token) error {
 // Empty input — whitespace/comment-only — parses to a childless node
 // labelled with the start symbol, matching the interpreted engine.
 func Parse(src string) (*Node, error) {
-	toks, err := scan(src)
+	r := getRun()
+	toks, err := scanInto(src, r.tokBuf[:0])
+	r.tokBuf = toks
 	if err != nil {
+		putRun(r)
 		return nil, err
 	}
 	if len(toks) == 0 {
+		putRun(r)
 		return &Node{Label: startSymbol}, nil
 	}
-	r := getRun()
 	r.begin(toks, false, true)
 	var tree *Node
-	for _, res := range r.parseNT(tables.startIdx, 0) {
+	for _, res := range parseStart(r, 0) {
 		if res.end == len(toks) {
 			if len(res.forest) == 1 {
 				tree = res.forest[0]
 			} else {
-				tree = &Node{Label: startSymbol, Children: res.forest}
+				tree = r.newNode(startSymbol, res.forest)
 			}
 			break
 		}
 	}
 	if tree != nil {
+		// Ownership of every chunk backing the tree — and of the token
+		// slice its leaves point into — moves to the caller; then drop the
+		// run's remaining references into those chunks.
+		r.nodes.handoff()
+		r.forests.handoff()
+		r.scrub()
+		r.tokBuf = nil
 		putRun(r)
 		return tree, nil
 	}

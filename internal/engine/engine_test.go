@@ -8,6 +8,7 @@ package engine_test
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"sqlspl/internal/core"
@@ -249,6 +250,45 @@ func TestDiagnoseFallback(t *testing.T) {
 	}
 }
 
+// TestDiagnoseParityBrokenScripts extends the differential suite from
+// single-error inputs to statement recovery over multi-statement broken
+// scripts: on every preset, the generated engine must reproduce the
+// interpreter's recovery output field-for-field — spans, hint text,
+// expected sets — including the TooManyErrors sentinel once the
+// diagnostic cap trips.
+func TestDiagnoseParityBrokenScripts(t *testing.T) {
+	capScript := strings.Repeat("SELECT oops oops FROM ; ", parser.DefaultMaxDiagnostics+5)
+	scripts := []string{
+		"SELECT a FROM t; SELECT FROM; SELECT b FROM u WHERE", // two failures around a clean statement
+		"garbage here; SELECT a FROM t;;; WHERE x",            // leading junk, empty statements, dangling clause
+		"SELECT 'unterminated\n; SELECT a FROM t",             // lexical failure, then recovery resyncs
+		"SELECT a b FROM t; UPDATE t SET; SELECT * FROM",      // mixed statement kinds
+		capScript,
+	}
+	for _, name := range dialect.Names() {
+		t.Run(string(name), func(t *testing.T) {
+			gen, interp := enginePair(t, name)
+			for _, script := range scripts {
+				gd, id := gen.Diagnose(script), interp.Diagnose(script)
+				if !reflect.DeepEqual(gd, id) {
+					t.Errorf("Diagnose(%.60q...) diverged:\n  generated:   %+v\n  interpreted: %+v",
+						script, gd, id)
+				}
+			}
+			// The cap script fails on every statement, so recovery must
+			// stop at the cap and append the sentinel as its last entry.
+			gd := gen.Diagnose(capScript)
+			if len(gd) != parser.DefaultMaxDiagnostics+1 {
+				t.Fatalf("cap script produced %d diagnostics, want %d + sentinel",
+					len(gd), parser.DefaultMaxDiagnostics)
+			}
+			if last := gd[len(gd)-1]; last.Hint != parser.TooManyErrors {
+				t.Errorf("last diagnostic hint = %q, want TooManyErrors sentinel", last.Hint)
+			}
+		})
+	}
+}
+
 // TestGeneratedCheckAllocationBudget pins the acceptance criterion: the
 // generated verdict path runs allocation-free once its pooled run state
 // has warmed, for every preset.
@@ -256,17 +296,9 @@ func TestGeneratedCheckAllocationBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under the race detector")
 	}
-	queries := map[string]string{
-		"minimal":   "SELECT a FROM t WHERE b = 1",
-		"tinysql":   "SELECT nodeid, light FROM sensors SAMPLE PERIOD 1024",
-		"scql":      "SELECT balance FROM purses WHERE id = 1",
-		"core":      "SELECT a, b FROM t JOIN u ON a = b WHERE c = 1 ORDER BY a",
-		"warehouse": "SELECT region, SUM(amount) FROM sales GROUP BY ROLLUP (region)",
-		"full":      "SELECT a FROM t WHERE b = 1 GROUP BY a HAVING COUNT(a) > 1",
-	}
 	for _, name := range dialect.Names() {
 		gen, _ := enginePair(t, name)
-		q, ok := queries[string(name)]
+		q, ok := warmQueries[string(name)]
 		if !ok {
 			t.Fatalf("no warm query for preset %s", name)
 		}

@@ -1,0 +1,104 @@
+// FuzzEngineParity holds the two parse-engine backends to behavioral
+// equality under adversarial input: whatever bytes the fuzzer invents,
+// every preset's generated parser must return exactly the interpreter's
+// verdict, error rendering, and diagnostic spans. This is the harness
+// that let the straight-line codegen rewrite land without a semantic
+// escape hatch — any divergence is a crash-grade finding.
+package engine_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/engine"
+	"sqlspl/internal/sentence"
+)
+
+// fuzzPair is the cached per-preset engine pair for the fuzz target:
+// resolving engines per fuzz iteration would dominate the run.
+type fuzzPair struct {
+	name        string
+	gen, interp engine.Engine
+}
+
+func fuzzPairs(t *testing.T) []fuzzPair {
+	t.Helper()
+	pairs := make([]fuzzPair, 0, len(dialect.Names()))
+	for _, name := range dialect.Names() {
+		gen, interp := enginePair(t, name)
+		pairs = append(pairs, fuzzPair{string(name), gen, interp})
+	}
+	return pairs
+}
+
+// FuzzEngineParity feeds arbitrary input to both backends of every
+// preset. Seeds mix grammar-derived sentences (deep accept paths),
+// mutations of them (near-miss rejects), and degenerate inputs; the
+// fuzzer mutates from there.
+func FuzzEngineParity(f *testing.F) {
+	// Grammar-derived seeds from the richest preset plus targeted
+	// mutations: dropped tokens, truncations, doubled operators.
+	p, err := dialect.Build(dialect.Core)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gen, err := sentence.New(p.Grammar, p.Tokens, sentence.Options{Seed: 99, MaxDepth: 9})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range gen.Generate(24) {
+		f.Add(s)
+		if len(s) > 6 {
+			f.Add(s[:len(s)/2])                  // truncation
+			f.Add(s[:len(s)/3] + s[2*len(s)/3:]) // excised middle
+		}
+		if i := strings.IndexByte(s, ' '); i > 0 {
+			f.Add(s[i+1:]) // dropped leading token
+		}
+	}
+	for _, s := range []string{
+		"", " ", "\x00", "--", "/*", "'", "\"x", "SELECT", "SELECT FROM t",
+		"SELECT a FROM t WHERE b = 1; DELETE FROM t;",
+		"select * from t where a < = 1",
+		"SELECT a FROM t -- tail comment",
+		"(((((((((( a",
+		"1e309 .5e- 0x",
+	} {
+		f.Add(s)
+	}
+
+	var pairs []fuzzPair
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			t.Skip("oversized input: parity on huge inputs is covered by the differential suite")
+		}
+		if pairs == nil {
+			pairs = fuzzPairs(t)
+		}
+		for _, pr := range pairs {
+			gv, iv := pr.gen.Accepts(src), pr.interp.Accepts(src)
+			if gv != iv {
+				t.Fatalf("%s: Accepts(%q): generated=%v interpreted=%v", pr.name, src, gv, iv)
+			}
+			gc, ic := pr.gen.Check(src), pr.interp.Check(src)
+			if (gc == nil) != (ic == nil) {
+				t.Fatalf("%s: Check(%q): generated=%v interpreted=%v", pr.name, src, gc, ic)
+			}
+			if gc != nil && gc.Error() != ic.Error() {
+				t.Fatalf("%s: Check(%q) rendering:\n  generated:   %v\n  interpreted: %v",
+					pr.name, src, gc, ic)
+			}
+			// Diagnose walks statement recovery over the whole script —
+			// bound it to short inputs to keep fuzz throughput useful.
+			if len(src) < 512 {
+				gd, id := pr.gen.Diagnose(src), pr.interp.Diagnose(src)
+				if !reflect.DeepEqual(gd, id) {
+					t.Fatalf("%s: Diagnose(%q) diverged:\n  generated:   %+v\n  interpreted: %+v",
+						pr.name, src, gd, id)
+				}
+			}
+		}
+	})
+}
