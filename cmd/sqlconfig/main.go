@@ -1,0 +1,185 @@
+// Command sqlconfig is the feature-model configuration solver at the
+// terminal: the same four negotiation modes POST /v1/configure serves
+// (internal/configure via internal/server.Configure — CLI and daemon share
+// one encode path, so -json output is byte-identical to the wire).
+//
+// Usage:
+//
+//	sqlconfig -require query_specification                # complete a partial selection
+//	sqlconfig -dialect warehouse -forbid window -mode explain   # why is this infeasible?
+//	sqlconfig -mode count                                 # product space per diagram
+//	sqlconfig -mode count -diagram set_quantifier -limit 8  # enumerate one diagram
+//	sqlconfig -mode sample -dialect minimal -seed 7 -n 3 -build
+//
+// complete extends the selection (preset features plus -require) to a
+// minimal valid configuration, printing what the solver added; explain
+// answers feasibility and, for infeasible selections, prints the minimal
+// conflict set, the violated model constraints and a suggested relaxation;
+// count prints exact product-space counts per feature diagram; sample
+// draws seeded, reproducible valid configurations. -build resolves each
+// resulting configuration through the shared product catalog into a
+// working engine, proving the negotiation round-trips into a parser.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlspl/internal/configure"
+	"sqlspl/internal/core"
+	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
+	"sqlspl/internal/server"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "complete", "complete|explain|count|sample")
+		dialectF = flag.String("dialect", "", "seed the selection with a preset's features (minimal|tinysql|scql|core|warehouse|full)")
+		require  = flag.String("require", "", "comma-separated features the configuration must include")
+		forbid   = flag.String("forbid", "", "comma-separated features the configuration must not include")
+		seed     = flag.Int64("seed", 1, "sample mode: random seed (fixed seed => identical output)")
+		n        = flag.Int("n", 1, "sample mode: number of configurations to draw")
+		diagramP = flag.Float64("p", 0.25, "sample mode: inclusion probability per unforced diagram")
+		diagram  = flag.String("diagram", "", "count mode: enumerate this diagram's configurations")
+		limit    = flag.Int("limit", 16, "count mode: enumeration cap")
+		jsonOut  = flag.Bool("json", false, "emit the wire-format JSON response")
+		build    = flag.Bool("build", false, "build each resulting configuration through the product catalog")
+	)
+	flag.Parse()
+
+	req := &server.ConfigureRequest{
+		Mode:     *mode,
+		Dialect:  *dialectF,
+		Require:  splitList(*require),
+		Forbid:   splitList(*forbid),
+		Seed:     *seed,
+		N:        *n,
+		DiagramP: *diagramP,
+		Diagram:  *diagram,
+		Limit:    *limit,
+	}
+	cat := product.Default()
+	sol := configure.New(cat.Model())
+	resp, _, err := server.Configure(sol, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sqlconfig: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlconfig: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		printHuman(resp)
+	}
+
+	if *build {
+		if err := buildConfigs(cat, resp); err != nil {
+			fmt.Fprintf(os.Stderr, "sqlconfig: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if resp.Conflict != nil {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func printHuman(resp *server.ConfigureResponse) {
+	if resp.Conflict != nil {
+		c := resp.Conflict
+		fmt.Printf("infeasible: conflicting decisions: %s\n", strings.Join(c.Decisions, ", "))
+		for _, con := range c.Constraints {
+			fmt.Printf("  violates: %s\n", con)
+		}
+		for _, ch := range c.Chains {
+			fmt.Printf("  because: %s\n", ch)
+		}
+		if c.Relaxation != "" {
+			fmt.Printf("  suggestion: %s\n", c.Relaxation)
+		}
+		return
+	}
+	switch resp.Mode {
+	case server.ModeComplete:
+		fmt.Printf("valid configuration with %d features\n", len(resp.Features))
+		if len(resp.Added) > 0 {
+			fmt.Printf("solver added %d: %s\n", len(resp.Added), strings.Join(resp.Added, ", "))
+		} else {
+			fmt.Println("selection was already complete")
+		}
+		fmt.Printf("features: %s\n", strings.Join(resp.Features, ", "))
+	case server.ModeExplain:
+		fmt.Println("feasible: the selection extends to a valid configuration")
+	case server.ModeCount:
+		for _, d := range resp.Diagrams {
+			exact := "exact"
+			if !d.Exact {
+				exact = "upper bound"
+			}
+			fmt.Printf("%-28s %3d features  %s products (%s)\n", d.Diagram, d.Features, d.Products, exact)
+			if d.Note != "" {
+				fmt.Printf("  note: %s\n", d.Note)
+			}
+		}
+		if resp.Total != "" {
+			exact := "exact"
+			if !resp.TotalExact {
+				exact = "upper bound; cross-diagram constraints unfiltered"
+			}
+			fmt.Printf("total product space: %s (%s)\n", resp.Total, exact)
+		}
+		for i, cfg := range resp.Configs {
+			fmt.Printf("config %d: %s\n", i+1, strings.Join(cfg, ", "))
+		}
+		if len(resp.Configs) > 0 && !resp.Complete {
+			fmt.Println("(enumeration clipped at the limit)")
+		}
+	case server.ModeSample:
+		for i, cfg := range resp.Configs {
+			fmt.Printf("sample %d (%d features): %s\n", i+1, len(cfg), strings.Join(cfg, ", "))
+		}
+	}
+}
+
+// buildConfigs resolves every configuration in the response through the
+// catalog, proving each negotiated selection becomes a working engine.
+func buildConfigs(cat *product.Catalog, resp *server.ConfigureResponse) error {
+	var configs [][]string
+	if len(resp.Features) > 0 {
+		configs = append(configs, resp.Features)
+	}
+	configs = append(configs, resp.Configs...)
+	if len(configs) == 0 {
+		return nil
+	}
+	for i, names := range configs {
+		prod, err := cat.Get(feature.NewConfig(names...), core.Options{Product: fmt.Sprintf("solved-%d", i)})
+		if err != nil {
+			return fmt.Errorf("build %d: %w", i, err)
+		}
+		fmt.Printf("built %d: %d features -> %d productions, %d tokens\n",
+			i+1, len(names), prod.Grammar.Len(), prod.Tokens.Len())
+	}
+	return nil
+}

@@ -10,8 +10,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
+	"sqlspl/internal/configure"
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/feature"
@@ -22,6 +24,9 @@ import (
 const interactiveHelp = `commands:
   select <feature>...     add features to the selection
   deselect <feature>...   remove features
+  forbid <feature>...     refuse features (the solver must avoid them)
+  permit <feature>...     lift a refusal
+  complete                let the solver extend the selection to a valid config
   dialect <name>          replace the selection with a preset dialect
   show                    print the current selection
   diagram <name>          print one feature diagram
@@ -46,11 +51,55 @@ func runInteractive(in io.Reader, out io.Writer) error {
 	cat := product.Default()
 	var product *core.Product
 
+	// The configuration solver turns an invalid selection from a dead end
+	// into a dialogue: instead of the bare validation error, an infeasible
+	// selection gets its minimal conflict set and a suggested relaxation,
+	// and an incomplete one gets the features 'complete' would add.
+	sol := configure.New(cat.Model())
+	forbidden := map[string]bool{}
+	forbidList := func() []string {
+		out := make([]string, 0, len(forbidden))
+		for f := range forbidden {
+			out = append(out, f)
+		}
+		sort.Strings(out)
+		return out
+	}
+	printConflict := func(c *configure.Conflict) {
+		fmt.Fprintf(out, "infeasible: conflicting decisions: %s\n", strings.Join(c.Decisions, ", "))
+		for _, con := range c.Constraints {
+			fmt.Fprintf(out, "  violates: %s\n", con)
+		}
+		for _, ch := range c.Chains {
+			fmt.Fprintf(out, "  because: %s\n", ch)
+		}
+		if c.Relaxation != "" {
+			fmt.Fprintf(out, "  suggestion: %s\n", c.Relaxation)
+		}
+	}
+	// explainFailure runs the solver over the current decisions after a
+	// failed build and narrates the answer.
+	explainFailure := func(buildErr error) {
+		comp, conflict, err := sol.Complete(configure.Request{Require: cfg.Names(), Forbid: forbidList()})
+		switch {
+		case err != nil:
+			fmt.Fprintf(out, "build failed: %v\n", buildErr)
+		case conflict != nil:
+			printConflict(conflict)
+		case len(comp.Added) > 0:
+			fmt.Fprintf(out, "build failed: %v\n", buildErr)
+			fmt.Fprintf(out, "the selection is incomplete, not contradictory — 'complete' would add %d feature(s): %s\n",
+				len(comp.Added), strings.Join(comp.Added, ", "))
+		default:
+			fmt.Fprintf(out, "build failed: %v\n", buildErr)
+		}
+	}
+
 	build := func() {
 		before := cat.Stats()
 		p, err := cat.Get(cfg, core.Options{Product: "interactive"})
 		if err != nil {
-			fmt.Fprintf(out, "build failed: %v\n", err)
+			explainFailure(err)
 			return
 		}
 		product = p
@@ -60,6 +109,13 @@ func runInteractive(in io.Reader, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "built: %d features -> %d productions, %d keywords%s\n",
 			p.Config.Len(), p.Grammar.Len(), len(p.Tokens.Keywords()), note)
+		// Closure may pull in a refused feature via a requires edge; the
+		// build itself cannot honor forbids, so surface the collision.
+		for _, f := range forbidList() {
+			if p.Config.Has(f) {
+				fmt.Fprintf(out, "warning: forbidden feature %q was pulled in by closure; try 'complete' to see the conflict\n", f)
+			}
+		}
 	}
 
 	fmt.Fprint(out, "sqlfpc interactive — type 'help' for commands\n")
@@ -88,6 +144,10 @@ func runInteractive(in io.Reader, out io.Writer) error {
 					fmt.Fprintf(out, "unknown feature %q\n", f)
 					continue
 				}
+				if forbidden[f] {
+					fmt.Fprintf(out, "%q is forbidden; 'permit %s' first\n", f, f)
+					continue
+				}
 				cfg.Select(f)
 			}
 			fmt.Fprintf(out, "%d features selected\n", cfg.Len())
@@ -96,6 +156,43 @@ func runInteractive(in io.Reader, out io.Writer) error {
 			cfg.Deselect(strings.Fields(rest)...)
 			fmt.Fprintf(out, "%d features selected\n", cfg.Len())
 			product = nil
+		case "forbid":
+			for _, f := range strings.Fields(rest) {
+				if m.Feature(f) == nil {
+					fmt.Fprintf(out, "unknown feature %q\n", f)
+					continue
+				}
+				forbidden[f] = true
+				if cfg.Has(f) {
+					cfg.Deselect(f)
+					fmt.Fprintf(out, "deselected %q\n", f)
+				}
+			}
+			fmt.Fprintf(out, "%d features forbidden\n", len(forbidden))
+			product = nil
+		case "permit":
+			for _, f := range strings.Fields(rest) {
+				delete(forbidden, f)
+			}
+			fmt.Fprintf(out, "%d features forbidden\n", len(forbidden))
+		case "complete":
+			comp, conflict, err := sol.Complete(configure.Request{Require: cfg.Names(), Forbid: forbidList()})
+			switch {
+			case err != nil:
+				fmt.Fprintln(out, err)
+			case conflict != nil:
+				printConflict(conflict)
+			default:
+				cfg = comp.Config
+				product = nil
+				if len(comp.Added) == 0 {
+					fmt.Fprintln(out, "selection is already a valid configuration")
+				} else {
+					fmt.Fprintf(out, "solver added %d feature(s): %s\n",
+						len(comp.Added), strings.Join(comp.Added, ", "))
+				}
+				fmt.Fprintf(out, "%d features selected\n", cfg.Len())
+			}
 		case "dialect":
 			feats, err := dialect.Features(dialect.Name(rest))
 			if err != nil {
@@ -107,6 +204,9 @@ func runInteractive(in io.Reader, out io.Writer) error {
 			product = nil
 		case "show":
 			fmt.Fprintln(out, cfg)
+			if len(forbidden) > 0 {
+				fmt.Fprintf(out, "forbidden: %s\n", strings.Join(forbidList(), ", "))
+			}
 		case "diagram":
 			d := m.DiagramOf(rest)
 			if d == nil {
@@ -145,6 +245,7 @@ func runInteractive(in io.Reader, out io.Writer) error {
 			}
 		case "reset":
 			cfg = feature.NewConfig()
+			forbidden = map[string]bool{}
 			product = nil
 			fmt.Fprintln(out, "selection cleared")
 		default:

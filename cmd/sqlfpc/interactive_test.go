@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// drive runs one scripted interactive session and returns the transcript.
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := runInteractive(strings.NewReader(script), &out); err != nil {
+		t.Fatalf("session error: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// An infeasible selection answers with the solver's minimal conflict set
+// and a suggested relaxation, not a bare validation error.
+func TestInteractiveConflictExplanation(t *testing.T) {
+	got := drive(t, "select where\nforbid search_condition\ncomplete\nquit\n")
+	for _, want := range []string{
+		"conflicting decisions: require:where, forbid:search_condition",
+		"violates: where requires search_condition",
+		"suggestion: drop \"forbid:search_condition\"",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("transcript missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// complete extends a feasible partial selection to a buildable config.
+func TestInteractiveComplete(t *testing.T) {
+	got := drive(t, "select query_specification\ncomplete\nbuild\ncheck SELECT * FROM t\nquit\n")
+	if !strings.Contains(got, "solver added") {
+		t.Errorf("complete did not report added features:\n%s", got)
+	}
+	if !strings.Contains(got, "built:") {
+		t.Errorf("completed selection did not build:\n%s", got)
+	}
+	if !strings.Contains(got, "ACCEPT") {
+		t.Errorf("completed product rejected the probe query:\n%s", got)
+	}
+}
+
+// A failed build of an incomplete (but feasible) selection points at
+// 'complete' with the features it would add.
+func TestInteractiveBuildFailureHint(t *testing.T) {
+	got := drive(t, "select comparison\nbuild\nquit\n")
+	if !strings.Contains(got, "build failed") {
+		t.Fatalf("expected a build failure:\n%s", got)
+	}
+	if !strings.Contains(got, "'complete' would add") {
+		t.Errorf("failure not narrated via the solver:\n%s", got)
+	}
+}
+
+// forbid deselects and blocks re-selection until permitted.
+func TestInteractiveForbidPermit(t *testing.T) {
+	got := drive(t, "select window\nforbid window\nselect window\npermit window\nselect window\nquit\n")
+	if !strings.Contains(got, `deselected "window"`) {
+		t.Errorf("forbid did not deselect:\n%s", got)
+	}
+	if !strings.Contains(got, `"window" is forbidden`) {
+		t.Errorf("select of a forbidden feature not refused:\n%s", got)
+	}
+}

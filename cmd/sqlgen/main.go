@@ -10,6 +10,7 @@
 //	sqlgen -features query_specification,select_list,... -n 5
 //	sqlgen -product tinysql -n 500 -coverage -stats
 //	sqlgen -product core -n 2000 -diff            # differential-oracle mode
+//	sqlgen -product core -n 200 -diff -sample 8   # oracle over 8 solver-sampled configs
 //	sqlgen -product warehouse -n 300 -corpus internal/parser/testdata/fuzz/FuzzParse
 //
 // Every emitted sentence is verified to parse under the generating product
@@ -17,6 +18,14 @@
 // cross-examined against a feature-superset product and the monolithic
 // baseline parser; any disagreement is shrunk and reported with the seed and
 // index that reproduce it, and the exit status is 1.
+//
+// -sample K widens -diff from one subject to K+1: the configuration solver
+// (internal/configure) draws K valid feature selections anchored at the
+// subject's features (every draw is a superset of the subject, sampled
+// count-weighted across the rest of the model), builds each through the
+// catalog, and runs the full referee panel against every one. A fixed
+// -sample-seed reproduces the exact same configurations, so an oracle
+// failure is replayable from the command line it printed.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"strings"
 
 	"sqlspl/internal/baseline"
+	"sqlspl/internal/configure"
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/feature"
@@ -35,18 +45,21 @@ import (
 
 func main() {
 	var (
-		productN = flag.String("product", "core", "preset dialect: minimal|tinysql|scql|core|warehouse|full (sql2003 is an alias for full)")
-		features = flag.String("features", "", "comma-separated feature names; overrides -product")
-		n        = flag.Int("n", 100, "number of sentences to generate")
-		seed     = flag.Int64("seed", 1, "generator seed; equal seeds reproduce equal corpora")
-		depth    = flag.Int("depth", 12, "max nonterminal nesting depth")
-		coverage = flag.Bool("coverage", false, "steer choices toward unexercised grammar alternatives")
-		stats    = flag.Bool("stats", false, "print coverage summary to stderr")
-		verify   = flag.Bool("verify", true, "require every sentence to parse under the generating product")
-		diffMode = flag.Bool("diff", false, "differential-oracle mode: check sentences against superset and baseline parsers")
-		superset = flag.String("superset", "", "superset preset for -diff (default full; empty disables when product is full)")
-		noBase   = flag.Bool("no-baseline", false, "skip the baseline referee in -diff mode")
-		corpus   = flag.String("corpus", "", "write sentences as Go fuzz corpus files into this directory instead of stdout")
+		productN   = flag.String("product", "core", "preset dialect: minimal|tinysql|scql|core|warehouse|full (sql2003 is an alias for full)")
+		features   = flag.String("features", "", "comma-separated feature names; overrides -product")
+		n          = flag.Int("n", 100, "number of sentences to generate")
+		seed       = flag.Int64("seed", 1, "generator seed; equal seeds reproduce equal corpora")
+		depth      = flag.Int("depth", 12, "max nonterminal nesting depth")
+		coverage   = flag.Bool("coverage", false, "steer choices toward unexercised grammar alternatives")
+		stats      = flag.Bool("stats", false, "print coverage summary to stderr")
+		verify     = flag.Bool("verify", true, "require every sentence to parse under the generating product")
+		diffMode   = flag.Bool("diff", false, "differential-oracle mode: check sentences against superset and baseline parsers")
+		superset   = flag.String("superset", "", "superset preset for -diff (default full; empty disables when product is full)")
+		noBase     = flag.Bool("no-baseline", false, "skip the baseline referee in -diff mode")
+		corpus     = flag.String("corpus", "", "write sentences as Go fuzz corpus files into this directory instead of stdout")
+		sampleK    = flag.Int("sample", 0, "diff mode: also run the oracle over K solver-sampled configurations anchored at the subject's features")
+		sampleSeed = flag.Int64("sample-seed", 1, "seed for -sample configuration draws; equal seeds reproduce equal configurations")
+		sampleP    = flag.Float64("sample-p", 0.25, "inclusion probability per unforced diagram for -sample draws")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,38 +68,31 @@ func main() {
 	if *n <= 0 {
 		fatal(fmt.Errorf("-n must be positive, got %d", *n))
 	}
+	if *sampleK > 0 && !*diffMode {
+		fatal(fmt.Errorf("-sample only applies in -diff mode"))
+	}
+	if *sampleK > 0 && *corpus != "" {
+		fatal(fmt.Errorf("-sample and -corpus are mutually exclusive: corpus files name one product"))
+	}
 
 	prod, err := buildProduct(*productN, *features)
 	if err != nil {
 		fatal(err)
 	}
-
-	gen, err := sentence.New(prod.Grammar, prod.Tokens, sentence.Options{
-		Seed:     *seed,
-		MaxDepth: *depth,
-		Coverage: *coverage,
-	})
-	if err != nil {
-		fatal(err)
+	subjects := []*core.Product{prod}
+	if *sampleK > 0 {
+		sampled, err := sampleSubjects(prod, *sampleK, *sampleSeed, *sampleP)
+		if err != nil {
+			fatal(err)
+		}
+		subjects = append(subjects, sampled...)
 	}
 
-	var oracle *sentence.Oracle
-	if *diffMode {
-		oracle = &sentence.Oracle{Product: prod}
-		if sup := supersetName(*superset, *productN); sup != "" {
-			oracle.Superset, err = buildSuperset(sup, prod)
-			if err != nil {
-				fatal(err)
-			}
-		}
-		if !*noBase {
-			oracle.Baseline, err = baseline.New()
-			if err != nil {
-				fatal(err)
-			}
-		}
-		if oracle.Superset == nil && oracle.Baseline == nil {
-			fatal(fmt.Errorf("-diff with no referees: superset disabled and -no-baseline set"))
+	var base *baseline.Parser
+	if *diffMode && !*noBase {
+		base, err = baseline.New()
+		if err != nil {
+			fatal(err)
 		}
 	}
 
@@ -97,39 +103,93 @@ func main() {
 	}
 
 	disagreements := 0
-	for i := 0; i < *n; i++ {
-		s := gen.Sentence()
-		if *verify && oracle == nil {
-			if _, err := prod.Parse(s); err != nil {
-				fatal(fmt.Errorf("sentence %d does not parse under product %s (seed %d):\n  %s\n  %v",
-					i, prod.Name, *seed, s, err))
+	for _, subject := range subjects {
+		gen, err := sentence.New(subject.Grammar, subject.Tokens, sentence.Options{
+			Seed:     *seed,
+			MaxDepth: *depth,
+			Coverage: *coverage,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", subject.Name, err))
+		}
+
+		var oracle *sentence.Oracle
+		if *diffMode {
+			oracle = &sentence.Oracle{Product: subject, Baseline: base}
+			if sup := supersetName(*superset, *productN); sup != "" {
+				oracle.Superset, err = buildSuperset(sup, subject)
+				if err != nil {
+					fatal(fmt.Errorf("%s: %v", subject.Name, err))
+				}
+			}
+			if oracle.Superset == nil && oracle.Baseline == nil {
+				fatal(fmt.Errorf("-diff with no referees: superset disabled and -no-baseline set"))
 			}
 		}
-		if oracle != nil {
-			for _, r := range oracle.Check(s, *seed, i) {
-				fmt.Fprintln(os.Stderr, r)
-				disagreements++
+
+		for i := 0; i < *n; i++ {
+			s := gen.Sentence()
+			if *verify && oracle == nil {
+				if _, err := subject.Parse(s); err != nil {
+					fatal(fmt.Errorf("sentence %d does not parse under product %s (seed %d):\n  %s\n  %v",
+						i, subject.Name, *seed, s, err))
+				}
+			}
+			if oracle != nil {
+				for _, r := range oracle.Check(s, *seed, i) {
+					fmt.Fprintln(os.Stderr, r)
+					disagreements++
+				}
+			}
+			if *corpus != "" {
+				if err := writeCorpusFile(*corpus, *seed, i, s); err != nil {
+					fatal(err)
+				}
+			} else {
+				fmt.Println(s)
 			}
 		}
-		if *corpus != "" {
-			if err := writeCorpusFile(*corpus, *seed, i, s); err != nil {
-				fatal(err)
-			}
-		} else {
-			fmt.Println(s)
+
+		if *stats {
+			fmt.Fprintf(os.Stderr, "sqlgen: product=%s seed=%d n=%d: %s\n",
+				subject.Name, *seed, *n, gen.Coverage())
 		}
 	}
 
-	if *stats {
-		fmt.Fprintf(os.Stderr, "sqlgen: product=%s seed=%d n=%d: %s\n",
-			prod.Name, *seed, *n, gen.Coverage())
-	}
-	if oracle != nil {
-		fmt.Fprintf(os.Stderr, "sqlgen: diff: %d sentences, %d disagreements\n", *n, disagreements)
+	if *diffMode {
+		fmt.Fprintf(os.Stderr, "sqlgen: diff: %d subjects x %d sentences, %d disagreements\n",
+			len(subjects), *n, disagreements)
 		if disagreements > 0 {
 			os.Exit(1)
 		}
 	}
+}
+
+// sampleSubjects draws k valid configurations from the solver, each
+// anchored at the subject product's (closed) feature selection, and builds
+// every draw through the shared catalog. The draws are seeded: the same
+// (sample-seed, k, p) triple rebuilds the same configurations, which keeps
+// oracle failures replayable.
+func sampleSubjects(sub *core.Product, k int, seed int64, p float64) ([]*core.Product, error) {
+	sol := configure.New(dialect.Catalog().Model())
+	sa, err := sol.NewSampler(seed, p, sub.Config.Names()...)
+	if err != nil {
+		return nil, fmt.Errorf("sampler: %w", err)
+	}
+	out := make([]*core.Product, 0, k)
+	for i := 0; i < k; i++ {
+		cfg, err := sa.Next()
+		if err != nil {
+			return nil, fmt.Errorf("sample draw %d: %w", i, err)
+		}
+		name := fmt.Sprintf("%s+sampled-%d-%d", sub.Name, seed, i)
+		prod, err := dialect.Catalog().Get(cfg, core.Options{Product: name, Start: sub.Grammar.Start})
+		if err != nil {
+			return nil, fmt.Errorf("build sampled config %d (%d features): %w", i, cfg.Len(), err)
+		}
+		out = append(out, prod)
+	}
+	return out, nil
 }
 
 // buildProduct resolves either an explicit feature list or a preset name

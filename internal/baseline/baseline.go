@@ -730,11 +730,30 @@ func (s *state) groupingElement() (ast.GroupingElement, error) {
 		}
 		var cols []ast.Expr
 		for {
-			chain, err := s.nameChain()
-			if err != nil {
-				return ast.GroupingElement{}, err
+			// Each element is an <ordinary grouping set>: a column
+			// reference or a parenthesized column-reference list
+			// (SQL:2003 §7.9) — ROLLUP ( (a, b), c ) groups pairwise.
+			if s.accept("LPAREN") {
+				for {
+					chain, err := s.nameChain()
+					if err != nil {
+						return ast.GroupingElement{}, err
+					}
+					cols = append(cols, &ast.ColumnRef{Parts: chain})
+					if !s.accept("COMMA") {
+						break
+					}
+				}
+				if _, err := s.expect("RPAREN"); err != nil {
+					return ast.GroupingElement{}, err
+				}
+			} else {
+				chain, err := s.nameChain()
+				if err != nil {
+					return ast.GroupingElement{}, err
+				}
+				cols = append(cols, &ast.ColumnRef{Parts: chain})
 			}
-			cols = append(cols, &ast.ColumnRef{Parts: chain})
 			if !s.accept("COMMA") {
 				break
 			}

@@ -1,0 +1,91 @@
+package configure_test
+
+import (
+	"testing"
+
+	"sqlspl/internal/configure"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/sql2003"
+)
+
+// Solver latency on the full SQL:2003 model — the numbers recorded in
+// EXPERIMENTS.md ("Configuration solver"). The solver index is built once
+// per model, so these measure the steady-state per-request cost the
+// /v1/configure handler pays.
+
+func benchSolver(b *testing.B) *configure.Solver {
+	b.Helper()
+	sol := configure.New(sql2003.MustModel())
+	// Prime the lazily built solver index and counting memo.
+	if _, _, err := sol.Complete(configure.Request{}); err != nil {
+		b.Fatal(err)
+	}
+	sol.Space()
+	return sol
+}
+
+func BenchmarkCompleteEmpty(b *testing.B) {
+	sol := benchSolver(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, conflict, err := sol.Complete(configure.Request{}); err != nil || conflict != nil {
+			b.Fatalf("err=%v conflict=%v", err, conflict)
+		}
+	}
+}
+
+func BenchmarkCompletePreset(b *testing.B) {
+	sol := benchSolver(b)
+	feats, err := dialect.Features(dialect.Core)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, conflict, err := sol.Complete(configure.Request{Require: feats}); err != nil || conflict != nil {
+			b.Fatalf("err=%v conflict=%v", err, conflict)
+		}
+	}
+}
+
+func BenchmarkExplainConflict(b *testing.B) {
+	sol := benchSolver(b)
+	req := configure.Request{Require: []string{"where"}, Forbid: []string{"search_condition"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sol.Explain(req)
+		if err != nil || c == nil {
+			b.Fatalf("err=%v conflict=%v", err, c)
+		}
+	}
+}
+
+func BenchmarkSampleNext(b *testing.B) {
+	sol := benchSolver(b)
+	feats, err := dialect.Features(dialect.Minimal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := sol.NewSampler(1, 0.25, feats...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpace(b *testing.B) {
+	// Counting is memoized per solver; measure the cold cost by building a
+	// fresh solver each iteration (the index build rides along, matching
+	// the first /v1/configure count request a process serves).
+	for i := 0; i < b.N; i++ {
+		sol := configure.New(sql2003.MustModel())
+		if len(sol.Space()) == 0 {
+			b.Fatal("no diagrams")
+		}
+	}
+}

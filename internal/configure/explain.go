@@ -1,0 +1,328 @@
+package configure
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqlspl/internal/feature"
+)
+
+// Conflict explains an infeasible request: a minimal set of the client's
+// own decisions that cannot hold together, the model constraints they
+// violate, human-readable forcing chains showing why, and one suggested
+// relaxation that restores feasibility.
+type Conflict struct {
+	// Decisions is the minimal conflict set over the request's atoms,
+	// rendered "require:<feature>" / "forbid:<feature>". Minimal means
+	// irreducible: removing any one atom makes the rest feasible.
+	Decisions []string
+	// Constraints names the violated model constraints and group rules,
+	// e.g. `where requires search_condition` or an alternative-group rule.
+	Constraints []string
+	// Chains are forcing chains from required features to the violation,
+	// one hop per line segment, e.g.
+	// "require where -> where requires search_condition -> search_condition (forbidden)".
+	Chains []string
+	// Relaxation is the suggested fix: drop one decision (forbid atoms
+	// preferred — un-forbidding never shrinks the client's feature set).
+	Relaxation string
+}
+
+// String renders the conflict compactly for CLI use.
+func (c *Conflict) String() string {
+	var b strings.Builder
+	b.WriteString("conflicting decisions: " + strings.Join(c.Decisions, ", "))
+	for _, con := range c.Constraints {
+		b.WriteString("\n  violates: " + con)
+	}
+	for _, ch := range c.Chains {
+		b.WriteString("\n  because: " + ch)
+	}
+	if c.Relaxation != "" {
+		b.WriteString("\n  suggestion: " + c.Relaxation)
+	}
+	return b.String()
+}
+
+// atom is one client decision.
+type atom struct {
+	name   string
+	forbid bool
+}
+
+func (a atom) String() string {
+	if a.forbid {
+		return "forbid:" + a.name
+	}
+	return "require:" + a.name
+}
+
+func atomsOf(req Request) []atom {
+	var out []atom
+	for _, n := range req.Require {
+		out = append(out, atom{name: n})
+	}
+	for _, n := range req.Forbid {
+		out = append(out, atom{name: n, forbid: true})
+	}
+	return out
+}
+
+func requestOf(atoms []atom) Request {
+	var req Request
+	for _, a := range atoms {
+		if a.forbid {
+			req.Forbid = append(req.Forbid, a.name)
+		} else {
+			req.Require = append(req.Require, a.name)
+		}
+	}
+	return req
+}
+
+// Explain returns nil when the request is feasible, a minimal conflict
+// otherwise. Minimization is the deletion-filter variant of QuickXplain:
+// walk the decision atoms once, dropping each atom whose removal keeps the
+// rest infeasible; what survives is an irreducible conflict set. The model
+// itself is the background theory (it is satisfiable on its own — the
+// empty configuration is always valid), so a conflict always names only
+// client decisions. An error is returned for malformed requests or when
+// the solve budget is exhausted mid-minimization (the conflict would be
+// unproven).
+func (s *Solver) Explain(req Request) (*Conflict, error) {
+	req, err := s.normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	infeasible := func(atoms []atom) (bool, error) {
+		r := requestOf(atoms)
+		_, serr := s.m.Solve(r.Require, r.Forbid)
+		if serr == nil {
+			return false, nil
+		}
+		if errors.Is(serr, feature.ErrUnsatisfiable) {
+			return true, nil
+		}
+		return false, serr
+	}
+	all := atomsOf(req)
+	bad, err := infeasible(all)
+	if err != nil || !bad {
+		return nil, err
+	}
+	// Deletion filter: keep an atom only if the set stays feasible without
+	// it. Deterministic — atoms arrive sorted (require first, then forbid).
+	core := append([]atom(nil), all...)
+	for i := 0; i < len(core); {
+		trial := make([]atom, 0, len(core)-1)
+		trial = append(trial, core[:i]...)
+		trial = append(trial, core[i+1:]...)
+		still, err := infeasible(trial)
+		if err != nil {
+			return nil, err
+		}
+		if still {
+			core = trial // atom i is redundant; do not advance past the swap-in
+		} else {
+			i++
+		}
+	}
+	conflict := &Conflict{}
+	for _, a := range core {
+		conflict.Decisions = append(conflict.Decisions, a.String())
+	}
+	s.narrate(conflict, requestOf(core))
+	conflict.Relaxation = relaxation(core)
+	return conflict, nil
+}
+
+// relaxation picks the decision to drop: the first forbid atom if any
+// (un-forbidding restores feasibility without shrinking what the client
+// asked for — by minimality, removing any single atom suffices), else the
+// first require atom.
+func relaxation(core []atom) string {
+	for _, a := range core {
+		if a.forbid {
+			return fmt.Sprintf("drop %q — the remaining decisions are satisfiable without it", a.String())
+		}
+	}
+	if len(core) > 0 {
+		return fmt.Sprintf("drop %q — the remaining decisions are satisfiable without it", core[0].String())
+	}
+	return ""
+}
+
+// forcedStep is one hop of a forcing chain: selecting from forces to.
+type forcedStep struct {
+	from, to int
+	why      string // rendered rule, e.g. "where requires search_condition"
+}
+
+// narrate fills Constraints and Chains for a minimal conflict by replaying
+// the mechanical closure of the required atoms with predecessor tracking:
+// BFS over the forced edges (child -> parent, parent -> mandatory
+// And-child, requires A -> B), then reads off why the forbidden atoms (or
+// an excludes pair, or an overfull alternative group) are unavoidable.
+// Search-level conflicts that closure alone cannot exhibit (e.g. a starved
+// Or group whose every child is individually viable) fall back to naming
+// the group rule.
+func (s *Solver) narrate(c *Conflict, req Request) {
+	m := s.m
+	// Deterministic integer ids: diagram order, pre-order.
+	var names []string
+	id := map[string]int{}
+	for _, d := range m.Diagrams {
+		d.WalkFeatures(func(f *feature.Feature) {
+			id[f.Name] = len(names)
+			names = append(names, f.Name)
+		})
+	}
+	// BFS from the required atoms over forced edges.
+	pred := make([]*forcedStep, len(names))
+	seen := make([]bool, len(names))
+	var queue []int
+	for _, n := range req.Require {
+		i := id[n]
+		if !seen[i] {
+			seen[i] = true
+			queue = append(queue, i)
+		}
+	}
+	push := func(from, to int, why string) {
+		if !seen[to] {
+			seen[to] = true
+			pred[to] = &forcedStep{from: from, to: to, why: why}
+			queue = append(queue, to)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		f := m.Feature(names[i])
+		if p := f.Parent(); p != nil {
+			push(i, id[p.Name], fmt.Sprintf("%s is selected only under its parent %s", f.Name, p.Name))
+		}
+		if f.Group == feature.And {
+			for _, ch := range f.Children {
+				if !ch.Optional {
+					push(i, id[ch.Name], fmt.Sprintf("%s is mandatory under %s", ch.Name, f.Name))
+				}
+			}
+		}
+		for _, con := range m.Constraints {
+			if con.Kind == feature.Requires && con.A == f.Name {
+				push(i, id[con.B], con.String())
+			}
+		}
+	}
+	chainTo := func(target int) (hops []string, constraints []string) {
+		// Walk predecessors back to a root atom, then render forward.
+		var steps []*forcedStep
+		for at := target; pred[at] != nil; at = pred[at].from {
+			steps = append(steps, pred[at])
+		}
+		if len(steps) == 0 {
+			return nil, nil
+		}
+		hops = append(hops, "require "+names[steps[len(steps)-1].from])
+		for i := len(steps) - 1; i >= 0; i-- {
+			hops = append(hops, steps[i].why)
+			if strings.Contains(steps[i].why, " requires ") {
+				constraints = append(constraints, steps[i].why)
+			}
+		}
+		return hops, constraints
+	}
+	addConstraint := func(con string) {
+		for _, have := range c.Constraints {
+			if have == con {
+				return
+			}
+		}
+		c.Constraints = append(c.Constraints, con)
+	}
+	// Forbidden atoms that the closure forces anyway.
+	for _, n := range req.Forbid {
+		i := id[n]
+		if !seen[i] {
+			continue
+		}
+		hops, cons := chainTo(i)
+		for _, con := range cons {
+			addConstraint(con)
+		}
+		if len(hops) == 0 {
+			// The forbidden feature is itself required.
+			c.Chains = append(c.Chains, fmt.Sprintf("require %s -> %s (forbidden)", n, n))
+			continue
+		}
+		c.Chains = append(c.Chains, strings.Join(hops, " -> ")+fmt.Sprintf(" -> %s (forbidden)", n))
+	}
+	// Excludes constraints with both endpoints forced.
+	for _, con := range m.Constraints {
+		if con.Kind != feature.Excludes {
+			continue
+		}
+		a, b := id[con.A], id[con.B]
+		if seen[a] && seen[b] {
+			addConstraint(con.String())
+			for _, end := range []int{a, b} {
+				if hops, cons := chainTo(end); len(hops) > 0 {
+					for _, cc := range cons {
+						addConstraint(cc)
+					}
+					c.Chains = append(c.Chains, strings.Join(hops, " -> ")+fmt.Sprintf(" -> %s (excluded)", names[end]))
+				}
+			}
+		}
+	}
+	// Group rules: overfull alternatives and starved Or/Alternative groups.
+	forbidden := map[string]bool{}
+	for _, n := range req.Forbid {
+		forbidden[n] = true
+	}
+	for i, n := range names {
+		if !seen[i] {
+			continue
+		}
+		f := m.Feature(n)
+		if len(f.Children) == 0 || f.Group == feature.And {
+			continue
+		}
+		var forced, starvedBy []string
+		viable := false
+		for _, ch := range f.Children {
+			if seen[id[ch.Name]] {
+				forced = append(forced, ch.Name)
+			}
+			if forbidden[ch.Name] {
+				starvedBy = append(starvedBy, ch.Name)
+			} else {
+				viable = true
+			}
+		}
+		if f.Group == feature.Alternative && len(forced) > 1 {
+			addConstraint(fmt.Sprintf("alternative-group %s permits exactly one of {%s}, but {%s} are all forced", n, childList(f), strings.Join(forced, ", ")))
+		}
+		if !viable && len(starvedBy) > 0 {
+			addConstraint(fmt.Sprintf("%s-group %s needs one of {%s}, but all are forbidden", f.Group, n, childList(f)))
+		}
+	}
+	if len(c.Constraints) == 0 {
+		// The infeasibility needed search, not just closure (e.g. every
+		// choice in some group dies downstream). Name the decisions and the
+		// solver's verdict rather than inventing a chain.
+		c.Constraints = append(c.Constraints, "no valid configuration satisfies these decisions together (proved by exhaustive group search)")
+	}
+	sort.Strings(c.Chains)
+}
+
+func childList(f *feature.Feature) string {
+	names := make([]string, len(f.Children))
+	for i, c := range f.Children {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ", ")
+}

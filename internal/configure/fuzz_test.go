@@ -1,0 +1,146 @@
+package configure
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sqlspl/internal/feature"
+	"sqlspl/internal/sql2003"
+)
+
+// fuzzModel builds the synthetic excludes/alternative model without a
+// *testing.T (FuzzConfigure's seed phase has only *testing.F).
+func fuzzModel() *feature.Model {
+	d1 := feature.NewDiagram("q", "",
+		feature.New("root",
+			feature.New("mand1",
+				feature.New("mand2"),
+				feature.New("opt1").MarkOptional(),
+			),
+			feature.New("group",
+				feature.New("g1"),
+				feature.New("g2"),
+			).GroupOr().MarkOptional(),
+			feature.New("alt",
+				feature.New("a1"),
+				feature.New("a2"),
+			).GroupAlt(),
+		),
+	)
+	d2 := feature.NewDiagram("other", "",
+		feature.New("other_root",
+			feature.New("needs_g1").MarkOptional(),
+			feature.New("hates_g1").MarkOptional(),
+		),
+	)
+	m, err := feature.NewModel("fm", []*feature.Diagram{d1, d2}, []feature.Constraint{
+		{Kind: feature.Requires, A: "needs_g1", B: "g1"},
+		{Kind: feature.Requires, A: "hates_g1", B: "g1"},
+		{Kind: feature.Excludes, A: "hates_g1", B: "g1"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FuzzConfigure drives the solver with byte-selected decision atoms over
+// both the synthetic constraint-heavy model and the real SQL:2003 model,
+// holding the package invariants:
+//
+//   - Complete/Explain never panic;
+//   - a Completion validates and re-completing it adds nothing
+//     (idempotence);
+//   - a Conflict's decision set is actually conflicting (solving exactly
+//     those atoms is infeasible) and irreducible (dropping any one atom
+//     restores feasibility).
+func FuzzConfigure(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 1, 2, 3})
+	f.Add([]byte{0, 0xff, 0x10, 0x22, 0x80, 0x05, 0x41})
+	f.Add([]byte{1, 9, 9, 9, 9, 9, 9, 9, 9})
+
+	synth := fuzzModel()
+	synthSolver := New(synth)
+	synthNames := synth.FeatureNames()
+	sqlModel := sql2003.MustModel()
+	sqlSolver := New(sqlModel)
+	sqlNames := sqlModel.FeatureNames()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		s, names := synthSolver, synthNames
+		if data[0]&1 == 1 {
+			s, names = sqlSolver, sqlNames
+		}
+		var req Request
+		for i := 1; i+1 < len(data) && i < 17; i += 2 {
+			name := names[int(data[i])%len(names)]
+			if data[i+1]&1 == 0 {
+				req.Require = append(req.Require, name)
+			} else {
+				req.Forbid = append(req.Forbid, name)
+			}
+		}
+		comp, conflict, err := s.Complete(req)
+		if err != nil {
+			if errors.Is(err, feature.ErrSolveBudget) {
+				return // unknown — allowed, just not a wrong answer
+			}
+			t.Fatalf("unexpected error: %v", err)
+		}
+		switch {
+		case comp != nil:
+			if err := s.Model().Validate(comp.Config); err != nil {
+				t.Fatalf("completion invalid: %v\nrequest %+v", err, req)
+			}
+			for _, fb := range req.Forbid {
+				if comp.Config.Has(fb) {
+					t.Fatalf("completion selected forbidden %s", fb)
+				}
+			}
+			again, conflict2, err := s.Complete(Request{Require: comp.Config.Names(), Forbid: req.Forbid})
+			if err != nil || conflict2 != nil {
+				t.Fatalf("re-completing a completion failed: err=%v conflict=%v", err, conflict2)
+			}
+			if len(again.Added) != 0 {
+				t.Fatalf("completion not idempotent, re-adds %v", again.Added)
+			}
+		case conflict != nil:
+			if len(conflict.Decisions) == 0 {
+				t.Fatal("conflict with no decisions")
+			}
+			if len(conflict.Constraints) == 0 {
+				t.Fatal("conflict with no violated constraints")
+			}
+			core := decisionsToRequest(conflict.Decisions)
+			if _, serr := s.Model().Solve(core.Require, core.Forbid); !errors.Is(serr, feature.ErrUnsatisfiable) {
+				t.Fatalf("conflict set %v is not actually conflicting: %v", conflict.Decisions, serr)
+			}
+			for skip := range conflict.Decisions {
+				sub := decisionsToRequest(append(append([]string{}, conflict.Decisions[:skip]...), conflict.Decisions[skip+1:]...))
+				if _, serr := s.Model().Solve(sub.Require, sub.Forbid); serr != nil {
+					t.Fatalf("conflict set not minimal: still infeasible without %s: %v", conflict.Decisions[skip], serr)
+				}
+			}
+		default:
+			t.Fatal("Complete returned neither completion nor conflict nor error")
+		}
+	})
+}
+
+func decisionsToRequest(decisions []string) Request {
+	var req Request
+	for _, dec := range decisions {
+		name := strings.SplitN(dec, ":", 2)[1]
+		if strings.HasPrefix(dec, "forbid:") {
+			req.Forbid = append(req.Forbid, name)
+		} else {
+			req.Require = append(req.Require, name)
+		}
+	}
+	return req
+}

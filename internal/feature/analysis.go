@@ -1,6 +1,7 @@
 package feature
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -40,24 +41,24 @@ func (m *Model) CoreFeatures(d *Diagram) []string {
 }
 
 // DeadFeatures returns features that cannot appear in any valid
-// configuration because their requires-closure trips an excludes
-// constraint. The check is conservative: it follows ancestors, mandatory
-// children and requires edges (the same closure Close computes) and
-// reports a feature dead only when that forced set itself violates an
-// excludes constraint — group choices cannot rescue it.
+// configuration of the model: Solve proves {f} unsatisfiable. This is the
+// exact product-line definition of dead — it subsumes the older closure
+// check (forced set trips an excludes constraint, pinned as a reference in
+// the tests) and additionally catches deaths that need group reasoning,
+// such as a feature whose requires-targets sit in the same alternative
+// group. A feature whose solve exhausts the search budget is reported
+// alive (conservative). The result is computed once per model and cached;
+// Model is immutable after NewModel, so the cache never staleness-checks.
 func (m *Model) DeadFeatures() []string {
-	var dead []string
-	for _, name := range m.FeatureNames() {
-		closed := m.Close(NewConfig(name))
-		for _, con := range m.Constraints {
-			if con.Kind == Excludes && closed.Has(con.A) && closed.Has(con.B) {
-				dead = append(dead, name)
-				break
+	m.deadOnce.Do(func() {
+		for _, name := range m.FeatureNames() {
+			if _, err := m.Solve([]string{name}, nil); errors.Is(err, ErrUnsatisfiable) {
+				m.deadList = append(m.deadList, name)
 			}
 		}
-	}
-	sort.Strings(dead)
-	return dead
+		sort.Strings(m.deadList)
+	})
+	return append([]string(nil), m.deadList...)
 }
 
 // deselectSubtree removes a feature and all its descendants from cfg.

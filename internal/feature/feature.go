@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // GroupKind describes how the children of a feature are selected.
@@ -161,6 +162,13 @@ type Model struct {
 
 	features map[string]*Feature
 	diagram  map[string]*Diagram // feature name -> owning diagram
+
+	// Lazily built solver caches (solve.go). A Model is immutable after
+	// NewModel, so both are computed at most once and shared.
+	solveOnce sync.Once
+	solveIdx  *solverIndex
+	deadOnce  sync.Once
+	deadList  []string
 }
 
 // NewModel builds a model from diagrams and constraints, wiring parent

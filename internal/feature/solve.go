@@ -1,0 +1,366 @@
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements the model-level satisfiability primitive: a
+// deterministic unit-propagation + bounded-backtracking search that either
+// extends a partial decision (required and forbidden features) to a valid
+// configuration or proves that none exists. It is the foundation the
+// configuration solver (package configure) builds its serving-grade
+// completion/explanation/sampling API on, and it gives DeadFeatures its
+// exact definition: a feature is dead iff no valid configuration contains
+// it.
+
+// ErrUnsatisfiable is wrapped by Solve errors that constitute a proof:
+// no valid configuration of the model satisfies the request.
+var ErrUnsatisfiable = errors.New("no valid configuration satisfies the request")
+
+// ErrSolveBudget is returned when the backtracking search exhausts its node
+// budget before either finding a configuration or proving unsatisfiability.
+// Callers must treat it as "unknown", not as a proof either way.
+var ErrSolveBudget = errors.New("solve budget exhausted")
+
+// solveBudget bounds the number of branch trials per Solve call. The SQL
+// model's search is conflict-free (every branch succeeds first try), so the
+// budget only matters for adversarial synthetic models.
+const solveBudget = 1 << 14
+
+// solverIndex is the integer-indexed view of a model the solver works on.
+// Feature ids follow diagram order, pre-order within each diagram, so every
+// derived iteration is deterministic.
+type solverIndex struct {
+	names    []string
+	id       map[string]int
+	parent   []int // -1 for diagram roots
+	children [][]int
+	group    []GroupKind
+	optional []bool
+	reqOut   [][]int // requires A -> B, indexed by A
+	reqIn    [][]int // requires A -> B, indexed by B
+	excl     [][]int // excludes partners, symmetric
+	cost     []int   // |Close({f})| — the greedy branch-ordering key
+}
+
+func (m *Model) solverIndex() *solverIndex {
+	m.solveOnce.Do(func() {
+		ix := &solverIndex{id: map[string]int{}}
+		for _, d := range m.Diagrams {
+			d.WalkFeatures(func(f *Feature) {
+				ix.id[f.Name] = len(ix.names)
+				ix.names = append(ix.names, f.Name)
+			})
+		}
+		n := len(ix.names)
+		ix.parent = make([]int, n)
+		ix.children = make([][]int, n)
+		ix.group = make([]GroupKind, n)
+		ix.optional = make([]bool, n)
+		ix.reqOut = make([][]int, n)
+		ix.reqIn = make([][]int, n)
+		ix.excl = make([][]int, n)
+		ix.cost = make([]int, n)
+		for i, name := range ix.names {
+			f := m.features[name]
+			ix.group[i] = f.Group
+			ix.optional[i] = f.Optional
+			ix.parent[i] = -1
+			if f.parent != nil {
+				ix.parent[i] = ix.id[f.parent.Name]
+			}
+			for _, c := range f.Children {
+				ix.children[i] = append(ix.children[i], ix.id[c.Name])
+			}
+			ix.cost[i] = m.Close(NewConfig(name)).Len()
+		}
+		for _, con := range m.Constraints {
+			a, b := ix.id[con.A], ix.id[con.B]
+			switch con.Kind {
+			case Requires:
+				ix.reqOut[a] = append(ix.reqOut[a], b)
+				ix.reqIn[b] = append(ix.reqIn[b], a)
+			case Excludes:
+				ix.excl[a] = append(ix.excl[a], b)
+				ix.excl[b] = append(ix.excl[b], a)
+			}
+		}
+		m.solveIdx = ix
+	})
+	return m.solveIdx
+}
+
+// solveState is one node of the search: a three-valued assignment over all
+// features (0 unknown, +1 selected, -1 excluded) plus the propagation
+// worklist of freshly assigned ids.
+type solveState struct {
+	ix    *solverIndex
+	val   []int8
+	queue []int
+}
+
+func (s *solveState) clone() *solveState {
+	v := make([]int8, len(s.val))
+	copy(v, s.val)
+	return &solveState{ix: s.ix, val: v}
+}
+
+func (s *solveState) assign(id int, v int8) error {
+	switch s.val[id] {
+	case v:
+		return nil
+	case -v:
+		if v > 0 {
+			return fmt.Errorf("%w: %s must be selected but is excluded", ErrUnsatisfiable, s.ix.names[id])
+		}
+		return fmt.Errorf("%w: %s must be excluded but is selected", ErrUnsatisfiable, s.ix.names[id])
+	}
+	s.val[id] = v
+	s.queue = append(s.queue, id)
+	return nil
+}
+
+// propagate runs unit propagation to a fixed point:
+//
+//	selected f  ⇒ parent selected, mandatory And-children selected,
+//	              requires-targets selected, excludes-partners excluded;
+//	excluded f  ⇒ children excluded, requires-sources excluded;
+//	group rules ⇒ a selected Or/Alternative parent whose children are all
+//	              but one excluded forces the last child; an Alternative
+//	              parent with a selected child excludes the siblings;
+//	              exhausted groups and double-selected alternatives conflict.
+//
+// The rules are Horn-style unit rules, so the fixed point is unique and
+// independent of worklist order.
+func (s *solveState) propagate() error {
+	ix := s.ix
+	for len(s.queue) > 0 {
+		id := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		switch s.val[id] {
+		case 1:
+			if p := ix.parent[id]; p >= 0 {
+				if err := s.assign(p, 1); err != nil {
+					return err
+				}
+			}
+			if ix.group[id] == And {
+				for _, c := range ix.children[id] {
+					if !ix.optional[c] {
+						if err := s.assign(c, 1); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			for _, b := range ix.reqOut[id] {
+				if err := s.assign(b, 1); err != nil {
+					return err
+				}
+			}
+			for _, e := range ix.excl[id] {
+				if err := s.assign(e, -1); err != nil {
+					return err
+				}
+			}
+			if err := s.checkGroup(id); err != nil {
+				return err
+			}
+		case -1:
+			for _, c := range ix.children[id] {
+				if err := s.assign(c, -1); err != nil {
+					return err
+				}
+			}
+			for _, a := range ix.reqIn[id] {
+				if err := s.assign(a, -1); err != nil {
+					return err
+				}
+			}
+		}
+		if p := ix.parent[id]; p >= 0 {
+			if err := s.checkGroup(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkGroup enforces the Or/Alternative obligations of a selected parent.
+func (s *solveState) checkGroup(p int) error {
+	ix := s.ix
+	if s.val[p] != 1 || len(ix.children[p]) == 0 {
+		return nil
+	}
+	selected, unknown := 0, -1
+	unknowns := 0
+	for _, c := range ix.children[p] {
+		switch s.val[c] {
+		case 1:
+			selected++
+		case 0:
+			unknowns++
+			unknown = c
+		}
+	}
+	switch ix.group[p] {
+	case Or:
+		if selected > 0 {
+			return nil
+		}
+		if unknowns == 0 {
+			return fmt.Errorf("%w: or-group %s needs a child but every child is excluded", ErrUnsatisfiable, ix.names[p])
+		}
+		if unknowns == 1 {
+			return s.assign(unknown, 1)
+		}
+	case Alternative:
+		if selected > 1 {
+			return fmt.Errorf("%w: alternative-group %s permits exactly one child but several are forced", ErrUnsatisfiable, ix.names[p])
+		}
+		if selected == 1 {
+			for _, c := range ix.children[p] {
+				if s.val[c] == 0 {
+					if err := s.assign(c, -1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if unknowns == 0 {
+			return fmt.Errorf("%w: alternative-group %s needs a child but every child is excluded", ErrUnsatisfiable, ix.names[p])
+		}
+		if unknowns == 1 {
+			return s.assign(unknown, 1)
+		}
+	}
+	return nil
+}
+
+// firstObligation returns the lowest-id selected Or/Alternative parent with
+// no selected child yet, or -1 when the assignment is complete (unknowns
+// then default to excluded, which Validate accepts).
+func (s *solveState) firstObligation() int {
+	ix := s.ix
+	for id := range ix.names {
+		if s.val[id] != 1 || ix.group[id] == And || len(ix.children[id]) == 0 {
+			continue
+		}
+		has := false
+		for _, c := range ix.children[id] {
+			if s.val[c] == 1 {
+				has = true
+				break
+			}
+		}
+		if !has {
+			return id
+		}
+	}
+	return -1
+}
+
+// candidates returns the undecided children of an obligation, cheapest
+// closure first, name-ordered on ties — the greedy key that makes completed
+// configurations small and the search deterministic.
+func (s *solveState) candidates(p int) []int {
+	var out []int
+	for _, c := range s.ix.children[p] {
+		if s.val[c] == 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := s.ix.cost[out[i]], s.ix.cost[out[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return s.ix.names[out[i]] < s.ix.names[out[j]]
+	})
+	return out
+}
+
+// search runs DFS over group choices: propagate, pick the first unsatisfied
+// group obligation, try each candidate child in greedy order. Selecting one
+// child per obligation is complete for satisfiability — any valid
+// configuration has at least one selected child per obligation, and
+// restricting attention to one of them only removes constraints.
+func (s *solveState) search(budget *int) error {
+	if err := s.propagate(); err != nil {
+		return err
+	}
+	p := s.firstObligation()
+	if p < 0 {
+		return nil
+	}
+	var lastErr error
+	for _, c := range s.candidates(p) {
+		if *budget <= 0 {
+			return ErrSolveBudget
+		}
+		*budget--
+		child := s.clone()
+		if err := child.assign(c, 1); err != nil {
+			lastErr = err
+			continue
+		}
+		err := child.search(budget)
+		if err == nil {
+			copy(s.val, child.val)
+			return nil
+		}
+		if errors.Is(err, ErrSolveBudget) {
+			return err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: group %s has no selectable child", ErrUnsatisfiable, s.ix.names[p])
+	}
+	return lastErr
+}
+
+// Solve extends a partial decision to a valid configuration: every feature
+// in require is selected, none in forbid is, and the result passes
+// Validate. The search prefers fewest added features (each group obligation
+// is met by the child with the smallest requires-closure, ties broken by
+// name) and is fully deterministic. On failure the error wraps
+// ErrUnsatisfiable (a proof that no such configuration exists) or
+// ErrSolveBudget (search gave up; unknown either way).
+func (m *Model) Solve(require, forbid []string) (*Config, error) {
+	ix := m.solverIndex()
+	st := &solveState{ix: ix, val: make([]int8, len(ix.names))}
+	for _, name := range require {
+		id, ok := ix.id[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown feature %q", name)
+		}
+		if err := st.assign(id, 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range forbid {
+		id, ok := ix.id[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown feature %q", name)
+		}
+		if err := st.assign(id, -1); err != nil {
+			return nil, err
+		}
+	}
+	budget := solveBudget
+	if err := st.search(&budget); err != nil {
+		return nil, err
+	}
+	cfg := NewConfig()
+	for id, v := range st.val {
+		if v == 1 {
+			cfg.Select(ix.names[id])
+		}
+	}
+	return cfg, nil
+}

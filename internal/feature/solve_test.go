@@ -1,0 +1,127 @@
+package feature
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestSolveEmptyIsEmpty(t *testing.T) {
+	m := analysisModel(t)
+	cfg, err := m.Solve(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Len() != 0 {
+		t.Errorf("empty request solved to %v, want empty config", cfg)
+	}
+	if err := m.Validate(cfg); err != nil {
+		t.Errorf("empty config invalid: %v", err)
+	}
+}
+
+func TestSolveCompletesMinimally(t *testing.T) {
+	m := analysisModel(t)
+	cfg, err := m.Solve([]string{"root"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(cfg); err != nil {
+		t.Fatalf("solved config invalid: %v", err)
+	}
+	// root forces mand1+mand2 (mandatory), alt (mandatory) with exactly one
+	// child, solo_group (mandatory) with only_child. "group" is optional and
+	// must NOT be added; a1 wins the alt tie-break over a2 by name.
+	want := []string{"a1", "alt", "mand1", "mand2", "only_child", "root", "solo_group"}
+	if got := cfg.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("solved %v, want %v", got, want)
+	}
+}
+
+func TestSolveHonorsForbid(t *testing.T) {
+	m := analysisModel(t)
+	cfg, err := m.Solve([]string{"root"}, []string{"a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Has("a1") || !cfg.Has("a2") {
+		t.Errorf("forbidding a1 should steer the alternative to a2: %v", cfg)
+	}
+	if err := m.Validate(cfg); err != nil {
+		t.Errorf("solved config invalid: %v", err)
+	}
+}
+
+func TestSolveRequiresClosure(t *testing.T) {
+	m := analysisModel(t)
+	cfg, err := m.Solve([]string{"needs_g1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"needs_g1", "other_root", "g1", "group", "root"} {
+		if !cfg.Has(want) {
+			t.Errorf("solve(needs_g1) missing %s: %v", want, cfg)
+		}
+	}
+	if err := m.Validate(cfg); err != nil {
+		t.Errorf("solved config invalid: %v", err)
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	m := analysisModel(t)
+	cases := [][2][]string{
+		{{"hates_g1"}, nil},              // requires g1 and excludes g1
+		{{"root"}, {"mand2"}},            // forbidding a mandatory descendant
+		{{"a1", "a2"}, nil},              // two alternative siblings
+		{{"g1"}, {"g1"}},                 // directly contradictory request
+		{{"needs_g1"}, {"g1"}},           // forbidding the requires-target
+		{{"root"}, {"a1", "a2"}},         // starving the alternative group
+		{{"solo_group"}, {"only_child"}}, // starving the or-group
+	}
+	for _, c := range cases {
+		if _, err := m.Solve(c[0], c[1]); !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("Solve(%v, forbid %v) = %v, want ErrUnsatisfiable", c[0], c[1], err)
+		}
+	}
+}
+
+func TestSolveUnknownFeature(t *testing.T) {
+	m := analysisModel(t)
+	if _, err := m.Solve([]string{"no_such"}, nil); err == nil || errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("unknown feature should be a plain error, got %v", err)
+	}
+	if _, err := m.Solve(nil, []string{"no_such"}); err == nil || errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("unknown forbidden feature should be a plain error, got %v", err)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	m := analysisModel(t)
+	a, err := m.Solve([]string{"root", "group"}, []string{"g1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Solve([]string{"group", "root"}, []string{"g1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("request order changed the answer: %v vs %v", a, b)
+	}
+}
+
+func TestSolveIdempotent(t *testing.T) {
+	m := analysisModel(t)
+	first, err := m.Solve([]string{"needs_g1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.Solve(first.Names(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != again.String() {
+		t.Errorf("re-solving a solved config changed it: %v vs %v", first, again)
+	}
+}

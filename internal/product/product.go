@@ -124,6 +124,11 @@ func NewCatalog(m *feature.Model, src core.UnitSource) *Catalog {
 	return &Catalog{model: m, src: src, entries: map[string]*entry{}}
 }
 
+// Model returns the feature model the catalog builds against. It is
+// immutable for the catalog's lifetime; callers (the configuration
+// solver in particular) may analyze it but must not mutate it.
+func (c *Catalog) Model() *feature.Model { return c.model }
+
 var (
 	defaultOnce sync.Once
 	defaultCat  *Catalog

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/feature"
+)
+
+// postConfigure round-trips one configure request through the handler.
+func postConfigure(t *testing.T, s *Server, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/configure", bytes.NewReader(data))
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func decodeConfigure(t *testing.T, body []byte) *ConfigureResponse {
+	t.Helper()
+	var resp ConfigureResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	return &resp
+}
+
+// TestConfigureCompleteEveryPreset is the acceptance criterion on the
+// wire: completing each preset's selection yields a valid configuration,
+// and parsing against the returned features works end to end.
+func TestConfigureCompleteEveryPreset(t *testing.T) {
+	s := freshServer(t, Config{})
+	for _, name := range dialect.Names() {
+		code, body := postConfigure(t, s, ConfigureRequest{Mode: ModeComplete, Dialect: string(name)})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, code, body)
+		}
+		resp := decodeConfigure(t, body)
+		if !resp.OK || resp.Conflict != nil {
+			t.Fatalf("%s: not ok: %s", name, body)
+		}
+		if len(resp.Features) == 0 {
+			t.Fatalf("%s: no features", name)
+		}
+		if err := s.cat.Model().Validate(feature.NewConfig(resp.Features...)); err != nil {
+			t.Errorf("%s: completed features invalid: %v", name, err)
+		}
+
+		// Parse against the solved selection: the negotiation round-trip.
+		rec := httptest.NewRecorder()
+		parseBody, _ := json.Marshal(ParseRequest{Features: resp.Features, SQL: "SELECT a FROM t", Want: WantVerdict})
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/parse", bytes.NewReader(parseBody)))
+		if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok":true`) {
+			t.Errorf("%s: parse with solved features failed: %d %s", name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestConfigureAllModesEveryPreset exercises the remaining wire modes for
+// every preset model.
+func TestConfigureAllModesEveryPreset(t *testing.T) {
+	s := freshServer(t, Config{})
+	for _, name := range dialect.Names() {
+		for _, mode := range []string{ModeExplain, ModeSample} {
+			code, body := postConfigure(t, s, ConfigureRequest{Mode: mode, Dialect: string(name), Seed: 3})
+			if code != http.StatusOK {
+				t.Fatalf("%s/%s: status %d: %s", name, mode, code, body)
+			}
+			resp := decodeConfigure(t, body)
+			if !resp.OK {
+				t.Fatalf("%s/%s: not ok: %s", name, mode, body)
+			}
+			if mode == ModeSample {
+				if len(resp.Configs) != 1 {
+					t.Fatalf("%s/sample: want 1 config, got %d", name, len(resp.Configs))
+				}
+				if err := s.cat.Model().Validate(feature.NewConfig(resp.Configs[0]...)); err != nil {
+					t.Errorf("%s/sample: invalid config: %v", name, err)
+				}
+			}
+		}
+	}
+	// Count mode is model-level, one call suffices.
+	code, body := postConfigure(t, s, ConfigureRequest{Mode: ModeCount})
+	if code != http.StatusOK {
+		t.Fatalf("count: status %d: %s", code, body)
+	}
+	resp := decodeConfigure(t, body)
+	if len(resp.Diagrams) != len(s.cat.Model().Diagrams) {
+		t.Errorf("count: %d diagrams, model has %d", len(resp.Diagrams), len(s.cat.Model().Diagrams))
+	}
+	if resp.Total == "" {
+		t.Error("count: missing total")
+	}
+}
+
+// TestConfigureConflict pins the infeasible-request answer: minimal
+// decision set, at least one named requires constraint, a relaxation, and
+// the conflict counter.
+func TestConfigureConflict(t *testing.T) {
+	s := freshServer(t, Config{})
+	code, body := postConfigure(t, s, ConfigureRequest{
+		Mode:    ModeExplain,
+		Require: []string{"where"},
+		Forbid:  []string{"search_condition"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeConfigure(t, body)
+	if resp.OK || resp.Conflict == nil {
+		t.Fatalf("want conflict, got %s", body)
+	}
+	want := []string{"require:where", "forbid:search_condition"}
+	if len(resp.Conflict.Decisions) != 2 || resp.Conflict.Decisions[0] != want[0] || resp.Conflict.Decisions[1] != want[1] {
+		t.Errorf("decisions %v, want %v", resp.Conflict.Decisions, want)
+	}
+	named := false
+	for _, con := range resp.Conflict.Constraints {
+		if con == "where requires search_condition" {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("constraints %v missing the requires edge", resp.Conflict.Constraints)
+	}
+	if !strings.Contains(resp.Conflict.Relaxation, "forbid:search_condition") {
+		t.Errorf("relaxation %q should suggest dropping the forbid", resp.Conflict.Relaxation)
+	}
+
+	if got := s.m.configureConflicts.Value(); got != 1 {
+		t.Errorf("conflict counter = %d, want 1", got)
+	}
+	if got := s.m.configureReqs.Value(); got != 1 {
+		t.Errorf("configure counter = %d, want 1", got)
+	}
+}
+
+// TestConfigureSampleByteDeterministic pins wire-level byte determinism
+// for a fixed seed.
+func TestConfigureSampleByteDeterministic(t *testing.T) {
+	s := freshServer(t, Config{})
+	req := ConfigureRequest{Mode: ModeSample, Dialect: "tinysql", Seed: 9, N: 3}
+	_, a := postConfigure(t, s, req)
+	_, b := postConfigure(t, s, req)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same request, different bytes:\n%s\n%s", a, b)
+	}
+}
+
+// TestConfigureBadRequests covers the 400 paths.
+func TestConfigureBadRequests(t *testing.T) {
+	s := freshServer(t, Config{})
+	cases := []any{
+		ConfigureRequest{Mode: "negotiate"},
+		ConfigureRequest{Dialect: "oracle"},
+		ConfigureRequest{Require: []string{"no_such_feature"}},
+		ConfigureRequest{Mode: ModeCount, Diagram: "no_such_diagram"},
+		map[string]any{"mode": "complete", "surprise": true},
+	}
+	for i, c := range cases {
+		code, body := postConfigure(t, s, c)
+		if code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400: %s", i, code, body)
+		}
+	}
+	// GET is rejected.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/configure", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", rec.Code)
+	}
+}
+
+// TestConfigureMetricsExposed checks the new counters render at /metrics.
+func TestConfigureMetricsExposed(t *testing.T) {
+	s := freshServer(t, Config{})
+	postConfigure(t, s, ConfigureRequest{Mode: ModeComplete, Dialect: "minimal"})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	text := rec.Body.String()
+	if !strings.Contains(text, "sqlserved_configure_requests_total 1") {
+		t.Errorf("metrics missing configure counter:\n%s", text)
+	}
+	if !strings.Contains(text, "sqlserved_configure_latency_seconds") {
+		t.Error("metrics missing configure latency histogram")
+	}
+}

@@ -18,15 +18,18 @@ import (
 type metricsBundle struct {
 	reg *telemetry.Registry
 
-	parseReqs   *telemetry.Counter
-	batchReqs   *telemetry.Counter
-	rejected    *telemetry.Counter // admission 429s
-	timeouts    *telemetry.Counter // deadline 504s
-	badRequests *telemetry.Counter // malformed bodies / unknown dialects
-	parseErrors *telemetry.Counter // well-formed requests whose SQL was rejected
-	panics      *telemetry.Counter // handler/parse panics recovered (500)
-	inflight    *telemetry.Gauge
-	latency     *telemetry.Histogram
+	parseReqs          *telemetry.Counter
+	batchReqs          *telemetry.Counter
+	configureReqs      *telemetry.Counter // /v1/configure requests admitted
+	configureConflicts *telemetry.Counter // infeasible selections explained
+	rejected           *telemetry.Counter // admission 429s
+	timeouts           *telemetry.Counter // deadline 504s
+	badRequests        *telemetry.Counter // malformed bodies / unknown dialects
+	parseErrors        *telemetry.Counter // well-formed requests whose SQL was rejected
+	panics             *telemetry.Counter // handler/parse panics recovered (500)
+	inflight           *telemetry.Gauge
+	latency            *telemetry.Histogram
+	configureLatency   *telemetry.Histogram
 
 	mu        sync.Mutex
 	byDialect map[string]*telemetry.Counter
@@ -37,15 +40,18 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBun
 		reg:       reg,
 		byDialect: map[string]*telemetry.Counter{},
 
-		parseReqs:   reg.Counter("sqlserved_parse_requests_total", "parse requests admitted"),
-		batchReqs:   reg.Counter("sqlserved_batch_requests_total", "batch requests admitted"),
-		rejected:    reg.Counter("sqlserved_rejected_total", "requests shed by the admission controller (429)"),
-		timeouts:    reg.Counter("sqlserved_timeouts_total", "requests that exceeded the per-request deadline (504)"),
-		badRequests: reg.Counter("sqlserved_bad_requests_total", "malformed requests (400)"),
-		parseErrors: reg.Counter("sqlserved_parse_errors_total", "queries rejected by their dialect's parser"),
-		panics:      reg.Counter("sqlserved_parse_panics_total", "panics recovered into 500s instead of killing the daemon"),
-		inflight:    reg.Gauge("sqlserved_inflight", "requests currently admitted"),
-		latency:     reg.Histogram("sqlserved_parse_latency_seconds", "per-query parse+encode latency", nil),
+		parseReqs:          reg.Counter("sqlserved_parse_requests_total", "parse requests admitted"),
+		batchReqs:          reg.Counter("sqlserved_batch_requests_total", "batch requests admitted"),
+		configureReqs:      reg.Counter("sqlserved_configure_requests_total", "configure requests admitted"),
+		configureConflicts: reg.Counter("sqlserved_configure_conflicts_total", "infeasible selections answered with a minimal conflict set"),
+		rejected:           reg.Counter("sqlserved_rejected_total", "requests shed by the admission controller (429)"),
+		timeouts:           reg.Counter("sqlserved_timeouts_total", "requests that exceeded the per-request deadline (504)"),
+		badRequests:        reg.Counter("sqlserved_bad_requests_total", "malformed requests (400)"),
+		parseErrors:        reg.Counter("sqlserved_parse_errors_total", "queries rejected by their dialect's parser"),
+		panics:             reg.Counter("sqlserved_parse_panics_total", "panics recovered into 500s instead of killing the daemon"),
+		inflight:           reg.Gauge("sqlserved_inflight", "requests currently admitted"),
+		latency:            reg.Histogram("sqlserved_parse_latency_seconds", "per-query parse+encode latency", nil),
+		configureLatency:   reg.Histogram("sqlserved_configure_latency_seconds", "per-request solver latency", nil),
 	}
 
 	// Product-cache counters, sampled from the catalog at scrape time. For

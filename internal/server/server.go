@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqlspl/internal/configure"
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
@@ -78,13 +79,14 @@ type Config struct {
 // Server is the parse service. Construct with New; a Server serves until
 // Shutdown.
 type Server struct {
-	cfg Config
-	cat *product.Catalog
-	reg *telemetry.Registry
-	sem chan struct{}
-	mux *http.ServeMux
-	hs  *http.Server
-	ln  net.Listener
+	cfg    Config
+	cat    *product.Catalog
+	reg    *telemetry.Registry
+	solver *configure.Solver
+	sem    chan struct{}
+	mux    *http.ServeMux
+	hs     *http.Server
+	ln     net.Listener
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -123,16 +125,18 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 4 << 20
 	}
 	s := &Server{
-		cfg: cfg,
-		cat: cfg.Catalog,
-		reg: cfg.Registry,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:    cfg,
+		cat:    cfg.Catalog,
+		reg:    cfg.Registry,
+		solver: configure.New(cfg.Catalog.Model()),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.m = newMetricsBundle(s.reg, s.cat)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/parse", s.handleParse)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/configure", s.handleConfigure)
 	s.mux.HandleFunc("/v1/dialects", s.handleDialects)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
