@@ -1,15 +1,24 @@
-// Command benchgate enforces the engine-parity regression gate on a
-// BENCH_parse.json series written by sqlbench: for every workload that
-// carries both an interpreted and a generated row (the E11 series), the
-// generated engine's ns/query must not exceed the interpreted engine's
-// by more than -max-slowdown. CI runs it after the benchmark step so the
-// specialized-codegen win cannot silently rot.
+// Command benchgate enforces the benchmark regression gates on a
+// BENCH_parse.json series written by sqlbench. Two gates run:
 //
-//	benchgate -file BENCH_parse.json -max-slowdown 0.10
+// Engine parity (the E11 series): for every workload that carries both
+// an interpreted and a generated row, the generated engine's ns/query
+// must not exceed the interpreted engine's by more than -max-slowdown.
 //
-// Exit status: 0 when every pair is within budget, 1 on a regression or
-// when the series contains no generated/interpreted pairs at all (a
-// registration failure would otherwise pass vacuously), 2 on bad input.
+// Verdict cache (the E12 series): every cached-hit row must be at least
+// -min-cached-speedup times faster than its uncached twin and allocate
+// at most -max-cached-allocs per verdict (the hit path is designed to be
+// allocation-free). With -baseline pointing at a committed series, each
+// cached-hit row's speedup must also reach (1 - -max-cached-regression)
+// of the baseline's speedup for the same workload, so the hot path
+// cannot silently rot between commits.
+//
+//	benchgate -file BENCH_parse.json -baseline BENCH_parse.committed.json
+//
+// Exit status: 0 when every gate passes, 1 on a regression or when the
+// series is missing the rows a gate needs (generated/interpreted pairs,
+// cached-hit rows — an unregistered series would otherwise pass
+// vacuously), 2 on bad input.
 package main
 
 import (
@@ -20,34 +29,76 @@ import (
 )
 
 type row struct {
-	Workload   string  `json:"workload"`
-	Parser     string  `json:"parser"`
-	NsPerQuery float64 `json:"ns_per_query"`
+	Workload          string   `json:"workload"`
+	Parser            string   `json:"parser"`
+	NsPerQuery        float64  `json:"ns_per_query"`
+	AllocsPerQuery    float64  `json:"allocs_per_query"`
+	SpeedupVsUncached *float64 `json:"speedup_vs_uncached"`
+}
+
+func loadRows(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var series struct {
+		Rows []row `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &series); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return series.Rows, nil
 }
 
 func main() {
 	file := flag.String("file", "BENCH_parse.json", "benchmark series to check")
 	maxSlowdown := flag.Float64("max-slowdown", 0.10,
 		"maximum tolerated generated-vs-interpreted slowdown (0.10 = 10%)")
+	baseline := flag.String("baseline", "",
+		"committed series to compare cached-hit speedups against (optional)")
+	minCachedSpeedup := flag.Float64("min-cached-speedup", 5,
+		"minimum cached-hit speedup over the uncached verdict path")
+	maxCachedAllocs := flag.Float64("max-cached-allocs", 0.05,
+		"maximum allocations per cached-hit verdict")
+	maxCachedRegression := flag.Float64("max-cached-regression", 0.10,
+		"maximum tolerated cached-hit speedup loss vs -baseline (0.10 = 10%)")
 	flag.Parse()
 
-	data, err := os.ReadFile(*file)
+	rows, err := loadRows(*file)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	var series struct {
-		Rows []row `json:"rows"`
-	}
-	if err := json.Unmarshal(data, &series); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *file, err)
-		os.Exit(2)
+	var baseSpeedup map[string]float64
+	if *baseline != "" {
+		baseRows, err := loadRows(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		baseSpeedup = map[string]float64{}
+		for _, r := range baseRows {
+			if r.Parser == "cached-hit" && r.SpeedupVsUncached != nil {
+				baseSpeedup[r.Workload] = *r.SpeedupVsUncached
+			}
+		}
 	}
 
+	failed := gateEnginePairs(rows, *maxSlowdown)
+	failed = gateCachedHits(rows, baseSpeedup, *minCachedSpeedup, *maxCachedAllocs, *maxCachedRegression) || failed
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: regression exceeds budget")
+		os.Exit(1)
+	}
+}
+
+// gateEnginePairs checks the E11 generated-vs-interpreted parity budget.
+// It reports whether the gate failed.
+func gateEnginePairs(rows []row, maxSlowdown float64) bool {
 	interp := map[string]float64{}
 	gen := map[string]float64{}
 	var order []string
-	for _, r := range series.Rows {
+	for _, r := range rows {
 		switch r.Parser {
 		case "interpreted":
 			if _, seen := interp[r.Workload]; !seen {
@@ -73,20 +124,65 @@ func main() {
 		pairs++
 		slowdown := g/i - 1
 		verdict := "ok"
-		if slowdown > *maxSlowdown {
+		if slowdown > maxSlowdown {
 			verdict = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%-11s generated %8.0f ns/query vs interpreted %8.0f (%+.1f%%, budget %+.0f%%)  %s\n",
-			w, g, i, 100*slowdown, 100**maxSlowdown, verdict)
+			w, g, i, 100*slowdown, 100*maxSlowdown, verdict)
 	}
 	if pairs == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: no generated/interpreted pairs in series — generated engines missing?")
-		os.Exit(1)
+		return true
 	}
-	if failed {
-		fmt.Fprintln(os.Stderr, "benchgate: generated engine regression exceeds budget")
-		os.Exit(1)
+	if !failed {
+		fmt.Printf("benchgate: %d engine pairs within %.0f%% budget\n", pairs, 100*maxSlowdown)
 	}
-	fmt.Printf("benchgate: %d engine pairs within %.0f%% budget\n", pairs, 100**maxSlowdown)
+	return failed
+}
+
+// gateCachedHits checks the E12 verdict-cache budget: absolute speedup
+// and allocation floors for every cached-hit row, plus a relative floor
+// against the committed baseline when one was given. It reports whether
+// the gate failed.
+func gateCachedHits(rows []row, baseSpeedup map[string]float64, minSpeedup, maxAllocs, maxRegression float64) bool {
+	hits, failed := 0, false
+	for _, r := range rows {
+		if r.Parser != "cached-hit" {
+			continue
+		}
+		hits++
+		if r.SpeedupVsUncached == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: cached-hit row lacks speedup_vs_uncached\n", r.Workload)
+			os.Exit(2)
+		}
+		sp := *r.SpeedupVsUncached
+		verdict, why := "ok", ""
+		if sp < minSpeedup {
+			verdict, why = "FAIL", fmt.Sprintf(" (speedup < ×%.1f floor)", minSpeedup)
+		}
+		if r.AllocsPerQuery > maxAllocs {
+			verdict, why = "FAIL", fmt.Sprintf(" (%.2f allocs/verdict > %.2f budget)", r.AllocsPerQuery, maxAllocs)
+		}
+		base := ""
+		if b, ok := baseSpeedup[r.Workload]; ok {
+			base = fmt.Sprintf(", baseline ×%.1f", b)
+			if sp < (1-maxRegression)*b {
+				verdict, why = "FAIL", fmt.Sprintf(" (lost >%.0f%% of baseline speedup)", 100*maxRegression)
+			}
+		}
+		if verdict == "FAIL" {
+			failed = true
+		}
+		fmt.Printf("%-11s cached-hit ×%.1f vs uncached, %.2f allocs/verdict%s  %s%s\n",
+			r.Workload, sp, r.AllocsPerQuery, base, verdict, why)
+	}
+	if hits == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no cached-hit rows in series — E12 missing from the run?")
+		return true
+	}
+	if !failed {
+		fmt.Printf("benchgate: %d cached-hit rows within budget (floor ×%.1f, ≤%.2f allocs)\n", hits, minSpeedup, maxAllocs)
+	}
+	return failed
 }

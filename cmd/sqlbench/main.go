@@ -7,6 +7,8 @@
 //	sqlbench -exp E8     # parse throughput: products vs monolithic baseline
 //	sqlbench -exp E9     # extension composability (sensor clauses)
 //	sqlbench -exp E11    # engine comparison: interpreted vs generated per preset
+//	sqlbench -exp E12    # verdict serving: cold vs cached-hit vs streamed
+//	sqlbench -exp E11,E12 -json BENCH_parse.json   # the benchgate series
 package main
 
 import (
@@ -24,7 +26,9 @@ import (
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
 	"sqlspl/internal/sql2003"
+	"sqlspl/internal/stream"
 	"sqlspl/internal/workload"
 
 	// Link the pregenerated preset parsers so E11 benchmarks the real
@@ -43,32 +47,51 @@ var experiments = []struct {
 	{"E8", e8Throughput},
 	{"E9", e9Extension},
 	{"E11", e11Engines},
+	{"E12", e12Verdicts},
 }
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment to run: E6|E7|E8|E9|E11 (default all)")
+		exp  = flag.String("exp", "", "experiments to run, comma-separated: E6|E7|E8|E9|E11|E12 (default all)")
 		iter = flag.Int("n", 2000, "queries per throughput measurement")
-		jout = flag.String("json", "", "write the E8/E11 benchmark series (ns/query, MB/s, allocs/query per workload/parser) to this file, e.g. BENCH_parse.json")
+		jout = flag.String("json", "", "write the E8/E11/E12 benchmark series (ns/query, MB/s, allocs/query per workload/parser) to this file, e.g. BENCH_parse.json")
 	)
 	flag.Parse()
 	jsonPath = *jout
 
+	var selected []string
 	if *exp != "" {
-		known := false
 		names := make([]string, len(experiments))
 		for i, e := range experiments {
 			names[i] = e.name
-			known = known || strings.EqualFold(*exp, e.name)
 		}
-		if !known {
-			fmt.Fprintf(os.Stderr, "sqlbench: unknown experiment %q (valid: %s)\n",
-				*exp, strings.Join(names, ", "))
-			os.Exit(2)
+		for _, part := range strings.Split(*exp, ",") {
+			part = strings.TrimSpace(part)
+			known := false
+			for _, name := range names {
+				known = known || strings.EqualFold(part, name)
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "sqlbench: unknown experiment %q (valid: %s)\n",
+					part, strings.Join(names, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, part)
 		}
 	}
+	runs := func(name string) bool {
+		if len(selected) == 0 {
+			return true
+		}
+		for _, s := range selected {
+			if strings.EqualFold(s, name) {
+				return true
+			}
+		}
+		return false
+	}
 	for _, e := range experiments {
-		if *exp == "" || strings.EqualFold(*exp, e.name) {
+		if runs(e.name) {
 			e.f(*iter)
 			fmt.Println()
 		}
@@ -102,6 +125,9 @@ type benchRow struct {
 	// allocates less. Absent on absolute rows.
 	NsVsInterpretedPct  *float64 `json:"ns_vs_interpreted_pct,omitempty"`
 	AllocsVsInterpreted *float64 `json:"allocs_vs_interpreted,omitempty"`
+	// E12 cached-hit and streamed rows relate to the uncached verdict pass
+	// over the same corpus: >1 means faster than a cold engine Check.
+	SpeedupVsUncached *float64 `json:"speedup_vs_uncached,omitempty"`
 }
 
 // jsonPath, when set by -json, makes report() collect rows for the series
@@ -245,28 +271,39 @@ func measure(queries []string, accepts func(string) bool) measurement {
 			ok++
 		}
 	}
-	m := measurement{queries: len(queries), accepted: ok}
 	if ok == 0 {
-		return m
+		return measurement{queries: len(queries)}
 	}
+	return measureLoop(len(queries), ok, int(workload.Bytes(queries)), func() {
+		for _, q := range queries {
+			accepts(q)
+		}
+	})
+}
+
+// measureLoop times loop — one full pass over a corpus of the given query
+// count and byte size — after one further untimed warmup pass. It is the
+// common core of measure and the E12 streaming measurement, whose unit of
+// work is a whole-script scan rather than a per-query call.
+func measureLoop(queries, accepted, corpusBytes int, loop func()) measurement {
+	loop()
+	m := measurement{queries: queries, accepted: accepted}
 	const passes = 3
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	best := time.Duration(-1)
 	for p := 0; p < passes; p++ {
 		start := time.Now()
-		for _, q := range queries {
-			accepts(q)
-		}
+		loop()
 		if d := time.Since(start); best < 0 || d < best {
 			best = d
 		}
 	}
 	runtime.ReadMemStats(&after)
-	n := float64(len(queries))
-	m.nsq = best.Nanoseconds() / int64(len(queries))
+	n := float64(queries)
+	m.nsq = best.Nanoseconds() / int64(queries)
 	m.qps = n / best.Seconds()
-	m.mbs = float64(workload.Bytes(queries)) / (1 << 20) / best.Seconds()
+	m.mbs = float64(corpusBytes) / (1 << 20) / best.Seconds()
 	m.allocs = float64(after.Mallocs-before.Mallocs) / (n * passes)
 	m.bytes = float64(after.TotalAlloc-before.TotalAlloc) / (n * passes)
 	return m
@@ -425,6 +462,116 @@ func printE11(preset, engineName string, m measurement, rel *relDelta) {
 	}
 	fmt.Printf("%-11s %-12s %10.0f %12d %10.2f %10s %9s%s\n",
 		preset, engineName, m.qps, m.nsq, m.mbs, delta, dAllocs, note)
+}
+
+// e12Verdicts measures the verdict serving paths this repo's streaming
+// pipeline is built from (experiment E12): a cold engine Check per query
+// ("uncached"), the same corpus answered from a warmed hot-statement
+// verdict cache ("cached-hit", the steady state of /v1/parse want=verdict
+// under repeated traffic), and the streaming scanner driving the cached
+// verdict path over the corpus joined into one ';'-separated script
+// ("streamed", the /v1/stream inner loop without HTTP).
+func e12Verdicts(n int) {
+	fmt.Println("E12: verdict serving — cold engine vs cached hit vs streamed script")
+	fmt.Printf("%-11s %-12s %12s %12s %9s %9s\n",
+		"PRESET", "PATH", "VERDICTS/S", "NS/VERDICT", "SPEEDUP", "ALLOCS/V")
+	rows := []struct {
+		name    dialect.Name
+		queries []string
+	}{
+		{dialect.Minimal, workload.Minimal(31, n)},
+		{dialect.TinySQL, workload.Sensor(32, n)},
+		{dialect.SCQL, workload.SmartCard(33, n)},
+		{dialect.Core, workload.OLTP(34, n)},
+		{dialect.Warehouse, workload.Analytics(35, n)},
+		{dialect.Full, workload.Analytics(36, n)},
+	}
+	for _, r := range rows {
+		prod, eng, err := dialect.Resolve(r.name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sqlbench: resolve %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+
+		cold := measure(r.queries, func(q string) bool { return eng.Check(q) == nil })
+		record(string(r.name), "uncached", cold, nil)
+		printE12(string(r.name), "uncached", cold, nil)
+		if cold.accepted == 0 {
+			continue
+		}
+
+		// One cache serves both the cached-hit and streamed passes, as one
+		// does in the server; measure's warmup pass fills it, the timed
+		// passes hit it.
+		vc := product.NewVerdictCache(0)
+		hit := measure(r.queries, func(q string) bool { return vc.Verdict(eng, q).OK() })
+		speedup := float64(cold.nsq) / float64(hit.nsq)
+		recordE12(string(r.name), "cached-hit", hit, speedup)
+		printE12(string(r.name), "cached-hit", hit, &speedup)
+
+		// The streamed unit of work is one scan of the whole script; the
+		// per-statement Texts differ from the bare queries (they keep the
+		// ';' and separators), so they warm their own cache entries.
+		script := strings.Join(r.queries, ";\n") + ";\n"
+		lx := prod.Parser.Lexer()
+		streamed := measureLoop(len(r.queries), cold.accepted, len(script), func() {
+			sc := stream.NewScanner(lx, strings.NewReader(script), stream.Config{})
+			for {
+				st, err := sc.Next()
+				if err != nil {
+					break
+				}
+				if len(st.Tokens) == 0 && st.Err == nil {
+					continue
+				}
+				vc.Verdict(eng, st.Text)
+			}
+		})
+		sSpeed := float64(cold.nsq) / float64(streamed.nsq)
+		recordE12(string(r.name), "streamed", streamed, sSpeed)
+		printE12(string(r.name), "streamed", streamed, &sSpeed)
+	}
+	fmt.Println("(uncached = engine Check per query; cached-hit = warmed verdict cache, the")
+	fmt.Println(" /v1/parse want=verdict steady state; streamed = scanner + cached verdicts")
+	fmt.Println(" over one ';'-joined script, the /v1/stream inner loop; speedup vs uncached)")
+}
+
+// recordE12 is record for the E12 series rows, which relate to the
+// preset's uncached pass instead of an interpreted twin.
+func recordE12(workloadName, parserName string, m measurement, speedup float64) {
+	if jsonPath == "" {
+		return
+	}
+	row := benchRow{
+		Workload:          workloadName,
+		Parser:            parserName,
+		Queries:           m.queries,
+		Accepted:          m.accepted,
+		NsPerQuery:        m.nsq,
+		QPS:               m.qps,
+		MBPerSec:          m.mbs,
+		AllocsPerQuery:    m.allocs,
+		BytesPerQuery:     m.bytes,
+		SpeedupVsUncached: &speedup,
+	}
+	benchRows = append(benchRows, row)
+}
+
+// printE12 renders one E12 table row.
+func printE12(preset, path string, m measurement, speedup *float64) {
+	if m.accepted == 0 {
+		fmt.Printf("%-11s %-12s %12s (workload not parseable: out-of-dialect)\n", preset, path, "-")
+		return
+	}
+	sp := "-"
+	if speedup != nil {
+		sp = fmt.Sprintf("×%.1f", *speedup)
+	}
+	note := ""
+	if m.accepted < m.queries {
+		note = fmt.Sprintf("  (!! only %d/%d accepted)", m.accepted, m.queries)
+	}
+	fmt.Printf("%-11s %-12s %12.0f %12d %9s %9.2f%s\n", preset, path, m.qps, m.nsq, sp, m.allocs, note)
 }
 
 func max(a, b int) int {

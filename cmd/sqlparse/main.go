@@ -27,19 +27,21 @@
 // the generated backend, anything else on the interpreted one — the same
 // promotion rule sqlserved applies.
 //
-// Batch mode is the serving path: one cached engine, many queries, many
-// goroutines. It reads one query per line from stdin, parses them over the
-// shared parser, and reports per-query verdicts in input order plus a
-// summary. Per-line parse errors go to stderr, and the exit status is
-// nonzero if any line failed:
+// Batch mode is the serving path: one cached engine, many statements, many
+// goroutines. Stdin is streamed through the statement iterator
+// (internal/stream) — statements are split at top-level semicolons, so a
+// multi-gigabyte dump is checked with memory proportional to its largest
+// statement, never slurped. Verdicts print in input order; per-statement
+// parse errors go to stderr with the statement's line in the input, and
+// the exit status is nonzero if any statement failed:
 //
-//	sqlparse -dialect core -batch -workers 8 < queries.sql
-//	sqlparse -dialect core -batch -json < queries.sql   # NDJSON, one object per line
+//	sqlparse -dialect core -batch -workers 8 < dump.sql
+//	sqlparse -dialect core -batch -json < dump.sql   # NDJSON, one object per statement
 package main
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,8 +54,10 @@ import (
 	"sqlspl/internal/ast"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
+	"sqlspl/internal/lexer"
 	"sqlspl/internal/parser"
 	"sqlspl/internal/server"
+	"sqlspl/internal/stream"
 )
 
 func main() {
@@ -62,12 +66,14 @@ func main() {
 		tree     = flag.Bool("tree", false, "print the concrete parse tree")
 		render   = flag.Bool("render", false, "print the SQL re-rendered from the typed AST")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON in the sqlserved wire format")
-		batch    = flag.Bool("batch", false, "batch mode: parse one query per stdin line over one shared product")
+		batch    = flag.Bool("batch", false, "batch mode: stream ';'-separated statements from stdin over one shared product")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parse goroutines in batch mode")
 	)
 	flag.Parse()
 
-	eng, err := dialect.Engine(dialect.Name(*dialectN))
+	// Batch mode also needs the product's lexer (for the statement
+	// iterator); Resolve hands back both halves of the catalog slot.
+	prod, eng, err := dialect.Resolve(dialect.Name(*dialectN))
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +89,7 @@ func main() {
 	}
 
 	if *batch {
-		rejected, err := runBatch(eng, os.Stdin, os.Stdout, *workers, *jsonOut, want)
+		rejected, err := runBatch(eng, prod.Parser.Lexer(), os.Stdin, os.Stdout, *workers, *jsonOut, want)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,93 +149,162 @@ func main() {
 	}
 }
 
-// runBatch parses every non-blank line of in over the shared engine with
-// the given number of goroutines — the catalog's serving path: the engine
-// was resolved (or cache-hit) once, and it is safe for concurrent use.
-// Verdicts print in input order regardless of completion order; per-line
-// parse errors go to stderr and the returned count makes the exit status
-// nonzero when any line failed. With jsonOut the verdict lines are NDJSON
-// in the sqlserved wire format (one compact ParseResponse per query) and
+// batchJob is one statement handed to a parse worker. Statement texts are
+// immutable and retainable (the iterator's ownership contract), so jobs
+// carry them without copying.
+type batchJob struct {
+	seq  int    // 1-based statement number, the N in "N: ACCEPT"
+	line int    // the statement's first-token line in the input
+	text string // raw statement span, trivia and ';' included
+}
+
+type batchDone struct {
+	batchJob
+	resp *server.ParseResponse
+}
+
+// runBatch streams ';'-separated statements from in through the statement
+// iterator and parses them over the shared engine with the given number of
+// goroutines — the catalog's serving path: the engine was resolved (or
+// cache-hit) once, and it is safe for concurrent use. Memory stays
+// proportional to the largest statement plus the worker window, never the
+// input: the bounded job channel applies back-pressure to the scanner, and
+// the reorder buffer can hold at most the in-flight window. Verdicts print
+// in input order regardless of completion order; per-statement parse
+// errors go to stderr and the returned count makes the exit status nonzero
+// when any statement failed. With jsonOut the verdict lines are NDJSON in
+// the sqlserved wire format (one compact ParseResponse per statement) and
 // the summary moves to stderr so stdout stays machine-readable.
-func runBatch(eng engine.Engine, in io.Reader, out io.Writer, workers int, jsonOut bool, want string) (rejected int, err error) {
+func runBatch(eng engine.Engine, lx *lexer.Lexer, in io.Reader, out io.Writer, workers int, jsonOut bool, want string) (rejected int, err error) {
 	if workers < 1 {
 		workers = 1
 	}
-	var queries []string
-	scanner := bufio.NewScanner(in)
-	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	for scanner.Scan() {
-		if q := strings.TrimSpace(scanner.Text()); q != "" {
-			queries = append(queries, q)
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		return 0, err
-	}
-	if len(queries) == 0 {
-		return 0, fmt.Errorf("batch mode: no queries on stdin")
-	}
-
-	responses := make([]*server.ParseResponse, len(queries))
-	next := make(chan int)
+	jobs := make(chan batchJob, workers)
+	results := make(chan batchDone, workers)
 	var wg sync.WaitGroup
-	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for j := range jobs {
+				var r *server.ParseResponse
 				if jsonOut {
-					responses[i] = server.Outcome(eng, queries[i], want)
-					continue
-				}
-				// Verdict-only: parse without building a response shape,
-				// preserving batch mode's original parse-only semantics.
-				r := &server.ParseResponse{Dialect: eng.Info().Product}
-				if _, err := eng.Parse(queries[i]); err != nil {
-					r.Error = server.EncodeDiagnostic(err)
+					r = server.Outcome(eng, j.text, want)
 				} else {
-					r.OK = true
+					// Verdict-only: parse without building a response shape,
+					// preserving batch mode's original parse-only semantics.
+					r = &server.ParseResponse{Dialect: eng.Info().Product}
+					if _, err := eng.Parse(j.text); err != nil {
+						r.Error = server.EncodeDiagnostic(err)
+					} else {
+						r.OK = true
+					}
 				}
-				responses[i] = r
+				results <- batchDone{j, r}
 			}
 		}()
 	}
-	for i := range queries {
-		next <- i
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// The emitter re-sequences completions: results arrive in any order,
+	// print in seq order. Its buffer is bounded by the in-flight window
+	// (jobs channel + one per worker), not the input.
+	type emitTotals struct {
+		accepted, rejected int
+		err                error
 	}
-	close(next)
-	wg.Wait()
+	emitted := make(chan emitTotals, 1)
+	go func() {
+		var t emitTotals
+		pending := map[int]batchDone{}
+		next := 1
+		for d := range results {
+			pending[d.seq] = d
+			for {
+				d, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if d.resp.OK {
+					t.accepted++
+				} else {
+					t.rejected++
+					fmt.Fprintf(os.Stderr, "sqlparse: line %d: %s\n", d.line, d.resp.Error.Message)
+				}
+				if t.err != nil {
+					continue // keep draining, first error wins
+				}
+				switch {
+				case jsonOut:
+					data, err := json.Marshal(d.resp)
+					if err != nil {
+						t.err = err
+						continue
+					}
+					fmt.Fprintf(out, "%s\n", data)
+				case d.resp.OK:
+					fmt.Fprintf(out, "%d: ACCEPT\n", d.seq)
+				default:
+					fmt.Fprintf(out, "%d: REJECT %s\n", d.seq, d.resp.Error.Message)
+				}
+			}
+		}
+		emitted <- t
+	}()
+
+	start := time.Now()
+	sc := stream.NewScanner(lx, in, stream.Config{})
+	seq := 0
+	var scanErr error
+	for {
+		st, err := sc.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				scanErr = err
+			}
+			break
+		}
+		if len(st.Tokens) == 0 && st.Err == nil {
+			continue // trivia-only tail: nothing to parse
+		}
+		// Tokens are valid only until the next Next call: take the line now.
+		line := st.Line
+		switch {
+		case len(st.Tokens) > 0:
+			line = st.Line + st.Tokens[0].Line - 1
+		case st.Err != nil:
+			line = st.Line + st.Err.Line - 1
+		}
+		seq++
+		jobs <- batchJob{seq: seq, line: line, text: st.Text}
+	}
+	close(jobs)
+	totals := <-emitted
 	elapsed := time.Since(start)
 
-	accepted := 0
-	for i, resp := range responses {
-		if resp.OK {
-			accepted++
-		} else {
-			fmt.Fprintf(os.Stderr, "sqlparse: line %d: %s\n", i+1, resp.Error.Message)
-		}
-		if jsonOut {
-			data, err := json.Marshal(resp)
-			if err != nil {
-				return 0, err
-			}
-			fmt.Fprintf(out, "%s\n", data)
-		} else if resp.OK {
-			fmt.Fprintf(out, "%d: ACCEPT\n", i+1)
-		} else {
-			fmt.Fprintf(out, "%d: REJECT %s\n", i+1, resp.Error.Message)
-		}
+	if scanErr != nil {
+		return 0, scanErr
 	}
-	summary := fmt.Sprintf("-- %d queries: %d accepted, %d rejected (dialect %s, %d workers, %s, %.0f q/s)\n",
-		len(queries), accepted, len(queries)-accepted, eng.Info().Product, workers,
-		elapsed.Round(time.Microsecond), float64(len(queries))/elapsed.Seconds())
+	if totals.err != nil {
+		return 0, totals.err
+	}
+	if seq == 0 {
+		return 0, fmt.Errorf("batch mode: no queries on stdin")
+	}
+	summary := fmt.Sprintf("-- %d statements: %d accepted, %d rejected (dialect %s, %d workers, %s, %.0f q/s)\n",
+		seq, totals.accepted, totals.rejected, eng.Info().Product, workers,
+		elapsed.Round(time.Microsecond), float64(seq)/elapsed.Seconds())
 	if jsonOut {
 		fmt.Fprint(os.Stderr, summary)
 	} else {
 		fmt.Fprint(out, summary)
 	}
-	return len(queries) - accepted, nil
+	return totals.rejected, nil
 }
 
 // renderFailure runs statement recovery over a rejected script and renders

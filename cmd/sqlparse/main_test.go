@@ -1,45 +1,61 @@
 package main
 
 import (
-	"bufio"
 	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 
+	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
 )
 
-func coreEngine(t *testing.T) engine.Engine {
+func coreResolve(t *testing.T) (*core.Product, engine.Engine) {
 	t.Helper()
-	eng, err := dialect.Engine(dialect.Core)
+	prod, eng, err := dialect.Resolve(dialect.Core)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return eng
+	return prod, eng
 }
 
-// A scanner error mid-batch (here: a line longer than the scanner's buffer)
-// must surface as a batch failure, not be silently swallowed after the
-// queries read so far.
-func TestRunBatchScannerErrorPropagates(t *testing.T) {
-	eng := coreEngine(t)
-	in := strings.NewReader("SELECT a FROM t\n" + strings.Repeat("x", (1<<20)+16) + "\n")
-	var out strings.Builder
-	_, err := runBatch(eng, in, &out, 2, false, "verdict")
-	if err == nil {
-		t.Fatal("runBatch swallowed the scanner error")
+// errAfter yields its payload, then fails: a mid-stream read error (network
+// drop, truncated pipe) must surface as a batch failure, not be silently
+// swallowed after the statements read so far.
+type errAfter struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfter) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, e.err
 	}
-	if !errors.Is(err, bufio.ErrTooLong) {
-		t.Errorf("err = %v, want bufio.ErrTooLong", err)
+	return n, err
+}
+
+func TestRunBatchReadErrorPropagates(t *testing.T) {
+	prod, eng := coreResolve(t)
+	boom := errors.New("boom: connection reset")
+	in := &errAfter{r: strings.NewReader("SELECT a FROM t;\nSELECT b FROM u"), err: boom}
+	var out strings.Builder
+	_, err := runBatch(eng, prod.Parser.Lexer(), in, &out, 2, false, "verdict")
+	if err == nil {
+		t.Fatal("runBatch swallowed the read error")
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the reader's error", err)
 	}
 }
 
 func TestRunBatchVerdictsInOrder(t *testing.T) {
-	eng := coreEngine(t)
-	in := strings.NewReader("SELECT a FROM t\nSELECT FROM t\n\nSELECT b FROM u\n")
+	prod, eng := coreResolve(t)
+	in := strings.NewReader("SELECT a FROM t;\nSELECT FROM t;\n\nSELECT b FROM u;\n")
 	var out strings.Builder
-	rejected, err := runBatch(eng, in, &out, 4, false, "verdict")
+	rejected, err := runBatch(eng, prod.Parser.Lexer(), in, &out, 4, false, "verdict")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,25 +63,96 @@ func TestRunBatchVerdictsInOrder(t *testing.T) {
 		t.Errorf("rejected = %d, want 1", rejected)
 	}
 	got := out.String()
-	for _, want := range []string{"1: ACCEPT", "2: REJECT", "3: ACCEPT", "3 queries: 2 accepted, 1 rejected"} {
+	for _, want := range []string{"1: ACCEPT", "2: REJECT", "3: ACCEPT", "3 statements: 2 accepted, 1 rejected"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output lacks %q:\n%s", want, got)
+		}
+	}
+	// In order means in order: seq 1 before 2 before 3 even with 4 workers.
+	if i1, i2, i3 := strings.Index(got, "1: "), strings.Index(got, "2: "), strings.Index(got, "3: "); !(i1 < i2 && i2 < i3) {
+		t.Errorf("verdicts out of order:\n%s", got)
+	}
+}
+
+// Statements split at top-level semicolons, not newlines: a statement may
+// span lines, several may share one, and ';' inside strings or parens does
+// not split. Stderr positions report the statement's first-token line.
+func TestRunBatchSplitsAtTopLevelSemicolons(t *testing.T) {
+	prod, eng := coreResolve(t)
+	in := strings.NewReader("SELECT a\nFROM t;SELECT 'x;y'\nFROM u;\n-- comment\nSELECT FROM v;\n")
+	var out strings.Builder
+	rejected, err := runBatch(eng, prod.Parser.Lexer(), in, &out, 2, false, "verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 1 {
+		t.Errorf("rejected = %d, want 1", rejected)
+	}
+	got := out.String()
+	for _, want := range []string{"1: ACCEPT", "2: ACCEPT", "3: REJECT", "3 statements: 2 accepted, 1 rejected"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output lacks %q:\n%s", want, got)
 		}
 	}
 }
 
-func TestRunBatchEmptyInput(t *testing.T) {
-	eng := coreEngine(t)
+// Batch memory is bounded by the largest statement, not the input: a script
+// larger than any fixed line buffer streams through without error.
+func TestRunBatchStreamsLargeScript(t *testing.T) {
+	prod, eng := coreResolve(t)
+	const n = 60000 // ~1.6 MB of script, far beyond the old 1 MiB line cap
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "SELECT c%d FROM t%d;\n", i, i)
+	}
 	var out strings.Builder
-	if _, err := runBatch(eng, strings.NewReader("\n  \n"), &out, 1, false, "verdict"); err == nil {
+	rejected, err := runBatch(eng, prod.Parser.Lexer(), strings.NewReader(sb.String()), &out, 4, false, "verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 0 {
+		t.Errorf("rejected = %d, want 0", rejected)
+	}
+	if want := fmt.Sprintf("%d statements: %d accepted, 0 rejected", n, n); !strings.Contains(out.String(), want) {
+		t.Errorf("summary lacks %q", want)
+	}
+}
+
+func TestRunBatchEmptyInput(t *testing.T) {
+	prod, eng := coreResolve(t)
+	var out strings.Builder
+	if _, err := runBatch(eng, prod.Parser.Lexer(), strings.NewReader("\n  \n"), &out, 1, false, "verdict"); err == nil {
 		t.Error("blank batch input should be reported, got nil error")
+	}
+}
+
+func TestRunBatchJSONOutput(t *testing.T) {
+	prod, eng := coreResolve(t)
+	in := strings.NewReader("SELECT a FROM t;\nSELECT FROM t")
+	var out strings.Builder
+	rejected, err := runBatch(eng, prod.Parser.Lexer(), in, &out, 1, true, "verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 1 {
+		t.Errorf("rejected = %d, want 1", rejected)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], `"ok":true`) || !strings.Contains(lines[1], `"ok":false`) {
+		t.Errorf("NDJSON verdicts wrong:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "statements:") {
+		t.Errorf("summary leaked onto stdout in -json mode:\n%s", out.String())
 	}
 }
 
 // The human failure report carries one caret-annotated diagnostic per
 // failing statement, with 1-based line:col positions.
 func TestRenderFailureCarets(t *testing.T) {
-	eng := coreEngine(t)
+	_, eng := coreResolve(t)
 	script := "SELECT a FROM t ;\nSELECT FROM t ;\nDELETE t"
 	got := renderFailure(eng, script)
 	for _, want := range []string{"2:8:", "3:8:", "SELECT FROM t ;", "^"} {

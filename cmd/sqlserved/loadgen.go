@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -18,6 +19,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -32,12 +34,37 @@ import (
 )
 
 type loadgenConfig struct {
-	total       int
-	dialects    []string
-	concurrency int
-	want        string
-	seed        uint64
-	timeout     time.Duration
+	total        int
+	dialects     []string
+	concurrency  int
+	want         string
+	seed         uint64
+	timeout      time.Duration
+	hot          int // >0: restrict each dialect's pool to this many distinct statements
+	streamMB     int // >0: stream mode — each request POSTs ≥ this many MB to /v1/stream
+	memCeilingMB int // >0: fail if peak heap exceeds this during the run
+}
+
+// buildPools pre-generates the traffic: one deterministic pool per dialect,
+// cycled by request index. With cfg.hot the pool shrinks to a hot set, so
+// after one cold pass every request is a verdict-cache hit.
+func buildPools(cfg loadgenConfig, defaultSize int) (map[string][]string, error) {
+	poolSize := defaultSize
+	if poolSize > 2000 {
+		poolSize = 2000 // cycle a bounded pool; determinism is per-seed anyway
+	}
+	if cfg.hot > 0 && cfg.hot < poolSize {
+		poolSize = cfg.hot
+	}
+	pool := map[string][]string{}
+	for i, d := range cfg.dialects {
+		queries, ok := workload.ForDialect(d, cfg.seed+uint64(i), poolSize)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: no workload for dialect %q", d)
+		}
+		pool[d] = queries
+	}
+	return pool, nil
 }
 
 // runLoadgen drives the benchmark and returns an error on any failed
@@ -52,25 +79,19 @@ func runLoadgen(cfg loadgenConfig) error {
 	if cfg.concurrency < 1 {
 		cfg.concurrency = 1
 	}
+	if cfg.streamMB > 0 {
+		return runStreamLoadgen(cfg)
+	}
 	if !server.ValidWant(cfg.want) {
 		return fmt.Errorf("loadgen: unknown want %q", cfg.want)
 	}
 
-	// Pre-generate the traffic: one deterministic pool per dialect, cycled
-	// by request index. Request i targets dialect i%len — round-robin, so
-	// every dialect's parser serves interleaved traffic, the serving shape
-	// the catalog exists for.
-	pool := map[string][]string{}
-	poolSize := cfg.total/len(cfg.dialects) + 1
-	if poolSize > 2000 {
-		poolSize = 2000 // cycle a bounded pool; determinism is per-seed anyway
-	}
-	for i, d := range cfg.dialects {
-		queries, ok := workload.ForDialect(d, cfg.seed+uint64(i), poolSize)
-		if !ok {
-			return fmt.Errorf("loadgen: no workload for dialect %q", d)
-		}
-		pool[d] = queries
+	// Request i targets dialect i%len — round-robin, so every dialect's
+	// parser serves interleaved traffic, the serving shape the catalog
+	// exists for.
+	pool, err := buildPools(cfg, cfg.total/len(cfg.dialects)+1)
+	if err != nil {
+		return err
 	}
 
 	// Private server: its catalog and registry see only this run.
@@ -99,8 +120,14 @@ func runLoadgen(cfg loadgenConfig) error {
 		return err
 	}
 
-	fmt.Printf("loadgen: %d requests, dialects [%s], concurrency %d, want %s, seed %d\n",
-		cfg.total, strings.Join(cfg.dialects, " "), cfg.concurrency, cfg.want, cfg.seed)
+	hotNote := ""
+	if cfg.hot > 0 {
+		hotNote = fmt.Sprintf(", hot set %d", cfg.hot)
+	}
+	fmt.Printf("loadgen: %d requests, dialects [%s], concurrency %d, want %s, seed %d%s\n",
+		cfg.total, strings.Join(cfg.dialects, " "), cfg.concurrency, cfg.want, cfg.seed, hotNote)
+
+	sampleMem := startMemSampler()
 
 	// Fire. Latencies land in a preallocated per-request slice (workers
 	// write disjoint indices; no lock), errors in a bounded sample.
@@ -135,6 +162,7 @@ func runLoadgen(cfg loadgenConfig) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	peak := sampleMem()
 
 	printTable(cfg, latencies, failed, elapsed)
 	errs := int(errCount.Load())
@@ -148,14 +176,263 @@ func runLoadgen(cfg loadgenConfig) error {
 		})
 	}
 
-	mismatches, err := verifyMetrics(client, base, cfg.total)
+	// Only want=verdict rides the verdict cache; every such request is
+	// exactly one lookup, and misses cannot exceed the distinct statements
+	// driven (the pools fit the cache, so nothing evicts mid-run).
+	expect := metricsExpect{parseReqs: cfg.total, catalogResolves: cfg.total, verdictLookups: -1}
+	if cfg.want == server.WantVerdict {
+		expect.verdictLookups = int64(cfg.total)
+		for _, d := range cfg.dialects {
+			expect.verdictDistinct += int64(len(pool[d]))
+		}
+	}
+	mismatches, err := verifyMetrics(client, base, expect)
 	if err != nil {
+		return err
+	}
+	if err := checkPeakHeap(peak, cfg.memCeilingMB); err != nil {
 		return err
 	}
 	if errs > 0 || mismatches > 0 {
 		return fmt.Errorf("loadgen: %d request errors, %d telemetry mismatches", errs, mismatches)
 	}
 	fmt.Printf("loadgen: OK — %d requests, zero errors, telemetry consistent\n", cfg.total)
+	return nil
+}
+
+// scriptGen synthesizes a ';'-separated SQL script of at least target bytes
+// by cycling a statement pool — the streaming request body. It implements
+// io.Reader so the script is never materialized: the client chunks it onto
+// the wire as the server consumes it.
+type scriptGen struct {
+	pool    []string
+	target  int64
+	written int64
+	stmts   int64
+	pending string
+	i       int
+}
+
+func (g *scriptGen) Read(p []byte) (int, error) {
+	if g.pending == "" {
+		if g.written >= g.target {
+			return 0, io.EOF
+		}
+		g.pending = g.pool[g.i%len(g.pool)] + ";\n"
+		g.i++
+		g.written += int64(len(g.pending))
+		g.stmts++
+	}
+	n := copy(p, g.pending)
+	g.pending = g.pending[n:]
+	return n, nil
+}
+
+// runStreamLoadgen is loadgen's streaming mode: each request POSTs a
+// synthesized multi-MB script to /v1/stream and consumes the NDJSON
+// response incrementally, verifying the summary trailer accounts for every
+// generated statement with zero rejections. A heap sampler runs throughout
+// — the point of the mode is that peak memory stays flat no matter how
+// many MB stream through, and -mem-ceiling-mb turns that into a hard gate.
+func runStreamLoadgen(cfg loadgenConfig) error {
+	pool, err := buildPools(cfg, 512)
+	if err != nil {
+		return err
+	}
+
+	s := server.New(server.Config{
+		Catalog:        product.NewCatalog(sql2003.MustModel(), sql2003.Registry{}),
+		Registry:       telemetry.NewRegistry(),
+		MaxInFlight:    2 * cfg.concurrency,
+		RequestTimeout: cfg.timeout,
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	base := "http://" + addr
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.concurrency * 2,
+		MaxIdleConnsPerHost: cfg.concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+	if err := waitReady(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	fmt.Printf("loadgen: %d stream requests × ≥%d MB, dialects [%s], concurrency %d, seed %d\n",
+		cfg.total, cfg.streamMB, strings.Join(cfg.dialects, " "), cfg.concurrency, cfg.seed)
+
+	sampleMem := startMemSampler()
+	var (
+		totalStatements atomic.Int64
+		totalBytes      atomic.Int64
+		errCount        atomic.Uint64
+		errSample       sync.Map
+		next            atomic.Int64
+		wg              sync.WaitGroup
+	)
+	workers := cfg.concurrency
+	if workers > cfg.total {
+		workers = cfg.total
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.total {
+					return
+				}
+				d := cfg.dialects[i%len(cfg.dialects)]
+				gen := &scriptGen{pool: pool[d], target: int64(cfg.streamMB) << 20}
+				stmts, err := postStream(client, base, d, gen)
+				totalStatements.Add(stmts)
+				totalBytes.Add(gen.written)
+				if err != nil {
+					errCount.Add(1)
+					errSample.LoadOrStore(fmt.Sprintf("%s: %v", d, err), true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	peak := sampleMem()
+
+	mb := float64(totalBytes.Load()) / (1 << 20)
+	fmt.Printf("stream: %d requests, %.0f MB, %d statements in %s (%.0f MB/s, %.0f stmt/s), peak heap %.1f MB\n",
+		cfg.total, mb, totalStatements.Load(), elapsed.Round(time.Millisecond),
+		mb/elapsed.Seconds(), float64(totalStatements.Load())/elapsed.Seconds(), float64(peak)/(1<<20))
+
+	errs := int(errCount.Load())
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d/%d stream requests failed; sample:\n", errs, cfg.total)
+		shown := 0
+		errSample.Range(func(k, _ any) bool {
+			fmt.Fprintf(os.Stderr, "  %s\n", k)
+			shown++
+			return shown < 5
+		})
+	}
+
+	expect := metricsExpect{
+		catalogResolves:  cfg.total,
+		streamReqs:       cfg.total,
+		streamStatements: totalStatements.Load(),
+		verdictLookups:   totalStatements.Load(),
+	}
+	for _, d := range cfg.dialects {
+		expect.verdictDistinct += int64(len(pool[d]))
+	}
+	mismatches, err := verifyMetrics(client, base, expect)
+	if err != nil {
+		return err
+	}
+	if err := checkPeakHeap(peak, cfg.memCeilingMB); err != nil {
+		return err
+	}
+	if errs > 0 || mismatches > 0 {
+		return fmt.Errorf("loadgen: %d request errors, %d telemetry mismatches", errs, mismatches)
+	}
+	fmt.Printf("loadgen: OK — %d stream requests, %d statements, zero errors, telemetry consistent\n",
+		cfg.total, totalStatements.Load())
+	return nil
+}
+
+// postStream issues one streaming request and consumes the NDJSON response
+// line by line, never holding more than one record. It returns the number
+// of statements the generator emitted and an error unless the summary
+// trailer accounts for exactly that many statements, all accepted.
+func postStream(client *http.Client, base string, dialect string, gen *scriptGen) (int64, error) {
+	resp, err := client.Post(base+"/v1/stream?dialect="+dialect, "application/sql", gen)
+	if err != nil {
+		return gen.stmts, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return gen.stmts, fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	records := int64(0)
+	var last string
+	for sc.Scan() {
+		records++
+		last = sc.Text()
+	}
+	if err := sc.Err(); err != nil {
+		return gen.stmts, fmt.Errorf("reading stream response: %w", err)
+	}
+	var sum server.StreamSummary
+	if err := json.Unmarshal([]byte(last), &sum); err != nil || !sum.Summary {
+		return gen.stmts, fmt.Errorf("stream response did not end in a summary trailer: %q", truncate(last, 200))
+	}
+	if sum.Error != "" {
+		return gen.stmts, fmt.Errorf("stream aborted: %s", sum.Error)
+	}
+	if int64(sum.Statements) != gen.stmts || records-1 != gen.stmts {
+		return gen.stmts, fmt.Errorf("stream answered %d statements (%d records) for %d sent",
+			sum.Statements, records-1, gen.stmts)
+	}
+	if sum.Rejected != 0 {
+		return gen.stmts, fmt.Errorf("stream rejected %d statements", sum.Rejected)
+	}
+	return gen.stmts, nil
+}
+
+// startMemSampler watches the heap until stopped and reports the peak
+// HeapAlloc observed, in bytes. 25ms sampling is coarse, but the streaming
+// scanner's window is steady-state — a leak proportional to input size
+// cannot hide between samples.
+func startMemSampler() (stop func() uint64) {
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return func() uint64 {
+		close(done)
+		wg.Wait()
+		return peak.Load()
+	}
+}
+
+// checkPeakHeap turns the sampled peak into a hard gate when a ceiling was
+// requested. The peak covers client and in-process server together — an
+// over-ceiling reading on either side fails the soak.
+func checkPeakHeap(peak uint64, ceilingMB int) error {
+	if ceilingMB <= 0 {
+		return nil
+	}
+	if peak > uint64(ceilingMB)<<20 {
+		return fmt.Errorf("loadgen: peak heap %.1f MB exceeds ceiling %d MB", float64(peak)/(1<<20), ceilingMB)
+	}
+	fmt.Printf("loadgen: peak heap %.1f MB within ceiling %d MB\n", float64(peak)/(1<<20), ceilingMB)
 	return nil
 }
 
@@ -257,10 +534,26 @@ func printTable(cfg loadgenConfig, latencies []time.Duration, failed []bool, ela
 	row("TOTAL", all, totalErrs, elapsed)
 }
 
-// verifyMetrics scrapes /metrics as JSON and asserts the two invariants
-// the acceptance criteria name: the latency histogram observed every
-// request, and the product-cache counters sum to the request count.
-func verifyMetrics(client *http.Client, base string, total int) (mismatches int, err error) {
+// metricsExpect is what a loadgen run expects /metrics to show afterwards.
+// verdictLookups < 0 skips the verdict-cache assertions (non-verdict wants
+// never touch that cache).
+type metricsExpect struct {
+	parseReqs        int   // /v1/parse requests: histogram count and requests_total
+	catalogResolves  int   // product-cache hits+misses+shared must sum to this
+	streamReqs       int   // /v1/stream requests
+	streamStatements int64 // statements answered across all streams
+	verdictLookups   int64 // verdict-cache hits+misses+shared must sum to this
+	verdictDistinct  int64 // ... and misses must not exceed this
+}
+
+// verifyMetrics scrapes /metrics as JSON and asserts the loadgen
+// invariants: the latency histogram observed every parse request, the
+// product-cache counters sum to the resolve count (every request resolves
+// the catalog exactly once), the stream counters account for every
+// streamed request and statement, and — on the verdict path — the verdict
+// cache saw exactly one lookup per statement with misses bounded by the
+// distinct statements driven.
+func verifyMetrics(client *http.Client, base string, expect metricsExpect) (mismatches int, err error) {
 	resp, err := client.Get(base + "/metrics?format=json")
 	if err != nil {
 		return 0, err
@@ -278,14 +571,14 @@ func verifyMetrics(client *http.Client, base string, total int) (mismatches int,
 	}
 
 	hist := snap.Find("sqlserved_parse_latency_seconds")
-	if hist == nil || hist.Count != uint64(total) {
-		got := uint64(0)
-		if hist != nil {
-			got = hist.Count
-		}
-		fmt.Printf("telemetry MISMATCH: latency histogram count = %d, want %d\n", got, total)
+	histCount := uint64(0)
+	if hist != nil {
+		histCount = hist.Count
+	}
+	if histCount != uint64(expect.parseReqs) {
+		fmt.Printf("telemetry MISMATCH: latency histogram count = %d, want %d\n", histCount, expect.parseReqs)
 		mismatches++
-	} else {
+	} else if hist != nil && histCount > 0 {
 		fmt.Printf("telemetry: latency histogram count = %d, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs\n",
 			hist.Count, hist.P50*1e6, hist.P95*1e6, hist.P99*1e6)
 	}
@@ -293,17 +586,46 @@ func verifyMetrics(client *http.Client, base string, total int) (mismatches int,
 	hits := value("sqlspl_product_cache_hits_total")
 	misses := value("sqlspl_product_cache_misses_total")
 	shared := value("sqlspl_product_cache_shared_total")
-	if sum := hits + misses + shared; sum != float64(total) {
+	if sum := hits + misses + shared; sum != float64(expect.catalogResolves) {
 		fmt.Printf("telemetry MISMATCH: cache hits(%.0f)+misses(%.0f)+shared(%.0f) = %.0f, want %d\n",
-			hits, misses, shared, sum, total)
+			hits, misses, shared, sum, expect.catalogResolves)
 		mismatches++
 	} else {
 		fmt.Printf("telemetry: cache hits %.0f + misses %.0f + coalesced %.0f = %d requests\n",
-			hits, misses, shared, total)
+			hits, misses, shared, expect.catalogResolves)
 	}
-	if reqs := value("sqlserved_parse_requests_total"); reqs != float64(total) {
-		fmt.Printf("telemetry MISMATCH: parse_requests_total = %.0f, want %d\n", reqs, total)
-		mismatches++
+	if expect.parseReqs > 0 {
+		if reqs := value("sqlserved_parse_requests_total"); reqs != float64(expect.parseReqs) {
+			fmt.Printf("telemetry MISMATCH: parse_requests_total = %.0f, want %d\n", reqs, expect.parseReqs)
+			mismatches++
+		}
+	}
+	if expect.streamReqs > 0 {
+		if reqs := value("sqlserved_stream_requests_total"); reqs != float64(expect.streamReqs) {
+			fmt.Printf("telemetry MISMATCH: stream_requests_total = %.0f, want %d\n", reqs, expect.streamReqs)
+			mismatches++
+		}
+		if sts := value("sqlserved_stream_statements_total"); sts != float64(expect.streamStatements) {
+			fmt.Printf("telemetry MISMATCH: stream_statements_total = %.0f, want %d\n", sts, expect.streamStatements)
+			mismatches++
+		}
+	}
+	if expect.verdictLookups >= 0 {
+		vh := value("sqlspl_verdict_cache_hits_total")
+		vm := value("sqlspl_verdict_cache_misses_total")
+		vs := value("sqlspl_verdict_cache_shared_total")
+		if sum := vh + vm + vs; sum != float64(expect.verdictLookups) {
+			fmt.Printf("telemetry MISMATCH: verdict cache hits(%.0f)+misses(%.0f)+shared(%.0f) = %.0f, want %d\n",
+				vh, vm, vs, sum, expect.verdictLookups)
+			mismatches++
+		} else if vm > float64(expect.verdictDistinct) {
+			fmt.Printf("telemetry MISMATCH: verdict cache misses %.0f exceed the %d distinct statements driven\n",
+				vm, expect.verdictDistinct)
+			mismatches++
+		} else {
+			fmt.Printf("telemetry: verdict cache hits %.0f + misses %.0f + coalesced %.0f = %d lookups (≤%d distinct)\n",
+				vh, vm, vs, expect.verdictLookups, expect.verdictDistinct)
+		}
 	}
 	return mismatches, nil
 }

@@ -14,9 +14,14 @@
 // Load-generator mode starts a private in-process server and drives it
 // with internal/workload traffic over real HTTP, printing a per-dialect
 // throughput/latency table and cross-checking /metrics against the
-// request count — the serving benchmark recorded in EXPERIMENTS.md:
+// request count — the serving benchmark recorded in EXPERIMENTS.md.
+// -hot restricts the pools to a hot set so the verdict cache absorbs the
+// load; -stream-mb switches to streaming mode (multi-MB scripts through
+// /v1/stream); -mem-ceiling-mb makes the run's peak heap a hard gate:
 //
 //	sqlserved -loadgen -n 12000 -loadgen-dialects tinysql,scql,core -concurrency 32
+//	sqlserved -loadgen -n 50000 -want verdict -hot 64
+//	sqlserved -loadgen -n 2 -stream-mb 64 -loadgen-dialects core -concurrency 1 -mem-ceiling-mb 256
 package main
 
 import (
@@ -48,17 +53,23 @@ func main() {
 		concurrency = flag.Int("concurrency", 32, "loadgen: concurrent client connections")
 		want        = flag.String("want", "render", "loadgen: response shape per request (verdict|tree|ast|render)")
 		seed        = flag.Uint64("seed", 1, "loadgen: workload seed")
+		hot         = flag.Int("hot", 0, "loadgen: restrict each dialect's pool to this many distinct statements (hot-set cache mode)")
+		streamMB    = flag.Int("stream-mb", 0, "loadgen: stream mode — POST scripts of at least this many MB to /v1/stream")
+		memCeiling  = flag.Int("mem-ceiling-mb", 0, "loadgen: fail if peak heap exceeds this many MB during the run")
 	)
 	flag.Parse()
 
 	if *loadgen {
 		if err := runLoadgen(loadgenConfig{
-			total:       *n,
-			dialects:    splitList(*lgDialects),
-			concurrency: *concurrency,
-			want:        *want,
-			seed:        *seed,
-			timeout:     *timeout,
+			total:        *n,
+			dialects:     splitList(*lgDialects),
+			concurrency:  *concurrency,
+			want:         *want,
+			seed:         *seed,
+			timeout:      *timeout,
+			hot:          *hot,
+			streamMB:     *streamMB,
+			memCeilingMB: *memCeiling,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "sqlserved:", err)
 			os.Exit(1)

@@ -1,0 +1,93 @@
+// Package cache provides the sharded, bounded, single-flight result cache
+// that the serving layer hangs hot-path memoization off: statement
+// verdicts (internal/product) and configuration completions
+// (internal/configure). Keys carry a 64-bit xxHash of the payload instead
+// of the payload itself, so a cached miss/hit costs a fixed-size map
+// probe regardless of statement length.
+package cache
+
+import "math/bits"
+
+// xxHash64 (seed 0), implemented from the public specification — the
+// repository takes no third-party dependencies. The function is the
+// standard stripe-of-four-lanes construction; TestHash64 pins the
+// published empty-input vector and golden values across every length
+// class so the constants and tail handling cannot drift.
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// Hash64 returns the 64-bit xxHash of s with seed 0.
+func Hash64(s string) uint64 {
+	n := len(s)
+	var h uint64
+	i := 0
+	if n >= 32 {
+		v1 := prime1
+		v1 += prime2 // seed 0; split to avoid a typed-constant overflow
+		v2 := prime2
+		v3 := uint64(0)
+		v4 := ^prime1 + 1 // -prime1 mod 2^64 (a negated typed constant cannot be spelled directly)
+		for ; i+32 <= n; i += 32 {
+			v1 = round(v1, le64(s[i:]))
+			v2 = round(v2, le64(s[i+8:]))
+			v3 = round(v3, le64(s[i+16:]))
+			v4 = round(v4, le64(s[i+24:]))
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = prime5
+	}
+	h += uint64(n)
+	for ; i+8 <= n; i += 8 {
+		h ^= round(0, le64(s[i:]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	}
+	if i+4 <= n {
+		h ^= uint64(le32(s[i:])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		i += 4
+	}
+	for ; i < n; i++ {
+		h ^= uint64(s[i]) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	return bits.RotateLeft64(acc, 31) * prime1
+}
+
+func mergeRound(h, v uint64) uint64 {
+	h ^= round(0, v)
+	return h*prime1 + prime4
+}
+
+// le64 reads 8 little-endian bytes; callers guarantee length.
+func le64(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+
+// le32 reads 4 little-endian bytes; callers guarantee length.
+func le32(s string) uint32 {
+	_ = s[3]
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}

@@ -25,24 +25,33 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"strings"
 	"sync"
 
+	"sqlspl/internal/cache"
 	"sqlspl/internal/feature"
 )
 
+// completionCacheCapacity bounds the per-solver completion memo. Distinct
+// (require, forbid) shapes in real traffic are the preset names plus a
+// tail of custom negotiations; 512 is generous.
+const completionCacheCapacity = 512
+
 // Solver answers configuration requests over one feature model. It is
-// stateless apart from memoized per-feature subtree counts and safe for
-// concurrent use.
+// stateless apart from memoized per-feature subtree counts and a bounded
+// completion cache, and safe for concurrent use.
 type Solver struct {
 	m *feature.Model
 
 	mu   sync.Mutex
 	ways map[string]*big.Int // feature name -> subtree config count (count.go)
+
+	comp *cache.Cache // CachedComplete memo (one model per solver)
 }
 
 // New returns a solver over the model.
 func New(m *feature.Model) *Solver {
-	return &Solver{m: m, ways: map[string]*big.Int{}}
+	return &Solver{m: m, ways: map[string]*big.Int{}, comp: cache.New(completionCacheCapacity)}
 }
 
 // Model returns the model the solver answers for.
@@ -129,3 +138,48 @@ func (s *Solver) Complete(req Request) (*Completion, *Conflict, error) {
 	}
 	return &Completion{Config: cfg, Added: added}, nil, nil
 }
+
+// completionResult is the memoized outcome of one Complete call — every
+// branch is cacheable because all are deterministic functions of the
+// normalized request (including the rare budget-exhaustion error).
+type completionResult struct {
+	comp *Completion
+	conf *Conflict
+	err  error
+}
+
+// CachedComplete is Complete behind the sharded single-flight cache: the
+// solver runs once per distinct normalized (require, forbid) pair and
+// repeats are answered from the memo, which lets /v1/configure
+// mode=complete ride the admission fast path at parse-level throughput.
+// Returned Completions and Conflicts are shared — callers must treat them
+// (including Completion.Config) as immutable. Malformed requests (unknown
+// feature names) error without touching the cache.
+func (s *Solver) CachedComplete(req Request) (*Completion, *Conflict, error) {
+	req, err := s.normalize(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The normalized lists are sorted and deduped, so this payload is a
+	// canonical spelling of the request; '\x00' cannot appear in feature
+	// names, and the "R:"/"F:" sections keep require/forbid unambiguous.
+	payload := "R:" + strings.Join(req.Require, "\x00") + "\x00F:" + strings.Join(req.Forbid, "\x00")
+	k := cache.KeyOf("complete", payload)
+	v, ok := s.comp.Get(k)
+	if !ok {
+		v = s.comp.Fill(k, func() any {
+			comp, conf, err := s.Complete(req)
+			return completionResult{comp: comp, conf: conf, err: err}
+		})
+	}
+	r, valid := v.(completionResult)
+	if !valid {
+		// A concurrent filler panicked; solve uncached.
+		return s.Complete(req)
+	}
+	return r.comp, r.conf, r.err
+}
+
+// CompletionCacheStats snapshots the CachedComplete memo counters for
+// metrics scraping.
+func (s *Solver) CompletionCacheStats() cache.Stats { return s.comp.Stats() }

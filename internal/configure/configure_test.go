@@ -1,9 +1,11 @@
 package configure
 
 import (
+	"fmt"
 	"math/big"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"sqlspl/internal/feature"
@@ -388,4 +390,67 @@ func TestSampleHonorsMust(t *testing.T) {
 			t.Errorf("draw %d invalid: %v", i, err)
 		}
 	}
+}
+
+// CachedComplete must agree with Complete on both branches, answer
+// repeats from the memo, and share results safely under concurrency.
+func TestCachedComplete(t *testing.T) {
+	s := New(testModel(t))
+	req := Request{Require: []string{"needs_g1"}}
+	c1, conf, err := s.CachedComplete(req)
+	if err != nil || conf != nil || c1 == nil {
+		t.Fatalf("CachedComplete: %v %v %v", c1, conf, err)
+	}
+	direct, _, err := s.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c1.Config.Names(), direct.Config.Names(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("cached completion %v differs from direct %v", got, want)
+	}
+	c2, _, err := s.CachedComplete(Request{Require: []string{"needs_g1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("repeat request did not hit the memo")
+	}
+	st := s.CompletionCacheStats()
+	if st.Misses != 1 || st.Hits < 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+
+	// Conflicts are memoized too.
+	bad := Request{Require: []string{"hates_g1"}}
+	_, conf1, err := s.CachedComplete(bad)
+	if err != nil || conf1 == nil {
+		t.Fatalf("conflict branch: %v %v", conf1, err)
+	}
+	_, conf2, _ := s.CachedComplete(bad)
+	if conf2 != conf1 {
+		t.Fatal("conflict not shared on repeat")
+	}
+
+	// Unknown names stay request errors and never enter the cache.
+	if _, _, err := s.CachedComplete(Request{Require: []string{"no_such_feature"}}); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	if st := s.CompletionCacheStats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if c, _, err := s.CachedComplete(req); err != nil || c != c1 {
+					t.Errorf("concurrent CachedComplete: %v %v", c, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -191,6 +191,19 @@ func Engine(name Name) (engine.Engine, error) {
 	})
 }
 
+// Resolve returns the preset's product and serving engine in one catalog
+// lookup — for callers (the streaming batch path) that need the product's
+// lexer alongside the engine without a second resolution.
+func Resolve(name Name) (*core.Product, engine.Engine, error) {
+	feats, err := Features(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return product.Default().Resolve(feature.NewConfig(feats...), core.Options{
+		Product: string(name),
+	})
+}
+
 // Catalog returns the catalog behind the presets — the process-wide
 // default catalog over the SQL:2003 model.
 func Catalog() *product.Catalog { return product.Default() }

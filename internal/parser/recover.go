@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sqlspl/internal/lexer"
+	"sqlspl/internal/stream"
 )
 
 // DefaultMaxDiagnostics caps how many diagnostics ParseRecover collects
@@ -118,7 +119,7 @@ func (p *Parser) recoverDiagnostics(r *run, src string, cleanScan bool) []Diagno
 			if resume <= le.Off {
 				resume = le.Off + 1 // always make progress
 			}
-			next := indexByteFrom(src, ';', resume)
+			next := stream.NextRawBoundary(src, resume)
 			if le.Off < len(src) && src[le.Off] == ';' {
 				// The offending character is itself a statement separator —
 				// the case of a dialect composed without the SEMICOLON token.
@@ -141,10 +142,11 @@ func (p *Parser) recoverDiagnostics(r *run, src string, cleanScan bool) []Diagno
 		r.tokBuf = toks
 	}
 
-	// Pass 2: walk the tokens once, closing a segment at every top-level
-	// ';' (paren depth tracked over raw '(' / ')' token text) and at every
-	// hard mark, and parse each segment that a scan diagnostic does not
-	// already explain.
+	// Pass 2: walk the tokens once through the shared statement splitter
+	// (internal/stream — the same boundary rules the streaming scanner
+	// applies), closing a segment at every top-level ';' and at every hard
+	// mark, and parse each segment that a scan diagnostic does not already
+	// explain.
 	var out []Diagnostic
 	capped := false
 	emit := func(d Diagnostic) {
@@ -163,7 +165,8 @@ func (p *Parser) recoverDiagnostics(r *run, src string, cleanScan bool) []Diagno
 		out = append(out, d)
 	}
 	mi := 0
-	lo, depth := 0, 0
+	lo := 0
+	var split stream.Splitter
 	segment := func(hi int, hasMore bool) {
 		if capped || hi <= lo {
 			return
@@ -192,24 +195,16 @@ func (p *Parser) recoverDiagnostics(r *run, src string, cleanScan bool) []Diagno
 			// Tokens since the last boundary belong to the statement the
 			// scan diagnostic already explains; they are not parsed again.
 			emit(marks[mi].diag)
-			lo, depth = i, 0
+			lo = i
+			split.Reset()
 			mi++
 		}
 		if i == len(toks) {
 			break
 		}
-		switch toks[i].Text {
-		case "(":
-			depth++
-		case ")":
-			if depth > 0 {
-				depth--
-			}
-		case ";":
-			if depth == 0 {
-				segment(i+1, i+1 < len(toks) || mi < len(marks))
-				lo = i + 1
-			}
+		if split.Boundary(toks[i].Text) {
+			segment(i+1, i+1 < len(toks) || mi < len(marks))
+			lo = i + 1
 		}
 	}
 	segment(len(toks), false)
@@ -219,18 +214,4 @@ func (p *Parser) recoverDiagnostics(r *run, src string, cleanScan bool) []Diagno
 // syntaxDiagnostic converts a per-segment SyntaxError into a Diagnostic.
 func syntaxDiagnostic(e *SyntaxError) Diagnostic {
 	return Diagnostic{Span: e.Span, Got: e.Found, Expected: e.Expected}
-}
-
-// indexByteFrom is strings.IndexByte starting the search at from (clamped),
-// returning an absolute offset or -1.
-func indexByteFrom(s string, c byte, from int) int {
-	if from < 0 {
-		from = 0
-	}
-	for i := from; i < len(s); i++ {
-		if s[i] == c {
-			return i
-		}
-	}
-	return -1
 }

@@ -165,6 +165,15 @@ func (c *Catalog) Engine(cfg *feature.Config, opts core.Options) (engine.Engine,
 	return e.eng, e.err
 }
 
+// Resolve returns the product AND its serving engine in one catalog
+// lookup — one cache-counter bump instead of the two a Get+Engine pair
+// costs, which keeps the loadgen invariant "hits+misses+shared == catalog
+// resolutions" exact for callers (like /v1/stream) that need both.
+func (c *Catalog) Resolve(cfg *feature.Config, opts core.Options) (*core.Product, engine.Engine, error) {
+	e := c.resolve(cfg, opts)
+	return e.product, e.eng, e.err
+}
+
 // resolve is the singleflight slot lookup behind Get and Engine.
 func (c *Catalog) resolve(cfg *feature.Config, opts core.Options) *entry {
 	fp := Fingerprint(cfg, opts)

@@ -138,7 +138,11 @@ func Configure(sol *configure.Solver, req *ConfigureRequest) (*ConfigureResponse
 	resp := &ConfigureResponse{Mode: mode}
 	switch mode {
 	case ModeComplete, ModeExplain:
-		comp, conflict, err := sol.Complete(configure.Request{Require: require, Forbid: req.Forbid})
+		// CachedComplete memoizes per normalized (require, forbid) pair, so
+		// repeated negotiations — preset tweaks dominate real traffic — skip
+		// the solver. Results are shared and read-only here: only Names()
+		// copies and JSON encoding touch them.
+		comp, conflict, err := sol.CachedComplete(configure.Request{Require: require, Forbid: req.Forbid})
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}

@@ -16,6 +16,7 @@ import (
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
+	"sqlspl/internal/product"
 )
 
 // errorBody is the JSON shape of non-parse failures (bad request,
@@ -101,7 +102,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 			s.testHookParse()
 		}
 		start := time.Now()
-		resp := Outcome(eng, req.SQL, req.Want)
+		resp := s.outcome(eng, req.SQL, req.Want)
 		s.m.latency.Observe(time.Since(start).Seconds())
 		if resp.Error != nil {
 			s.m.parseErrors.Inc()
@@ -234,7 +235,7 @@ func (s *Server) batchOne(eng engine.Engine, req *BatchRequest, results []BatchR
 		}
 	}()
 	qStart := time.Now()
-	resp := Outcome(eng, req.Queries[i], orVerdict(req.Want))
+	resp := s.outcome(eng, req.Queries[i], orVerdict(req.Want))
 	s.m.latency.Observe(time.Since(qStart).Seconds())
 	if resp.Error != nil {
 		s.m.parseErrors.Inc()
@@ -243,6 +244,44 @@ func (s *Server) batchOne(eng engine.Engine, req *BatchRequest, results []BatchR
 	if req.Want != "" {
 		results[i].Response = resp
 	}
+}
+
+// outcome is Outcome behind the server's hot-statement verdict cache:
+// verdict-shaped requests — the /v1/batch default and the entire /v1/stream
+// path — are answered from the cache when the same statement bytes were
+// already checked under the same engine fingerprint, skipping engine
+// dispatch entirely on a hit. The cached verdict carries exactly what
+// Outcome's verdict path computes (Check error plus the Diagnose view on
+// rejection), so the response is identical either way. Shapes that
+// materialise a tree never consult the cache.
+func (s *Server) outcome(eng engine.Engine, sql, want string) *ParseResponse {
+	if want != WantVerdict || s.vcache == nil {
+		return Outcome(eng, sql, want)
+	}
+	start := time.Now()
+	v := s.vcache.Verdict(eng, sql)
+	resp := &ParseResponse{Dialect: eng.Info().Product, Want: WantVerdict, OK: v.OK()}
+	if !v.OK() {
+		resp.Error = EncodeDiagnostic(v.Err)
+		resp.Diagnostics = EncodeDiagnostics(v.Diags)
+	}
+	resp.ElapsedMicros = time.Since(start).Microseconds()
+	return resp
+}
+
+// verdict is the raw form of outcome's cached path, for callers (the
+// stream handler) that relocate diagnostics themselves. With caching
+// disabled it computes the verdict directly.
+func (s *Server) verdict(eng engine.Engine, sql string) *product.Verdict {
+	if s.vcache != nil {
+		return s.vcache.Verdict(eng, sql)
+	}
+	v := &product.Verdict{}
+	if err := eng.Check(sql); err != nil {
+		v.Err = err
+		v.Diags = eng.Diagnose(sql)
+	}
+	return v
 }
 
 // orVerdict maps the batch "verdict only" default onto the verdict shape,

@@ -6,6 +6,7 @@ package server
 import (
 	"sync"
 
+	"sqlspl/internal/configure"
 	"sqlspl/internal/engine"
 	"sqlspl/internal/lexer"
 	"sqlspl/internal/parser"
@@ -20,6 +21,8 @@ type metricsBundle struct {
 
 	parseReqs          *telemetry.Counter
 	batchReqs          *telemetry.Counter
+	streamReqs         *telemetry.Counter // /v1/stream requests admitted
+	streamStatements   *telemetry.Counter // statements yielded by the streaming scanner
 	configureReqs      *telemetry.Counter // /v1/configure requests admitted
 	configureConflicts *telemetry.Counter // infeasible selections explained
 	rejected           *telemetry.Counter // admission 429s
@@ -35,13 +38,15 @@ type metricsBundle struct {
 	byDialect map[string]*telemetry.Counter
 }
 
-func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBundle {
+func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog, vcache *product.VerdictCache, solver *configure.Solver) *metricsBundle {
 	m := &metricsBundle{
 		reg:       reg,
 		byDialect: map[string]*telemetry.Counter{},
 
 		parseReqs:          reg.Counter("sqlserved_parse_requests_total", "parse requests admitted"),
 		batchReqs:          reg.Counter("sqlserved_batch_requests_total", "batch requests admitted"),
+		streamReqs:         reg.Counter("sqlserved_stream_requests_total", "stream requests admitted"),
+		streamStatements:   reg.Counter("sqlserved_stream_statements_total", "statements checked by the streaming endpoint"),
 		configureReqs:      reg.Counter("sqlserved_configure_requests_total", "configure requests admitted"),
 		configureConflicts: reg.Counter("sqlserved_configure_conflicts_total", "infeasible selections answered with a minimal conflict set"),
 		rejected:           reg.Counter("sqlserved_rejected_total", "requests shed by the admission controller (429)"),
@@ -68,6 +73,30 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog) *metricsBun
 		func() float64 { return float64(cat.Stats().Entries) })
 	reg.GaugeFunc("sqlspl_product_cache_inflight_builds", "builds currently running",
 		func() float64 { return float64(cat.Stats().InFlight) })
+
+	// Hot-statement verdict cache, sampled at scrape time. Absent when the
+	// server was configured with caching disabled.
+	if vcache != nil {
+		reg.CounterFunc("sqlspl_verdict_cache_hits_total", "statement verdicts answered from the hot-statement cache",
+			func() uint64 { return vcache.Stats().Hits })
+		reg.CounterFunc("sqlspl_verdict_cache_misses_total", "statement verdicts computed by an engine",
+			func() uint64 { return vcache.Stats().Misses })
+		reg.CounterFunc("sqlspl_verdict_cache_shared_total", "verdict lookups coalesced onto an in-flight computation",
+			func() uint64 { return vcache.Stats().Shared })
+		reg.CounterFunc("sqlspl_verdict_cache_evictions_total", "verdicts evicted by the per-shard LRU",
+			func() uint64 { return vcache.Stats().Evictions })
+		reg.GaugeFunc("sqlspl_verdict_cache_entries", "verdicts currently cached",
+			func() float64 { return float64(vcache.Stats().Entries) })
+	}
+
+	// Configuration-completion memo (configure.CachedComplete), behind the
+	// same sharded cache primitive.
+	reg.CounterFunc("sqlspl_configure_cache_hits_total", "completions answered from the solver memo",
+		func() uint64 { return solver.CompletionCacheStats().Hits })
+	reg.CounterFunc("sqlspl_configure_cache_misses_total", "completions solved and memoized",
+		func() uint64 { return solver.CompletionCacheStats().Misses })
+	reg.GaugeFunc("sqlspl_configure_cache_entries", "completion memo entries",
+		func() float64 { return float64(solver.CompletionCacheStats().Entries) })
 
 	// Engine-seam counters: how many builds promoted to a generated
 	// backend, and how much traffic the generated engines actually served

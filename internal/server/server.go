@@ -46,6 +46,7 @@ import (
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
 	"sqlspl/internal/feature"
+	"sqlspl/internal/lexer"
 	"sqlspl/internal/product"
 	"sqlspl/internal/telemetry"
 
@@ -72,6 +73,15 @@ type Config struct {
 	BatchWorkers int
 	// MaxBodyBytes caps request bodies; <= 0 means 4 MiB.
 	MaxBodyBytes int64
+	// MaxStreamBytes caps /v1/stream request bodies, which are processed
+	// incrementally and so may be far larger than MaxBodyBytes;
+	// <= 0 means 256 MiB.
+	MaxStreamBytes int64
+	// CacheCapacity bounds the hot-statement verdict cache consulted by
+	// the verdict paths of /v1/parse, /v1/batch and /v1/stream before
+	// engine dispatch: 0 means product.DefaultVerdictCacheCapacity, a
+	// negative value disables verdict caching entirely.
+	CacheCapacity int
 	// Warm lists presets to build before the server reports ready.
 	Warm []dialect.Name
 }
@@ -83,6 +93,7 @@ type Server struct {
 	cat    *product.Catalog
 	reg    *telemetry.Registry
 	solver *configure.Solver
+	vcache *product.VerdictCache // nil when Config.CacheCapacity < 0
 	sem    chan struct{}
 	mux    *http.ServeMux
 	hs     *http.Server
@@ -124,6 +135,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 4 << 20
 	}
+	if cfg.MaxStreamBytes <= 0 {
+		cfg.MaxStreamBytes = 256 << 20
+	}
 	s := &Server{
 		cfg:    cfg,
 		cat:    cfg.Catalog,
@@ -131,11 +145,15 @@ func New(cfg Config) *Server {
 		solver: configure.New(cfg.Catalog.Model()),
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 	}
-	s.m = newMetricsBundle(s.reg, s.cat)
+	if cfg.CacheCapacity >= 0 {
+		s.vcache = product.NewVerdictCache(cfg.CacheCapacity)
+	}
+	s.m = newMetricsBundle(s.reg, s.cat, s.vcache, s.solver)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/parse", s.handleParse)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/configure", s.handleConfigure)
 	s.mux.HandleFunc("/v1/dialects", s.handleDialects)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -262,4 +280,35 @@ func (s *Server) resolve(dialectName string, features []string) (engine.Engine, 
 		return eng, "custom", err
 	}
 	return nil, "", fmt.Errorf("request selects no dialect and no features")
+}
+
+// resolveStream is resolve for /v1/stream, which needs the product's lexer
+// (to drive the statement scanner) alongside the serving engine. It uses
+// the catalog's combined Resolve so the request costs exactly one
+// cache-counter bump, like every other endpoint.
+func (s *Server) resolveStream(dialectName string, features []string) (engine.Engine, *lexer.Lexer, string, error) {
+	var (
+		cfg   *feature.Config
+		opts  core.Options
+		label string
+	)
+	switch {
+	case dialectName != "" && len(features) > 0:
+		return nil, nil, "", fmt.Errorf("request selects both dialect %q and an explicit feature list; choose one", dialectName)
+	case dialectName != "":
+		feats, err := dialect.Features(dialect.Name(dialectName))
+		if err != nil {
+			return nil, nil, "", err
+		}
+		cfg, opts, label = feature.NewConfig(feats...), core.Options{Product: dialectName}, dialectName
+	case len(features) > 0:
+		cfg, opts, label = feature.NewConfig(features...), core.Options{Product: "custom"}, "custom"
+	default:
+		return nil, nil, "", fmt.Errorf("request selects no dialect and no features")
+	}
+	prod, eng, err := s.cat.Resolve(cfg, opts)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return eng, prod.Parser.Lexer(), label, nil
 }

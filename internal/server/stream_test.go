@@ -1,0 +1,321 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postStream posts raw SQL to /v1/stream and decodes the NDJSON response
+// into the per-statement records and the trailing summary. The body is
+// sent with chunked encoding (length unknown), like a real streaming
+// client: this is the shape that requires the handler's full-duplex mode —
+// without it the HTTP/1 server silently discards the body past 256 KiB
+// once the first response bytes go out.
+func postStream(t *testing.T, client *http.Client, url, sql string) ([]StreamResult, StreamSummary, int) {
+	t.Helper()
+	resp, err := client.Post(url, "application/sql", struct{ io.Reader }{strings.NewReader(sql)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, StreamSummary{}, resp.StatusCode
+	}
+	var (
+		results []StreamResult
+		sum     StreamSummary
+		sawSum  bool
+	)
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		if sawSum {
+			t.Fatal("summary line was not the last NDJSON record")
+		}
+		// Records and the summary share no required fields, so sniff via a
+		// raw message: the summary is the only line with "summary":true.
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatal(err)
+		}
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			t.Fatal(err)
+		}
+		if probe.Summary {
+			if err := json.Unmarshal(raw, &sum); err != nil {
+				t.Fatal(err)
+			}
+			sawSum = true
+			continue
+		}
+		var rec StreamResult
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, rec)
+	}
+	if !sawSum {
+		t.Fatal("stream response carried no summary trailer")
+	}
+	return results, sum, resp.StatusCode
+}
+
+// TestStreamEndpointEquivalence is the endpoint's core contract: the
+// concatenated streamed diagnostics are byte-identical (as wire JSON) to
+// a whole-script Diagnose over the same engine, including span positions
+// relocated to script coordinates and the recovery pass's hints.
+func TestStreamEndpointEquivalence(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	sql := "SELECT a FROM t;\n" + // accepted
+		"SELECT nope FROM;\n" + // parse error, later statements follow
+		"-- note\nSELECT b FROM u;\n" + // accepted, leading trivia
+		"SELECT @ x;\n" + // lexical error, resynchronized at the ';'
+		"DELETE FROM" // final parse error, no trailing ';'
+
+	results, sum, status := postStream(t, client, "http://"+addr+"/v1/stream?dialect=core", sql)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if sum.Statements != 5 || sum.Accepted != 2 || sum.Rejected != 3 || sum.Error != "" {
+		t.Fatalf("summary = %+v, want 5 statements, 2 accepted, 3 rejected", sum)
+	}
+	if sum.Dialect != "core" {
+		t.Errorf("summary dialect = %q", sum.Dialect)
+	}
+
+	// The records partition the script: contiguous spans, increasing seq.
+	off := 0
+	for i, r := range results {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Off != off {
+			t.Fatalf("record %d starts at %d, want %d (spans must be contiguous)", i, r.Off, off)
+		}
+		off += r.Bytes
+	}
+	if off != len(sql) {
+		t.Fatalf("spans cover %d bytes of %d", off, len(sql))
+	}
+
+	// Byte-for-byte diagnostic equivalence with the non-streaming view.
+	eng, _, _, err := s.resolveStream("core", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EncodeDiagnostics(eng.Diagnose(sql))
+	var got []*Diagnostic
+	for _, r := range results {
+		got = append(got, r.Diagnostics...)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("streamed diagnostics differ from whole-script Diagnose:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	// Spot-check the relocation-sensitive hints: the mid-script parse
+	// failure is marked skipped, the lexical error carries the resync hint,
+	// and the final failure has no skip hint.
+	if h := results[1].Diagnostics[0].Hint; h != "statement skipped" {
+		t.Errorf("mid-script failure hint = %q", h)
+	}
+	if h := results[3].Diagnostics[0].Hint; h != "rescanning after the next ';'" {
+		t.Errorf("lexical failure hint = %q", h)
+	}
+	if h := results[4].Diagnostics[0].Hint; h != "" {
+		t.Errorf("final failure hint = %q, want none", h)
+	}
+}
+
+// TestStreamBodyLargerThanParseBodyCap proves the point of the endpoint:
+// a body far over MaxBodyBytes streams through statement by statement, as
+// long as no single statement exceeds that cap.
+func TestStreamBodyLargerThanParseBodyCap(t *testing.T) {
+	s := freshServer(t, Config{MaxBodyBytes: 16 << 10})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	var b strings.Builder
+	n := 0
+	for b.Len() < 1<<20 {
+		fmt.Fprintf(&b, "SELECT c%d FROM t%d;\n", n%257, n%257)
+		n++
+	}
+	// Trim the trailing newline: a trivia-only tail is (by design) not a
+	// statement and would not appear in the records.
+	sql := strings.TrimSuffix(b.String(), "\n")
+	results, sum, status := postStream(t, client, "http://"+addr+"/v1/stream?dialect=core", sql)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if sum.Statements != n || sum.Rejected != 0 || sum.Error != "" {
+		t.Fatalf("summary = %+v, want %d accepted statements", sum, n)
+	}
+	total := 0
+	for _, r := range results {
+		total += r.Bytes
+	}
+	if total != len(sql) {
+		t.Fatalf("spans cover %d of %d bytes", total, len(sql))
+	}
+}
+
+// An oversized single statement must abort cleanly with the error in the
+// summary trailer, not buffer without bound.
+func TestStreamOversizedStatementAborts(t *testing.T) {
+	s := freshServer(t, Config{MaxBodyBytes: 4 << 10})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	// The statement must outgrow the scanner's read chunk (64 KiB) for the
+	// buffering bound to engage: MaxStatement is a cap on buffering, and
+	// nothing that fits in one chunk ever buffers beyond it.
+	sql := "SELECT a FROM t;\nSELECT '" + strings.Repeat("x", 128<<10) + "' FROM t;\n"
+	results, sum, status := postStream(t, client, "http://"+addr+"/v1/stream?dialect=core", sql)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if sum.Error == "" || !strings.Contains(sum.Error, "statement exceeds") {
+		t.Fatalf("summary error = %q, want statement-too-large", sum.Error)
+	}
+	// The first, well-sized statement was still answered before the abort.
+	if len(results) != 1 || !results[0].OK {
+		t.Fatalf("results before abort = %+v", results)
+	}
+}
+
+func TestStreamRequestErrors(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	base := "http://" + addr + "/v1/stream"
+
+	if resp, err := client.Get(base + "?dialect=core"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET status = %d, want 405", resp.StatusCode)
+		}
+	}
+	for _, query := range []string{"", "?dialect=nope", "?dialect=core&features=select_statement"} {
+		resp, err := client.Post(base+query, "application/sql", strings.NewReader("SELECT a FROM t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q status = %d, want 400", query, resp.StatusCode)
+		}
+	}
+}
+
+// TestVerdictPathsShareTheCache covers the serving-side cache wiring:
+// verdict-shaped parse, batch and stream requests for the same statement
+// bytes hit one shared entry, and the counters surface on /metrics.
+func TestVerdictPathsShareTheCache(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	const q = "SELECT a FROM t"
+	parseURL := "http://" + addr + "/v1/parse"
+	for i := 0; i < 2; i++ {
+		status, body, _ := postJSON(t, client, parseURL, ParseRequest{Dialect: "core", SQL: q, Want: WantVerdict})
+		if status != http.StatusOK {
+			t.Fatalf("parse status %d: %s", status, body)
+		}
+	}
+	st := s.vcache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("after two verdict parses: %+v, want 1 miss + 1 hit", st)
+	}
+
+	// Batch (verdict default) and stream reuse the same entry.
+	if status, body, _ := postJSON(t, client, "http://"+addr+"/v1/batch",
+		BatchRequest{Dialect: "core", Queries: []string{q}}); status != http.StatusOK {
+		t.Fatalf("batch status %d: %s", status, body)
+	}
+	// The streamed statement's Text includes the trailing ';', so send the
+	// bare statement to share bytes with the parse requests above.
+	if _, sum, _ := postStream(t, client, "http://"+addr+"/v1/stream?dialect=core", q); sum.Accepted != 1 {
+		t.Fatalf("stream summary = %+v", sum)
+	}
+	st = s.vcache.Stats()
+	if st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("after batch+stream: %+v, want 1 miss + 3 hits", st)
+	}
+
+	// A tree-shaped parse must not consult the cache.
+	if status, _, _ := postJSON(t, client, parseURL, ParseRequest{Dialect: "core", SQL: q, Want: WantTree}); status != http.StatusOK {
+		t.Fatal("tree parse failed")
+	}
+	if st2 := s.vcache.Stats(); st2 != st {
+		t.Fatalf("tree-shaped parse touched the verdict cache: %+v -> %+v", st, st2)
+	}
+
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, name := range []string{
+		"sqlspl_verdict_cache_hits_total 3",
+		"sqlspl_verdict_cache_misses_total 1",
+		"sqlspl_configure_cache_hits_total",
+		"sqlserved_stream_requests_total 1",
+		"sqlserved_stream_statements_total 1",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+}
+
+// CacheCapacity < 0 disables the verdict cache without changing any
+// response shape.
+func TestVerdictCacheDisabled(t *testing.T) {
+	s := freshServer(t, Config{CacheCapacity: -1})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	if s.vcache != nil {
+		t.Fatal("negative CacheCapacity did not disable the cache")
+	}
+	status, body, _ := postJSON(t, client, "http://"+addr+"/v1/parse",
+		ParseRequest{Dialect: "core", SQL: "SELECT a FROM t", Want: WantVerdict})
+	if status != http.StatusOK {
+		t.Fatalf("parse status %d: %s", status, body)
+	}
+	var resp ParseResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("verdict = %+v", resp)
+	}
+	if _, sum, _ := postStream(t, client, "http://"+addr+"/v1/stream?dialect=core", "SELECT a FROM t;"); sum.Accepted != 1 {
+		t.Fatalf("stream without cache: %+v", sum)
+	}
+}

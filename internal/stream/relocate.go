@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// eoiAt is the marker of the one lexer message that embeds a source
+// position in its text: scanQuoted's "unterminated <what>: reached end of
+// input at L:C". Every other diagnostic carries positions structurally
+// (Span, Line, Col) and relocates field-by-field; this message needs its
+// text rewritten too, or a statement-relative diagnostic relocated into
+// script coordinates would still read the statement's own line numbers.
+const eoiAt = "reached end of input at "
+
+// RelocateEndOfInput rewrites the position embedded in an
+// unterminated-literal scan message from statement-relative coordinates to
+// script coordinates, given the statement's 1-based origin (line, col) in
+// the script. Messages without the embedded position — all others — are
+// returned unchanged, as is any message whose trailing position fails to
+// parse.
+func RelocateEndOfInput(msg string, line, col int) string {
+	if line == 1 && col == 1 {
+		return msg
+	}
+	i := strings.LastIndex(msg, eoiAt)
+	if i < 0 {
+		return msg
+	}
+	var l, c int
+	pos := msg[i+len(eoiAt):]
+	if n, err := fmt.Sscanf(pos, "%d:%d", &l, &c); n != 2 || err != nil {
+		return msg
+	}
+	if pos != fmt.Sprintf("%d:%d", l, c) {
+		return msg // trailing text beyond the position: not the lexer's shape
+	}
+	if l == 1 {
+		c += col - 1
+	}
+	l += line - 1
+	return msg[:i+len(eoiAt)] + fmt.Sprintf("%d:%d", l, c)
+}

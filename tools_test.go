@@ -139,12 +139,13 @@ func TestCLIsRun(t *testing.T) {
 	})
 	t.Run("sqlparse-batch", func(t *testing.T) {
 		t.Parallel()
-		// A batch with a failing line exits nonzero and reports the error
-		// on stderr; the ordered verdicts stay on stdout.
+		// A batch with a failing statement exits nonzero and reports the
+		// error on stderr; the ordered verdicts stay on stdout. Stdin is
+		// framed at top-level ';' (a statement may span lines), not by line.
 		cmd := exec.Command("go", "run", "./cmd/sqlparse",
 			"-dialect", "core", "-batch", "-workers", "4")
 		cmd.Stdin = strings.NewReader(
-			"SELECT a FROM t\nSELECT b FROM u WHERE c = 1\nSELECT nope FROM\n")
+			"SELECT a FROM t;\nSELECT b\nFROM u WHERE c = 1;\nSELECT nope FROM;\n")
 		var stdout, stderr strings.Builder
 		cmd.Stdout, cmd.Stderr = &stdout, &stderr
 		err := cmd.Run()
@@ -159,15 +160,15 @@ func TestCLIsRun(t *testing.T) {
 				t.Errorf("batch stdout missing %q:\n%s", want, stdout.String())
 			}
 		}
-		if !strings.Contains(stderr.String(), "line 3:") {
-			t.Errorf("batch stderr missing per-line error:\n%s", stderr.String())
+		if !strings.Contains(stderr.String(), "line 4:") {
+			t.Errorf("batch stderr missing per-statement error line:\n%s", stderr.String())
 		}
 	})
 	t.Run("sqlparse-batch-all-ok", func(t *testing.T) {
 		t.Parallel()
 		cmd := exec.Command("go", "run", "./cmd/sqlparse",
 			"-dialect", "core", "-batch", "-workers", "2")
-		cmd.Stdin = strings.NewReader("SELECT a FROM t\nSELECT b FROM u\n")
+		cmd.Stdin = strings.NewReader("SELECT a FROM t;\nSELECT b FROM u;\n")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
 			t.Fatalf("clean batch exited nonzero: %v\n%s", err, out)
