@@ -1,15 +1,23 @@
 // Command sqlparse parses SQL under a chosen product-line dialect and
-// prints the parse tree, the typed AST, or re-rendered SQL. Products are
-// resolved through the shared product catalog (internal/product), so the
-// dialect's parser is composed once per process no matter how often it is
-// used.
+// prints the parse tree, the typed AST, per-statement analysis, or
+// re-rendered SQL. Products are resolved through the shared product
+// catalog (internal/product), so the dialect's parser is composed once
+// per process no matter how often it is used.
 //
 // Usage:
 //
 //	sqlparse -dialect core 'SELECT a FROM t WHERE b = 1'
 //	echo 'SELECT * FROM sensors SAMPLE PERIOD 1024' | sqlparse -dialect tinysql -tree
 //	sqlparse -dialect warehouse -render 'select a from t union select b from u'
-//	sqlparse -dialect core -json 'SELECT a FROM t'   # same wire format as sqlserved
+//	sqlparse -dialect core -json 'SELECT a FROM t'      # same wire format as sqlserved
+//	sqlparse -dialect core -ast 'SELECT a FROM t'       # typed AST, stable wire schema
+//	sqlparse -dialect core -analyze 'SELECT a FROM t'   # tables/columns/flags per statement
+//	sqlparse -dialect core -format 'select  a,b from t' # canonical re-render (/v1/format)
+//	sqlparse -dialect core -format -minify 'SELECT ( a + b ) FROM t'
+//
+// -ast and -analyze emit the sqlserved wire structures as JSON (want=ast
+// and want=analysis respectively); -format mirrors POST /v1/format,
+// refusing statements the typed AST only preserves as source text.
 //
 // With -json the result — tree, AST or diagnostics — is emitted in the
 // serving subsystem's wire format (internal/server): the CLI and the HTTP
@@ -65,11 +73,21 @@ func main() {
 		dialectN = flag.String("dialect", "core", "dialect: minimal|tinysql|scql|core|warehouse|full")
 		tree     = flag.Bool("tree", false, "print the concrete parse tree")
 		render   = flag.Bool("render", false, "print the SQL re-rendered from the typed AST")
+		astOut   = flag.Bool("ast", false, "emit the typed AST as JSON (the sqlserved want=ast wire schema)")
+		analyze  = flag.Bool("analyze", false, "emit per-statement analysis as JSON (the sqlserved want=analysis shape)")
+		format   = flag.Bool("format", false, "re-render the input through the AST printers (POST /v1/format)")
+		minify   = flag.Bool("minify", false, "with -format: whitespace-minimal output")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON in the sqlserved wire format")
 		batch    = flag.Bool("batch", false, "batch mode: stream ';'-separated statements from stdin over one shared product")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parse goroutines in batch mode")
 	)
 	flag.Parse()
+	if *minify && !*format {
+		fatal(fmt.Errorf("-minify requires -format"))
+	}
+	if *format && *batch {
+		fatal(fmt.Errorf("-format and -batch are mutually exclusive (format the whole script in one shot)"))
+	}
 
 	// Batch mode also needs the product's lexer (for the statement
 	// iterator); Resolve hands back both halves of the catalog slot.
@@ -79,13 +97,19 @@ func main() {
 	}
 
 	// The wire shape implied by the print flags: the default (statement
-	// dump) corresponds to the AST shape.
+	// dump) corresponds to the AST shape. -ast and -analyze are JSON by
+	// nature — they imply -json.
 	want := server.WantAST
 	switch {
 	case *tree:
 		want = server.WantTree
 	case *render:
 		want = server.WantRender
+	case *analyze:
+		want = server.WantAnalysis
+		*jsonOut = true
+	case *astOut:
+		*jsonOut = true
 	}
 
 	if *batch {
@@ -109,6 +133,28 @@ func main() {
 	}
 	if strings.TrimSpace(sql) == "" {
 		fatal(fmt.Errorf("no SQL given (argument or stdin)"))
+	}
+
+	if *format {
+		resp := server.FormatOutcome(eng, sql, *minify)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(resp); err != nil {
+				fatal(err)
+			}
+		} else if resp.OK {
+			fmt.Println(resp.SQL)
+		} else {
+			fmt.Fprintln(os.Stderr, "sqlparse:", resp.Error.Message)
+			for _, d := range resp.Diagnostics {
+				fmt.Fprintln(os.Stderr, "sqlparse:", d.Message)
+			}
+		}
+		if !resp.OK {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *jsonOut {
@@ -156,6 +202,10 @@ type batchJob struct {
 	seq  int    // 1-based statement number, the N in "N: ACCEPT"
 	line int    // the statement's first-token line in the input
 	text string // raw statement span, trivia and ';' included
+	// at locates the span in the whole input so failure diagnostics are
+	// rebased to whole-input coordinates, matching a single-shot parse of
+	// the same script.
+	at server.Position
 }
 
 type batchDone struct {
@@ -189,13 +239,17 @@ func runBatch(eng engine.Engine, lx *lexer.Lexer, in io.Reader, out io.Writer, w
 			for j := range jobs {
 				var r *server.ParseResponse
 				if jsonOut {
-					r = server.Outcome(eng, j.text, want)
+					// OutcomeAt rebases the statement-relative error and
+					// recovery diagnostics to whole-input coordinates, so
+					// the NDJSON records carry the same positions a
+					// single-shot parse of the script would report.
+					r = server.OutcomeAt(eng, j.text, want, j.at)
 				} else {
 					// Verdict-only: parse without building a response shape,
 					// preserving batch mode's original parse-only semantics.
 					r = &server.ParseResponse{Dialect: eng.Info().Product}
 					if _, err := eng.Parse(j.text); err != nil {
-						r.Error = server.EncodeDiagnostic(err)
+						r.Error = server.EncodeDiagnostic(server.RelocateError(err, j.at))
 					} else {
 						r.OK = true
 					}
@@ -261,6 +315,14 @@ func runBatch(eng engine.Engine, lx *lexer.Lexer, in io.Reader, out io.Writer, w
 	sc := stream.NewScanner(lx, in, stream.Config{})
 	seq := 0
 	var scanErr error
+	// One statement is held back so every job knows whether a later
+	// statement exists — diagnostics then carry the recovery pass's
+	// "statement skipped" hint exactly as a whole-script parse would.
+	var pending *batchJob
+	dispatch := func(j batchJob, hasMore bool) {
+		j.at.HasMore = hasMore
+		jobs <- j
+	}
 	for {
 		st, err := sc.Next()
 		if err != nil {
@@ -281,7 +343,17 @@ func runBatch(eng engine.Engine, lx *lexer.Lexer, in io.Reader, out io.Writer, w
 			line = st.Line + st.Err.Line - 1
 		}
 		seq++
-		jobs <- batchJob{seq: seq, line: line, text: st.Text}
+		j := batchJob{seq: seq, line: line, text: st.Text,
+			at: server.Position{Off: st.Off, Line: st.Line, Col: st.Col}}
+		if pending != nil {
+			dispatch(*pending, true)
+		}
+		pending = &j
+	}
+	// The held-back statement is complete even when the scan aborted after
+	// it; on abort unread input remained, so it was not the last statement.
+	if pending != nil {
+		dispatch(*pending, scanErr != nil)
 	}
 	close(jobs)
 	totals := <-emitted

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sqlspl/internal/core"
 	"sqlspl/internal/dialect"
 	"sqlspl/internal/engine"
+	"sqlspl/internal/server"
 )
 
 func coreResolve(t *testing.T) (*core.Product, engine.Engine) {
@@ -146,6 +148,53 @@ func TestRunBatchJSONOutput(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "statements:") {
 		t.Errorf("summary leaked onto stdout in -json mode:\n%s", out.String())
+	}
+}
+
+// Regression: batch -json failures used to carry statement-relative
+// diagnostics — a failure on line 4 of the input reported line 1 or 2,
+// because each statement was parsed in isolation. The NDJSON records must
+// locate errors in whole-input coordinates, with the recovery pass's
+// "statement skipped" hint on failing statements that are not the last,
+// exactly like a single-shot parse of the same script.
+func TestRunBatchJSONDiagnosticsWholeInputCoordinates(t *testing.T) {
+	prod, eng := coreResolve(t)
+	in := strings.NewReader("-- header comment\nSELECT a FROM t;\nSELECT b FROM u;\nSELECT FROM v;\nSELECT c FROM w\n")
+	var out strings.Builder
+	rejected, err := runBatch(eng, prod.Parser.Lexer(), in, &out, 2, true, "verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want 1:\n%s", rejected, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 NDJSON lines, got %d:\n%s", len(lines), out.String())
+	}
+	var resp server.ParseResponse
+	if err := json.Unmarshal([]byte(lines[2]), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == nil || len(resp.Diagnostics) == 0 {
+		t.Fatalf("failing statement lacks structured diagnostics: %s", lines[2])
+	}
+	// "SELECT FROM v" sits on line 4 of the input; FROM is at column 8.
+	if resp.Error.Line != 4 || resp.Error.Col != 8 {
+		t.Errorf("error at %d:%d, want 4:8 (whole-input coordinates): %+v", resp.Error.Line, resp.Error.Col, resp.Error)
+	}
+	d := resp.Diagnostics[0]
+	if d.Line != 4 || d.Col != 8 {
+		t.Errorf("diagnostic at %d:%d, want 4:8: %+v", d.Line, d.Col, d)
+	}
+	if !strings.Contains(d.Message, "4:8") {
+		t.Errorf("diagnostic message keeps statement-relative position: %q", d.Message)
+	}
+	if off := strings.Index("-- header comment\nSELECT a FROM t;\nSELECT b FROM u;\nSELECT FROM v;\nSELECT c FROM w\n", "FROM v"); d.Off != off {
+		t.Errorf("diagnostic offset = %d, want %d", d.Off, off)
+	}
+	if d.Hint != "statement skipped" {
+		t.Errorf("mid-script failure lacks skip hint: %+v", d)
 	}
 }
 

@@ -176,10 +176,42 @@ func runLoadgen(cfg loadgenConfig) error {
 		})
 	}
 
+	// Probe pass: one want=ast and one want=analysis parse plus a canonical
+	// and a minified format per dialect, with fixed inputs whose outputs are
+	// known — exercising the query-intelligence surface end to end on every
+	// loadgen run and folding the requests into the telemetry cross-check.
+	probeParse, probeFormat := 0, 0
+	for _, d := range cfg.dialects {
+		for _, w := range []string{server.WantAST, server.WantAnalysis} {
+			if err := postParse(client, base, server.ParseRequest{Dialect: d, SQL: "SELECT a FROM t", Want: w}); err != nil {
+				return fmt.Errorf("loadgen: probe want=%s dialect %s: %w", w, d, err)
+			}
+			probeParse++
+		}
+		for _, minify := range []bool{false, true} {
+			got, err := postFormat(client, base, server.FormatRequest{Dialect: d, SQL: "select   a  from t", Minify: minify})
+			if err != nil {
+				return fmt.Errorf("loadgen: probe format dialect %s: %w", d, err)
+			}
+			if got != "SELECT a FROM t" { // every inter-word space is load-bearing: minified == canonical here
+				return fmt.Errorf("loadgen: probe format dialect %s: got %q", d, got)
+			}
+			probeFormat++
+		}
+	}
+	fmt.Printf("loadgen: probes OK — %d ast/analysis parses, %d formats\n", probeParse, probeFormat)
+
 	// Only want=verdict rides the verdict cache; every such request is
 	// exactly one lookup, and misses cannot exceed the distinct statements
-	// driven (the pools fit the cache, so nothing evicts mid-run).
-	expect := metricsExpect{parseReqs: cfg.total, catalogResolves: cfg.total, verdictLookups: -1}
+	// driven (the pools fit the cache, so nothing evicts mid-run). The
+	// probes above ride the parse histogram too.
+	expect := metricsExpect{
+		parseReqs:       cfg.total + probeParse,
+		formatReqs:      probeFormat,
+		latencyObserved: cfg.total + probeParse + probeFormat,
+		catalogResolves: cfg.total + probeParse + probeFormat,
+		verdictLookups:  -1,
+	}
 	if cfg.want == server.WantVerdict {
 		expect.verdictLookups = int64(cfg.total)
 		for _, d := range cfg.dialects {
@@ -465,6 +497,35 @@ func postParse(client *http.Client, base string, req server.ParseRequest) error 
 	return nil
 }
 
+// postFormat issues one format request and returns the formatted SQL; any
+// transport failure, non-200 status or ok=false response is an error.
+func postFormat(client *http.Client, base string, req server.FormatRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(base+"/v1/format", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, truncate(string(data), 200))
+	}
+	var fr server.FormatResponse
+	if err := json.Unmarshal(data, &fr); err != nil {
+		return "", err
+	}
+	if !fr.OK {
+		return "", fmt.Errorf("format refused: %s", truncate(fr.Error.Message, 200))
+	}
+	return fr.SQL, nil
+}
+
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
@@ -538,7 +599,9 @@ func printTable(cfg loadgenConfig, latencies []time.Duration, failed []bool, ela
 // verdictLookups < 0 skips the verdict-cache assertions (non-verdict wants
 // never touch that cache).
 type metricsExpect struct {
-	parseReqs        int   // /v1/parse requests: histogram count and requests_total
+	parseReqs        int   // /v1/parse requests (requests_total)
+	formatReqs       int   // /v1/format requests (requests_total; errors must be zero)
+	latencyObserved  int   // latency histogram count (parse + format requests)
 	catalogResolves  int   // product-cache hits+misses+shared must sum to this
 	streamReqs       int   // /v1/stream requests
 	streamStatements int64 // statements answered across all streams
@@ -575,8 +638,8 @@ func verifyMetrics(client *http.Client, base string, expect metricsExpect) (mism
 	if hist != nil {
 		histCount = hist.Count
 	}
-	if histCount != uint64(expect.parseReqs) {
-		fmt.Printf("telemetry MISMATCH: latency histogram count = %d, want %d\n", histCount, expect.parseReqs)
+	if histCount != uint64(expect.latencyObserved) {
+		fmt.Printf("telemetry MISMATCH: latency histogram count = %d, want %d\n", histCount, expect.latencyObserved)
 		mismatches++
 	} else if hist != nil && histCount > 0 {
 		fmt.Printf("telemetry: latency histogram count = %d, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs\n",
@@ -597,6 +660,16 @@ func verifyMetrics(client *http.Client, base string, expect metricsExpect) (mism
 	if expect.parseReqs > 0 {
 		if reqs := value("sqlserved_parse_requests_total"); reqs != float64(expect.parseReqs) {
 			fmt.Printf("telemetry MISMATCH: parse_requests_total = %.0f, want %d\n", reqs, expect.parseReqs)
+			mismatches++
+		}
+	}
+	if expect.formatReqs > 0 {
+		if reqs := value("sqlserved_format_requests_total"); reqs != float64(expect.formatReqs) {
+			fmt.Printf("telemetry MISMATCH: format_requests_total = %.0f, want %d\n", reqs, expect.formatReqs)
+			mismatches++
+		}
+		if errs := value("sqlserved_format_errors_total"); errs != 0 {
+			fmt.Printf("telemetry MISMATCH: format_errors_total = %.0f, want 0\n", errs)
 			mismatches++
 		}
 	}

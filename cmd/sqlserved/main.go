@@ -51,7 +51,7 @@ func main() {
 		n           = flag.Int("n", 12000, "loadgen: total requests")
 		lgDialects  = flag.String("loadgen-dialects", "tinysql,scql,core", "loadgen: comma-separated preset dialects to drive")
 		concurrency = flag.Int("concurrency", 32, "loadgen: concurrent client connections")
-		want        = flag.String("want", "render", "loadgen: response shape per request (verdict|tree|ast|render)")
+		want        = flag.String("want", "render", "loadgen: response shape per request (verdict|tree|ast|render|analysis)")
 		seed        = flag.Uint64("seed", 1, "loadgen: workload seed")
 		hot         = flag.Int("hot", 0, "loadgen: restrict each dialect's pool to this many distinct statements (hot-set cache mode)")
 		streamMB    = flag.Int("stream-mb", 0, "loadgen: stream mode — POST scripts of at least this many MB to /v1/stream")

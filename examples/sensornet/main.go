@@ -61,8 +61,7 @@ func main() {
 		}
 		fmt.Printf("query: %s\n", q)
 		if sel, ok := script.Statements[0].(*ast.Select); ok && sel.Sensor != nil {
-			fmt.Printf("  acquisition: period=%d for=%d lifetime=%d epoch-spelling=%v\n",
-				sel.Sensor.SamplePeriod, sel.Sensor.SampleFor, sel.Sensor.Lifetime, sel.Sensor.Epoch)
+			fmt.Printf("  acquisition: %s\n", sel.Sensor.SQL())
 		} else {
 			fmt.Printf("  statement kind: %T\n", script.Statements[0])
 		}

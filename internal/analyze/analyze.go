@@ -1,0 +1,567 @@
+// Package analyze derives structured facts from typed ASTs: which tables a
+// statement touches (with alias resolution), which columns it references
+// (with best-effort table attribution), and whether it aggregates, nests
+// subqueries, uses window functions or combines queries with set operators.
+//
+// The walk is purely syntactic — there is no catalog, so an unqualified
+// column in a multi-table FROM stays unattributed rather than guessed. The
+// output is deterministic: tables and columns are deduplicated and sorted,
+// so equal statements produce byte-equal encodings. Statements (or
+// expressions) the typed AST preserves only as source text — ast.Generic
+// and ast.Raw fallbacks — set Incomplete instead of silently analyzing as
+// empty; consumers must treat such analyses as partial.
+package analyze
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"sqlspl/internal/ast"
+)
+
+// Analysis is the per-statement result.
+type Analysis struct {
+	// Kind is "select", "insert", "update" or "delete"; for statements the
+	// typed AST does not model it is the production label of the generic
+	// fallback (and Incomplete is set).
+	Kind string `json:"kind"`
+	// Tables lists every table the statement references, deduplicated and
+	// sorted by (name, alias, kind).
+	Tables []Table `json:"tables,omitempty"`
+	// Columns lists referenced columns sorted by (table, name). A select
+	// list `*` is recorded as name "*".
+	Columns []Column `json:"columns,omitempty"`
+	// Aggregates is set when a set function (COUNT, SUM, ...) appears.
+	Aggregates bool `json:"aggregates,omitempty"`
+	// Subqueries is set when a derived table or expression subquery nests.
+	Subqueries bool `json:"subqueries,omitempty"`
+	// Windows is set by window functions and WINDOW clauses.
+	Windows bool `json:"windows,omitempty"`
+	// SetOps is set by UNION / EXCEPT / INTERSECT.
+	SetOps bool `json:"set_ops,omitempty"`
+	// Incomplete is set when the walk saw untyped source (a Generic
+	// statement or Raw expression): the lists above may be missing
+	// references that only exist in the preserved text.
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// Table is one referenced table.
+type Table struct {
+	// Name is the dotted, unquoted table name; empty for derived tables,
+	// which are identified by their alias.
+	Name string `json:"name,omitempty"`
+	// Alias is the unquoted correlation name, when present.
+	Alias string `json:"alias,omitempty"`
+	// Kind is "base", "derived" (a subquery in FROM) or "cte" (a reference
+	// to a WITH name in scope).
+	Kind string `json:"kind"`
+}
+
+// Column is one referenced column.
+type Column struct {
+	// Name is the unquoted column name ("*" for asterisks).
+	Name string `json:"name"`
+	// Table attributes the reference: the referenced table's name (or a
+	// derived table's alias) when the qualifier resolves or the statement
+	// reads exactly one table; otherwise the qualifier as written, or empty
+	// when an unqualified reference is ambiguous.
+	Table string `json:"table,omitempty"`
+}
+
+// Counters is the snapshot shape of the package-wide telemetry counters.
+type Counters struct {
+	// Statements counts analyzed statements.
+	Statements uint64
+	// Incomplete counts analyses flagged incomplete.
+	Incomplete uint64
+}
+
+var hot struct {
+	statements atomic.Uint64
+	incomplete atomic.Uint64
+}
+
+// HotCounters snapshots the process-wide analysis counters (telemetry
+// scrapes them; see internal/server).
+func HotCounters() Counters {
+	return Counters{
+		Statements: hot.statements.Load(),
+		Incomplete: hot.incomplete.Load(),
+	}
+}
+
+// Script analyzes every statement of a script, in order.
+func Script(s *ast.Script) []Analysis {
+	out := make([]Analysis, len(s.Statements))
+	for i, st := range s.Statements {
+		out[i] = Statement(st)
+	}
+	return out
+}
+
+// Statement analyzes one statement.
+func Statement(st ast.Statement) Analysis {
+	w := newWalker()
+	a := Analysis{}
+	switch s := st.(type) {
+	case *ast.Select:
+		a.Kind = "select"
+		w.walkSelect(s, nil, &a)
+	case *ast.Insert:
+		a.Kind = "insert"
+		w.walkInsert(s, &a)
+	case *ast.Update:
+		a.Kind = "update"
+		w.walkUpdate(s, &a)
+	case *ast.Delete:
+		a.Kind = "delete"
+		w.walkDelete(s, &a)
+	case *ast.Generic:
+		a.Kind = s.Kind
+		a.Incomplete = true
+	default:
+		a.Kind = "unknown"
+		a.Incomplete = true
+	}
+	a.Tables = w.sortedTables()
+	a.Columns = w.sortedColumns()
+	hot.statements.Add(1)
+	if a.Incomplete {
+		hot.incomplete.Add(1)
+	}
+	return a
+}
+
+// --- walker -------------------------------------------------------------------
+
+// scope is one query level's name environment: the tables its FROM (or DML
+// target) puts in range, keyed for alias resolution. Scopes chain so
+// correlated subqueries resolve against enclosing queries.
+type scope struct {
+	parent *scope
+	// byKey maps a resolution key (alias or exposed table name) to the
+	// display name column references attribute to.
+	byKey map[string]string
+	// inRange lists the display names of this level's range variables, in
+	// FROM order; exactly one means unqualified columns attribute to it.
+	inRange []string
+}
+
+func (sc *scope) add(key, display string) {
+	if key == "" {
+		return
+	}
+	if _, dup := sc.byKey[key]; !dup {
+		sc.byKey[key] = display
+	}
+}
+
+// resolve walks the scope chain for a qualifier key.
+func (sc *scope) resolve(key string) (string, bool) {
+	for s := sc; s != nil; s = s.parent {
+		if d, ok := s.byKey[key]; ok {
+			return d, true
+		}
+	}
+	return "", false
+}
+
+// only returns the single range variable of the nearest scope that has any,
+// or "" when that scope holds several (ambiguous).
+func (sc *scope) only() string {
+	for s := sc; s != nil; s = s.parent {
+		if len(s.inRange) == 1 {
+			return s.inRange[0]
+		}
+		if len(s.inRange) > 1 {
+			return ""
+		}
+	}
+	return ""
+}
+
+type walker struct {
+	tables  map[Table]struct{}
+	columns map[Column]struct{}
+}
+
+func newWalker() *walker {
+	return &walker{tables: map[Table]struct{}{}, columns: map[Column]struct{}{}}
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, byKey: map[string]string{}}
+}
+
+// key folds one identifier part for resolution: regular identifiers compare
+// case-insensitively, delimited identifiers by exact content.
+func key(part string) string {
+	if len(part) >= 2 && part[0] == '"' {
+		return ast.Unquote(part)
+	}
+	return strings.ToLower(part)
+}
+
+// display joins a name chain into the unquoted dotted form.
+func display(parts []string) string {
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = ast.Unquote(p)
+	}
+	return strings.Join(out, ".")
+}
+
+func (w *walker) addTable(t Table) {
+	w.tables[t] = struct{}{}
+}
+
+func (w *walker) addColumn(c Column) {
+	w.columns[c] = struct{}{}
+}
+
+func (w *walker) sortedTables() []Table {
+	if len(w.tables) == 0 {
+		return nil
+	}
+	out := make([]Table, 0, len(w.tables))
+	for t := range w.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		if out[i].Alias != out[j].Alias {
+			return out[i].Alias < out[j].Alias
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func (w *walker) sortedColumns() []Column {
+	if len(w.columns) == 0 {
+		return nil
+	}
+	out := make([]Column, 0, len(w.columns))
+	for c := range w.columns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// --- statements ---------------------------------------------------------------
+
+func (w *walker) walkSelect(s *ast.Select, parent *scope, a *Analysis) {
+	sc := newScope(parent)
+	// WITH names are in scope for the body and, for RECURSIVE, for the
+	// definitions themselves; registering before walking definitions makes
+	// self-references classify as CTE references either way.
+	for _, with := range s.With {
+		sc.add(key(with.Name), ast.Unquote(with.Name))
+	}
+	cteNames := map[string]bool{}
+	for _, with := range s.With {
+		cteNames[key(with.Name)] = true
+	}
+	for _, with := range s.With {
+		if with.Query != nil {
+			w.walkSelect(with.Query, sc, a)
+		}
+	}
+
+	switch {
+	case s.Paren != nil:
+		w.walkSelect(s.Paren, parent, a)
+	case len(s.Values) > 0:
+		for _, row := range s.Values {
+			for _, e := range row {
+				w.walkExpr(e, sc, a)
+			}
+		}
+	case len(s.ExplicitTable) > 0:
+		w.addTable(Table{Name: display(s.ExplicitTable), Kind: "base"})
+	default:
+		for _, ref := range s.From {
+			w.walkTableRef(ref, sc, cteNames, a)
+		}
+		for _, it := range s.Items {
+			w.walkSelectItem(it, sc, a)
+		}
+		if s.Where != nil {
+			w.walkExpr(s.Where, sc, a)
+		}
+		for _, g := range s.GroupBy {
+			w.walkGrouping(g, sc, a)
+		}
+		if s.Having != nil {
+			w.walkExpr(s.Having, sc, a)
+		}
+		for _, wd := range s.Windows {
+			a.Windows = true
+			w.walkWindowSpec(&wd.Spec, sc, a)
+		}
+	}
+	for _, op := range s.SetOps {
+		a.SetOps = true
+		if op.Right != nil {
+			w.walkSelect(op.Right, parent, a)
+		}
+	}
+	for _, k := range s.OrderBy {
+		w.walkExpr(k.Key, sc, a)
+	}
+}
+
+func (w *walker) walkTableRef(ref *ast.TableRef, sc *scope, cteNames map[string]bool, a *Analysis) {
+	w.walkTablePrimary(ref, sc, cteNames, a)
+	for _, j := range ref.Joins {
+		if j.Right != nil {
+			w.walkTablePrimary(j.Right, sc, cteNames, a)
+		}
+		if j.On != nil {
+			w.walkExpr(j.On, sc, a)
+		}
+		for _, u := range j.Using {
+			w.addColumn(Column{Name: ast.Unquote(u)})
+		}
+	}
+}
+
+// walkTablePrimary registers one range variable (a named table, derived
+// table or parenthesized join) in the scope and records its table entry.
+func (w *walker) walkTablePrimary(ref *ast.TableRef, sc *scope, cteNames map[string]bool, a *Analysis) {
+	alias := ast.Unquote(ref.Alias)
+	switch {
+	case ref.Subquery != nil:
+		a.Subqueries = true
+		// Derived tables see the enclosing query's scope, not their
+		// siblings': resolve correlations against sc.parent.
+		w.walkSelect(ref.Subquery, sc.parent, a)
+		w.addTable(Table{Alias: alias, Kind: "derived"})
+		if alias != "" {
+			sc.add(key(ref.Alias), alias)
+			sc.inRange = append(sc.inRange, alias)
+		}
+	case ref.Paren != nil:
+		w.walkTableRef(ref.Paren, sc, cteNames, a)
+		if alias != "" {
+			sc.add(key(ref.Alias), alias)
+		}
+	default:
+		name := display(ref.Name)
+		kind := "base"
+		if len(ref.Name) == 1 && cteNames[key(ref.Name[0])] {
+			kind = "cte"
+		}
+		w.addTable(Table{Name: name, Alias: alias, Kind: kind})
+		if alias != "" {
+			sc.add(key(ref.Alias), name)
+		} else if len(ref.Name) > 0 {
+			// The exposed name of an unaliased table is its last part.
+			sc.add(key(ref.Name[len(ref.Name)-1]), name)
+		}
+		sc.inRange = append(sc.inRange, name)
+	}
+}
+
+func (w *walker) walkSelectItem(it ast.SelectItem, sc *scope, a *Analysis) {
+	if it.Star {
+		c := Column{Name: "*"}
+		if len(it.Qualifier) > 0 {
+			c.Table = w.attributeQualifier(it.Qualifier, sc)
+		}
+		w.addColumn(c)
+		return
+	}
+	if it.Expr != nil {
+		w.walkExpr(it.Expr, sc, a)
+	}
+}
+
+func (w *walker) walkGrouping(g ast.GroupingElement, sc *scope, a *Analysis) {
+	for _, c := range g.Columns {
+		w.walkExpr(c, sc, a)
+	}
+	for _, n := range g.Nested {
+		w.walkGrouping(n, sc, a)
+	}
+}
+
+func (w *walker) walkWindowSpec(spec *ast.WindowSpec, sc *scope, a *Analysis) {
+	for _, e := range spec.PartitionBy {
+		w.walkExpr(e, sc, a)
+	}
+	for _, k := range spec.OrderBy {
+		w.walkExpr(k.Key, sc, a)
+	}
+}
+
+func (w *walker) walkInsert(s *ast.Insert, a *Analysis) {
+	sc := newScope(nil)
+	name := display(s.Table)
+	w.addTable(Table{Name: name, Kind: "base"})
+	if len(s.Table) > 0 {
+		sc.add(key(s.Table[len(s.Table)-1]), name)
+	}
+	sc.inRange = append(sc.inRange, name)
+	for _, c := range s.Columns {
+		w.addColumn(Column{Name: ast.Unquote(c), Table: name})
+	}
+	for _, row := range s.Rows {
+		for _, e := range row {
+			w.walkExpr(e, sc, a)
+		}
+	}
+	if s.Query != nil {
+		a.Subqueries = true
+		w.walkSelect(s.Query, nil, a)
+	}
+}
+
+func (w *walker) walkUpdate(s *ast.Update, a *Analysis) {
+	sc := newScope(nil)
+	name := display(s.Table)
+	w.addTable(Table{Name: name, Kind: "base"})
+	if len(s.Table) > 0 {
+		sc.add(key(s.Table[len(s.Table)-1]), name)
+	}
+	sc.inRange = append(sc.inRange, name)
+	for _, as := range s.Assignments {
+		w.addColumn(Column{Name: ast.Unquote(as.Column), Table: name})
+		if as.Value != nil {
+			w.walkExpr(as.Value, sc, a)
+		}
+	}
+	if s.Where != nil {
+		w.walkExpr(s.Where, sc, a)
+	}
+}
+
+func (w *walker) walkDelete(s *ast.Delete, a *Analysis) {
+	sc := newScope(nil)
+	name := display(s.Table)
+	w.addTable(Table{Name: name, Kind: "base"})
+	if len(s.Table) > 0 {
+		sc.add(key(s.Table[len(s.Table)-1]), name)
+	}
+	sc.inRange = append(sc.inRange, name)
+	if s.Where != nil {
+		w.walkExpr(s.Where, sc, a)
+	}
+}
+
+// --- expressions --------------------------------------------------------------
+
+// aggregateNames are the set-function names of the SQL:2003 decomposition's
+// aggregate feature units (upper-cased for the case-insensitive match).
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"EVERY": true, "ANY": true, "SOME": true, "COLLECT": true,
+	"FUSION": true, "INTERSECTION": true, "GROUPING": true,
+	"STDDEV_POP": true, "STDDEV_SAMP": true, "VAR_POP": true, "VAR_SAMP": true,
+}
+
+func (w *walker) walkExpr(e ast.Expr, sc *scope, a *Analysis) {
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		w.walkColumnRef(x, sc)
+	case *ast.Literal:
+		// no references
+	case *ast.Binary:
+		w.walkExpr(x.Left, sc, a)
+		w.walkExpr(x.Right, sc, a)
+	case *ast.Unary:
+		w.walkExpr(x.Operand, sc, a)
+	case *ast.FuncCall:
+		if len(x.Name) == 1 && aggregateNames[strings.ToUpper(ast.Unquote(x.Name[0]))] {
+			a.Aggregates = true
+		}
+		if x.OverName != "" || x.OverSpec != nil {
+			a.Windows = true
+		}
+		for _, arg := range x.Args {
+			w.walkExpr(arg, sc, a)
+		}
+		if x.Filter != nil {
+			w.walkExpr(x.Filter, sc, a)
+		}
+		if x.OverSpec != nil {
+			w.walkWindowSpec(x.OverSpec, sc, a)
+		}
+	case *ast.Case:
+		if x.Operand != nil {
+			w.walkExpr(x.Operand, sc, a)
+		}
+		for _, arm := range x.Whens {
+			w.walkExpr(arm.When, sc, a)
+			w.walkExpr(arm.Then, sc, a)
+		}
+		if x.Else != nil {
+			w.walkExpr(x.Else, sc, a)
+		}
+	case *ast.Cast:
+		if x.Operand != nil {
+			w.walkExpr(x.Operand, sc, a)
+		}
+	case *ast.Subquery:
+		a.Subqueries = true
+		w.walkSelect(x.Query, sc, a)
+	case *ast.Row:
+		for _, it := range x.Items {
+			w.walkExpr(it, sc, a)
+		}
+	case *ast.Predicate:
+		if x.Left != nil {
+			w.walkExpr(x.Left, sc, a)
+		}
+		for _, arg := range x.Args {
+			w.walkExpr(arg, sc, a)
+		}
+	case *ast.TruthTest:
+		w.walkExpr(x.Operand, sc, a)
+	case *ast.Raw:
+		// DEFAULT in an insert/update source is fully understood; any other
+		// preserved text may hide references the walk cannot see.
+		if x.Kind != "default" {
+			a.Incomplete = true
+		}
+	case nil:
+		// defensive: absent optional operand
+	default:
+		a.Incomplete = true
+	}
+}
+
+func (w *walker) walkColumnRef(c *ast.ColumnRef, sc *scope) {
+	if len(c.Parts) == 0 {
+		return
+	}
+	name := ast.Unquote(c.Parts[len(c.Parts)-1])
+	col := Column{Name: name}
+	if len(c.Parts) > 1 {
+		col.Table = w.attributeQualifier(c.Parts[:len(c.Parts)-1], sc)
+	} else {
+		col.Table = sc.only()
+	}
+	w.addColumn(col)
+}
+
+// attributeQualifier resolves a column qualifier chain against the scope:
+// a single-part qualifier that names a range variable resolves to its
+// table; anything else is attributed as written.
+func (w *walker) attributeQualifier(parts []string, sc *scope) string {
+	if len(parts) == 1 {
+		if d, ok := sc.resolve(key(parts[0])); ok {
+			return d
+		}
+	}
+	return display(parts)
+}

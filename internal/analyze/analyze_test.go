@@ -1,0 +1,283 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+)
+
+var (
+	productsMu sync.Mutex
+	products   = map[dialect.Name]*core.Product{}
+)
+
+func product(t *testing.T, name dialect.Name) *core.Product {
+	t.Helper()
+	productsMu.Lock()
+	defer productsMu.Unlock()
+	if p, ok := products[name]; ok {
+		return p
+	}
+	p, err := dialect.Build(name)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	products[name] = p
+	return p
+}
+
+func analyzeOne(t *testing.T, name dialect.Name, sql string) Analysis {
+	t.Helper()
+	tree, err := product(t, name).Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	script, err := ast.NewBuilder(nil).Build(tree)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	if len(script.Statements) != 1 {
+		t.Fatalf("want one statement, got %d", len(script.Statements))
+	}
+	return Statement(script.Statements[0])
+}
+
+func TestSelectTablesAndColumns(t *testing.T) {
+	a := analyzeOne(t, dialect.Full, "SELECT u.name, o.total FROM users AS u JOIN orders AS o ON u.id = o.user_id WHERE o.total > 100")
+	if a.Kind != "select" || a.Incomplete {
+		t.Fatalf("analysis = %+v", a)
+	}
+	wantTables := []Table{
+		{Name: "orders", Alias: "o", Kind: "base"},
+		{Name: "users", Alias: "u", Kind: "base"},
+	}
+	if !reflect.DeepEqual(a.Tables, wantTables) {
+		t.Errorf("tables = %+v", a.Tables)
+	}
+	wantColumns := []Column{
+		{Name: "total", Table: "orders"},
+		{Name: "user_id", Table: "orders"},
+		{Name: "id", Table: "users"},
+		{Name: "name", Table: "users"},
+	}
+	if !reflect.DeepEqual(a.Columns, wantColumns) {
+		t.Errorf("columns = %+v", a.Columns)
+	}
+}
+
+func TestUnqualifiedAttribution(t *testing.T) {
+	// One table in scope: unqualified columns attribute to it.
+	a := analyzeOne(t, dialect.Core, "SELECT a, b FROM t WHERE c = 1")
+	for _, c := range a.Columns {
+		if c.Table != "t" {
+			t.Errorf("column %+v not attributed to t", c)
+		}
+	}
+	// Two tables: unqualified columns stay unattributed.
+	a = analyzeOne(t, dialect.Full, "SELECT a FROM t, u")
+	if len(a.Columns) != 1 || a.Columns[0].Table != "" {
+		t.Errorf("columns = %+v", a.Columns)
+	}
+}
+
+func TestAliasResolutionFoldsCase(t *testing.T) {
+	a := analyzeOne(t, dialect.Full, "SELECT T.a FROM t")
+	want := []Column{{Name: "a", Table: "t"}}
+	if !reflect.DeepEqual(a.Columns, want) {
+		t.Errorf("columns = %+v", a.Columns)
+	}
+}
+
+func TestDelimitedIdentifiersUnquoted(t *testing.T) {
+	a := analyzeOne(t, dialect.Full, `SELECT "a b" FROM "my table"`)
+	wantTables := []Table{{Name: "my table", Kind: "base"}}
+	wantColumns := []Column{{Name: "a b", Table: "my table"}}
+	if !reflect.DeepEqual(a.Tables, wantTables) || !reflect.DeepEqual(a.Columns, wantColumns) {
+		t.Errorf("analysis = %+v", a)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want func(Analysis) bool
+		desc string
+	}{
+		{"SELECT COUNT(*) FROM t", func(a Analysis) bool { return a.Aggregates }, "aggregates"},
+		{"SELECT SUM(a) FILTER (WHERE b = 1) FROM t", func(a Analysis) bool { return a.Aggregates }, "aggregates with filter"},
+		{"SELECT a FROM (SELECT a FROM t) AS d", func(a Analysis) bool { return a.Subqueries }, "derived table"},
+		{"SELECT a FROM t WHERE EXISTS (SELECT b FROM u)", func(a Analysis) bool { return a.Subqueries }, "exists subquery"},
+		{"SELECT RANK() OVER (ORDER BY a) FROM t", func(a Analysis) bool { return a.Windows }, "window function"},
+		{"SELECT a FROM t UNION SELECT b FROM u", func(a Analysis) bool { return a.SetOps }, "union"},
+		{"SELECT a FROM t", func(a Analysis) bool {
+			return !a.Aggregates && !a.Subqueries && !a.Windows && !a.SetOps && !a.Incomplete
+		}, "no flags"},
+	}
+	for _, tc := range cases {
+		a := analyzeOne(t, dialect.Full, tc.sql)
+		if !tc.want(a) {
+			t.Errorf("%s: %q -> %+v", tc.desc, tc.sql, a)
+		}
+	}
+}
+
+func TestCTEClassification(t *testing.T) {
+	a := analyzeOne(t, dialect.Full, "WITH r AS (SELECT a FROM t) SELECT a FROM r")
+	var kinds []string
+	for _, tb := range a.Tables {
+		kinds = append(kinds, tb.Name+":"+tb.Kind)
+	}
+	want := []string{"r:cte", "t:base"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("tables = %v, want %v", kinds, want)
+	}
+}
+
+func TestCorrelatedSubqueryAttribution(t *testing.T) {
+	a := analyzeOne(t, dialect.Full, "SELECT a FROM t AS outer_t WHERE EXISTS (SELECT b FROM u WHERE u.x = outer_t.a)")
+	var got []string
+	for _, c := range a.Columns {
+		got = append(got, c.Table+"."+c.Name)
+	}
+	want := []string{"t.a", "u.b", "u.x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("columns = %v, want %v", got, want)
+	}
+}
+
+func TestDMLTargets(t *testing.T) {
+	a := analyzeOne(t, dialect.Core, "INSERT INTO t (a, b) VALUES (1, 2)")
+	if a.Kind != "insert" || len(a.Tables) != 1 || a.Tables[0].Name != "t" {
+		t.Fatalf("insert analysis = %+v", a)
+	}
+	want := []Column{{Name: "a", Table: "t"}, {Name: "b", Table: "t"}}
+	if !reflect.DeepEqual(a.Columns, want) {
+		t.Errorf("insert columns = %+v", a.Columns)
+	}
+
+	a = analyzeOne(t, dialect.Core, "UPDATE t SET a = b + 1 WHERE c = 2")
+	if a.Kind != "update" {
+		t.Fatalf("update analysis = %+v", a)
+	}
+	want = []Column{{Name: "a", Table: "t"}, {Name: "b", Table: "t"}, {Name: "c", Table: "t"}}
+	if !reflect.DeepEqual(a.Columns, want) {
+		t.Errorf("update columns = %+v", a.Columns)
+	}
+
+	a = analyzeOne(t, dialect.Core, "DELETE FROM t WHERE a = 1")
+	if a.Kind != "delete" || len(a.Tables) != 1 || a.Tables[0].Name != "t" {
+		t.Fatalf("delete analysis = %+v", a)
+	}
+}
+
+func TestGenericIsIncomplete(t *testing.T) {
+	a := analyzeOne(t, dialect.Core, "CREATE TABLE t ( a INTEGER )")
+	if !a.Incomplete {
+		t.Fatalf("generic statement not flagged incomplete: %+v", a)
+	}
+	if a.Kind != "table_definition" {
+		t.Errorf("kind = %q", a.Kind)
+	}
+	if len(a.Tables) != 0 || len(a.Columns) != 0 {
+		t.Errorf("generic statement should not fabricate references: %+v", a)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	sql := "SELECT u.a, o.b, x FROM users AS u JOIN orders AS o ON u.id = o.uid WHERE o.c > 1 GROUP BY u.a"
+	first, _ := json.Marshal(analyzeOne(t, dialect.Full, sql))
+	for i := 0; i < 10; i++ {
+		again, _ := json.Marshal(analyzeOne(t, dialect.Full, sql))
+		if string(first) != string(again) {
+			t.Fatalf("analysis not deterministic:\n%s\nvs\n%s", first, again)
+		}
+	}
+}
+
+func TestHotCounters(t *testing.T) {
+	before := HotCounters()
+	analyzeOne(t, dialect.Core, "SELECT a FROM t")
+	analyzeOne(t, dialect.Core, "COMMIT")
+	after := HotCounters()
+	if after.Statements < before.Statements+2 {
+		t.Errorf("statements counter did not advance: %+v -> %+v", before, after)
+	}
+	if after.Incomplete < before.Incomplete+1 {
+		t.Errorf("incomplete counter did not advance: %+v -> %+v", before, after)
+	}
+}
+
+// goldenInputs freeze the full analysis JSON for representative statements.
+// Refresh with UPDATE_GOLDEN=1 go test ./internal/analyze -run Golden.
+var goldenInputs = map[dialect.Name][]string{
+	dialect.Minimal: {
+		"SELECT a FROM t",
+		"SELECT a FROM t WHERE b = 1",
+	},
+	dialect.TinySQL: {
+		"SELECT nodeid, light FROM sensors SAMPLE PERIOD 1024 FOR 10",
+		"SELECT AVG(temp) FROM sensors WHERE temp > 25 GROUP BY roomno EPOCH DURATION 512",
+	},
+	dialect.Core: {
+		"SELECT a, b FROM t JOIN u USING (k) GROUP BY a HAVING COUNT(*) > 1 ORDER BY b DESC",
+		"UPDATE t SET a = DEFAULT WHERE b IS NOT NULL",
+		"CREATE TABLE t ( a INTEGER )",
+	},
+	dialect.Warehouse: {
+		"WITH r AS (SELECT a FROM t) SELECT a FROM r UNION ALL SELECT b FROM u",
+		"SELECT a, RANK() OVER (PARTITION BY b ORDER BY c) FROM t GROUP BY ROLLUP (a, b)",
+	},
+	dialect.Full: {
+		"INSERT INTO t (a) SELECT b FROM u",
+		`SELECT "a b", t."x y" FROM "my table" AS t, u WHERE EXISTS (SELECT 1 FROM v WHERE v.k = t."x y")`,
+	},
+}
+
+func TestAnalysisGolden(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, name := range dialect.Names() {
+		inputs, ok := goldenInputs[name]
+		if !ok {
+			continue
+		}
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			var b strings.Builder
+			for _, in := range inputs {
+				a := analyzeOne(t, name, in)
+				js, err := json.MarshalIndent(a, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(&b, "input: %s\n%s\n\n", in, js)
+			}
+			got := b.String()
+			path := filepath.Join("testdata", "golden", string(name)+"_analysis.golden")
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("analysis drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package ast
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -309,8 +310,35 @@ func TestSensorClauses(t *testing.T) {
 	if sel.Sensor == nil {
 		t.Fatal("missing sensor clauses")
 	}
-	if sel.Sensor.SamplePeriod != 1024 || sel.Sensor.SampleFor != 10 || sel.Sensor.Lifetime != 30 {
-		t.Errorf("sensor = %+v", sel.Sensor)
+	want := []SensorClause{
+		{Kind: SensorSamplePeriod, Value: 1024, For: 10},
+		{Kind: SensorLifetime, Value: 30},
+	}
+	if !reflect.DeepEqual(sel.Sensor.Clauses, want) {
+		t.Errorf("sensor = %+v", sel.Sensor.Clauses)
+	}
+}
+
+// Repeated sensor clauses must survive a render round-trip in source order;
+// the old merged representation dropped SAMPLE PERIOD ... FOR whenever an
+// EPOCH DURATION clause followed it.
+func TestSensorClausesRepeatedRoundTrip(t *testing.T) {
+	src := "SELECT nodeid FROM sensors SAMPLE PERIOD 105 FOR 233 LIFETIME 178 EPOCH DURATION 905"
+	sel := selectOf(t, dialect.TinySQL, src)
+	if sel.Sensor == nil || len(sel.Sensor.Clauses) != 3 {
+		t.Fatalf("sensor = %+v", sel.Sensor)
+	}
+	want := []SensorClause{
+		{Kind: SensorSamplePeriod, Value: 105, For: 233},
+		{Kind: SensorLifetime, Value: 178},
+		{Kind: SensorEpochDuration, Value: 905},
+	}
+	if !reflect.DeepEqual(sel.Sensor.Clauses, want) {
+		t.Fatalf("sensor clauses = %+v", sel.Sensor.Clauses)
+	}
+	re := selectOf(t, dialect.TinySQL, sel.SQL())
+	if !reflect.DeepEqual(re, sel) {
+		t.Errorf("round trip changed shape:\n source: %s\n render: %s", src, sel.SQL())
 	}
 }
 

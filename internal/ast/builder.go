@@ -62,12 +62,15 @@ func firstNode(t *parser.Tree) *parser.Tree {
 }
 
 // chainParts extracts the identifier texts of an identifier_chain (or any
-// node whose identifier leaves, ignoring periods, form a name chain).
+// node whose identifier leaves, ignoring periods, form a name chain). Parts
+// keep their source spelling — a delimited identifier stays quoted — so the
+// SQL() renderers reproduce the original token and `"a b"` cannot re-parse
+// as `a AS b`. Unquote recovers the logical name.
 func chainParts(t *parser.Tree) []string {
 	var out []string
 	for _, tok := range t.Leaves() {
 		if tok.Name != "PERIOD" {
-			out = append(out, strings.Trim(tok.Text, `"`))
+			out = append(out, tok.Text)
 		}
 	}
 	return out
@@ -91,7 +94,7 @@ func columnNames(t *parser.Tree) []string {
 	if len(out) == 0 { // list wrapped one level deeper
 		for _, tok := range t.Leaves() {
 			if tok.Name == "IDENTIFIER" || tok.Name == "DELIMITED_IDENTIFIER" {
-				out = append(out, strings.Trim(tok.Text, `"`))
+				out = append(out, tok.Text)
 			}
 		}
 	}
@@ -367,36 +370,46 @@ func (b *Builder) buildQuerySpecification(t *parser.Tree) (*Select, error) {
 		if sel.Sensor == nil {
 			sel.Sensor = &SensorClauses{}
 		}
-		if err := buildSensorClause(sc, sel.Sensor); err != nil {
+		cl, err := buildSensorClause(sc)
+		if err != nil {
 			return nil, err
 		}
+		sel.Sensor.Clauses = append(sel.Sensor.Clauses, cl)
 	}
 	return sel, nil
 }
 
-func buildSensorClause(t *parser.Tree, out *SensorClauses) error {
+// buildSensorClause converts one sensor_clause node. Clauses may repeat
+// (SAMPLE PERIOD ... LIFETIME ... EPOCH DURATION ...), so each becomes its
+// own entry in source order rather than merging into shared fields — a
+// merge loses the earlier clause on re-render.
+func buildSensorClause(t *parser.Tree) (SensorClause, error) {
 	parseInt := func(s string) int64 {
 		v, _ := strconv.ParseInt(s, 10, 64)
 		return v
 	}
 	if sp := kid(t, "sample_period_clause"); sp != nil {
+		cl := SensorClause{Kind: SensorSamplePeriod}
+		if hasTok(sp, "EPOCH") {
+			cl.Kind = SensorEpochDuration
+		}
 		durs := kids(sp, "sensor_duration")
 		if len(durs) > 0 {
-			out.SamplePeriod = parseInt(durs[0].Text())
+			cl.Value = parseInt(durs[0].Text())
 		}
 		if len(durs) > 1 {
-			out.SampleFor = parseInt(durs[1].Text())
+			cl.For = parseInt(durs[1].Text())
 		}
-		out.Epoch = hasTok(sp, "EPOCH")
-		return nil
+		return cl, nil
 	}
 	if lt := kid(t, "lifetime_clause"); lt != nil {
+		cl := SensorClause{Kind: SensorLifetime}
 		if d := kid(lt, "sensor_duration"); d != nil {
-			out.Lifetime = parseInt(d.Text())
+			cl.Value = parseInt(d.Text())
 		}
-		return nil
+		return cl, nil
 	}
-	return fmt.Errorf("ast: unrecognized sensor clause")
+	return SensorClause{}, fmt.Errorf("ast: unrecognized sensor clause")
 }
 
 func (b *Builder) buildSelectList(t *parser.Tree) ([]SelectItem, error) {

@@ -237,11 +237,14 @@ func TestWindowAndSensorRenderers(t *testing.T) {
 	if !strings.Contains(w.SQL(), "ROWS BETWEEN") {
 		t.Errorf("frame SQL = %q", w.SQL())
 	}
-	s := &SensorClauses{SamplePeriod: 512, Epoch: true}
+	s := &SensorClauses{Clauses: []SensorClause{{Kind: SensorEpochDuration, Value: 512}}}
 	if s.SQL() != "EPOCH DURATION 512" {
 		t.Errorf("epoch SQL = %q", s.SQL())
 	}
-	s = &SensorClauses{SamplePeriod: 1024, SampleFor: 10, Lifetime: 30}
+	s = &SensorClauses{Clauses: []SensorClause{
+		{Kind: SensorSamplePeriod, Value: 1024, For: 10},
+		{Kind: SensorLifetime, Value: 30},
+	}}
 	if s.SQL() != "SAMPLE PERIOD 1024 FOR 10 LIFETIME 30" {
 		t.Errorf("sensor SQL = %q", s.SQL())
 	}

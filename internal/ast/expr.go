@@ -584,7 +584,14 @@ func (b *Builder) buildRowValuePredicand(t *parser.Tree) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Row{Explicit: hasTok(rvc, "ROW"), Items: items}, nil
+		explicit := hasTok(rvc, "ROW")
+		if !explicit && len(items) == 1 {
+			// ( expr ) in predicand position is grouping, not a row: keep
+			// the paren transparent so rendered parentheses (childSQL adds
+			// them around sub-operations) rebuild to the same shape.
+			return items[0], nil
+		}
+		return &Row{Explicit: explicit, Items: items}, nil
 	}
 	return nil, fmt.Errorf("ast: unrecognized row value predicand")
 }

@@ -1,0 +1,109 @@
+package ast
+
+import "strings"
+
+// format.go holds the canonical and minified render forms served by
+// /v1/format and `sqlparse -format`. Canonical form is the SQL() renderers'
+// output verbatim; Minify tightens it character-wise. Both therefore derive
+// from the same AST, which is what makes minification idempotent across a
+// format round-trip: Minify(canonical(reparse(canonical(x)))) ==
+// Minify(canonical(x)) whenever the render round-trip preserves shape.
+
+// Format renders the script in canonical form: one statement per line,
+// statements separated by ";". No trailing separator is emitted — products
+// without the script feature do not lex ";" at all, and a single statement
+// must stay renderable under every product that accepted it.
+func Format(s *Script) string {
+	var b strings.Builder
+	for i, st := range s.Statements {
+		if i > 0 {
+			b.WriteString(";\n")
+		}
+		b.WriteString(st.SQL())
+	}
+	return b.String()
+}
+
+// Minify removes every byte of whitespace that is not required to keep the
+// input's token stream intact: quoted regions (string literals and delimited
+// identifiers, including doubled-quote escapes) pass through verbatim, a
+// single space survives between two word characters, and a space is kept
+// where deleting it would fuse punctuation into a comment opener ("--" or
+// "/*") or fuse two quoted literals into one.
+func Minify(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == '\'' || c == '"':
+			// Copy the quoted run verbatim; a doubled quote is an escaped
+			// quote, not a terminator.
+			j := i + 1
+			for j < len(sql) {
+				if sql[j] == c {
+					if j+1 < len(sql) && sql[j+1] == c {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			b.WriteString(sql[i:j])
+			i = j
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			j := i + 1
+			for j < len(sql) && (sql[j] == ' ' || sql[j] == '\t' || sql[j] == '\n' || sql[j] == '\r') {
+				j++
+			}
+			if b.Len() > 0 && j < len(sql) && needsSeparator(b.String()[b.Len()-1], sql[j]) {
+				b.WriteByte(' ')
+			}
+			i = j
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
+}
+
+// needsSeparator reports whether deleting the whitespace between prev and
+// next would change how the result tokenizes.
+func needsSeparator(prev, next byte) bool {
+	if isWordByte(prev) && isWordByte(next) {
+		return true
+	}
+	if prev == '-' && next == '-' {
+		return true // would open a line comment
+	}
+	if prev == '/' && next == '*' {
+		return true // would open a block comment
+	}
+	if (prev == '\'' && next == '\'') || (prev == '"' && next == '"') {
+		return true // adjacent quoted literals would fuse via quote doubling
+	}
+	if isWordByte(prev) && (next == '\'' || next == '"') {
+		// A word ending in N, X or B directly before a quote would become a
+		// national/binary string prefix; keep the space before any quote
+		// rather than special-casing those letters.
+		return true
+	}
+	return false
+}
+
+// isWordByte reports bytes that can extend an identifier, keyword, number
+// or host-parameter token. Any non-ASCII byte counts as a word byte — the
+// conservative choice, since multi-byte runes may be identifier characters.
+func isWordByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_' || c == '$' || c == ':' || c == '?' || c == '.':
+		return true
+	}
+	return c >= 0x80
+}

@@ -1,0 +1,275 @@
+package ast_test
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlspl/internal/ast"
+	"sqlspl/internal/core"
+	"sqlspl/internal/dialect"
+	"sqlspl/internal/sentence"
+)
+
+var (
+	rtProductsMu sync.Mutex
+	rtProducts   = map[dialect.Name]*core.Product{}
+)
+
+// rtProduct builds (and caches) one preset product for round-trip tests.
+func rtProduct(t *testing.T, name dialect.Name) *core.Product {
+	t.Helper()
+	rtProductsMu.Lock()
+	defer rtProductsMu.Unlock()
+	if p, ok := rtProducts[name]; ok {
+		return p
+	}
+	p, err := dialect.Build(name)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	rtProducts[name] = p
+	return p
+}
+
+// rtBuild parses sql under the preset and converts it to a typed script.
+func rtBuild(t *testing.T, name dialect.Name, sql string) *ast.Script {
+	t.Helper()
+	tree, err := rtProduct(t, name).Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	script, err := ast.NewBuilder(nil).Build(tree)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	return script
+}
+
+// roundtrip checks the renderer invariant on one statement: SQL() output
+// re-parses under the same product and rebuilds to a DeepEqual script.
+func roundtrip(t *testing.T, name dialect.Name, sql string) {
+	t.Helper()
+	p := rtProduct(t, name)
+	tree, err := p.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	script, err := ast.NewBuilder(nil).Build(tree)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	rendered := script.SQL()
+	tree2, err := p.Parse(rendered)
+	if err != nil {
+		t.Fatalf("render of %q does not re-parse: %q: %v", sql, rendered, err)
+	}
+	script2, err := ast.NewBuilder(nil).Build(tree2)
+	if err != nil {
+		t.Fatalf("rebuild of %q: %v", rendered, err)
+	}
+	if !reflect.DeepEqual(script, script2) {
+		t.Errorf("render changed shape:\n source: %s\n render: %s\n reparse renders: %s", sql, rendered, script2.SQL())
+	}
+}
+
+// Delimited identifiers must keep their quotes through a render round-trip.
+// The builder used to strip them, so `SELECT "a b" FROM t` rendered as
+// `SELECT a b FROM t` — which re-parses as `a AS b`, a different shape.
+func TestDelimitedIdentifierRoundTrip(t *testing.T) {
+	cases := []string{
+		`SELECT "a b" FROM t`,
+		`SELECT "select" FROM t`,
+		`SELECT a FROM "my table"`,
+		`SELECT t."x y" FROM t`,
+		`SELECT a AS "the result" FROM t`,
+		`SELECT "q""uote" FROM t`,
+		`INSERT INTO "t t" ("a b") VALUES (1)`,
+		`UPDATE "t t" SET "a b" = 1`,
+		`DELETE FROM "t t" WHERE "a b" = 1`,
+	}
+	for _, sql := range cases {
+		roundtrip(t, dialect.Full, sql)
+	}
+}
+
+func TestUnquote(t *testing.T) {
+	cases := map[string]string{
+		`a`:          `a`,
+		`"a b"`:      `a b`,
+		`"q""uote"`:  `q"uote`,
+		`"select"`:   `select`,
+		`""`:         ``,
+		`"`:          `"`, // not a delimited identifier; returned as written
+		`plain_name`: `plain_name`,
+	}
+	for in, want := range cases {
+		if got := ast.Unquote(in); got != want {
+			t.Errorf("Unquote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Operator precedence and associativity must survive re-rendering: childSQL
+// parenthesizes operand sub-operations, so a tree built from source with
+// explicit grouping re-parses to the identical tree.
+func TestPrecedenceRoundTrip(t *testing.T) {
+	cases := []string{
+		`SELECT a + b * c FROM t`,
+		`SELECT (a + b) * c FROM t`,
+		`SELECT a - b - c FROM t`,
+		`SELECT a - (b - c) FROM t`,
+		`SELECT a / b / c FROM t`,
+		`SELECT - a + b FROM t`,
+		`SELECT a || b || c FROM t`,
+		`SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3`,
+		`SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3`,
+		`SELECT a FROM t WHERE NOT a = 1 AND b = 2`,
+		`SELECT a FROM t WHERE NOT (a = 1 AND b = 2)`,
+		`SELECT a FROM t WHERE a + b * c = d`,
+		`SELECT a FROM t WHERE a IS NOT NULL AND b IS NULL`,
+		`SELECT a FROM t WHERE a BETWEEN b + 1 AND c * 2`,
+	}
+	for _, sql := range cases {
+		roundtrip(t, dialect.Full, sql)
+	}
+}
+
+// Direct renderer checks: operand sub-operations are parenthesized so the
+// rendered text cannot re-associate.
+func TestChildSQLParenthesization(t *testing.T) {
+	a := &ast.ColumnRef{Parts: []string{"a"}}
+	b := &ast.ColumnRef{Parts: []string{"b"}}
+	c := &ast.ColumnRef{Parts: []string{"c"}}
+	cases := []struct {
+		expr ast.Expr
+		want string
+	}{
+		{&ast.Binary{Op: "-", Left: &ast.Binary{Op: "-", Left: a, Right: b}, Right: c}, "(a - b) - c"},
+		{&ast.Binary{Op: "-", Left: a, Right: &ast.Binary{Op: "-", Left: b, Right: c}}, "a - (b - c)"},
+		{&ast.Binary{Op: "*", Left: &ast.Binary{Op: "+", Left: a, Right: b}, Right: c}, "(a + b) * c"},
+		{&ast.Unary{Op: "-", Operand: &ast.Binary{Op: "+", Left: a, Right: b}}, "- (a + b)"},
+		{&ast.Binary{Op: "AND", Left: &ast.Unary{Op: "NOT", Operand: a}, Right: b}, "(NOT a) AND b"},
+	}
+	for _, tc := range cases {
+		if got := tc.expr.SQL(); got != tc.want {
+			t.Errorf("SQL() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestSentenceRoundTrip is the render round-trip property over generated
+// corpora: for every preset, each generated script must build, render to
+// SQL that the same product accepts, rebuild to the identical shape, and
+// satisfy minify(format(reparse(format(x)))) == minify(format(x)) byte for
+// byte. The minified form must itself stay accepted.
+func TestSentenceRoundTrip(t *testing.T) {
+	const seeds = 4
+	perSeed := 150
+	if testing.Short() {
+		perSeed = 25
+	}
+	for _, name := range dialect.Names() {
+		name := name
+		t.Run(string(name), func(t *testing.T) {
+			p := rtProduct(t, name)
+			builder := ast.NewBuilder(nil)
+			for seed := int64(0); seed < seeds; seed++ {
+				gen, err := sentence.New(p.Grammar, p.Tokens, sentence.Options{Seed: seed, MaxDepth: 10 + int(seed)%3*5, Coverage: true})
+				if err != nil {
+					t.Fatalf("generator: %v", err)
+				}
+				for i := 0; i < perSeed; i++ {
+					sql := gen.Sentence()
+					tree, err := p.Parse(sql)
+					if err != nil {
+						t.Fatalf("seed %d sentence %d: generated sentence rejected: %q: %v", seed, i, sql, err)
+					}
+					script, err := builder.Build(tree)
+					if err != nil {
+						t.Fatalf("seed %d sentence %d: build %q: %v", seed, i, sql, err)
+					}
+					f1 := ast.Format(script)
+					tree2, err := p.Parse(f1)
+					if err != nil {
+						t.Fatalf("seed %d sentence %d: formatted output rejected:\n source: %q\n format: %q\n %v", seed, i, sql, f1, err)
+					}
+					script2, err := builder.Build(tree2)
+					if err != nil {
+						t.Fatalf("seed %d sentence %d: rebuild of %q: %v", seed, i, f1, err)
+					}
+					if !reflect.DeepEqual(script, script2) {
+						t.Fatalf("seed %d sentence %d: format changed shape:\n source: %s\n format: %s\n reparse renders: %s", seed, i, sql, f1, script2.SQL())
+					}
+					m1, m2 := ast.Minify(f1), ast.Minify(ast.Format(script2))
+					if m1 != m2 {
+						t.Fatalf("seed %d sentence %d: minify not stable across format round-trip:\n %q\n vs %q", seed, i, m1, m2)
+					}
+					if err := p.Check(m1); err != nil {
+						t.Fatalf("seed %d sentence %d: minified output rejected: %q: %v", seed, i, m1, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Format renders one statement per line, each terminated with ";", and the
+// result re-parses as the same multi-statement script.
+func TestFormatScriptShape(t *testing.T) {
+	script := rtBuild(t, dialect.Core, "SELECT a FROM t; DELETE FROM t WHERE a = 1")
+	f := ast.Format(script)
+	want := "SELECT a FROM t;\nDELETE FROM t WHERE a = 1"
+	if f != want {
+		t.Fatalf("Format = %q, want %q", f, want)
+	}
+	again := rtBuild(t, dialect.Core, f)
+	if !reflect.DeepEqual(script, again) {
+		t.Errorf("formatted script changed shape: %q", f)
+	}
+}
+
+func TestMinify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT a FROM t", "SELECT a FROM t"},
+		{"SELECT  a ,  b FROM t", "SELECT a,b FROM t"},
+		{"SELECT a FROM t;\nDELETE FROM t", "SELECT a FROM t;DELETE FROM t"},
+		{"SELECT ( a + b ) * c FROM t", "SELECT(a+b)*c FROM t"},
+		// Quoted content is untouchable, including doubled-quote escapes.
+		{`SELECT "a  b" FROM t`, `SELECT "a  b"FROM t`},
+		{`SELECT 'x  y' FROM t`, `SELECT 'x  y'FROM t`},
+		{`SELECT "q""uo  te" FROM t`, `SELECT "q""uo  te"FROM t`},
+		// A space between word characters is load-bearing.
+		{"SELECT a FROM t WHERE a IS NOT NULL", "SELECT a FROM t WHERE a IS NOT NULL"},
+		// Deleting the space would open a comment.
+		{"SELECT a - - 1 FROM t", "SELECT a- -1 FROM t"},
+		{"SELECT a / * b FROM t", "SELECT a/ *b FROM t"},
+		// A word directly before a quote could become a string prefix.
+		{"SELECT a FROM t WHERE a LIKE 'x' ESCAPE 'y'", "SELECT a FROM t WHERE a LIKE 'x'ESCAPE 'y'"},
+	}
+	for _, tc := range cases {
+		if got := ast.Minify(tc.in); got != tc.want {
+			t.Errorf("Minify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Minify is idempotent.
+	for _, tc := range cases {
+		once := ast.Minify(tc.in)
+		if twice := ast.Minify(once); twice != once {
+			t.Errorf("Minify not idempotent on %q: %q -> %q", tc.in, once, twice)
+		}
+	}
+}
+
+// Example corpus failure from the pre-fix sweep, kept as a directed case:
+// repeated sensor clauses through format+minify.
+func TestMinifyFormatSensor(t *testing.T) {
+	script := rtBuild(t, dialect.TinySQL, "SELECT nodeid FROM sensors SAMPLE PERIOD 105 FOR 233 LIFETIME 178 EPOCH DURATION 905")
+	f := ast.Format(script)
+	for _, clause := range []string{"SAMPLE PERIOD 105 FOR 233", "LIFETIME 178", "EPOCH DURATION 905"} {
+		if !strings.Contains(f, clause) {
+			t.Errorf("format dropped %q: %q", clause, f)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// astwire.go is the stable JSON schema for typed AST export (want=ast).
+// Every node kind has an explicit wire struct with json tags and a type
+// discriminator, encoded by hand from the ast package's Go types — clients
+// never see raw Go struct marshalling, so renaming a Go field cannot
+// silently change the wire format. Schema changes are additive: new node
+// kinds or fields may appear, existing tags keep their meaning (DESIGN §14).
+package server
+
+import (
+	"sqlspl/internal/ast"
+)
+
+// Statement type discriminators (StatementJSON.Type).
+const (
+	StmtSelect  = "select"
+	StmtInsert  = "insert"
+	StmtUpdate  = "update"
+	StmtDelete  = "delete"
+	StmtGeneric = "generic"
+)
+
+// Expression type discriminators (ExprJSON.Type).
+const (
+	ExprColumn    = "column"
+	ExprLiteral   = "literal"
+	ExprBinary    = "binary"
+	ExprUnary     = "unary"
+	ExprFunc      = "func"
+	ExprCase      = "case"
+	ExprCast      = "cast"
+	ExprSubquery  = "subquery"
+	ExprRow       = "row"
+	ExprPredicate = "predicate"
+	ExprTruth     = "truth"
+	ExprRaw       = "raw"
+)
+
+// ExprJSON is the wire form of an expression node. Type discriminates;
+// the populated fields depend on it:
+//
+//	column:    parts
+//	literal:   kind (number|string|...), text
+//	binary:    op, left, right
+//	unary:     op, operand
+//	func:      parts (name), star, quantifier, args, filter, over_name, over_spec
+//	case:      operand?, whens, else?
+//	cast:      operand?, cast_type
+//	subquery:  query
+//	row:       explicit, args (items)
+//	predicate: kind (BETWEEN|IN|LIKE|...), not, left?, args
+//	truth:     operand, not, value (TRUE|FALSE|UNKNOWN)
+//	raw:       kind, text (preserved source the typed AST does not model)
+type ExprJSON struct {
+	Type       string          `json:"type"`
+	Parts      []string        `json:"parts,omitempty"`
+	Kind       string          `json:"kind,omitempty"`
+	Text       string          `json:"text,omitempty"`
+	Op         string          `json:"op,omitempty"`
+	Left       *ExprJSON       `json:"left,omitempty"`
+	Right      *ExprJSON       `json:"right,omitempty"`
+	Operand    *ExprJSON       `json:"operand,omitempty"`
+	Args       []*ExprJSON     `json:"args,omitempty"`
+	Not        bool            `json:"not,omitempty"`
+	Star       bool            `json:"star,omitempty"`
+	Explicit   bool            `json:"explicit,omitempty"`
+	Quantifier string          `json:"quantifier,omitempty"`
+	Filter     *ExprJSON       `json:"filter,omitempty"`
+	OverName   string          `json:"over_name,omitempty"`
+	OverSpec   *WindowSpecJSON `json:"over_spec,omitempty"`
+	Whens      []CaseWhenJSON  `json:"whens,omitempty"`
+	Else       *ExprJSON       `json:"else,omitempty"`
+	CastType   string          `json:"cast_type,omitempty"`
+	Query      *SelectJSON     `json:"query,omitempty"`
+	Value      string          `json:"value,omitempty"`
+}
+
+// CaseWhenJSON is one WHEN arm of a CASE expression.
+type CaseWhenJSON struct {
+	When *ExprJSON `json:"when"`
+	Then *ExprJSON `json:"then"`
+}
+
+// SelectItemJSON is one select-list entry.
+type SelectItemJSON struct {
+	Star      bool      `json:"star,omitempty"`
+	Qualifier []string  `json:"qualifier,omitempty"`
+	Expr      *ExprJSON `json:"expr,omitempty"`
+	Alias     string    `json:"alias,omitempty"`
+}
+
+// JoinJSON is one join step.
+type JoinJSON struct {
+	Kind    string        `json:"kind"`
+	Natural bool          `json:"natural,omitempty"`
+	Right   *TableRefJSON `json:"right"`
+	On      *ExprJSON     `json:"on,omitempty"`
+	Using   []string      `json:"using,omitempty"`
+}
+
+// TableRefJSON is a table primary with its joins.
+type TableRefJSON struct {
+	Name         []string      `json:"name,omitempty"`
+	Subquery     *SelectJSON   `json:"subquery,omitempty"`
+	Paren        *TableRefJSON `json:"paren,omitempty"`
+	Alias        string        `json:"alias,omitempty"`
+	AliasColumns []string      `json:"alias_columns,omitempty"`
+	Joins        []JoinJSON    `json:"joins,omitempty"`
+}
+
+// GroupingJSON is one GROUP BY element.
+type GroupingJSON struct {
+	Kind    string         `json:"kind,omitempty"`
+	Columns []*ExprJSON    `json:"columns,omitempty"`
+	Nested  []GroupingJSON `json:"nested,omitempty"`
+}
+
+// SortItemJSON is one ORDER BY entry.
+type SortItemJSON struct {
+	Key       *ExprJSON `json:"key"`
+	Direction string    `json:"direction,omitempty"`
+	Nulls     string    `json:"nulls,omitempty"`
+}
+
+// WindowSpecJSON is an in-line window specification.
+type WindowSpecJSON struct {
+	PartitionBy []*ExprJSON    `json:"partition_by,omitempty"`
+	OrderBy     []SortItemJSON `json:"order_by,omitempty"`
+	Frame       string         `json:"frame,omitempty"`
+}
+
+// WindowDefJSON names a window specification (WINDOW clause).
+type WindowDefJSON struct {
+	Name string         `json:"name"`
+	Spec WindowSpecJSON `json:"spec"`
+}
+
+// WithJSON is one common table expression.
+type WithJSON struct {
+	Name    string      `json:"name"`
+	Columns []string    `json:"columns,omitempty"`
+	Query   *SelectJSON `json:"query"`
+}
+
+// SetOpJSON is one set-operation step.
+type SetOpJSON struct {
+	Op              string      `json:"op"`
+	Quantifier      string      `json:"quantifier,omitempty"`
+	Corresponding   bool        `json:"corresponding,omitempty"`
+	CorrespondingBy []string    `json:"corresponding_by,omitempty"`
+	Right           *SelectJSON `json:"right"`
+}
+
+// SensorClauseJSON is one TinySQL acquisitional clause.
+type SensorClauseJSON struct {
+	Kind  string `json:"kind"`
+	Value int64  `json:"value"`
+	For   int64  `json:"for,omitempty"`
+}
+
+// SelectJSON is the wire form of a query.
+type SelectJSON struct {
+	With          []WithJSON         `json:"with,omitempty"`
+	Recursive     bool               `json:"recursive,omitempty"`
+	Quantifier    string             `json:"quantifier,omitempty"`
+	Items         []SelectItemJSON   `json:"items,omitempty"`
+	From          []*TableRefJSON    `json:"from,omitempty"`
+	Where         *ExprJSON          `json:"where,omitempty"`
+	GroupBy       []GroupingJSON     `json:"group_by,omitempty"`
+	Having        *ExprJSON          `json:"having,omitempty"`
+	Windows       []WindowDefJSON    `json:"windows,omitempty"`
+	Values        [][]*ExprJSON      `json:"values,omitempty"`
+	ExplicitTable []string           `json:"explicit_table,omitempty"`
+	Paren         *SelectJSON        `json:"paren,omitempty"`
+	SetOps        []SetOpJSON        `json:"set_ops,omitempty"`
+	OrderBy       []SortItemJSON     `json:"order_by,omitempty"`
+	Sensor        []SensorClauseJSON `json:"sensor,omitempty"`
+}
+
+// InsertJSON is the wire form of an INSERT statement.
+type InsertJSON struct {
+	Table         []string      `json:"table"`
+	Columns       []string      `json:"columns,omitempty"`
+	Rows          [][]*ExprJSON `json:"rows,omitempty"`
+	Query         *SelectJSON   `json:"query,omitempty"`
+	DefaultValues bool          `json:"default_values,omitempty"`
+}
+
+// AssignmentJSON is one SET clause of an UPDATE.
+type AssignmentJSON struct {
+	Column  string    `json:"column"`
+	Value   *ExprJSON `json:"value,omitempty"`
+	Default bool      `json:"default,omitempty"`
+	Null    bool      `json:"null,omitempty"`
+}
+
+// UpdateJSON is the wire form of an UPDATE statement.
+type UpdateJSON struct {
+	Table       []string         `json:"table"`
+	Assignments []AssignmentJSON `json:"assignments"`
+	Where       *ExprJSON        `json:"where,omitempty"`
+	Cursor      string           `json:"cursor,omitempty"`
+}
+
+// DeleteJSON is the wire form of a DELETE statement.
+type DeleteJSON struct {
+	Table  []string  `json:"table"`
+	Where  *ExprJSON `json:"where,omitempty"`
+	Cursor string    `json:"cursor,omitempty"`
+}
+
+// GenericJSON is the wire form of a statement the typed AST preserves as
+// source text only.
+type GenericJSON struct {
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+}
+
+// EncodeStatement converts one typed AST statement to its wire form.
+func EncodeStatement(st ast.Statement) StatementJSON {
+	out := StatementJSON{SQL: st.SQL()}
+	switch s := st.(type) {
+	case *ast.Select:
+		out.Type = StmtSelect
+		out.Select = encodeSelect(s)
+	case *ast.Insert:
+		out.Type = StmtInsert
+		out.Insert = &InsertJSON{
+			Table:         s.Table,
+			Columns:       s.Columns,
+			Rows:          encodeExprRows(s.Rows),
+			Query:         encodeSelect(s.Query),
+			DefaultValues: s.DefaultValues,
+		}
+	case *ast.Update:
+		out.Type = StmtUpdate
+		u := &UpdateJSON{Table: s.Table, Where: encodeExpr(s.Where), Cursor: s.Cursor}
+		for _, a := range s.Assignments {
+			u.Assignments = append(u.Assignments, AssignmentJSON{
+				Column: a.Column, Value: encodeExpr(a.Value), Default: a.Default, Null: a.Null,
+			})
+		}
+		out.Update = u
+	case *ast.Delete:
+		out.Type = StmtDelete
+		out.Delete = &DeleteJSON{Table: s.Table, Where: encodeExpr(s.Where), Cursor: s.Cursor}
+	case *ast.Generic:
+		out.Type = StmtGeneric
+		out.Generic = &GenericJSON{Kind: s.Kind, Text: s.Text}
+	default:
+		out.Type = StmtGeneric
+		out.Generic = &GenericJSON{Kind: "unknown", Text: st.SQL()}
+	}
+	return out
+}
+
+func encodeSelect(s *ast.Select) *SelectJSON {
+	if s == nil {
+		return nil
+	}
+	out := &SelectJSON{
+		Recursive:     s.Recursive,
+		Quantifier:    s.Quantifier,
+		ExplicitTable: s.ExplicitTable,
+		Paren:         encodeSelect(s.Paren),
+	}
+	for _, w := range s.With {
+		out.With = append(out.With, WithJSON{Name: w.Name, Columns: w.Columns, Query: encodeSelect(w.Query)})
+	}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, SelectItemJSON{
+			Star: it.Star, Qualifier: it.Qualifier, Expr: encodeExpr(it.Expr), Alias: it.Alias,
+		})
+	}
+	for _, r := range s.From {
+		out.From = append(out.From, encodeTableRef(r))
+	}
+	out.Where = encodeExpr(s.Where)
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, encodeGrouping(g))
+	}
+	out.Having = encodeExpr(s.Having)
+	for _, w := range s.Windows {
+		out.Windows = append(out.Windows, WindowDefJSON{Name: w.Name, Spec: encodeWindowSpecVal(w.Spec)})
+	}
+	out.Values = encodeExprRows(s.Values)
+	for _, op := range s.SetOps {
+		out.SetOps = append(out.SetOps, SetOpJSON{
+			Op: op.Op, Quantifier: op.Quantifier,
+			Corresponding: op.Corresponding, CorrespondingBy: op.CorrespondingBy,
+			Right: encodeSelect(op.Right),
+		})
+	}
+	out.OrderBy = encodeSortItems(s.OrderBy)
+	if s.Sensor != nil {
+		for _, c := range s.Sensor.Clauses {
+			out.Sensor = append(out.Sensor, SensorClauseJSON{Kind: string(c.Kind), Value: c.Value, For: c.For})
+		}
+	}
+	return out
+}
+
+func encodeTableRef(r *ast.TableRef) *TableRefJSON {
+	if r == nil {
+		return nil
+	}
+	out := &TableRefJSON{
+		Name:         r.Name,
+		Subquery:     encodeSelect(r.Subquery),
+		Paren:        encodeTableRef(r.Paren),
+		Alias:        r.Alias,
+		AliasColumns: r.AliasColumns,
+	}
+	for _, j := range r.Joins {
+		out.Joins = append(out.Joins, JoinJSON{
+			Kind: string(j.Kind), Natural: j.Natural,
+			Right: encodeTableRef(j.Right), On: encodeExpr(j.On), Using: j.Using,
+		})
+	}
+	return out
+}
+
+func encodeGrouping(g ast.GroupingElement) GroupingJSON {
+	out := GroupingJSON{Kind: g.Kind, Columns: encodeExprs(g.Columns)}
+	for _, n := range g.Nested {
+		out.Nested = append(out.Nested, encodeGrouping(n))
+	}
+	return out
+}
+
+func encodeSortItems(items []ast.SortItem) []SortItemJSON {
+	var out []SortItemJSON
+	for _, it := range items {
+		out = append(out, SortItemJSON{Key: encodeExpr(it.Key), Direction: it.Direction, Nulls: it.Nulls})
+	}
+	return out
+}
+
+func encodeWindowSpec(w *ast.WindowSpec) *WindowSpecJSON {
+	if w == nil {
+		return nil
+	}
+	out := encodeWindowSpecVal(*w)
+	return &out
+}
+
+func encodeWindowSpecVal(w ast.WindowSpec) WindowSpecJSON {
+	return WindowSpecJSON{
+		PartitionBy: encodeExprs(w.PartitionBy),
+		OrderBy:     encodeSortItems(w.OrderBy),
+		Frame:       w.Frame,
+	}
+}
+
+func encodeExprRows(rows [][]ast.Expr) [][]*ExprJSON {
+	var out [][]*ExprJSON
+	for _, row := range rows {
+		out = append(out, encodeExprs(row))
+	}
+	return out
+}
+
+func encodeExprs(es []ast.Expr) []*ExprJSON {
+	var out []*ExprJSON
+	for _, e := range es {
+		out = append(out, encodeExpr(e))
+	}
+	return out
+}
+
+func encodeExpr(e ast.Expr) *ExprJSON {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.ColumnRef:
+		return &ExprJSON{Type: ExprColumn, Parts: x.Parts}
+	case *ast.Literal:
+		return &ExprJSON{Type: ExprLiteral, Kind: string(x.Kind), Text: x.Text}
+	case *ast.Binary:
+		return &ExprJSON{Type: ExprBinary, Op: x.Op, Left: encodeExpr(x.Left), Right: encodeExpr(x.Right)}
+	case *ast.Unary:
+		return &ExprJSON{Type: ExprUnary, Op: x.Op, Operand: encodeExpr(x.Operand)}
+	case *ast.FuncCall:
+		return &ExprJSON{
+			Type: ExprFunc, Parts: x.Name, Star: x.Star, Quantifier: x.Quantifier,
+			Args: encodeExprs(x.Args), Filter: encodeExpr(x.Filter),
+			OverName: x.OverName, OverSpec: encodeWindowSpec(x.OverSpec),
+		}
+	case *ast.Case:
+		out := &ExprJSON{Type: ExprCase, Operand: encodeExpr(x.Operand), Else: encodeExpr(x.Else)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, CaseWhenJSON{When: encodeExpr(w.When), Then: encodeExpr(w.Then)})
+		}
+		return out
+	case *ast.Cast:
+		return &ExprJSON{Type: ExprCast, Operand: encodeExpr(x.Operand), CastType: x.Type}
+	case *ast.Subquery:
+		return &ExprJSON{Type: ExprSubquery, Query: encodeSelect(x.Query)}
+	case *ast.Row:
+		return &ExprJSON{Type: ExprRow, Explicit: x.Explicit, Args: encodeExprs(x.Items)}
+	case *ast.Predicate:
+		return &ExprJSON{
+			Type: ExprPredicate, Kind: x.Kind, Not: x.Not,
+			Left: encodeExpr(x.Left), Args: encodeExprs(x.Args),
+		}
+	case *ast.TruthTest:
+		return &ExprJSON{Type: ExprTruth, Operand: encodeExpr(x.Operand), Not: x.Not, Value: x.Value}
+	case *ast.Raw:
+		return &ExprJSON{Type: ExprRaw, Kind: x.Kind, Text: x.Text}
+	default:
+		return &ExprJSON{Type: ExprRaw, Kind: "unknown", Text: e.SQL()}
+	}
+}

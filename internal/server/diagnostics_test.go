@@ -89,7 +89,7 @@ func TestParseEndpointEmptyInput(t *testing.T) {
 	addr := startServer(t, s)
 	client := &http.Client{}
 
-	for _, want := range []string{WantVerdict, WantTree, WantAST, WantRender} {
+	for _, want := range []string{WantVerdict, WantTree, WantAST, WantRender, WantAnalysis} {
 		status, body, _ := postJSON(t, client, "http://"+addr+"/v1/parse",
 			ParseRequest{Dialect: "core", SQL: "", Want: want})
 		if status != http.StatusOK {

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestFormatEndpoint(t *testing.T) {
+	s := freshServer(t, Config{})
+	addr := startServer(t, s)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	url := "http://" + addr + "/v1/format"
+
+	post := func(t *testing.T, req FormatRequest) (int, FormatResponse) {
+		t.Helper()
+		status, body, _ := postJSON(t, client, url, req)
+		var resp FormatResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("unmarshal %s: %v", body, err)
+		}
+		return status, resp
+	}
+
+	t.Run("canonical", func(t *testing.T) {
+		status, resp := post(t, FormatRequest{
+			Dialect: "core", SQL: "select   a ,b from t where c=1 ; delete from t"})
+		if status != http.StatusOK || !resp.OK {
+			t.Fatalf("status %d, resp %+v", status, resp)
+		}
+		want := "SELECT a, b FROM t WHERE c = 1;\nDELETE FROM t"
+		if resp.SQL != want {
+			t.Errorf("SQL = %q, want %q", resp.SQL, want)
+		}
+	})
+	t.Run("minify", func(t *testing.T) {
+		status, resp := post(t, FormatRequest{
+			Dialect: "core", SQL: "SELECT ( a + b ) * c FROM t", Minify: true})
+		if status != http.StatusOK || !resp.OK || !resp.Minify {
+			t.Fatalf("status %d, resp %+v", status, resp)
+		}
+		if resp.SQL != "SELECT(a+b)*c FROM t" {
+			t.Errorf("SQL = %q", resp.SQL)
+		}
+	})
+	t.Run("syntax-error", func(t *testing.T) {
+		status, resp := post(t, FormatRequest{Dialect: "core", SQL: "SELECT FROM t"})
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if resp.OK || resp.Error == nil || resp.Error.Line != 1 {
+			t.Errorf("resp = %+v", resp)
+		}
+	})
+	t.Run("generic-refused", func(t *testing.T) {
+		// CREATE TABLE builds a Generic statement: the printers would pass
+		// its text through unchanged, so formatting refuses it.
+		status, resp := post(t, FormatRequest{Dialect: "core", SQL: "SELECT a FROM t; CREATE TABLE t ( a INTEGER )"})
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if resp.OK || resp.Error == nil {
+			t.Fatalf("generic statement not refused: %+v", resp)
+		}
+		if !strings.Contains(resp.Error.Message, "statement 2") ||
+			!strings.Contains(resp.Error.Message, "table_definition") {
+			t.Errorf("refusal should name the statement and kind: %+v", resp.Error)
+		}
+	})
+	t.Run("bad-dialect", func(t *testing.T) {
+		status, _, _ := postJSON(t, client, url, FormatRequest{Dialect: "nope", SQL: "SELECT 1"})
+		if status != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", status)
+		}
+	})
+	t.Run("metrics", func(t *testing.T) {
+		resp, err := client.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		for _, metric := range []string{
+			"sqlserved_format_requests_total 5",
+			"sqlserved_format_errors_total 2",
+			"sqlspl_analyze_statements_total",
+			"sqlspl_analyze_incomplete_total",
+		} {
+			if !strings.Contains(text, metric) {
+				t.Errorf("metrics missing %q", metric)
+			}
+		}
+	})
+}

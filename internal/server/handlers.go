@@ -60,7 +60,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ValidWant(req.Want) {
 		s.m.badRequests.Inc()
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown want %q (verdict|tree|ast|render)", req.Want)})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown want %q (verdict|tree|ast|render|analysis)", req.Want)})
 		return
 	}
 	if !s.admit() {
@@ -120,6 +120,71 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		s.m.timeouts.Inc()
 		writeJSON(w, http.StatusGatewayTimeout,
 			errorBody{Error: fmt.Sprintf("parse exceeded deadline %s", s.cfg.RequestTimeout)})
+	}
+}
+
+// handleFormat serves POST /v1/format: parse under the selected product,
+// re-render through the typed AST printers (canonical or minified). It
+// follows handleParse's deadline discipline — an overrunning format is
+// abandoned to finish in the background.
+func (s *Server) handleFormat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req FormatRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if !s.admit() {
+		s.reject429(w)
+		return
+	}
+	defer s.release()
+	s.m.formatReqs.Inc()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted()
+	}
+
+	eng, label, err := s.resolve(req.Dialect, req.Features)
+	if err != nil {
+		s.m.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.m.dialect(label).Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	done := make(chan *FormatResponse, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Inc()
+				done <- nil
+			}
+		}()
+		start := time.Now()
+		resp := FormatOutcome(eng, req.SQL, req.Minify)
+		s.m.latency.Observe(time.Since(start).Seconds())
+		if resp.Error != nil {
+			s.m.formatErrors.Inc()
+		}
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		if resp == nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal error: format panicked"})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.m.timeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorBody{Error: fmt.Sprintf("format exceeded deadline %s", s.cfg.RequestTimeout)})
 	}
 }
 

@@ -6,6 +6,7 @@ package server
 import (
 	"sync"
 
+	"sqlspl/internal/analyze"
 	"sqlspl/internal/configure"
 	"sqlspl/internal/engine"
 	"sqlspl/internal/lexer"
@@ -21,6 +22,8 @@ type metricsBundle struct {
 
 	parseReqs          *telemetry.Counter
 	batchReqs          *telemetry.Counter
+	formatReqs         *telemetry.Counter // /v1/format requests admitted
+	formatErrors       *telemetry.Counter // format requests refused (parse failure or unmodelled statement)
 	streamReqs         *telemetry.Counter // /v1/stream requests admitted
 	streamStatements   *telemetry.Counter // statements yielded by the streaming scanner
 	configureReqs      *telemetry.Counter // /v1/configure requests admitted
@@ -45,6 +48,8 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog, vcache *pro
 
 		parseReqs:          reg.Counter("sqlserved_parse_requests_total", "parse requests admitted"),
 		batchReqs:          reg.Counter("sqlserved_batch_requests_total", "batch requests admitted"),
+		formatReqs:         reg.Counter("sqlserved_format_requests_total", "format requests admitted"),
+		formatErrors:       reg.Counter("sqlserved_format_errors_total", "format requests refused (parse failure or unmodelled statement)"),
 		streamReqs:         reg.Counter("sqlserved_stream_requests_total", "stream requests admitted"),
 		streamStatements:   reg.Counter("sqlserved_stream_statements_total", "statements checked by the streaming endpoint"),
 		configureReqs:      reg.Counter("sqlserved_configure_requests_total", "configure requests admitted"),
@@ -111,6 +116,14 @@ func newMetricsBundle(reg *telemetry.Registry, cat *product.Catalog, vcache *pro
 		func() uint64 { return engine.HotCounters().DiagFallbacks })
 	reg.CounterFunc("sqlspl_engine_stale_skips_total", "promotions refused because the registered parser's grammar hash was stale",
 		func() uint64 { return engine.HotCounters().StaleSkips })
+
+	// Analysis-pass counters (process-wide, like the parser/lexer counters
+	// below): statements analysed and how many were Generic fallbacks the
+	// analysis could only flag as incomplete.
+	reg.CounterFunc("sqlspl_analyze_statements_total", "statements run through the analysis pass",
+		func() uint64 { return analyze.HotCounters().Statements })
+	reg.CounterFunc("sqlspl_analyze_incomplete_total", "analysed statements flagged incomplete (unmodelled syntax)",
+		func() uint64 { return analyze.HotCounters().Incomplete })
 
 	// Parser/lexer hot-path counters (process-wide, so they include
 	// non-server parses in the same process — documented in DESIGN §8).

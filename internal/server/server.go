@@ -153,6 +153,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/parse", s.handleParse)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/format", s.handleFormat)
 	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/configure", s.handleConfigure)
 	s.mux.HandleFunc("/v1/dialects", s.handleDialects)

@@ -138,8 +138,31 @@ func TestParseEndpointShapes(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !resp.OK || len(resp.Statements) != 2 ||
-			resp.Statements[0].Type != "Select" || resp.Statements[1].Type != "Delete" {
+			resp.Statements[0].Type != StmtSelect || resp.Statements[1].Type != StmtDelete {
 			t.Errorf("ast response = %+v", resp)
+		}
+		if resp.Statements[0].Select == nil || resp.Statements[0].Select.From[0].Name[0] != "t" {
+			t.Errorf("typed select node = %+v", resp.Statements[0].Select)
+		}
+		if resp.Statements[1].Delete == nil || resp.Statements[1].Delete.Table[0] != "u" {
+			t.Errorf("typed delete node = %+v", resp.Statements[1].Delete)
+		}
+	})
+	t.Run("analysis", func(t *testing.T) {
+		_, body, _ := postJSON(t, client, url, ParseRequest{
+			Dialect: "core", SQL: "SELECT o.total FROM orders AS o WHERE o.total > 1", Want: WantAnalysis})
+		var resp ParseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || len(resp.Analysis) != 1 {
+			t.Fatalf("analysis response = %+v", resp)
+		}
+		a := resp.Analysis[0]
+		if a.Kind != "select" || a.Incomplete ||
+			len(a.Tables) != 1 || a.Tables[0].Name != "orders" || a.Tables[0].Alias != "o" ||
+			len(a.Columns) != 1 || a.Columns[0].Name != "total" || a.Columns[0].Table != "orders" {
+			t.Errorf("analysis = %+v", a)
 		}
 	})
 	t.Run("syntax-error", func(t *testing.T) {

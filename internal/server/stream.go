@@ -179,29 +179,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // relocateDiagnostics rebases a statement-relative recovery view (the
-// cached verdict's Diags) into whole-script coordinates and applies the
-// recovery pass's skip hint: a failing statement that is not the script's
-// last gets "statement skipped", exactly as ParseRecover marks segments
-// with statements after them. Cached diagnostics are shared — relocation
-// copies, never mutates.
+// cached verdict's Diags) into whole-script coordinates via the shared
+// wire helper (RelocateDiagnostics), which batch callers use too.
 func relocateDiagnostics(diags []parser.Diagnostic, p pendingStmt, hasMore bool) []*Diagnostic {
-	if len(diags) == 0 {
-		return nil
-	}
-	out := make([]*Diagnostic, len(diags))
-	for i := range diags {
-		d := diags[i] // copy
-		d.Span.Start += p.off
-		d.Span.End += p.off
-		if d.Span.Line == 1 {
-			d.Span.Col += p.col - 1
-		}
-		d.Span.Line += p.line - 1
-		d.Msg = stream.RelocateEndOfInput(d.Msg, p.line, p.col)
-		if hasMore && d.Hint == "" {
-			d.Hint = "statement skipped"
-		}
-		out[i] = EncodeParserDiagnostic(&d)
-	}
-	return out
+	return RelocateDiagnostics(diags, Position{Off: p.off, Line: p.line, Col: p.col, HasMore: hasMore})
 }

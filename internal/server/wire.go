@@ -9,28 +9,30 @@ package server
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
+	"sqlspl/internal/analyze"
 	"sqlspl/internal/ast"
 	"sqlspl/internal/engine"
 	"sqlspl/internal/lexer"
 	"sqlspl/internal/parser"
+	"sqlspl/internal/stream"
 )
 
 // The response shapes a parse can request.
 const (
-	WantVerdict = "verdict" // accept/reject only — no tree is materialised
-	WantTree    = "tree"    // concrete parse tree
-	WantAST     = "ast"     // typed AST nodes with per-statement SQL
-	WantRender  = "render"  // SQL re-rendered from the typed AST
+	WantVerdict  = "verdict"  // accept/reject only — no tree is materialised
+	WantTree     = "tree"     // concrete parse tree
+	WantAST      = "ast"      // typed AST statements in the stable wire schema
+	WantRender   = "render"   // SQL re-rendered from the typed AST
+	WantAnalysis = "analysis" // per-statement query intelligence summary
 )
 
 // ValidWant reports whether want names a known response shape. The empty
 // string is valid and means WantRender.
 func ValidWant(want string) bool {
 	switch want {
-	case "", WantVerdict, WantTree, WantAST, WantRender:
+	case "", WantVerdict, WantTree, WantAST, WantRender, WantAnalysis:
 		return true
 	}
 	return false
@@ -43,7 +45,7 @@ type ParseRequest struct {
 	Dialect  string   `json:"dialect,omitempty"`
 	Features []string `json:"features,omitempty"`
 	SQL      string   `json:"sql"`
-	Want     string   `json:"want,omitempty"` // verdict | tree | ast | render (default render)
+	Want     string   `json:"want,omitempty"` // verdict | tree | ast | render | analysis (default render)
 }
 
 // BatchRequest is the body of POST /v1/batch: one product, many queries,
@@ -86,33 +88,64 @@ type TreeNode struct {
 	Children []*TreeNode `json:"children,omitempty"`
 }
 
-// StatementJSON is one typed AST statement: its concrete node type, its
-// re-rendered SQL, and the node itself marshalled structurally. Node is an
-// ast.Statement when encoding; clients decoding a response see the generic
-// JSON object (the concrete Go type cannot round-trip through an
-// interface field).
+// StatementJSON is one typed AST statement in the stable wire schema:
+// Type discriminates which of the node fields is populated (select |
+// insert | update | delete | generic), and SQL carries the statement
+// re-rendered through the AST printers. The node shapes are defined in
+// astwire.go and encoded field by field, so the wire format does not
+// track internal Go struct layout.
 type StatementJSON struct {
-	Type string `json:"type"`
-	SQL  string `json:"sql"`
-	Node any    `json:"node"`
+	Type    string       `json:"type"`
+	SQL     string       `json:"sql"`
+	Select  *SelectJSON  `json:"select,omitempty"`
+	Insert  *InsertJSON  `json:"insert,omitempty"`
+	Update  *UpdateJSON  `json:"update,omitempty"`
+	Delete  *DeleteJSON  `json:"delete,omitempty"`
+	Generic *GenericJSON `json:"generic,omitempty"`
 }
 
 // ParseResponse is the body of a parse result — HTTP response and
-// sqlparse -json output alike. Exactly one of Tree, Statements or SQL is
-// populated on success, matching Want. On failure Error keeps the legacy
-// single farthest-failure diagnostic (compatibility), while Diagnostics
-// carries the statement-recovery view: every failing statement of the
-// script, sorted by position.
+// sqlparse -json output alike. Exactly one of Tree, Statements, Analysis
+// or SQL is populated on success, matching Want. On failure Error keeps
+// the legacy single farthest-failure diagnostic (compatibility), while
+// Diagnostics carries the statement-recovery view: every failing
+// statement of the script, sorted by position.
 type ParseResponse struct {
-	OK            bool            `json:"ok"`
-	Dialect       string          `json:"dialect"`
-	Want          string          `json:"want"`
-	Tree          *TreeNode       `json:"tree,omitempty"`
-	Statements    []StatementJSON `json:"statements,omitempty"`
-	SQL           string          `json:"sql,omitempty"`
-	Error         *Diagnostic     `json:"error,omitempty"`
-	Diagnostics   []*Diagnostic   `json:"diagnostics,omitempty"`
-	ElapsedMicros int64           `json:"elapsed_us"`
+	OK            bool               `json:"ok"`
+	Dialect       string             `json:"dialect"`
+	Want          string             `json:"want"`
+	Tree          *TreeNode          `json:"tree,omitempty"`
+	Statements    []StatementJSON    `json:"statements,omitempty"`
+	Analysis      []analyze.Analysis `json:"analysis,omitempty"`
+	SQL           string             `json:"sql,omitempty"`
+	Error         *Diagnostic        `json:"error,omitempty"`
+	Diagnostics   []*Diagnostic      `json:"diagnostics,omitempty"`
+	ElapsedMicros int64              `json:"elapsed_us"`
+}
+
+// FormatRequest is the body of POST /v1/format: parse SQL under the
+// selected product and render it back through the typed AST printers —
+// canonical form by default, whitespace-minimal when Minify is set.
+type FormatRequest struct {
+	Dialect  string   `json:"dialect,omitempty"`
+	Features []string `json:"features,omitempty"`
+	SQL      string   `json:"sql"`
+	Minify   bool     `json:"minify,omitempty"`
+}
+
+// FormatResponse is the body of a format result. SQL is set on success.
+// Formatting refuses scripts containing statements the typed AST only
+// preserves as source text (Generic): canonicalising text the printers do
+// not model would silently pass the input through, so the refusal is a
+// structured error naming the statement kind instead.
+type FormatResponse struct {
+	OK            bool          `json:"ok"`
+	Dialect       string        `json:"dialect"`
+	Minify        bool          `json:"minify,omitempty"`
+	SQL           string        `json:"sql,omitempty"`
+	Error         *Diagnostic   `json:"error,omitempty"`
+	Diagnostics   []*Diagnostic `json:"diagnostics,omitempty"`
+	ElapsedMicros int64         `json:"elapsed_us"`
 }
 
 // BatchResult is one query's verdict within a batch response. When the
@@ -208,12 +241,105 @@ func EncodeDiagnostics(diags []parser.Diagnostic) []*Diagnostic {
 	return out
 }
 
+// Position locates a statement inside a larger input, for callers (batch
+// and stream modes) that parse statements the scanner cut out of a whole
+// script: Off is the statement's byte offset, Line/Col the 1-based
+// coordinates of its first byte, and HasMore reports whether a later
+// statement exists (the recovery pass's "statement skipped" hint applies
+// exactly then). The zero value means "the statement is the whole input".
+type Position struct {
+	Off, Line, Col int
+	HasMore        bool
+}
+
+// normalize maps the zero value onto the identity relocation.
+func (p Position) normalize() Position {
+	if p.Line == 0 {
+		p.Line = 1
+	}
+	if p.Col == 0 {
+		p.Col = 1
+	}
+	return p
+}
+
+// RelocateError rebases a statement-relative parse or scan error into
+// whole-input coordinates. Error texts embed positions, so relocation
+// copies the structured error and lets Error() regenerate the message;
+// unrecognized error types are returned unchanged.
+func RelocateError(err error, at Position) error {
+	at = at.normalize()
+	if err == nil || (at.Off == 0 && at.Line == 1 && at.Col == 1) {
+		return err
+	}
+	var syn *parser.SyntaxError
+	if errors.As(err, &syn) {
+		c := *syn
+		c.Span.Start += at.Off
+		c.Span.End += at.Off
+		if c.Line == 1 {
+			c.Col += at.Col - 1
+		}
+		c.Line += at.Line - 1
+		return &c
+	}
+	var lex *lexer.Error
+	if errors.As(err, &lex) {
+		c := *lex
+		c.Off += at.Off
+		c.Resume += at.Off
+		if c.Line == 1 {
+			c.Col += at.Col - 1
+		}
+		c.Line += at.Line - 1
+		return &c
+	}
+	return err
+}
+
+// RelocateDiagnostics rebases a statement-relative recovery view into
+// whole-input coordinates and applies the recovery pass's skip hint: a
+// failing statement with statements after it gets "statement skipped",
+// exactly as ParseRecover marks segments followed by more script. The
+// input diagnostics may be shared (the verdict cache hands out one slice)
+// — relocation copies, never mutates.
+func RelocateDiagnostics(diags []parser.Diagnostic, at Position) []*Diagnostic {
+	if len(diags) == 0 {
+		return nil
+	}
+	at = at.normalize()
+	out := make([]*Diagnostic, len(diags))
+	for i := range diags {
+		d := diags[i] // copy
+		d.Span.Start += at.Off
+		d.Span.End += at.Off
+		if d.Span.Line == 1 {
+			d.Span.Col += at.Col - 1
+		}
+		d.Span.Line += at.Line - 1
+		d.Msg = stream.RelocateEndOfInput(d.Msg, at.Line, at.Col)
+		if at.HasMore && d.Hint == "" {
+			d.Hint = "statement skipped"
+		}
+		out[i] = EncodeParserDiagnostic(&d)
+	}
+	return out
+}
+
 // Outcome parses sql over the resolved engine and encodes the result in
 // the requested shape. It is the single parse-and-encode path: HTTP
 // handlers and the sqlparse CLI both call it, whichever backend —
 // interpreted or generated — the catalog promoted the product to. want
 // must satisfy ValidWant.
 func Outcome(eng engine.Engine, sql, want string) *ParseResponse {
+	return OutcomeAt(eng, sql, want, Position{})
+}
+
+// OutcomeAt is Outcome for a statement cut out of a larger input: on
+// failure, the error and diagnostics carry whole-input coordinates
+// instead of statement-relative ones, so batch callers report positions
+// identical to a whole-script parse.
+func OutcomeAt(eng engine.Engine, sql, want string, at Position) *ParseResponse {
 	if want == "" {
 		want = WantRender
 	}
@@ -222,13 +348,14 @@ func Outcome(eng engine.Engine, sql, want string) *ParseResponse {
 	defer func() { resp.ElapsedMicros = time.Since(start).Microseconds() }()
 
 	// fail records the legacy single farthest-failure error and the full
-	// statement-recovery view. Only rejected input pays for the recovery
-	// pass; accepted queries stay on the fast (verdict: allocation-free)
-	// path. Diagnose may fall back to the interpreted engine — generated
-	// runtimes do not cover statement recovery.
+	// statement-recovery view, both rebased to whole-input coordinates.
+	// Only rejected input pays for the recovery pass; accepted queries
+	// stay on the fast (verdict: allocation-free) path. Diagnose may fall
+	// back to the interpreted engine — generated runtimes do not cover
+	// statement recovery.
 	fail := func(err error) {
-		resp.Error = EncodeDiagnostic(err)
-		resp.Diagnostics = EncodeDiagnostics(eng.Diagnose(sql))
+		resp.Error = EncodeDiagnostic(RelocateError(err, at))
+		resp.Diagnostics = RelocateDiagnostics(eng.Diagnose(sql), at)
 	}
 
 	if want == WantVerdict {
@@ -250,24 +377,64 @@ func Outcome(eng engine.Engine, sql, want string) *ParseResponse {
 	switch want {
 	case WantTree:
 		resp.Tree = EncodeTree(tree)
-	case WantAST, WantRender:
+	case WantAST, WantRender, WantAnalysis:
 		script, err := ast.NewBuilder(nil).Build(tree)
 		if err != nil {
 			resp.Error = &Diagnostic{Message: fmt.Sprintf("semantic actions: %v", err)}
 			return resp
 		}
-		if want == WantRender {
+		switch want {
+		case WantRender:
 			resp.SQL = script.SQL()
-		} else {
+		case WantAnalysis:
+			resp.Analysis = analyze.Script(script)
+		default:
 			for _, st := range script.Statements {
-				resp.Statements = append(resp.Statements, StatementJSON{
-					Type: strings.TrimPrefix(fmt.Sprintf("%T", st), "*ast."),
-					SQL:  st.SQL(),
-					Node: st,
-				})
+				resp.Statements = append(resp.Statements, EncodeStatement(st))
 			}
 		}
 	}
 	resp.OK = true
+	return resp
+}
+
+// FormatOutcome parses sql over the resolved engine and re-renders it
+// through the typed AST printers — one statement per line in canonical
+// form, or whitespace-minimal when minify is set. Like Outcome it is the
+// single format path, shared by POST /v1/format and sqlparse -format.
+// Scripts containing Generic statements are refused with a structured
+// error: the printers would pass their text through unchanged, which is
+// not formatting.
+func FormatOutcome(eng engine.Engine, sql string, minify bool) *FormatResponse {
+	resp := &FormatResponse{Dialect: eng.Info().Product, Minify: minify}
+	start := time.Now()
+	defer func() { resp.ElapsedMicros = time.Since(start).Microseconds() }()
+
+	tree, err := eng.Parse(sql)
+	if err != nil {
+		resp.Error = EncodeDiagnostic(err)
+		resp.Diagnostics = EncodeDiagnostics(eng.Diagnose(sql))
+		return resp
+	}
+	script, err := ast.NewBuilder(nil).Build(tree)
+	if err != nil {
+		resp.Error = &Diagnostic{Message: fmt.Sprintf("semantic actions: %v", err)}
+		return resp
+	}
+	for i, st := range script.Statements {
+		if g, ok := st.(*ast.Generic); ok {
+			resp.Error = &Diagnostic{
+				Message: fmt.Sprintf("statement %d (%s) is not modelled by the typed AST; formatting would pass its text through unchanged", i+1, g.Kind),
+				Hint:    "only SELECT/INSERT/UPDATE/DELETE statements can be formatted",
+			}
+			return resp
+		}
+	}
+	out := ast.Format(script)
+	if minify {
+		out = ast.Minify(out)
+	}
+	resp.OK = true
+	resp.SQL = out
 	return resp
 }

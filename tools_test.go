@@ -191,7 +191,7 @@ func TestCLIsRun(t *testing.T) {
 		t.Parallel()
 		out := runTool(t, "./cmd/sqlparse", "-dialect", "core", "-json",
 			"SELECT a FROM t WHERE b = 1")
-		for _, want := range []string{`"ok": true`, `"type": "Select"`, `"sql": "SELECT a FROM t WHERE b = 1"`} {
+		for _, want := range []string{`"ok": true`, `"type": "select"`, `"sql": "SELECT a FROM t WHERE b = 1"`} {
 			if !strings.Contains(out, want) {
 				t.Errorf("json output missing %q:\n%s", want, out)
 			}
